@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Ablation: how many parallel rings the R baseline stripes across.
+ *
+ * NCCL exploits all six NVLinks per GPU by striping data over several
+ * channel-disjoint rings; the paper's R-vs-C1 relationship depends on
+ * how aggressive that striping is. This harness sweeps the ring
+ * count on the DGX-1 and shows where R crosses C1.
+ */
+
+#include <iostream>
+
+#include "simnet/channel.h"
+#include "simnet/double_tree_schedule.h"
+#include "simnet/multi_ring_schedule.h"
+#include "topo/dgx1.h"
+#include "topo/double_tree.h"
+#include "topo/ring_embedding.h"
+#include "util/table.h"
+#include "util/units.h"
+
+int
+main()
+{
+    using namespace ccube;
+
+    std::cout << "=== Ablation: ring striping count vs overlapped "
+                 "tree (DGX-1, 64 MiB) ===\n\n";
+
+    const topo::Graph dgx1 = topo::makeDgx1();
+    const auto dt = topo::makeDgx1DoubleTree(dgx1);
+    const double bytes = util::mib(64);
+
+    sim::Simulation sim_c;
+    simnet::Network net_c(sim_c, dgx1);
+    const double t_c1 =
+        simnet::runDoubleTreeSchedule(sim_c, net_c, dt, bytes,
+                                      simnet::PhaseMode::kOverlapped,
+                                      32)
+            .completion_time;
+
+    util::Table table({"rings", "ring_ms", "ring_GBps",
+                       "ring_vs_C1_%"});
+    const auto all_rings = topo::findDisjointRings(dgx1, 8, 6);
+    for (std::size_t count = 1; count <= all_rings.size(); ++count) {
+        const std::vector<topo::RingEmbedding> rings(
+            all_rings.begin(),
+            all_rings.begin() + static_cast<std::ptrdiff_t>(count));
+        sim::Simulation sim;
+        simnet::Network net(sim, dgx1);
+        const auto result =
+            simnet::runMultiRingSchedule(sim, net, rings, bytes);
+        table.addRow(
+            {std::to_string(count),
+             util::formatDouble(result.completion_time * 1e3, 3),
+             util::formatDouble(
+                 result.effectiveBandwidth(bytes) / 1e9, 2),
+             util::formatDouble(
+                 (t_c1 / result.completion_time - 1.0) * 100, 1)});
+    }
+    table.print(std::cout);
+    std::cout << "\nC1 (overlapped double tree) = "
+              << util::formatDouble(t_c1 * 1e3, 3)
+              << " ms. With 1-2 rings the tree wins; from ~3 rings the "
+                 "bandwidth-optimal ring pulls ahead on this small "
+                 "system (paper: R up to 27% over C1). The default R "
+                 "baseline stripes 4 rings.\n";
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Ablation: sensitivity to a degraded link (straggler).
+ *
+ * Synchronous collectives are gated by their slowest member. This
+ * harness degrades one NVLink pair's bandwidth and compares how the
+ * multi-ring and the overlapped double tree degrade — the ring
+ * pushes every byte through every link, so one slow link caps it;
+ * the tree only suffers where the slow pair carries tree traffic.
+ */
+
+#include <iostream>
+
+#include "simnet/channel.h"
+#include "simnet/double_tree_schedule.h"
+#include "simnet/multi_ring_schedule.h"
+#include "topo/dgx1.h"
+#include "topo/double_tree.h"
+#include "topo/ring_embedding.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace {
+
+using namespace ccube;
+
+struct Timing {
+    double ring;
+    double tree_c1;
+};
+
+Timing
+measure(const topo::Graph& graph, double bytes)
+{
+    const auto dt = topo::makeDgx1DoubleTree(graph);
+    const auto rings = topo::findDisjointRings(graph, 8, 4);
+
+    sim::Simulation sim_r;
+    simnet::Network net_r(sim_r, graph);
+    const double ring =
+        simnet::runMultiRingSchedule(sim_r, net_r, rings, bytes)
+            .completion_time;
+
+    sim::Simulation sim_t;
+    simnet::Network net_t(sim_t, graph);
+    const double tree =
+        simnet::runDoubleTreeSchedule(sim_t, net_t, dt, bytes,
+                                      simnet::PhaseMode::kOverlapped,
+                                      32)
+            .completion_time;
+    return Timing{ring, tree};
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "=== Ablation: straggler link sensitivity "
+                 "(DGX-1, 64 MiB, pair (2,3) degraded) ===\n\n";
+
+    const double bytes = util::mib(64);
+    const Timing healthy = measure(topo::makeDgx1(), bytes);
+
+    util::Table table({"link_slowdown", "ring_ms", "ring_loss_%",
+                       "tree_C1_ms", "tree_loss_%"});
+    table.addRow({"1.0 (healthy)",
+                  util::formatDouble(healthy.ring * 1e3, 3), "0.0",
+                  util::formatDouble(healthy.tree_c1 * 1e3, 3), "0.0"});
+    for (double factor : {0.5, 0.25, 0.1}) {
+        topo::Graph degraded = topo::makeDgx1();
+        for (int id : degraded.channelIds(2, 3))
+            degraded.scaleChannelBandwidth(id, factor);
+        for (int id : degraded.channelIds(3, 2))
+            degraded.scaleChannelBandwidth(id, factor);
+        const Timing t = measure(degraded, bytes);
+        table.addRow(
+            {util::formatDouble(factor, 2),
+             util::formatDouble(t.ring * 1e3, 3),
+             util::formatDouble((t.ring / healthy.ring - 1.0) * 100, 1),
+             util::formatDouble(t.tree_c1 * 1e3, 3),
+             util::formatDouble(
+                 (t.tree_c1 / healthy.tree_c1 - 1.0) * 100, 1)});
+    }
+    table.print(std::cout);
+    std::cout << "\nBoth algorithms route traffic over pair (2,3); "
+                 "the ring's loss tracks the inverse link factor "
+                 "directly, while the tree is partially shielded by "
+                 "its pipelining until the slow pair dominates.\n";
+    return 0;
+}

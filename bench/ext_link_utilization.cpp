@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Extension: per-channel utilization of the DGX-1 during AllReduce —
+ * making Observation #2 visible. During the baseline's reduction
+ * phase the tree's "downlinks" sit idle (and vice versa during
+ * broadcast), so no channel can exceed ~50% utilization; the
+ * overlapped algorithm drives both directions at once.
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "simnet/channel.h"
+#include "simnet/double_tree_schedule.h"
+#include "topo/dgx1.h"
+#include "topo/double_tree.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace {
+
+using namespace ccube;
+
+struct Utilization {
+    double completion;
+    util::RunningStats used_channels; ///< utilization of busy channels
+    double max_utilization;
+};
+
+Utilization
+measure(simnet::PhaseMode mode)
+{
+    const topo::Graph graph = topo::makeDgx1();
+    const auto dt = topo::makeDgx1DoubleTree(graph);
+    sim::Simulation sim;
+    simnet::Network net(sim, graph);
+    const auto result = simnet::runDoubleTreeSchedule(
+        sim, net, dt, util::mib(64), mode, 32);
+
+    Utilization u{result.completion_time, {}, 0.0};
+    for (int id = 0; id < graph.channelCount(); ++id) {
+        const double busy = net.channelBusyTime(id);
+        if (busy <= 0.0)
+            continue; // channel unused by the embedding
+        const double utilization = busy / result.completion_time;
+        u.used_channels.add(utilization);
+        u.max_utilization = std::max(u.max_utilization, utilization);
+    }
+    return u;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "=== Extension: NVLink channel utilization, "
+                 "baseline vs overlapped double tree "
+                 "(DGX-1, 64 MiB) ===\n\n";
+
+    const Utilization base = measure(simnet::PhaseMode::kTwoPhase);
+    const Utilization over = measure(simnet::PhaseMode::kOverlapped);
+
+    util::Table table({"algorithm", "completion_ms", "busy_channels",
+                       "mean_utilization", "max_utilization"});
+    table.addRow(
+        {"B (two-phase)", util::formatDouble(base.completion * 1e3, 3),
+         std::to_string(base.used_channels.count()),
+         util::formatDouble(base.used_channels.mean(), 3),
+         util::formatDouble(base.max_utilization, 3)});
+    table.addRow(
+        {"C1 (overlapped)",
+         util::formatDouble(over.completion * 1e3, 3),
+         std::to_string(over.used_channels.count()),
+         util::formatDouble(over.used_channels.mean(), 3),
+         util::formatDouble(over.max_utilization, 3)});
+    table.print(std::cout);
+
+    std::cout
+        << "\nObservation #2 made visible: in the two-phase baseline "
+           "a channel works in only one of the two phases, capping "
+           "its utilization near 50%; the overlapped algorithm's "
+           "bottleneck channels approach full utilization — the same "
+           "channels finish the same bytes almost twice as fast.\n";
+    return 0;
+}

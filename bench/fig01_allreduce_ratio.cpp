@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Reproduces Fig. 1: AllReduce as a fraction of total execution time
+ * for MLPerf-like workloads on an 8-GPU DGX-1 with NCCL-style
+ * (multi-ring) AllReduce.
+ *
+ * The paper measured this with PyTorch + NCCL and a profiler. Under
+ * PyTorch DDP, AllReduce is bucketed and overlapped with backward;
+ * NCCL ring kernels *spin* while waiting for each bucket's gradients
+ * and for peers, so the profiled AllReduce time is the kernel
+ * residency window — roughly from the first bucket launch until the
+ * last bucket's transfer drains — not the pure transfer time. We
+ * model that explicitly: with B buckets finishing uniformly through
+ * backward, residency ≈ bwd·(B−1)/B plus the exposed tail transfer.
+ *
+ * Paper shape: Single Stage Detector highest (~60%), NCF lowest
+ * (~10%), others in between.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "core/ccube_engine.h"
+#include "dnn/catalog.h"
+#include "dnn/compute_model.h"
+#include "util/table.h"
+#include "util/units.h"
+
+int
+main()
+{
+    using namespace ccube;
+
+    std::cout << "=== Fig. 1: AllReduce ratio of execution time "
+                 "(8-GPU DGX-1, NCCL-style ring) ===\n\n";
+
+    util::Table table({"workload", "batch/GPU", "allreduce_bytes",
+                       "compute_ms", "pure_comm_ms",
+                       "profiled_allreduce_ms", "ratio_%"});
+
+    // PyTorch DDP default bucket size.
+    const double kBucketBytes = 25e6;
+
+    for (const dnn::Workload& workload : dnn::mlperfSuite()) {
+        core::CCubeEngine engine(workload.model);
+        const dnn::ComputeModel compute;
+        const double fwd =
+            compute.forwardTime(workload.model, workload.batch_per_gpu);
+        const double bwd = compute.backwardTime(workload.model,
+                                                workload.batch_per_gpu);
+        const double pure =
+            engine.commOnly(core::Mode::kRing, workload.allreduce_bytes)
+                .completion_time;
+        const double buckets =
+            std::max(1.0, std::ceil(workload.allreduce_bytes /
+                                    kBucketBytes));
+        // Kernel residency: first bucket launches ~bwd/B into
+        // backward; the stream stays resident (transfer + spin)
+        // until the last bucket drains after backward ends. Only the
+        // dense (all-reduced) fraction of backward feeds buckets.
+        const double dense_fraction =
+            workload.allreduce_bytes /
+            workload.model.totalParamBytes();
+        const double tail = pure / buckets;
+        const double residency =
+            bwd * dense_fraction * (buckets - 1.0) / buckets + tail;
+        const double profiled = std::max(pure, residency);
+        const double total = fwd + bwd + tail;
+        table.addRow({workload.label,
+                      std::to_string(workload.batch_per_gpu),
+                      util::formatBytes(workload.allreduce_bytes),
+                      util::formatDouble((fwd + bwd) * 1e3, 2),
+                      util::formatDouble(pure * 1e3, 2),
+                      util::formatDouble(profiled * 1e3, 2),
+                      util::formatDouble(100.0 * profiled / total, 1)});
+    }
+    table.print(std::cout);
+    std::cout << "\nPaper reference: SSD ≈ 60% (highest), NCF ≈ 10% "
+                 "(lowest); AllReduce is a significant fraction for "
+                 "every workload.\n";
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Reproduces Fig. 3: NCCL AllReduce performance for one-shot vs
+ * layer-wise vs slicing invocation granularity with ResNet-50
+ * parameter sizes, normalized to the NVLink hardware peak.
+ *
+ * Paper shape: layer-wise ≈ 2× slower than one-shot; slicing > 4×.
+ */
+
+#include <iostream>
+
+#include "dnn/catalog.h"
+#include "model/invocation_model.h"
+#include "util/table.h"
+#include "util/units.h"
+
+int
+main()
+{
+    using namespace ccube;
+    using model::InvocationStrategy;
+
+    std::cout << "=== Fig. 3: AllReduce bandwidth vs invocation "
+                 "granularity (ResNet-50 parameters, 8 nodes) ===\n\n";
+
+    const dnn::NetworkModel resnet = dnn::buildResnet50();
+    std::vector<double> layer_bytes;
+    for (double b : resnet.layerParamBytes())
+        if (b > 0.0)
+            layer_bytes.push_back(b);
+
+    model::InvocationParams params;
+    params.link = model::AlphaBeta::fromBandwidth(4.6e-6, 25e9);
+    const model::InvocationModel inv(params);
+    const double peak = 25e9;
+
+    util::Table table({"strategy", "invocations", "bandwidth_GBps",
+                       "normalized_to_peak", "slowdown_vs_oneshot"});
+    const double one_shot = inv.effectiveBandwidth(
+        8, layer_bytes, InvocationStrategy::kOneShot);
+    const struct {
+        const char* name;
+        InvocationStrategy strategy;
+    } rows[] = {
+        {"one-shot", InvocationStrategy::kOneShot},
+        {"layer-wise", InvocationStrategy::kLayerWise},
+        {"slicing", InvocationStrategy::kSlicing},
+    };
+    for (const auto& row : rows) {
+        const double bw =
+            inv.effectiveBandwidth(8, layer_bytes, row.strategy);
+        const std::size_t count =
+            inv.invocationSizes(layer_bytes, row.strategy).size();
+        table.addRow({row.name, std::to_string(count),
+                      util::formatDouble(bw / 1e9, 2),
+                      util::formatDouble(bw / peak, 3),
+                      util::formatDouble(one_shot / bw, 2)});
+    }
+    table.print(std::cout);
+    std::cout << "\nPaper reference: layer-wise ≈ 2x loss, slicing > 4x "
+                 "loss vs one-shot — C-Cube therefore keeps the "
+                 "one-shot collective and chains within it.\n";
+    return 0;
+}

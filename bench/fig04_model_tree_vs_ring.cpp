@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Reproduces Fig. 4: analytical performance ratio of the tree vs ring
+ * AllReduce, (1/T_tree)/(1/T_ring) = T_ring/T_tree, as a function of
+ * node count and message size.
+ *
+ * Paper shape: ratio > 1 (tree wins) for small messages and large
+ * node counts; ring wins by up to ~14% for large messages on few
+ * nodes; tree scales better as P grows.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "model/ring_model.h"
+#include "model/tree_model.h"
+#include "util/table.h"
+#include "util/units.h"
+
+int
+main()
+{
+    using namespace ccube;
+
+    std::cout << "=== Fig. 4: T_ring / T_tree model ratio (>1 means "
+                 "tree faster) ===\n\n";
+
+    const model::AlphaBeta link =
+        model::AlphaBeta::fromBandwidth(4.6e-6, 25e9);
+    const model::RingModel ring(link);
+    const model::TreeModel tree(link);
+
+    const std::vector<int> nodes{8, 16, 32, 64, 128, 256, 512, 1024};
+    const std::vector<std::pair<const char*, double>> sizes{
+        {"16KB", util::kib(16)}, {"256KB", util::kib(256)},
+        {"1MB", util::mib(1)},   {"16MB", util::mib(16)},
+        {"64MB", util::mib(64)},
+    };
+
+    std::vector<std::string> headers{"size \\ P"};
+    for (int p : nodes)
+        headers.push_back(std::to_string(p));
+    util::Table table(headers);
+
+    double worst_ring_win = 1.0;
+    for (const auto& [label, bytes] : sizes) {
+        std::vector<std::string> row{label};
+        for (int p : nodes) {
+            const double ratio = ring.allReduceTime(p, bytes) /
+                                 tree.allReduceTime(p, bytes);
+            worst_ring_win = std::min(worst_ring_win, ratio);
+            row.push_back(util::formatDouble(ratio, 3));
+        }
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << "\nAsymptotic ring advantage for N → inf at P=8: "
+              << util::formatDouble(
+                     (2.0 / (2.0 * 7.0 / 8.0) - 1.0) * 100, 1)
+              << "% — the paper's ~14% bound; at finite N the tree's "
+                 "sqrt(alpha*beta*N*logP) pipeline-fill term widens "
+                 "the gap for our alpha.\n";
+    std::cout << "Largest ring advantage anywhere in the grid: "
+              << util::formatDouble((1.0 / worst_ring_win - 1.0) * 100,
+                                    1)
+              << "% (paper: up to ~14% for large messages on few "
+                 "nodes).\n";
+    std::cout << "Tree wins everywhere messages are small or node "
+                 "counts are large — the scalability argument for the "
+                 "tree algorithm.\n";
+    return 0;
+}

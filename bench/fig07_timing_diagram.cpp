@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Reproduces Fig. 7: the per-chunk timing of the baseline vs
+ * overlapped tree algorithm (6 chunks), showing when each chunk is
+ * fully reduced at the root and when it finishes broadcasting — and
+ * the resulting gradient turnaround gap.
+ */
+
+#include <iostream>
+
+#include "simnet/channel.h"
+#include "simnet/tree_schedule.h"
+#include "topo/tree_embedding.h"
+#include "util/table.h"
+
+int
+main()
+{
+    using namespace ccube;
+
+    std::cout << "=== Fig. 7: baseline vs overlapped tree timing "
+                 "(P=4, 6 chunks) ===\n\n";
+
+    constexpr int kP = 4;
+    constexpr int kChunks = 6;
+    constexpr double kBw = 25e9;
+    constexpr double kAlpha = 4.6e-6;
+    const double bytes = 6e6;
+
+    topo::Graph clique("clique");
+    for (int n = 0; n < kP; ++n)
+        clique.addNode("N" + std::to_string(n));
+    for (int a = 0; a < kP; ++a)
+        for (int b = a + 1; b < kP; ++b)
+            clique.addLink(a, b, kBw, kAlpha);
+    const topo::TreeEmbedding tree =
+        topo::embedTree(clique, topo::BinaryTree::inorder(kP));
+
+    auto run = [&](simnet::PhaseMode mode) {
+        sim::Simulation sim;
+        simnet::Network net(sim, clique);
+        return simnet::runTreeSchedule(sim, net, tree, bytes, mode,
+                                       kChunks);
+    };
+    const auto base = run(simnet::PhaseMode::kTwoPhase);
+    const auto over = run(simnet::PhaseMode::kOverlapped);
+
+    const int root = tree.tree.root();
+    util::Table table({"chunk", "B_root_us", "B_all_ranks_us",
+                       "C1_root_us", "C1_all_ranks_us"});
+    for (int c = 0; c < kChunks; ++c) {
+        table.addRow(
+            {std::to_string(c + 1),
+             util::formatDouble(
+                 base.chunk_at_rank[static_cast<std::size_t>(root)]
+                                   [static_cast<std::size_t>(c)] *
+                     1e6,
+                 1),
+             util::formatDouble(
+                 base.chunk_ready[static_cast<std::size_t>(c)] * 1e6,
+                 1),
+             util::formatDouble(
+                 over.chunk_at_rank[static_cast<std::size_t>(root)]
+                                   [static_cast<std::size_t>(c)] *
+                     1e6,
+                 1),
+             util::formatDouble(
+                 over.chunk_ready[static_cast<std::size_t>(c)] * 1e6,
+                 1)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\ncompletion:  B = "
+              << util::formatDouble(base.completion_time * 1e6, 1)
+              << " us,  C1 = "
+              << util::formatDouble(over.completion_time * 1e6, 1)
+              << " us\n";
+    std::cout << "turnaround:  B = "
+              << util::formatDouble(base.turnaroundTime() * 1e6, 1)
+              << " us,  C1 = "
+              << util::formatDouble(over.turnaroundTime() * 1e6, 1)
+              << " us  (speedup "
+              << util::formatDouble(
+                     base.turnaroundTime() / over.turnaroundTime(), 2)
+              << "x)\n";
+    std::cout << "\nIn the baseline every chunk's broadcast waits for "
+                 "the full reduction; overlapped chunks turn around "
+                 "as soon as they reach the root (Observation #1).\n";
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Reproduces Fig. 13: end-to-end normalized training performance
+ * (ideal communication-free = 1.0) for B / C1 / C2 / R / CC across
+ * ZFNet, VGG-16, ResNet-50; batch sizes 16–128; low and high
+ * interconnect bandwidth. Also prints the §V-B2 aggregate claims.
+ *
+ * Paper shape: C1 ≈ +10% avg (≤20%) over B; C2 slightly above C1;
+ * CC ≈ +32% avg (≤61%) over B; R beats C1 but CC beats R (≤31%)
+ * except ZFNet at small batch; efficiency rises with batch size and
+ * bandwidth.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "core/ccube_engine.h"
+#include "core/report.h"
+#include "util/stats.h"
+
+int
+main()
+{
+    using namespace ccube;
+    using core::Mode;
+
+    std::cout << "=== Fig. 13: normalized end-to-end performance "
+                 "(1.0 = communication-free ideal) ===\n\n";
+
+    struct Entry {
+        std::string workload;
+        std::string bw;
+        int batch;
+        double perf[5];
+    };
+    std::vector<Entry> entries;
+
+    const std::vector<
+        std::pair<const char*, dnn::NetworkModel (*)()>>
+        workloads{{"zfnet", dnn::buildZfNet},
+                  {"vgg16", dnn::buildVgg16},
+                  {"resnet50", dnn::buildResnet50}};
+    const std::vector<std::pair<const char*, double>> bandwidths{
+        {"low", 0.25}, {"high", 1.0}};
+    const std::vector<int> batches{16, 32, 64, 128};
+    const std::vector<Mode> modes = core::allModes();
+
+    util::Table table({"workload", "bw", "batch", "B", "C1", "C2", "R",
+                       "CC"});
+    for (const auto& [name, build] : workloads) {
+        core::CCubeEngine engine(build());
+        for (const auto& [bw_name, bw_scale] : bandwidths) {
+            for (int batch : batches) {
+                core::IterationConfig config;
+                config.batch = batch;
+                config.bandwidth_scale = bw_scale;
+                Entry entry{name, bw_name, batch, {}};
+                std::vector<std::string> row{name, bw_name,
+                                             std::to_string(batch)};
+                for (std::size_t m = 0; m < modes.size(); ++m) {
+                    entry.perf[m] =
+                        engine.evaluate(modes[m], config)
+                            .normalized_perf;
+                    row.push_back(util::formatDouble(entry.perf[m], 3));
+                }
+                entries.push_back(entry);
+                table.addRow(std::move(row));
+            }
+        }
+    }
+    table.print(std::cout);
+
+    // §V-B2 aggregates. Mode indices: 0=B 1=C1 2=C2 3=R 4=CC.
+    util::RunningStats c1_over_b, cc_over_b, cc_over_r, c2_over_c1;
+    for (const Entry& e : entries) {
+        c1_over_b.add(e.perf[1] / e.perf[0] - 1.0);
+        cc_over_b.add(e.perf[4] / e.perf[0] - 1.0);
+        cc_over_r.add(e.perf[4] / e.perf[3] - 1.0);
+        c2_over_c1.add(e.perf[2] / e.perf[1] - 1.0);
+    }
+    auto pct = [](double v) { return util::formatDouble(v * 100, 1); };
+    std::cout << "\n--- Aggregates across the sweep (paper §V-B2) ---\n";
+    std::cout << "C1 over B : avg " << pct(c1_over_b.mean()) << "%  max "
+              << pct(c1_over_b.max())
+              << "%   (paper: avg ~10%, max ~20%)\n";
+    std::cout << "C2 over C1: avg " << pct(c2_over_c1.mean())
+              << "%  (paper: slightly higher than C1)\n";
+    std::cout << "CC over B : avg " << pct(cc_over_b.mean()) << "%  max "
+              << pct(cc_over_b.max())
+              << "%   (paper: avg ~32%, max ~61%)\n";
+    std::cout << "CC over R : avg " << pct(cc_over_r.mean()) << "%  max "
+              << pct(cc_over_r.max())
+              << "%  min " << pct(cc_over_r.min())
+              << "%  (paper: up to 31%; R wins only for "
+                 "small-batch ZFNet)\n";
+    return 0;
+}

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) for the building blocks whose
+ * cost the paper's design leans on: the device-side-style sync
+ * primitives (Fig. 11), the mailbox path, the event queue, and the
+ * gradient queue's enqueue/dequeue.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "ccl/mailbox.h"
+#include "ccl/sync_primitives.h"
+#include "core/gradient_queue.h"
+#include "sim/event_queue.h"
+#include "sim/resource.h"
+
+namespace {
+
+using namespace ccube;
+
+void
+BM_SpinLockUncontended(benchmark::State& state)
+{
+    ccl::SpinLock lock;
+    for (auto _ : state) {
+        lock.lock();
+        lock.unlock();
+    }
+}
+BENCHMARK(BM_SpinLockUncontended);
+
+void
+BM_SemaphorePostWait(benchmark::State& state)
+{
+    ccl::BoundedSemaphore sem(1024);
+    for (auto _ : state) {
+        sem.post();
+        sem.wait();
+    }
+}
+BENCHMARK(BM_SemaphorePostWait);
+
+void
+BM_CheckableCounterPostCheck(benchmark::State& state)
+{
+    ccl::CheckableCounter counter;
+    std::int64_t target = 0;
+    for (auto _ : state) {
+        counter.post();
+        counter.check(++target);
+    }
+}
+BENCHMARK(BM_CheckableCounterPostCheck);
+
+void
+BM_MailboxSendRecv(benchmark::State& state)
+{
+    ccl::Mailbox box(8);
+    const std::vector<float> chunk(
+        static_cast<std::size_t>(state.range(0)), 1.0f);
+    std::vector<float> out;
+    for (auto _ : state) {
+        box.send(chunk, 0);
+        box.recv(out);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        state.range(0) * static_cast<std::int64_t>(sizeof(float)));
+}
+BENCHMARK(BM_MailboxSendRecv)->Arg(256)->Arg(4096)->Arg(65536);
+
+void
+BM_MailboxRecvReduce(benchmark::State& state)
+{
+    ccl::Mailbox box(8);
+    const std::vector<float> chunk(
+        static_cast<std::size_t>(state.range(0)), 1.0f);
+    std::vector<float> acc(chunk.size(), 0.0f);
+    for (auto _ : state) {
+        box.send(chunk, 0);
+        box.recvReduce(acc);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        state.range(0) * static_cast<std::int64_t>(sizeof(float)));
+}
+BENCHMARK(BM_MailboxRecvReduce)->Arg(4096)->Arg(65536);
+
+void
+BM_EventQueueScheduleRun(benchmark::State& state)
+{
+    const int events = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        sim::EventQueue queue;
+        for (int i = 0; i < events; ++i)
+            queue.schedule(static_cast<double>(i), []() {});
+        queue.run();
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * events);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
+
+void
+BM_FifoResourcePipeline(benchmark::State& state)
+{
+    for (auto _ : state) {
+        sim::Simulation sim;
+        sim::FifoResource res(sim, "ch");
+        for (int i = 0; i < 1000; ++i)
+            res.request([]() { return 1.0; }, nullptr);
+        sim.run();
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_FifoResourcePipeline);
+
+void
+BM_GradientQueueIteration(benchmark::State& state)
+{
+    const int layers = static_cast<int>(state.range(0));
+    std::vector<std::int64_t> table;
+    for (int l = 1; l <= layers; ++l)
+        table.push_back(4 * l);
+    for (auto _ : state) {
+        core::GradientQueue queue(table);
+        for (int l = 0; l < layers; ++l) {
+            for (int c = 0; c < 4; ++c)
+                queue.enqueueChunk();
+            queue.dequeueLayer(l);
+        }
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * layers);
+}
+BENCHMARK(BM_GradientQueueIteration)->Arg(16)->Arg(128);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The functional path: runs the threaded mini-NCCL (one thread per
+ * "GPU", the paper's Fig. 11 device-side semaphores, detour
+ * forwarding threads on GPU0/GPU1) for a real AllReduce over the
+ * DGX-1 double tree, chained into per-rank gradient queues that gate
+ * a simulated forward pass — C-Cube executing end to end on your CPU.
+ */
+
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "ccl/tree_allreduce.h"
+#include "core/chunk_mapper.h"
+#include "core/gradient_queue.h"
+#include "topo/dgx1.h"
+#include "topo/double_tree.h"
+#include "util/rng.h"
+
+int
+main()
+{
+    using namespace ccube;
+
+    constexpr int kRanks = 8;
+    constexpr int kChunks = 8;
+    constexpr int kLayers = 4;
+    constexpr std::size_t kElems = 4096;
+
+    // Gradient buffers: every rank holds different local gradients.
+    ccl::RankBuffers gradients(kRanks);
+    util::Rng rng(2026);
+    for (auto& buf : gradients) {
+        buf.resize(kElems);
+        rng.fill(buf, -1.0f, 1.0f);
+    }
+
+    // Layer layout of the one-shot buffer (bytes per layer) and the
+    // Layer-Chunk Table derived from it.
+    const std::vector<double> layer_bytes{
+        kElems * 0.1 * 4, kElems * 0.2 * 4, kElems * 0.3 * 4,
+        kElems * 0.4 * 4};
+    const core::ChunkMapper mapper =
+        core::ChunkMapper::singleTree(kElems * 4.0, kChunks);
+    const auto table = mapper.layerChunkTable(layer_bytes);
+    std::cout << "Layer-Chunk Table (cumulative chunk bounds): ";
+    for (std::size_t l = 0; l < table.size(); ++l)
+        std::cout << table[l] << (l + 1 < table.size() ? ", " : "\n");
+
+    // One gradient queue per rank; forward threads dequeue in order.
+    std::vector<std::unique_ptr<core::GradientQueue>> queues;
+    for (int r = 0; r < kRanks; ++r)
+        queues.push_back(std::make_unique<core::GradientQueue>(table));
+
+    std::vector<std::thread> forward;
+    for (int r = 0; r < kRanks; ++r) {
+        forward.emplace_back([r, &queues]() {
+            for (int l = 0; l < kLayers; ++l) {
+                queues[static_cast<std::size_t>(r)]->dequeueLayer(l);
+                if (r == 0) {
+                    std::cout << "  rank0: layer " << l
+                              << " dequeued (enqueued chunks = "
+                              << queues[0]->enqueued() << ")\n";
+                }
+            }
+        });
+    }
+
+    // The collective: overlapped tree on the C-Cube DGX-1 embedding;
+    // the broadcast enqueues each fully reduced chunk as it lands.
+    const topo::Graph dgx1 = topo::makeDgx1();
+    const topo::DoubleTreeEmbedding dt = topo::makeDgx1DoubleTree(dgx1);
+    ccl::Communicator comm(kRanks);
+    std::cout << "Running overlapped tree AllReduce on "
+              << kRanks << " rank threads...\n";
+    const ccl::AllReduceTrace trace = ccl::treeAllReduce(
+        comm, gradients, dt.tree0, kChunks,
+        ccl::TreePhaseMode::kOverlapped, {},
+        [&queues](int rank, int) {
+            queues[static_cast<std::size_t>(rank)]->enqueueChunk();
+        });
+
+    for (auto& t : forward)
+        t.join();
+
+    // Verify: every rank holds the same reduced gradients.
+    bool all_equal = true;
+    for (int r = 1; r < kRanks; ++r)
+        if (gradients[static_cast<std::size_t>(r)] != gradients[0])
+            all_equal = false;
+    std::cout << "\nAllReduce result identical on all ranks: "
+              << (all_equal ? "yes" : "NO") << "\n";
+    std::cout << "Chunks delivered in order at every rank: "
+              << (trace.inOrder() ? "yes" : "NO")
+              << " (the property gradient queuing needs)\n";
+    std::cout << "All " << kLayers
+              << " layers computed on every rank, gated by the "
+                 "gradient queue.\n";
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Quickstart: evaluate all five configurations of the paper (B, C1,
+ * C2, R, CC) for ResNet-50 on a simulated DGX-1, plus a raw
+ * communication comparison at 64 MiB.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <iostream>
+
+#include "core/ccube_engine.h"
+#include "core/report.h"
+#include "util/units.h"
+
+int
+main()
+{
+    using namespace ccube;
+
+    // One engine = one machine (8-GPU DGX-1) + one workload.
+    core::CCubeEngine engine(dnn::buildResnet50());
+
+    std::cout << "Workload: " << engine.network().name() << " ("
+              << engine.network().totalParams() << " parameters, "
+              << util::formatBytes(engine.network().totalParamBytes())
+              << " of gradients per iteration)\n\n";
+
+    // --- Raw AllReduce comparison at 64 MiB --------------------------
+    std::cout << "AllReduce of 64 MiB on the DGX-1:\n";
+    util::Table comm = core::makeCommTable();
+    const double bytes = util::mib(64);
+    core::addCommRow(comm, "B  (two-phase double tree)", bytes,
+                     engine.commOnly(core::Mode::kBaseline, bytes));
+    core::addCommRow(comm, "C1 (overlapped double tree)", bytes,
+                     engine.commOnly(core::Mode::kOverlappedTree, bytes));
+    core::addCommRow(comm, "R  (ring)", bytes,
+                     engine.commOnly(core::Mode::kRing, bytes));
+    comm.print(std::cout);
+
+    // --- Full training-iteration comparison --------------------------
+    std::cout << "\nTraining iteration (batch 64, high bandwidth):\n";
+    util::Table table = core::makeIterationTable();
+    core::IterationConfig config;
+    config.batch = 64;
+    for (core::Mode mode : core::allModes()) {
+        core::addIterationRow(table, engine.network().name(), "high",
+                              config.batch, mode,
+                              engine.evaluate(mode, config));
+    }
+    table.print(std::cout);
+
+    std::cout << "\nC-Cube chains AllReduce with the next iteration's "
+                 "forward pass;\nnorm_perf = 1.0 would be the "
+                 "communication-free ideal.\n";
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Scale-out explorer: for a grid of node counts and message sizes on
+ * a switched fabric, runs ring, baseline tree, and overlapped tree
+ * AllReduce and reports which algorithm wins — the tool a deployment
+ * engineer would use to pick a collective per (P, N) regime.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "model/tree_model.h"
+#include "simnet/channel.h"
+#include "simnet/double_tree_schedule.h"
+#include "simnet/ring_schedule.h"
+#include "topo/double_tree.h"
+#include "topo/ring_embedding.h"
+#include "topo/switch_fabric.h"
+#include "util/table.h"
+#include "util/units.h"
+
+int
+main()
+{
+    using namespace ccube;
+
+    std::cout << "Best AllReduce algorithm per (nodes, size) on a "
+                 "switched fabric\n\n";
+
+    const std::vector<int> node_counts{8, 32, 128, 512};
+    const std::vector<std::pair<const char*, double>> sizes{
+        {"64KB", util::kib(64)},
+        {"4MB", util::mib(4)},
+        {"64MB", util::mib(64)},
+    };
+
+    util::Table table({"nodes", "size", "ring_ms", "tree_B_ms",
+                       "tree_C1_ms", "winner"});
+    const model::AlphaBeta link =
+        model::AlphaBeta::fromBandwidth(1e-6, 25e9);
+    const model::TreeModel tree_model(link);
+
+    for (int p : node_counts) {
+        topo::SwitchFabricParams params;
+        params.num_nodes = p;
+        params.link_latency = 1e-6;
+        const topo::Graph graph = topo::makeSwitchFabric(params);
+        const auto double_tree =
+            topo::makeMirroredDoubleTree(graph, p);
+        const auto ring = topo::makeSequentialRing(p);
+
+        for (const auto& [label, bytes] : sizes) {
+            const int chunks =
+                tree_model.optimalChunksInt(p, bytes / 2.0);
+
+            sim::Simulation sim_r;
+            simnet::Network net_r(sim_r, graph);
+            const double t_ring =
+                simnet::runRingSchedule(sim_r, net_r, ring, bytes)
+                    .completion_time;
+
+            sim::Simulation sim_b;
+            simnet::Network net_b(sim_b, graph);
+            const double t_base =
+                simnet::runDoubleTreeSchedule(
+                    sim_b, net_b, double_tree, bytes,
+                    simnet::PhaseMode::kTwoPhase, chunks,
+                    simnet::LanePolicy::kSharedPort)
+                    .completion_time;
+
+            sim::Simulation sim_c;
+            simnet::Network net_c(sim_c, graph);
+            const double t_over =
+                simnet::runDoubleTreeSchedule(
+                    sim_c, net_c, double_tree, bytes,
+                    simnet::PhaseMode::kOverlapped, chunks,
+                    simnet::LanePolicy::kSharedPort)
+                    .completion_time;
+
+            const char* winner = "overlapped tree (C1)";
+            if (t_ring < t_over && t_ring < t_base)
+                winner = "ring";
+            else if (t_base < t_over)
+                winner = "baseline tree";
+            table.addRow({std::to_string(p), label,
+                          util::formatDouble(t_ring * 1e3, 3),
+                          util::formatDouble(t_base * 1e3, 3),
+                          util::formatDouble(t_over * 1e3, 3),
+                          winner});
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nRings hold on for large messages at small scale; "
+                 "the overlapped tree takes over as node count grows "
+                 "or messages shrink (paper Figs. 4, 14).\n";
+    return 0;
+}

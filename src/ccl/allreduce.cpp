@@ -1,0 +1,95 @@
+#include "ccl/allreduce.h"
+
+#include "util/logging.h"
+
+namespace ccube {
+namespace ccl {
+
+AllReduceTrace::AllReduceTrace(int num_ranks)
+    : per_rank_(static_cast<std::size_t>(num_ranks))
+{
+    CCUBE_CHECK(num_ranks >= 1, "trace needs at least one rank");
+}
+
+void
+AllReduceTrace::setObserver(Observer observer)
+{
+    observer_ = std::move(observer);
+}
+
+void
+AllReduceTrace::record(int rank, int chunk)
+{
+    CCUBE_CHECK(rank >= 0 &&
+                    rank < static_cast<int>(per_rank_.size()),
+                "bad rank " << rank);
+    PerRank& entry = per_rank_[static_cast<std::size_t>(rank)];
+    {
+        SpinLockGuard guard(entry.lock);
+        entry.order.push_back(chunk);
+    }
+    if (observer_)
+        observer_(rank, chunk);
+}
+
+const std::vector<int>&
+AllReduceTrace::order(int rank) const
+{
+    CCUBE_CHECK(rank >= 0 &&
+                    rank < static_cast<int>(per_rank_.size()),
+                "bad rank " << rank);
+    return per_rank_[static_cast<std::size_t>(rank)].order;
+}
+
+bool
+AllReduceTrace::inOrder() const
+{
+    for (const PerRank& entry : per_rank_) {
+        for (std::size_t i = 1; i < entry.order.size(); ++i)
+            if (entry.order[i] < entry.order[i - 1])
+                return false;
+    }
+    return true;
+}
+
+ChunkSplit::ChunkSplit(std::size_t total, int chunks)
+    : total_(total), chunks_(chunks)
+{
+    CCUBE_CHECK(chunks >= 1, "need at least one chunk");
+    CCUBE_CHECK(total >= static_cast<std::size_t>(chunks),
+                "fewer elements (" << total << ") than chunks ("
+                                   << chunks << ")");
+}
+
+std::size_t
+ChunkSplit::begin(int chunk) const
+{
+    CCUBE_CHECK(chunk >= 0 && chunk < chunks_, "bad chunk " << chunk);
+    return total_ * static_cast<std::size_t>(chunk) /
+           static_cast<std::size_t>(chunks_);
+}
+
+std::size_t
+ChunkSplit::end(int chunk) const
+{
+    CCUBE_CHECK(chunk >= 0 && chunk < chunks_, "bad chunk " << chunk);
+    return total_ * (static_cast<std::size_t>(chunk) + 1) /
+           static_cast<std::size_t>(chunks_);
+}
+
+std::span<float>
+ChunkSplit::slice(std::span<float> buffer, int chunk) const
+{
+    CCUBE_CHECK(buffer.size() == total_, "buffer/split size mismatch");
+    return buffer.subspan(begin(chunk), end(chunk) - begin(chunk));
+}
+
+std::span<const float>
+ChunkSplit::slice(std::span<const float> buffer, int chunk) const
+{
+    CCUBE_CHECK(buffer.size() == total_, "buffer/split size mismatch");
+    return buffer.subspan(begin(chunk), end(chunk) - begin(chunk));
+}
+
+} // namespace ccl
+} // namespace ccube

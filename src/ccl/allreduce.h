@@ -1,0 +1,90 @@
+#ifndef CCUBE_CCL_ALLREDUCE_H_
+#define CCUBE_CCL_ALLREDUCE_H_
+
+/**
+ * @file
+ * Shared types for the functional AllReduce implementations.
+ */
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "ccl/sync_primitives.h"
+
+namespace ccube {
+namespace ccl {
+
+/** One gradient buffer per rank; all must have equal length. */
+using RankBuffers = std::vector<std::vector<float>>;
+
+/**
+ * Order in which fully reduced chunks became available at each rank.
+ *
+ * The tree algorithm's in-order property (paper Observation #3) —
+ * chunks complete in index order at every rank — is what makes
+ * gradient queuing possible; the ring algorithm violates it. Tests
+ * assert both directions from this trace.
+ */
+class AllReduceTrace
+{
+  public:
+    /** Live notification: chunk became available at rank. */
+    using Observer = std::function<void(int rank, int chunk)>;
+
+    /** Creates a trace for @p num_ranks ranks. */
+    explicit AllReduceTrace(int num_ranks);
+
+    /**
+     * Installs a live observer invoked on every record() — the hook
+     * gradient queuing attaches its enqueue to. Must be set before
+     * the collective starts; invoked under the per-rank lock.
+     */
+    void setObserver(Observer observer);
+
+    /** Records that @p chunk became available at @p rank (thread-safe
+     *  across the helper threads of a single rank). */
+    void record(int rank, int chunk);
+
+    /** Completion order at @p rank. */
+    const std::vector<int>& order(int rank) const;
+
+    /** True when every rank saw chunks in ascending index order. */
+    bool inOrder() const;
+
+  private:
+    struct PerRank {
+        SpinLock lock;
+        std::vector<int> order;
+    };
+    std::vector<PerRank> per_rank_;
+    Observer observer_;
+};
+
+/**
+ * Splits [0, total) into @p chunks half-open subranges of near-equal
+ * size; chunk c covers [begin(c), end(c)).
+ */
+class ChunkSplit
+{
+  public:
+    ChunkSplit(std::size_t total, int chunks);
+
+    std::size_t begin(int chunk) const;
+    std::size_t end(int chunk) const;
+    int count() const { return chunks_; }
+
+    /** Subspan of @p buffer covering chunk @p chunk. */
+    std::span<float> slice(std::span<float> buffer, int chunk) const;
+    std::span<const float>
+    slice(std::span<const float> buffer, int chunk) const;
+
+  private:
+    std::size_t total_;
+    int chunks_;
+};
+
+} // namespace ccl
+} // namespace ccube
+
+#endif // CCUBE_CCL_ALLREDUCE_H_

@@ -1,0 +1,61 @@
+#include "ccl/communicator.h"
+
+#include <thread>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace ccube {
+namespace ccl {
+
+Communicator::Communicator(int num_ranks, int mailbox_slots)
+    : num_ranks_(num_ranks), mailbox_slots_(mailbox_slots)
+{
+    CCUBE_CHECK(num_ranks >= 1, "need at least one rank");
+    CCUBE_CHECK(mailbox_slots >= 1, "need at least one mailbox slot");
+}
+
+Mailbox&
+Communicator::mailbox(int src, int dst, FlowId flow)
+{
+    CCUBE_CHECK(src >= 0 && src < num_ranks_, "bad src rank " << src);
+    CCUBE_CHECK(dst >= 0 && dst < num_ranks_, "bad dst rank " << dst);
+    CCUBE_CHECK(src != dst, "no self mailboxes");
+    const Key key{src, dst, flow};
+    std::lock_guard<std::mutex> guard(registry_mutex_);
+    auto it = mailboxes_.find(key);
+    if (it == mailboxes_.end()) {
+        it = mailboxes_
+                 .emplace(key, std::make_unique<Mailbox>(mailbox_slots_))
+                 .first;
+    }
+    return *it->second;
+}
+
+void
+Communicator::run(const std::function<void(int rank)>& body)
+{
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(num_ranks_));
+    for (int r = 0; r < num_ranks_; ++r)
+        threads.emplace_back([&body, r]() { body(r); });
+    for (auto& t : threads)
+        t.join();
+}
+
+void
+Communicator::barrier()
+{
+    const int sense = barrier_sense_.load(std::memory_order_acquire);
+    if (barrier_count_.fetch_add(1, std::memory_order_acq_rel) ==
+        num_ranks_ - 1) {
+        barrier_count_.store(0, std::memory_order_relaxed);
+        barrier_sense_.store(1 - sense, std::memory_order_release);
+    } else {
+        while (barrier_sense_.load(std::memory_order_acquire) == sense)
+            std::this_thread::yield();
+    }
+}
+
+} // namespace ccl
+} // namespace ccube

@@ -1,0 +1,96 @@
+#ifndef CCUBE_CCL_COMMUNICATOR_H_
+#define CCUBE_CCL_COMMUNICATOR_H_
+
+/**
+ * @file
+ * Communicator: the rank/"GPU" execution context of the functional
+ * collective library.
+ *
+ * One thread per rank plays the role of one GPU running persistent
+ * kernels; mailboxes play the role of NVLink P2P receive buffers.
+ * Mailboxes are keyed by (src, dst, flow) because one physical link
+ * may carry several logical flows (e.g. the two trees of a double
+ * tree, or a detour passing through a transit GPU) with independent
+ * buffer pools — exactly as NCCL allocates per-channel buffers.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+
+#include "ccl/mailbox.h"
+
+namespace ccube {
+namespace ccl {
+
+/** Identifies a logical flow multiplexed over a physical direction. */
+using FlowId = int;
+
+/** Well-known flow ids used by the built-in algorithms. */
+enum : FlowId {
+    kFlowRing = 0,          ///< ring neighbor traffic
+    kFlowTree0Reduce = 1,   ///< tree 0, reduction direction
+    kFlowTree0Broadcast = 2,///< tree 0, broadcast direction
+    kFlowTree1Reduce = 3,   ///< tree 1, reduction direction
+    kFlowTree1Broadcast = 4,///< tree 1, broadcast direction
+};
+
+/**
+ * A group of ranks that communicate through mailboxes.
+ */
+class Communicator
+{
+  public:
+    /**
+     * Creates a communicator of @p num_ranks ranks whose mailboxes
+     * have @p mailbox_slots receive buffers each.
+     */
+    explicit Communicator(int num_ranks, int mailbox_slots = 4);
+
+    /** Number of participating ranks. */
+    int numRanks() const { return num_ranks_; }
+
+    /** Receive-buffer count per mailbox. */
+    int mailboxSlots() const { return mailbox_slots_; }
+
+    /**
+     * The mailbox carrying flow @p flow from @p src to @p dst;
+     * created on first use (thread-safe).
+     */
+    Mailbox& mailbox(int src, int dst, FlowId flow);
+
+    /**
+     * Runs @p body concurrently on every rank (one thread each) and
+     * joins. Nested helper threads (e.g. the reduction/broadcast
+     * kernels of the overlapped tree) are the body's responsibility.
+     */
+    void run(const std::function<void(int rank)>& body);
+
+    /**
+     * Sense-reversing barrier across all ranks; callable only from
+     * inside run().
+     */
+    void barrier();
+
+  private:
+    using Key = std::tuple<int, int, FlowId>;
+
+    const int num_ranks_;
+    const int mailbox_slots_;
+
+    std::mutex registry_mutex_;
+    std::map<Key, std::unique_ptr<Mailbox>> mailboxes_;
+
+    // Barrier state.
+    std::atomic<int> barrier_count_{0};
+    std::atomic<int> barrier_sense_{0};
+};
+
+} // namespace ccl
+} // namespace ccube
+
+#endif // CCUBE_CCL_COMMUNICATOR_H_

@@ -1,0 +1,60 @@
+#include "ccl/double_tree_allreduce.h"
+
+#include <span>
+#include <thread>
+
+#include "util/logging.h"
+
+namespace ccube {
+namespace ccl {
+
+AllReduceTrace
+doubleTreeAllReduce(Communicator& comm, RankBuffers& buffers,
+                    const topo::DoubleTreeEmbedding& embedding,
+                    int chunks_per_tree, TreePhaseMode mode,
+                    AllReduceTrace::Observer observer)
+{
+    const int p = comm.numRanks();
+    CCUBE_CHECK(static_cast<int>(buffers.size()) == p,
+                "one buffer per rank required");
+    CCUBE_CHECK(embedding.tree0.tree.numNodes() == p &&
+                    embedding.tree1.tree.numNodes() == p,
+                "tree/communicator size mismatch");
+    for (const auto& b : buffers) {
+        CCUBE_CHECK(b.size() == buffers[0].size(),
+                    "all buffers must be equally sized");
+    }
+
+    const std::size_t total = buffers[0].size();
+    const std::size_t half = total / 2;
+    CCUBE_CHECK(half >= static_cast<std::size_t>(chunks_per_tree) &&
+                    total - half >= static_cast<std::size_t>(
+                                        chunks_per_tree),
+                "buffer too small for the requested chunking");
+
+    AllReduceTrace trace(p);
+    trace.setObserver(std::move(observer));
+    const ChunkSplit split0(half, chunks_per_tree);
+    const ChunkSplit split1(total - half, chunks_per_tree);
+    const TreeFlowIds flows0{kFlowTree0Reduce, kFlowTree0Broadcast};
+    const TreeFlowIds flows1{kFlowTree1Reduce, kFlowTree1Broadcast};
+
+    comm.run([&](int rank) {
+        std::span<float> buffer(buffers[static_cast<std::size_t>(rank)]);
+        std::span<float> lower = buffer.subspan(0, half);
+        std::span<float> upper = buffer.subspan(half);
+        // Each tree's pipeline runs as its own persistent kernel.
+        std::thread second([&]() {
+            detail::treeRankBody(comm, rank, upper, embedding.tree1,
+                                 split1, mode, flows1, trace,
+                                 /*chunk_id_offset=*/chunks_per_tree);
+        });
+        detail::treeRankBody(comm, rank, lower, embedding.tree0, split0,
+                             mode, flows0, trace, /*chunk_id_offset=*/0);
+        second.join();
+    });
+    return trace;
+}
+
+} // namespace ccl
+} // namespace ccube

@@ -1,0 +1,72 @@
+#include "ccl/mailbox.h"
+
+#include "util/logging.h"
+
+namespace ccube {
+namespace ccl {
+
+Mailbox::Mailbox(int slots)
+    : ring_(static_cast<std::size_t>(slots)),
+      full_(slots, 0),
+      empty_(slots, slots)
+{
+    CCUBE_CHECK(slots >= 1, "mailbox needs at least one slot");
+}
+
+void
+Mailbox::send(std::span<const float> data, int tag)
+{
+    empty_.wait(); // block while all receive buffers are occupied
+    Slot& slot = ring_[head_];
+    slot.data.assign(data.begin(), data.end());
+    slot.tag = tag;
+    head_ = (head_ + 1) % ring_.size();
+    full_.post(); // signal arrival (paper: post on chunk arrival)
+}
+
+template <typename Fn>
+int
+Mailbox::consumeSlot(Fn&& consume)
+{
+    full_.wait();
+    Slot& slot = ring_[tail_];
+    const int tag = slot.tag;
+    consume(slot);
+    tail_ = (tail_ + 1) % ring_.size();
+    empty_.post();
+    delivered_.post();
+    return tag;
+}
+
+int
+Mailbox::recv(std::vector<float>& out)
+{
+    return consumeSlot([&](Slot& slot) { out = std::move(slot.data); });
+}
+
+int
+Mailbox::recvInto(std::span<float> out)
+{
+    return consumeSlot([&](Slot& slot) {
+        CCUBE_CHECK(slot.data.size() == out.size(),
+                    "chunk size mismatch: " << slot.data.size() << " vs "
+                                            << out.size());
+        for (std::size_t i = 0; i < out.size(); ++i)
+            out[i] = slot.data[i];
+    });
+}
+
+int
+Mailbox::recvReduce(std::span<float> out)
+{
+    return consumeSlot([&](Slot& slot) {
+        CCUBE_CHECK(slot.data.size() == out.size(),
+                    "chunk size mismatch: " << slot.data.size() << " vs "
+                                            << out.size());
+        for (std::size_t i = 0; i < out.size(); ++i)
+            out[i] += slot.data[i];
+    });
+}
+
+} // namespace ccl
+} // namespace ccube

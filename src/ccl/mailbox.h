@@ -1,0 +1,86 @@
+#ifndef CCUBE_CCL_MAILBOX_H_
+#define CCUBE_CCL_MAILBOX_H_
+
+/**
+ * @file
+ * P2P chunk mailbox: the receive-buffer abstraction between ranks.
+ *
+ * Models the per-channel receive buffers that the paper's persistent
+ * kernels manage with device-side semaphores: a bounded single-
+ * producer / single-consumer ring of float chunks. Flow control uses
+ * exactly the post/wait protocol of Fig. 11.
+ */
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ccl/sync_primitives.h"
+
+namespace ccube {
+namespace ccl {
+
+/**
+ * Bounded SPSC queue of float chunks with an integer tag.
+ */
+class Mailbox
+{
+  public:
+    /** Creates a mailbox with @p slots receive buffers. */
+    explicit Mailbox(int slots);
+
+    Mailbox(const Mailbox&) = delete;
+    Mailbox& operator=(const Mailbox&) = delete;
+
+    /**
+     * Copies @p data into the next free slot (blocking while all
+     * receive buffers are occupied) and posts its arrival.
+     */
+    void send(std::span<const float> data, int tag = 0);
+
+    /**
+     * Blocks until a chunk arrives, copies it into @p out (resized),
+     * frees the receive buffer, and returns the tag.
+     */
+    int recv(std::vector<float>& out);
+
+    /**
+     * Receives directly into @p out by element-wise assignment;
+     * the incoming chunk must have exactly out.size() elements.
+     */
+    int recvInto(std::span<float> out);
+
+    /**
+     * Receives and element-wise accumulates into @p out (the reduction
+     * step of AllReduce); sizes must match. Returns the tag.
+     */
+    int recvReduce(std::span<float> out);
+
+    /** Number of receive buffers. */
+    int slots() const { return static_cast<int>(ring_.size()); }
+
+    /** Total chunks delivered (for telemetry/tests). */
+    std::int64_t delivered() const { return delivered_.value(); }
+
+  private:
+    struct Slot {
+        std::vector<float> data;
+        int tag = 0;
+    };
+
+    /** Runs @p consume on the arrived slot, then releases it. */
+    template <typename Fn>
+    int consumeSlot(Fn&& consume);
+
+    std::vector<Slot> ring_;
+    BoundedSemaphore full_;
+    BoundedSemaphore empty_;
+    std::size_t head_ = 0; ///< producer cursor (producer thread only)
+    std::size_t tail_ = 0; ///< consumer cursor (consumer thread only)
+    CheckableCounter delivered_;
+};
+
+} // namespace ccl
+} // namespace ccube
+
+#endif // CCUBE_CCL_MAILBOX_H_

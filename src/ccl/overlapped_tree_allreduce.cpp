@@ -1,0 +1,16 @@
+#include "ccl/overlapped_tree_allreduce.h"
+
+namespace ccube {
+namespace ccl {
+
+AllReduceTrace
+overlappedTreeAllReduce(Communicator& comm, RankBuffers& buffers,
+                        const topo::TreeEmbedding& embedding,
+                        int num_chunks, TreeFlowIds flows)
+{
+    return treeAllReduce(comm, buffers, embedding, num_chunks,
+                         TreePhaseMode::kOverlapped, flows);
+}
+
+} // namespace ccl
+} // namespace ccube

@@ -1,0 +1,23 @@
+#ifndef CCUBE_CCL_OVERLAPPED_TREE_ALLREDUCE_H_
+#define CCUBE_CCL_OVERLAPPED_TREE_ALLREDUCE_H_
+
+/**
+ * @file
+ * Convenience wrapper for the overlapped tree AllReduce (C1).
+ */
+
+#include "ccl/tree_allreduce.h"
+
+namespace ccube {
+namespace ccl {
+
+/** Tree AllReduce with reduction-broadcast chaining (paper C1). */
+AllReduceTrace
+overlappedTreeAllReduce(Communicator& comm, RankBuffers& buffers,
+                        const topo::TreeEmbedding& embedding,
+                        int num_chunks, TreeFlowIds flows = {});
+
+} // namespace ccl
+} // namespace ccube
+
+#endif // CCUBE_CCL_OVERLAPPED_TREE_ALLREDUCE_H_

@@ -1,0 +1,279 @@
+#include "ccl/primitives.h"
+
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "ccl/double_tree_allreduce.h"
+#include "ccl/ring_allreduce.h"
+#include "ccl/tree_allreduce.h"
+#include "topo/detour_router.h"
+#include "topo/embedding_search.h"
+#include "util/logging.h"
+
+namespace ccube {
+namespace ccl {
+
+namespace {
+
+using topo::NodeId;
+using topo::PhaseDirection;
+using topo::Route;
+
+void
+checkBuffers(const Communicator& comm, const RankBuffers& buffers)
+{
+    CCUBE_CHECK(static_cast<int>(buffers.size()) == comm.numRanks(),
+                "one buffer per rank required");
+    for (const auto& b : buffers) {
+        CCUBE_CHECK(b.size() == buffers[0].size(),
+                    "all buffers must be equally sized");
+    }
+}
+
+/** Forwarding loop shared by the one-direction tree primitives. */
+void
+forwardChunks(Communicator& comm, NodeId upstream, NodeId transit,
+              NodeId downstream, FlowId flow, int num_chunks)
+{
+    Mailbox& in = comm.mailbox(upstream, transit, flow);
+    Mailbox& out = comm.mailbox(transit, downstream, flow);
+    std::vector<float> payload;
+    for (int c = 0; c < num_chunks; ++c) {
+        const int tag = in.recv(payload);
+        out.send(payload, tag);
+    }
+}
+
+/** Spawns the forwarding threads this rank owes to @p embedding for
+ *  the given phase direction. */
+std::vector<std::thread>
+spawnForwarders(Communicator& comm, const topo::TreeEmbedding& embedding,
+                int rank, PhaseDirection phase, FlowId flow,
+                int num_chunks)
+{
+    std::vector<std::thread> forwarders;
+    for (const topo::ForwardingRule& rule :
+         topo::extractForwardingRules(embedding, 0)) {
+        if (rule.transit != rank || rule.phase != phase)
+            continue;
+        forwarders.emplace_back([&comm, rule, flow, num_chunks]() {
+            forwardChunks(comm, rule.upstream, rule.transit,
+                          rule.downstream, flow, num_chunks);
+        });
+    }
+    return forwarders;
+}
+
+} // namespace
+
+void
+treeBroadcast(Communicator& comm, RankBuffers& buffers,
+              const topo::TreeEmbedding& embedding, int num_chunks,
+              FlowId flow)
+{
+    checkBuffers(comm, buffers);
+    CCUBE_CHECK(embedding.tree.numNodes() == comm.numRanks(),
+                "tree/communicator size mismatch");
+    const ChunkSplit split(buffers[0].size(), num_chunks);
+
+    comm.run([&](int rank) {
+        std::span<float> buffer(buffers[static_cast<std::size_t>(rank)]);
+        auto forwarders = spawnForwarders(
+            comm, embedding, rank, PhaseDirection::kBroadcast, flow,
+            num_chunks);
+
+        const topo::BinaryTree& tree = embedding.tree;
+        const std::vector<NodeId>& children = tree.children(rank);
+        std::vector<NodeId> child_hops;
+        for (NodeId child : children)
+            child_hops.push_back(embedding.routeToChild(child).hops[1]);
+
+        auto send_down = [&](int chunk) {
+            const std::span<const float> data =
+                split.slice(std::span<const float>(buffer), chunk);
+            for (std::size_t i = 0; i < children.size(); ++i)
+                comm.mailbox(rank, child_hops[i], flow).send(data,
+                                                             chunk);
+        };
+
+        if (tree.root() == rank) {
+            for (int c = 0; c < num_chunks; ++c)
+                send_down(c);
+        } else {
+            const Route& route = embedding.routeToChild(rank);
+            const NodeId parent_hop = route.hops[route.hops.size() - 2];
+            for (int c = 0; c < num_chunks; ++c) {
+                const int tag = comm.mailbox(parent_hop, rank, flow)
+                                    .recvInto(split.slice(buffer, c));
+                CCUBE_CHECK(tag == c, "broadcast chunk out of order");
+                send_down(c);
+            }
+        }
+        for (std::thread& t : forwarders)
+            t.join();
+    });
+}
+
+void
+treeReduce(Communicator& comm, RankBuffers& buffers,
+           const topo::TreeEmbedding& embedding, int num_chunks,
+           FlowId flow)
+{
+    checkBuffers(comm, buffers);
+    CCUBE_CHECK(embedding.tree.numNodes() == comm.numRanks(),
+                "tree/communicator size mismatch");
+    const ChunkSplit split(buffers[0].size(), num_chunks);
+
+    comm.run([&](int rank) {
+        std::span<float> buffer(buffers[static_cast<std::size_t>(rank)]);
+        auto forwarders = spawnForwarders(
+            comm, embedding, rank, PhaseDirection::kReduction, flow,
+            num_chunks);
+
+        const topo::BinaryTree& tree = embedding.tree;
+        const std::vector<NodeId>& children = tree.children(rank);
+        std::vector<NodeId> child_hops;
+        for (NodeId child : children)
+            child_hops.push_back(embedding.routeToChild(child).hops[1]);
+
+        for (int c = 0; c < num_chunks; ++c) {
+            for (std::size_t i = 0; i < children.size(); ++i) {
+                const int tag = comm.mailbox(child_hops[i], rank, flow)
+                                    .recvReduce(split.slice(buffer, c));
+                CCUBE_CHECK(tag == c, "reduce chunk out of order");
+            }
+            if (tree.root() != rank) {
+                const Route& route = embedding.routeToChild(rank);
+                const NodeId parent_hop =
+                    route.hops[route.hops.size() - 2];
+                comm.mailbox(rank, parent_hop, flow)
+                    .send(split.slice(std::span<const float>(buffer), c),
+                          c);
+            }
+        }
+        for (std::thread& t : forwarders)
+            t.join();
+    });
+}
+
+void
+ringReduceScatter(Communicator& comm, RankBuffers& buffers,
+                  const topo::RingEmbedding& ring)
+{
+    checkBuffers(comm, buffers);
+    const int p = comm.numRanks();
+    CCUBE_CHECK(ring.size() == p, "ring/communicator size mismatch");
+    const ChunkSplit split(buffers[0].size(), p);
+
+    std::vector<int> position(static_cast<std::size_t>(p), -1);
+    for (int pos = 0; pos < p; ++pos)
+        position[static_cast<std::size_t>(
+            ring.order[static_cast<std::size_t>(pos)])] = pos;
+
+    comm.run([&](int rank) {
+        std::span<float> buffer(buffers[static_cast<std::size_t>(rank)]);
+        const int pos = position[static_cast<std::size_t>(rank)];
+        const int next =
+            ring.order[static_cast<std::size_t>((pos + 1) % p)];
+        const int prev =
+            ring.order[static_cast<std::size_t>((pos + p - 1) % p)];
+        Mailbox& to_next = comm.mailbox(rank, next, kFlowRing);
+        Mailbox& from_prev = comm.mailbox(prev, rank, kFlowRing);
+        for (int s = 0; s < p - 1; ++s) {
+            const int send_chunk = (pos - s + p) % p;
+            const int recv_chunk = (pos - s - 1 + p) % p;
+            to_next.send(split.slice(std::span<const float>(buffer),
+                                     send_chunk),
+                         send_chunk);
+            const int tag =
+                from_prev.recvReduce(split.slice(buffer, recv_chunk));
+            CCUBE_CHECK(tag == recv_chunk,
+                        "reduce-scatter chunk out of sequence");
+        }
+    });
+}
+
+void
+ringAllGather(Communicator& comm, RankBuffers& buffers,
+              const topo::RingEmbedding& ring)
+{
+    checkBuffers(comm, buffers);
+    const int p = comm.numRanks();
+    CCUBE_CHECK(ring.size() == p, "ring/communicator size mismatch");
+    const ChunkSplit split(buffers[0].size(), p);
+
+    std::vector<int> position(static_cast<std::size_t>(p), -1);
+    for (int pos = 0; pos < p; ++pos)
+        position[static_cast<std::size_t>(
+            ring.order[static_cast<std::size_t>(pos)])] = pos;
+
+    comm.run([&](int rank) {
+        std::span<float> buffer(buffers[static_cast<std::size_t>(rank)]);
+        const int pos = position[static_cast<std::size_t>(rank)];
+        const int next =
+            ring.order[static_cast<std::size_t>((pos + 1) % p)];
+        const int prev =
+            ring.order[static_cast<std::size_t>((pos + p - 1) % p)];
+        Mailbox& to_next = comm.mailbox(rank, next, kFlowRing);
+        Mailbox& from_prev = comm.mailbox(prev, rank, kFlowRing);
+        for (int s = 0; s < p - 1; ++s) {
+            const int send_chunk = (pos + 1 - s + p) % p;
+            const int recv_chunk = (pos - s + p) % p;
+            to_next.send(split.slice(std::span<const float>(buffer),
+                                     send_chunk),
+                         send_chunk);
+            const int tag =
+                from_prev.recvInto(split.slice(buffer, recv_chunk));
+            CCUBE_CHECK(tag == recv_chunk,
+                        "allgather chunk out of sequence");
+        }
+    });
+}
+
+AllReduceTrace
+allReduce(Communicator& comm, RankBuffers& buffers,
+          const topo::Graph& graph, const AllReduceOptions& options)
+{
+    const int p = comm.numRanks();
+    switch (options.algorithm) {
+      case AllReduceAlgorithm::kRing: {
+        const topo::RingEmbedding ring =
+            topo::findHamiltonianRing(graph, p);
+        CCUBE_CHECK(ring.size() == p,
+                    "no Hamiltonian ring on this topology");
+        return ringAllReduce(comm, buffers, ring, options.observer);
+      }
+      case AllReduceAlgorithm::kTree:
+      case AllReduceAlgorithm::kOverlappedTree: {
+        const topo::TreeEmbedding embedding =
+            topo::embedTree(graph, topo::BinaryTree::inorder(p));
+        const TreePhaseMode mode =
+            options.algorithm == AllReduceAlgorithm::kTree
+                ? TreePhaseMode::kTwoPhase
+                : TreePhaseMode::kOverlapped;
+        return treeAllReduce(comm, buffers, embedding,
+                             options.num_chunks, mode, {},
+                             options.observer);
+      }
+      case AllReduceAlgorithm::kDoubleTree:
+      case AllReduceAlgorithm::kCCubeDoubleTree: {
+        topo::EmbeddingSearchOptions search;
+        search.num_ranks = p;
+        auto found = topo::findConflictFreeDoubleTree(graph, search);
+        CCUBE_CHECK(found.has_value(),
+                    "no conflict-free double tree on this topology");
+        const TreePhaseMode mode =
+            options.algorithm == AllReduceAlgorithm::kDoubleTree
+                ? TreePhaseMode::kTwoPhase
+                : TreePhaseMode::kOverlapped;
+        return doubleTreeAllReduce(comm, buffers, *found,
+                                   options.num_chunks, mode,
+                                   options.observer);
+      }
+    }
+    util::panic("unknown AllReduce algorithm");
+}
+
+} // namespace ccl
+} // namespace ccube

@@ -1,0 +1,79 @@
+#include "ccl/ring_allreduce.h"
+
+#include <span>
+
+#include "util/logging.h"
+
+namespace ccube {
+namespace ccl {
+
+AllReduceTrace
+ringAllReduce(Communicator& comm, RankBuffers& buffers,
+              const topo::RingEmbedding& ring,
+              AllReduceTrace::Observer observer)
+{
+    const int p = comm.numRanks();
+    CCUBE_CHECK(static_cast<int>(buffers.size()) == p,
+                "one buffer per rank required");
+    CCUBE_CHECK(ring.size() == p, "ring/communicator size mismatch");
+    for (const auto& b : buffers) {
+        CCUBE_CHECK(b.size() == buffers[0].size(),
+                    "all buffers must be equally sized");
+    }
+
+    AllReduceTrace trace(p);
+    trace.setObserver(std::move(observer));
+    const ChunkSplit split(buffers[0].size(), p);
+
+    // Position of each rank on the logical ring.
+    std::vector<int> position(static_cast<std::size_t>(p), -1);
+    for (int pos = 0; pos < p; ++pos)
+        position[static_cast<std::size_t>(
+            ring.order[static_cast<std::size_t>(pos)])] = pos;
+
+    comm.run([&](int rank) {
+        std::span<float> buffer(buffers[static_cast<std::size_t>(rank)]);
+        const int pos = position[static_cast<std::size_t>(rank)];
+        const int next =
+            ring.order[static_cast<std::size_t>((pos + 1) % p)];
+        const int prev =
+            ring.order[static_cast<std::size_t>((pos + p - 1) % p)];
+        Mailbox& to_next = comm.mailbox(rank, next, kFlowRing);
+        Mailbox& from_prev = comm.mailbox(prev, rank, kFlowRing);
+
+        // Reduce-Scatter: after step s the chunk received in that step
+        // carries partial sums from s+1 ranks; after P−1 steps each
+        // position owns one fully reduced chunk.
+        for (int s = 0; s < p - 1; ++s) {
+            const int send_chunk = (pos - s + p) % p;
+            const int recv_chunk = (pos - s - 1 + p) % p;
+            to_next.send(split.slice(std::span<const float>(buffer),
+                                     send_chunk),
+                         send_chunk);
+            const int tag = from_prev.recvReduce(
+                split.slice(buffer, recv_chunk));
+            CCUBE_CHECK(tag == recv_chunk, "ring chunk out of sequence");
+        }
+        // This rank now owns the fully reduced chunk at ring position
+        // (pos+1) mod P — the first chunk available here.
+        const int owned = (pos + 1) % p;
+        trace.record(rank, owned);
+
+        // AllGather: circulate the fully reduced chunks.
+        for (int s = 0; s < p - 1; ++s) {
+            const int send_chunk = (pos + 1 - s + p) % p;
+            const int recv_chunk = (pos - s + p) % p;
+            to_next.send(split.slice(std::span<const float>(buffer),
+                                     send_chunk),
+                         send_chunk);
+            const int tag =
+                from_prev.recvInto(split.slice(buffer, recv_chunk));
+            CCUBE_CHECK(tag == recv_chunk, "ring chunk out of sequence");
+            trace.record(rank, recv_chunk);
+        }
+    });
+    return trace;
+}
+
+} // namespace ccl
+} // namespace ccube

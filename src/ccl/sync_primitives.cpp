@@ -1,0 +1,129 @@
+#include "ccl/sync_primitives.h"
+
+#include <thread>
+
+#include "util/logging.h"
+
+namespace ccube {
+namespace ccl {
+
+void
+SpinLock::lock()
+{
+    // Paper: while atomicCAS(lock,0,1) != 0 {} followed by a fence.
+    // acquire ordering plays the role of the threadfence; yield keeps
+    // the protocol live on oversubscribed CPU cores.
+    int expected = 0;
+    while (!flag_.compare_exchange_weak(expected, 1,
+                                        std::memory_order_acquire,
+                                        std::memory_order_relaxed)) {
+        expected = 0;
+        std::this_thread::yield();
+    }
+}
+
+void
+SpinLock::unlock()
+{
+    // Paper: threadfence(); atomicExch(lock, 0).
+    flag_.store(0, std::memory_order_release);
+}
+
+bool
+SpinLock::tryLock()
+{
+    int expected = 0;
+    return flag_.compare_exchange_strong(expected, 1,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed);
+}
+
+BoundedSemaphore::BoundedSemaphore(int capacity, int initial)
+    : count_(initial), capacity_(capacity)
+{
+    CCUBE_CHECK(capacity >= 1, "semaphore capacity must be positive");
+    CCUBE_CHECK(initial >= 0 && initial <= capacity,
+                "initial count out of range");
+}
+
+void
+BoundedSemaphore::post()
+{
+    // Paper's post(): lock; while cnt == capacity { unlock; lock; }
+    // ++cnt; unlock.
+    lock_.lock();
+    while (count_ == capacity_) {
+        lock_.unlock();
+        std::this_thread::yield();
+        lock_.lock();
+    }
+    ++count_;
+    lock_.unlock();
+}
+
+void
+BoundedSemaphore::wait()
+{
+    // Paper's wait(): lock; while cnt == 0 { unlock; lock; } --cnt;
+    // unlock.
+    lock_.lock();
+    while (count_ == 0) {
+        lock_.unlock();
+        std::this_thread::yield();
+        lock_.lock();
+    }
+    --count_;
+    lock_.unlock();
+}
+
+int
+BoundedSemaphore::value() const
+{
+    SpinLockGuard guard(lock_);
+    return count_;
+}
+
+void
+CheckableCounter::post()
+{
+    SpinLockGuard guard(lock_);
+    ++count_;
+}
+
+void
+CheckableCounter::check(std::int64_t value) const
+{
+    // Paper's check(): lock; while cnt < value { unlock; lock; }
+    // (just checks, never updates); unlock.
+    lock_.lock();
+    while (count_ < value) {
+        lock_.unlock();
+        std::this_thread::yield();
+        lock_.lock();
+    }
+    lock_.unlock();
+}
+
+bool
+CheckableCounter::checkNow(std::int64_t value) const
+{
+    SpinLockGuard guard(lock_);
+    return count_ >= value;
+}
+
+std::int64_t
+CheckableCounter::value() const
+{
+    SpinLockGuard guard(lock_);
+    return count_;
+}
+
+void
+CheckableCounter::reset()
+{
+    SpinLockGuard guard(lock_);
+    count_ = 0;
+}
+
+} // namespace ccl
+} // namespace ccube

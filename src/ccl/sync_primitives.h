@@ -1,0 +1,131 @@
+#ifndef CCUBE_CCL_SYNC_PRIMITIVES_H_
+#define CCUBE_CCL_SYNC_PRIMITIVES_H_
+
+/**
+ * @file
+ * Device-side-style synchronization primitives (paper Fig. 11).
+ *
+ * The paper implements C-Cube as persistent CUDA kernels that
+ * synchronize without host intervention, using an atomicCAS spin lock
+ * plus thread fences, and builds semaphores (post / wait / check) on
+ * top to manage receive buffers and gradient queuing. This header is
+ * the faithful host-side analog over std::atomic: the same protocol,
+ * with the single concession that spin loops yield to the OS scheduler
+ * (a persistent GPU kernel never needs to yield; a CPU thread does).
+ */
+
+#include <atomic>
+#include <cstdint>
+
+namespace ccube {
+namespace ccl {
+
+/**
+ * Spin lock built from compare-and-swap and fences, mirroring the
+ * paper's lock()/unlock() pseudocode.
+ */
+class SpinLock
+{
+  public:
+    SpinLock() = default;
+    SpinLock(const SpinLock&) = delete;
+    SpinLock& operator=(const SpinLock&) = delete;
+
+    /** Spins (yielding) until the CAS 0→1 succeeds. */
+    void lock();
+
+    /** Releases: fence then store 0 (atomicExch in the paper). */
+    void unlock();
+
+    /** Non-blocking acquisition attempt. */
+    bool tryLock();
+
+  private:
+    std::atomic<int> flag_{0};
+};
+
+/** RAII guard for SpinLock. */
+class SpinLockGuard
+{
+  public:
+    explicit SpinLockGuard(SpinLock& lock) : lock_(lock) { lock_.lock(); }
+    ~SpinLockGuard() { lock_.unlock(); }
+    SpinLockGuard(const SpinLockGuard&) = delete;
+    SpinLockGuard& operator=(const SpinLockGuard&) = delete;
+
+  private:
+    SpinLock& lock_;
+};
+
+/**
+ * Bounded counting semaphore with the paper's post/wait semantics:
+ * post() blocks while the count is at capacity (receive buffers are
+ * finite); wait() blocks while the count is zero. Used to manage the
+ * P2P receive buffers of the collective implementation.
+ */
+class BoundedSemaphore
+{
+  public:
+    /** Creates with the given capacity and initial count. */
+    explicit BoundedSemaphore(int capacity, int initial = 0);
+
+    BoundedSemaphore(const BoundedSemaphore&) = delete;
+    BoundedSemaphore& operator=(const BoundedSemaphore&) = delete;
+
+    /** Increments the count; blocks while count == capacity. */
+    void post();
+
+    /** Decrements the count; blocks while count == 0. */
+    void wait();
+
+    /** Current count (racy snapshot, for tests/telemetry). */
+    int value() const;
+
+    /** Capacity. */
+    int capacity() const { return capacity_; }
+
+  private:
+    mutable SpinLock lock_;
+    int count_;
+    const int capacity_;
+};
+
+/**
+ * Monotonic counter with the paper's check semantics: post()
+ * increments forever (no capacity — the gradient queue reuses gradient
+ * memory so nothing is consumed), and check(v) blocks until the count
+ * reaches @p v without modifying it. This is the Enqueue Semaphore of
+ * the gradient-queuing architecture (Fig. 9): broadcast posts once per
+ * fully-reduced chunk; each layer checks for its last chunk offset.
+ */
+class CheckableCounter
+{
+  public:
+    CheckableCounter() = default;
+    CheckableCounter(const CheckableCounter&) = delete;
+    CheckableCounter& operator=(const CheckableCounter&) = delete;
+
+    /** Increments the counter. */
+    void post();
+
+    /** Blocks until the counter is ≥ @p value (paper's check()). */
+    void check(std::int64_t value) const;
+
+    /** Non-blocking form of check(). */
+    bool checkNow(std::int64_t value) const;
+
+    /** Current value. */
+    std::int64_t value() const;
+
+    /** Resets to zero (between iterations). */
+    void reset();
+
+  private:
+    mutable SpinLock lock_;
+    std::int64_t count_ = 0;
+};
+
+} // namespace ccl
+} // namespace ccube
+
+#endif // CCUBE_CCL_SYNC_PRIMITIVES_H_

@@ -1,0 +1,174 @@
+#include "ccl/tree_allreduce.h"
+
+#include <thread>
+#include <vector>
+
+#include "topo/detour_router.h"
+#include "util/logging.h"
+
+namespace ccube {
+namespace ccl {
+
+namespace {
+
+using topo::NodeId;
+using topo::PhaseDirection;
+using topo::Route;
+
+/**
+ * Forwarding loop of one static detour rule: receive each chunk from
+ * upstream and pass it downstream unchanged — the software analog of
+ * the paper's per-direction forwarding kernels.
+ */
+void
+forwardLoop(Communicator& comm, const topo::ForwardingRule& rule,
+            FlowId flow, int num_chunks)
+{
+    Mailbox& in = comm.mailbox(rule.upstream, rule.transit, flow);
+    Mailbox& out = comm.mailbox(rule.transit, rule.downstream, flow);
+    std::vector<float> payload;
+    for (int c = 0; c < num_chunks; ++c) {
+        const int tag = in.recv(payload);
+        out.send(payload, tag);
+    }
+}
+
+} // namespace
+
+namespace detail {
+
+void
+treeRankBody(Communicator& comm, int rank, std::span<float> buffer,
+             const topo::TreeEmbedding& embedding, const ChunkSplit& split,
+             TreePhaseMode mode, TreeFlowIds flows, AllReduceTrace& trace,
+             int chunk_id_offset)
+{
+    const topo::BinaryTree& tree = embedding.tree;
+    const int num_chunks = split.count();
+    const bool is_root = tree.root() == rank;
+
+    // Detour forwarding kernels hosted on this rank, one thread per
+    // rule; each handles exactly num_chunks chunks.
+    std::vector<std::thread> forwarders;
+    for (const topo::ForwardingRule& rule :
+         topo::extractForwardingRules(embedding, /*tree_index=*/0)) {
+        if (rule.transit != rank)
+            continue;
+        const FlowId flow = rule.phase == PhaseDirection::kReduction
+                                ? flows.reduce
+                                : flows.broadcast;
+        forwarders.emplace_back(
+            [&comm, rule, flow, num_chunks]() {
+                forwardLoop(comm, rule, flow, num_chunks);
+            });
+    }
+
+    // Hop adjacent to this rank on the route to/from its parent.
+    NodeId parent_hop = topo::kInvalidNode;
+    if (!is_root) {
+        const Route& route = embedding.routeToChild(rank);
+        parent_hop = route.hops[route.hops.size() - 2];
+    }
+    // Hop adjacent to this rank on the route to each child.
+    const std::vector<NodeId>& children = tree.children(rank);
+    std::vector<NodeId> child_hops;
+    for (NodeId child : children)
+        child_hops.push_back(embedding.routeToChild(child).hops[1]);
+
+    auto broadcast_to_children = [&](int chunk) {
+        const std::span<const float> data =
+            split.slice(std::span<const float>(buffer), chunk);
+        for (std::size_t i = 0; i < children.size(); ++i) {
+            comm.mailbox(rank, child_hops[i], flows.broadcast)
+                .send(data, chunk);
+        }
+    };
+
+    // Reduction role: accumulate children, pass up (or, at the root,
+    // record completion and — when overlapped — start the broadcast).
+    auto reduction_role = [&]() {
+        for (int c = 0; c < num_chunks; ++c) {
+            for (std::size_t i = 0; i < children.size(); ++i) {
+                const int tag =
+                    comm.mailbox(child_hops[i], rank, flows.reduce)
+                        .recvReduce(split.slice(buffer, c));
+                CCUBE_CHECK(tag == c, "reduction chunk out of order");
+            }
+            if (!is_root) {
+                comm.mailbox(rank, parent_hop, flows.reduce)
+                    .send(split.slice(std::span<const float>(buffer), c),
+                          c);
+            } else {
+                trace.record(rank, chunk_id_offset + c);
+                if (mode == TreePhaseMode::kOverlapped)
+                    broadcast_to_children(c);
+            }
+        }
+    };
+
+    // Broadcast role of a non-root: receive from the parent, record,
+    // and forward down.
+    auto broadcast_role = [&]() {
+        for (int c = 0; c < num_chunks; ++c) {
+            const int tag =
+                comm.mailbox(parent_hop, rank, flows.broadcast)
+                    .recvInto(split.slice(buffer, c));
+            CCUBE_CHECK(tag == c, "broadcast chunk out of order");
+            trace.record(rank, chunk_id_offset + c);
+            broadcast_to_children(c);
+        }
+    };
+
+    if (is_root) {
+        reduction_role();
+        if (mode == TreePhaseMode::kTwoPhase) {
+            for (int c = 0; c < num_chunks; ++c)
+                broadcast_to_children(c);
+        }
+    } else if (mode == TreePhaseMode::kTwoPhase) {
+        reduction_role();
+        broadcast_role();
+    } else {
+        // Overlapped: the reduction and broadcast pipelines run as
+        // concurrent "persistent kernels" on this rank.
+        std::thread reducer(reduction_role);
+        broadcast_role();
+        reducer.join();
+    }
+
+    for (std::thread& t : forwarders)
+        t.join();
+}
+
+} // namespace detail
+
+AllReduceTrace
+treeAllReduce(Communicator& comm, RankBuffers& buffers,
+              const topo::TreeEmbedding& embedding, int num_chunks,
+              TreePhaseMode mode, TreeFlowIds flows,
+              AllReduceTrace::Observer observer)
+{
+    const int p = comm.numRanks();
+    CCUBE_CHECK(static_cast<int>(buffers.size()) == p,
+                "one buffer per rank required");
+    CCUBE_CHECK(embedding.tree.numNodes() == p,
+                "tree/communicator size mismatch");
+    for (const auto& b : buffers) {
+        CCUBE_CHECK(b.size() == buffers[0].size(),
+                    "all buffers must be equally sized");
+    }
+
+    AllReduceTrace trace(p);
+    trace.setObserver(std::move(observer));
+    const ChunkSplit split(buffers[0].size(), num_chunks);
+    comm.run([&](int rank) {
+        detail::treeRankBody(
+            comm, rank,
+            std::span<float>(buffers[static_cast<std::size_t>(rank)]),
+            embedding, split, mode, flows, trace, /*chunk_id_offset=*/0);
+    });
+    return trace;
+}
+
+} // namespace ccl
+} // namespace ccube

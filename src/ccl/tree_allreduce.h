@@ -1,0 +1,70 @@
+#ifndef CCUBE_CCL_TREE_ALLREDUCE_H_
+#define CCUBE_CCL_TREE_ALLREDUCE_H_
+
+/**
+ * @file
+ * Functional tree AllReduce: baseline (two-phase) and overlapped (C1).
+ *
+ * Baseline (paper Fig. 5(a)): pipelined reduction up the tree, and
+ * only after the full reduction completes does the pipelined broadcast
+ * descend. Overlapped (Fig. 5(c), §III-C): a chunk starts its
+ * broadcast the moment it is fully reduced at the root, using the
+ * otherwise-idle downlinks (Observations #1 and #2).
+ *
+ * Detour edges of the embedding are serviced by forwarding threads on
+ * the transit ranks — the analog of the paper's static forwarding
+ * kernels (§IV-A).
+ */
+
+#include <span>
+
+#include "ccl/allreduce.h"
+#include "ccl/communicator.h"
+#include "topo/tree_embedding.h"
+
+namespace ccube {
+namespace ccl {
+
+/** Phase organisation of the tree algorithm. */
+enum class TreePhaseMode {
+    kTwoPhase,   ///< baseline: broadcast strictly after reduction
+    kOverlapped, ///< C1: reduction-broadcast chaining
+};
+
+/** Flow ids used by one tree instance. */
+struct TreeFlowIds {
+    FlowId reduce = kFlowTree0Reduce;
+    FlowId broadcast = kFlowTree0Broadcast;
+};
+
+/**
+ * Runs tree AllReduce over @p buffers (one per rank, equal length,
+ * indexed by rank id) split into @p num_chunks chunks. On return every
+ * buffer holds the elementwise sum.
+ */
+AllReduceTrace treeAllReduce(Communicator& comm, RankBuffers& buffers,
+                             const topo::TreeEmbedding& embedding,
+                             int num_chunks, TreePhaseMode mode,
+                             TreeFlowIds flows = {},
+                             AllReduceTrace::Observer observer = {});
+
+namespace detail {
+
+/**
+ * Per-rank body of the tree algorithm, for composition by the double
+ * tree: runs rank @p rank's role over @p buffer (this rank's view of
+ * the region this tree owns). Chunk ids recorded into @p trace are
+ * offset by @p chunk_id_offset.
+ */
+void treeRankBody(Communicator& comm, int rank, std::span<float> buffer,
+                  const topo::TreeEmbedding& embedding,
+                  const ChunkSplit& split, TreePhaseMode mode,
+                  TreeFlowIds flows, AllReduceTrace& trace,
+                  int chunk_id_offset);
+
+} // namespace detail
+
+} // namespace ccl
+} // namespace ccube
+
+#endif // CCUBE_CCL_TREE_ALLREDUCE_H_

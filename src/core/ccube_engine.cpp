@@ -1,0 +1,92 @@
+#include "core/ccube_engine.h"
+
+#include <utility>
+
+#include "topo/ring_embedding.h"
+#include "util/logging.h"
+
+namespace ccube {
+namespace core {
+
+MachineModel
+makeDgx1Machine(const topo::Dgx1Params& params, int ring_count)
+{
+    topo::Graph graph = topo::makeDgx1(params);
+    topo::DoubleTreeEmbedding double_tree =
+        topo::makeDgx1DoubleTree(graph);
+    CCUBE_CHECK(topo::isConflictFree(graph, double_tree),
+                "DGX-1 double tree embedding has channel conflicts");
+    std::vector<topo::RingEmbedding> rings = topo::findDisjointRings(
+        graph, params.num_gpus, ring_count);
+    CCUBE_CHECK(!rings.empty(),
+                "no Hamiltonian NVLink ring found on the DGX-1");
+    return MachineModel{std::move(graph), std::move(double_tree),
+                        std::move(rings), params.num_gpus};
+}
+
+MachineModel
+makeDgx2Machine(const topo::Dgx2Params& params)
+{
+    topo::Graph graph = topo::makeDgx2(params);
+    topo::DoubleTreeEmbedding double_tree =
+        topo::makeDgx2DoubleTree(graph, params);
+    CCUBE_CHECK(topo::isConflictFree(graph, double_tree),
+                "DGX-2 double tree embedding has channel conflicts");
+    std::vector<topo::RingEmbedding> rings{
+        topo::makeSequentialRing(params.num_gpus)};
+    return MachineModel{std::move(graph), std::move(double_tree),
+                        std::move(rings), params.num_gpus};
+}
+
+CCubeEngine::CCubeEngine(dnn::NetworkModel network, EngineConfig config)
+    : CCubeEngine(std::move(network),
+                  makeDgx1Machine(config.dgx1, config.ring_count),
+                  config)
+{
+}
+
+CCubeEngine::CCubeEngine(dnn::NetworkModel network, MachineModel machine,
+                         EngineConfig config)
+    : config_(config)
+{
+    graph_ = std::make_unique<topo::Graph>(std::move(machine.graph));
+    scheduler_ = std::make_unique<IterationScheduler>(
+        *graph_, std::move(machine.double_tree),
+        std::move(machine.rings), std::move(network), config.gpu);
+}
+
+IterationResult
+CCubeEngine::evaluate(Mode mode, const IterationConfig& config) const
+{
+    return scheduler_->run(mode, config);
+}
+
+std::vector<double>
+CCubeEngine::perGpuNormalizedPerf(Mode mode,
+                                  const IterationConfig& config) const
+{
+    return scheduler_->perGpuNormalizedPerf(
+        mode, config, config_.detour_tax_per_kernel);
+}
+
+simnet::ScheduleResult
+CCubeEngine::commOnly(Mode mode, double bytes,
+                      double bandwidth_scale) const
+{
+    return scheduler_->commSchedule(mode, bytes, bandwidth_scale);
+}
+
+const topo::DoubleTreeEmbedding&
+CCubeEngine::doubleTree() const
+{
+    return scheduler_->doubleTree();
+}
+
+const std::vector<topo::RingEmbedding>&
+CCubeEngine::rings() const
+{
+    return scheduler_->rings();
+}
+
+} // namespace core
+} // namespace ccube

@@ -1,0 +1,111 @@
+#ifndef CCUBE_CORE_CCUBE_ENGINE_H_
+#define CCUBE_CORE_CCUBE_ENGINE_H_
+
+/**
+ * @file
+ * C-Cube engine: the library's top-level facade.
+ *
+ * Assembles the DGX-1 topology, the conflict-free double-tree
+ * embedding with detour routes, the logical ring, and a workload
+ * model, and evaluates the paper's five configurations. This is the
+ * public API the examples and benchmarks drive.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/iteration_scheduler.h"
+#include "dnn/catalog.h"
+#include "topo/dgx1.h"
+#include "topo/dgx2.h"
+
+namespace ccube {
+namespace core {
+
+/** Engine construction parameters. */
+struct EngineConfig {
+    topo::Dgx1Params dgx1;       ///< machine model
+    dnn::GpuComputeParams gpu;   ///< per-GPU compute model
+    /** SM fraction consumed per hosted forwarding kernel (Fig. 15). */
+    double detour_tax_per_kernel = 0.02;
+    /** Logical rings striped by the R baseline (NCCL-style). */
+    int ring_count = 4;
+};
+
+/**
+ * A machine description the engine can run on: the physical graph
+ * plus the logical embeddings the collectives use.
+ */
+struct MachineModel {
+    topo::Graph graph;
+    topo::DoubleTreeEmbedding double_tree;
+    std::vector<topo::RingEmbedding> rings;
+    int num_gpus = 0;
+};
+
+/** The paper's platform: DGX-1 with the Fig. 10 embedding and
+ *  NCCL-style striped rings. */
+MachineModel makeDgx1Machine(const topo::Dgx1Params& params = {},
+                             int ring_count = 4);
+
+/**
+ * The future-work platform: DGX-2/NVSwitch with 3-edge-colored
+ * plane-private trees; the ring baseline is a single switch-routed
+ * ring (striping across planes is the trees' trick here).
+ */
+MachineModel makeDgx2Machine(const topo::Dgx2Params& params = {});
+
+/**
+ * One machine + one workload, ready to evaluate any mode.
+ */
+class CCubeEngine
+{
+  public:
+    /** Builds the DGX-1 and binds @p network as the workload. */
+    CCubeEngine(dnn::NetworkModel network, EngineConfig config = {});
+
+    /** Runs on a custom machine (see makeDgx1Machine / ...Dgx2...). */
+    CCubeEngine(dnn::NetworkModel network, MachineModel machine,
+                EngineConfig config = {});
+
+    /** Steady-state iteration result for @p mode. */
+    IterationResult evaluate(Mode mode,
+                             const IterationConfig& config) const;
+
+    /** Fig. 15: per-GPU normalized performance under @p mode. */
+    std::vector<double>
+    perGpuNormalizedPerf(Mode mode, const IterationConfig& config) const;
+
+    /** Communication-only schedule for @p bytes (Fig. 12). */
+    simnet::ScheduleResult commOnly(Mode mode, double bytes,
+                                    double bandwidth_scale = 1.0) const;
+
+    /** The DGX-1 graph in use. */
+    const topo::Graph& graph() const { return *graph_; }
+
+    /** The double-tree embedding in use. */
+    const topo::DoubleTreeEmbedding& doubleTree() const;
+
+    /** The logical rings in use. */
+    const std::vector<topo::RingEmbedding>& rings() const;
+
+    /** The underlying scheduler (advanced use). */
+    const IterationScheduler& scheduler() const { return *scheduler_; }
+
+    /** The workload. */
+    const dnn::NetworkModel& network() const
+    {
+        return scheduler_->network();
+    }
+
+  private:
+    EngineConfig config_;
+    std::unique_ptr<topo::Graph> graph_;
+    std::unique_ptr<IterationScheduler> scheduler_;
+};
+
+} // namespace core
+} // namespace ccube
+
+#endif // CCUBE_CORE_CCUBE_ENGINE_H_

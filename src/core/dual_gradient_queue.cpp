@@ -1,0 +1,84 @@
+#include "core/dual_gradient_queue.h"
+
+#include "util/logging.h"
+
+namespace ccube {
+namespace core {
+
+DualGradientQueue::DualGradientQueue(
+    std::vector<std::int64_t> table_tree0,
+    std::vector<std::int64_t> table_tree1)
+{
+    tables_[0] = std::move(table_tree0);
+    tables_[1] = std::move(table_tree1);
+    CCUBE_CHECK(!tables_[0].empty(), "empty layer table");
+    CCUBE_CHECK(tables_[0].size() == tables_[1].size(),
+                "per-tree tables must have the same layer count");
+    for (int t = 0; t < 2; ++t) {
+        for (std::size_t i = 1; i < tables_[t].size(); ++i) {
+            CCUBE_CHECK(tables_[t][i] >= tables_[t][i - 1],
+                        "layer-chunk table must be non-decreasing");
+        }
+    }
+}
+
+void
+DualGradientQueue::enqueueChunk(int tree)
+{
+    CCUBE_CHECK(tree == 0 || tree == 1, "bad tree index " << tree);
+    semaphores_[tree].post();
+    CCUBE_CHECK(semaphores_[tree].value() <= tables_[tree].back(),
+                "tree " << tree << " delivered too many chunks");
+}
+
+void
+DualGradientQueue::dequeueLayer(int layer)
+{
+    CCUBE_CHECK(layer == layerIndexCounter(),
+                "layers must be dequeued in order");
+    semaphores_[0].check(bound(0, layer));
+    semaphores_[1].check(bound(1, layer));
+    lic_.store(layer + 1, std::memory_order_release);
+}
+
+bool
+DualGradientQueue::tryDequeueLayer(int layer)
+{
+    CCUBE_CHECK(layer == layerIndexCounter(),
+                "layers must be dequeued in order");
+    if (!semaphores_[0].checkNow(bound(0, layer)) ||
+        !semaphores_[1].checkNow(bound(1, layer))) {
+        return false;
+    }
+    lic_.store(layer + 1, std::memory_order_release);
+    return true;
+}
+
+std::int64_t
+DualGradientQueue::enqueued(int tree) const
+{
+    CCUBE_CHECK(tree == 0 || tree == 1, "bad tree index " << tree);
+    return semaphores_[tree].value();
+}
+
+void
+DualGradientQueue::resetIteration()
+{
+    CCUBE_CHECK(layerIndexCounter() == numLayers() ||
+                    layerIndexCounter() == 0,
+                "reset mid-iteration");
+    semaphores_[0].reset();
+    semaphores_[1].reset();
+    lic_.store(0, std::memory_order_release);
+}
+
+std::int64_t
+DualGradientQueue::bound(int tree, int layer) const
+{
+    CCUBE_CHECK(layer >= 0 && layer < numLayers(),
+                "bad layer index " << layer);
+    return tables_[tree][static_cast<std::size_t>(layer)];
+}
+
+} // namespace core
+} // namespace ccube

@@ -1,0 +1,82 @@
+#ifndef CCUBE_CORE_DUAL_GRADIENT_QUEUE_H_
+#define CCUBE_CORE_DUAL_GRADIENT_QUEUE_H_
+
+/**
+ * @file
+ * Gradient queuing for the double tree.
+ *
+ * The double-tree AllReduce splits the buffer in half; each tree
+ * delivers *its own* chunks in order, but arrivals interleave across
+ * trees, so a single enqueue semaphore cannot gate layers. The dual
+ * queue keeps one enqueue semaphore per tree and a per-tree
+ * layer-chunk table: a layer dequeues when *both* trees have
+ * delivered its chunks (a layer whose bytes live entirely in one
+ * half is gated by that tree alone).
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "ccl/sync_primitives.h"
+
+namespace ccube {
+namespace core {
+
+/**
+ * Two-tree gradient queue for one rank.
+ */
+class DualGradientQueue
+{
+  public:
+    /**
+     * @param table_tree0  per layer, cumulative count of tree-0
+     *        chunks up to and including that layer
+     * @param table_tree1  same for tree 1 (tree-local chunk ids)
+     */
+    DualGradientQueue(std::vector<std::int64_t> table_tree0,
+                      std::vector<std::int64_t> table_tree1);
+
+    DualGradientQueue(const DualGradientQueue&) = delete;
+    DualGradientQueue& operator=(const DualGradientQueue&) = delete;
+
+    /** Number of layers. */
+    int numLayers() const
+    {
+        return static_cast<int>(tables_[0].size());
+    }
+
+    /** Broadcast side of tree @p tree delivered one chunk in order. */
+    void enqueueChunk(int tree);
+
+    /** Blocks until layer @p layer is complete in both trees, then
+     *  advances the LIC. Layers must dequeue in order. */
+    void dequeueLayer(int layer);
+
+    /** Non-blocking variant; true when the layer was ready. */
+    bool tryDequeueLayer(int layer);
+
+    /** Layer Index Counter. */
+    int layerIndexCounter() const
+    {
+        return lic_.load(std::memory_order_acquire);
+    }
+
+    /** Chunks enqueued so far by tree @p tree. */
+    std::int64_t enqueued(int tree) const;
+
+    /** Resets for the next iteration. */
+    void resetIteration();
+
+  private:
+    std::int64_t bound(int tree, int layer) const;
+
+    ccl::CheckableCounter semaphores_[2];
+    std::atomic<int> lic_{0};
+    std::vector<std::int64_t> tables_[2];
+};
+
+} // namespace core
+} // namespace ccube
+
+#endif // CCUBE_CORE_DUAL_GRADIENT_QUEUE_H_

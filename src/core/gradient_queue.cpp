@@ -1,0 +1,75 @@
+#include "core/gradient_queue.h"
+
+#include "util/logging.h"
+
+namespace ccube {
+namespace core {
+
+GradientQueue::GradientQueue(std::vector<std::int64_t> layer_chunk_table)
+    : layer_chunk_table_(std::move(layer_chunk_table))
+{
+    CCUBE_CHECK(!layer_chunk_table_.empty(),
+                "layer-chunk table must not be empty");
+    for (std::size_t i = 1; i < layer_chunk_table_.size(); ++i) {
+        CCUBE_CHECK(layer_chunk_table_[i] >= layer_chunk_table_[i - 1],
+                    "layer-chunk table must be non-decreasing");
+    }
+}
+
+std::int64_t
+GradientQueue::totalChunks() const
+{
+    return layer_chunk_table_.back();
+}
+
+void
+GradientQueue::enqueueChunk()
+{
+    enqueue_semaphore_.post();
+    CCUBE_CHECK(enqueue_semaphore_.value() <= totalChunks(),
+                "more chunks enqueued than the table expects");
+}
+
+void
+GradientQueue::dequeueLayer(int layer)
+{
+    CCUBE_CHECK(layer == layerIndexCounter(),
+                "layers must be dequeued in order: asked for "
+                    << layer << ", LIC is " << layerIndexCounter());
+    // Paper's check(): wait until the enqueue semaphore reaches this
+    // layer's last chunk offset from the Layer-Chunk Table.
+    enqueue_semaphore_.check(layerChunkBound(layer));
+    lic_.store(layer + 1, std::memory_order_release);
+}
+
+bool
+GradientQueue::tryDequeueLayer(int layer)
+{
+    CCUBE_CHECK(layer == layerIndexCounter(),
+                "layers must be dequeued in order");
+    if (!enqueue_semaphore_.checkNow(layerChunkBound(layer)))
+        return false;
+    lic_.store(layer + 1, std::memory_order_release);
+    return true;
+}
+
+std::int64_t
+GradientQueue::layerChunkBound(int layer) const
+{
+    CCUBE_CHECK(layer >= 0 && layer < numLayers(),
+                "bad layer index " << layer);
+    return layer_chunk_table_[static_cast<std::size_t>(layer)];
+}
+
+void
+GradientQueue::resetIteration()
+{
+    CCUBE_CHECK(layerIndexCounter() == numLayers() ||
+                    layerIndexCounter() == 0,
+                "reset mid-iteration");
+    enqueue_semaphore_.reset();
+    lic_.store(0, std::memory_order_release);
+}
+
+} // namespace core
+} // namespace ccube

@@ -1,0 +1,97 @@
+#ifndef CCUBE_CORE_GRADIENT_QUEUE_H_
+#define CCUBE_CORE_GRADIENT_QUEUE_H_
+
+/**
+ * @file
+ * Gradient queuing (paper §III-D, Fig. 9): the mechanism that chains
+ * collective communication with next-iteration forward computation.
+ *
+ * Components, exactly as in the paper:
+ *  - Enqueue Semaphore — points at the last fully reduced chunk that
+ *    arrived (a monotonic counter posted by the broadcast phase);
+ *  - Gradient Queue — the gradient memory itself, reused in place
+ *    thanks to the tree algorithm's in-order property;
+ *  - Layer Index Counter (LIC) — the next layer awaiting computation;
+ *  - Layer-Chunk Table — last gradient chunk offset of each layer.
+ *
+ * dequeueLayer(L) blocks (paper's check) until every chunk of layer L
+ * has been enqueued, then advances the LIC. Because memory is reused
+ * in place, enqueue carries no payload — only the semaphore moves.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "ccl/sync_primitives.h"
+
+namespace ccube {
+namespace core {
+
+/**
+ * Thread-safe gradient queue for one rank.
+ */
+class GradientQueue
+{
+  public:
+    /**
+     * @param layer_chunk_table  per layer, the cumulative chunk count
+     *        up to and including that layer (i.e. one past the last
+     *        chunk offset); must be non-decreasing.
+     */
+    explicit GradientQueue(std::vector<std::int64_t> layer_chunk_table);
+
+    GradientQueue(const GradientQueue&) = delete;
+    GradientQueue& operator=(const GradientQueue&) = delete;
+
+    /** Number of layers in the table. */
+    int numLayers() const
+    {
+        return static_cast<int>(layer_chunk_table_.size());
+    }
+
+    /** Total chunks the queue expects in one iteration. */
+    std::int64_t totalChunks() const;
+
+    /**
+     * Broadcast side: one fully reduced chunk arrived (in order); the
+     * enqueue semaphore advances. Called by the collective's broadcast
+     * phase as each chunk lands.
+     */
+    void enqueueChunk();
+
+    /**
+     * Compute side: block until layer @p layer is fully enqueued, then
+     * advance the Layer Index Counter. Layers must be dequeued in
+     * order — forward computation is in-order (Observation #3).
+     */
+    void dequeueLayer(int layer);
+
+    /** Non-blocking dequeue; true when the layer was ready. */
+    bool tryDequeueLayer(int layer);
+
+    /** Current value of the Layer Index Counter. */
+    int layerIndexCounter() const
+    {
+        return lic_.load(std::memory_order_acquire);
+    }
+
+    /** Chunks enqueued so far (Enqueue Semaphore value). */
+    std::int64_t enqueued() const { return enqueue_semaphore_.value(); }
+
+    /** Last chunk offset (cumulative count) of @p layer. */
+    std::int64_t layerChunkBound(int layer) const;
+
+    /** Resets the semaphore and LIC for the next iteration. */
+    void resetIteration();
+
+  private:
+    ccl::CheckableCounter enqueue_semaphore_;
+    std::atomic<int> lic_{0};
+    std::vector<std::int64_t> layer_chunk_table_;
+};
+
+} // namespace core
+} // namespace ccube
+
+#endif // CCUBE_CORE_GRADIENT_QUEUE_H_

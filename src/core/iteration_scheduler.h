@@ -1,0 +1,146 @@
+#ifndef CCUBE_CORE_ITERATION_SCHEDULER_H_
+#define CCUBE_CORE_ITERATION_SCHEDULER_H_
+
+/**
+ * @file
+ * Training-iteration scheduler: composes backward compute, one-shot
+ * AllReduce, and (for the chained modes) gradient-queue-driven forward
+ * computation into a steady-state iteration timeline (paper Fig. 2(c),
+ * Fig. 8).
+ *
+ * Modes map to the paper's evaluation labels (§V-B):
+ *   B  — baseline double tree, no overlap;
+ *   C1 — overlapped (reduction-broadcast chained) double tree;
+ *   C2 — gradient-queue compute chaining over the baseline tree;
+ *   R  — ring AllReduce (NCCL-style), no chaining (out-of-order);
+ *   CC — C-Cube: C1 + C2.
+ */
+
+#include <string>
+#include <vector>
+
+#include "dnn/compute_model.h"
+#include "dnn/network.h"
+#include "model/alpha_beta.h"
+#include "simnet/collective_schedule.h"
+#include "topo/double_tree.h"
+#include "topo/graph.h"
+#include "topo/ring_embedding.h"
+
+namespace ccube {
+namespace core {
+
+/** Evaluation configurations of §V-B. */
+enum class Mode {
+    kBaseline,        ///< B: two-phase double tree
+    kOverlappedTree,  ///< C1: overlapped double tree
+    kComputeChaining, ///< C2: gradient queuing over baseline tree
+    kRing,            ///< R: ring AllReduce
+    kCCube,           ///< CC: C1 + C2
+};
+
+/** Paper's short label for a mode ("B", "C1", "C2", "R", "CC"). */
+const char* modeName(Mode mode);
+
+/** All five modes in the paper's presentation order. */
+std::vector<Mode> allModes();
+
+/** Per-run knobs. */
+struct IterationConfig {
+    int batch = 64;
+    /** 1.0 = full NVLink ("high"); 0.25 = the paper's "low". */
+    double bandwidth_scale = 1.0;
+};
+
+/** Steady-state timing of one training iteration. */
+struct IterationResult {
+    double forward_time = 0.0;    ///< unchained forward compute
+    double backward_time = 0.0;   ///< backward compute
+    double comm_time = 0.0;       ///< AllReduce completion
+    double turnaround_time = 0.0; ///< first chunk ready (rel. to comm)
+    double iteration_time = 0.0;  ///< steady-state period
+    /** (fwd+bwd) / iteration — 1.0 means communication-free ideal. */
+    double normalized_perf = 0.0;
+    /** Communication not hidden behind compute. */
+    double exposed_comm = 0.0;
+    /** 1 − exposed/comm: fraction of AllReduce hidden by chaining. */
+    double chain_efficiency = 0.0;
+};
+
+/**
+ * Computes iteration timelines for one workload on one machine.
+ */
+class IterationScheduler
+{
+  public:
+    IterationScheduler(const topo::Graph& graph,
+                       topo::DoubleTreeEmbedding double_tree,
+                       std::vector<topo::RingEmbedding> rings,
+                       dnn::NetworkModel network,
+                       dnn::GpuComputeParams gpu_params);
+
+    /** Steady-state result for @p mode under @p config. */
+    IterationResult run(Mode mode, const IterationConfig& config) const;
+
+    /**
+     * Communication-only schedule for @p mode moving @p bytes at
+     * @p bandwidth_scale; chunk counts follow the tree model's K_opt.
+     */
+    simnet::ScheduleResult commSchedule(Mode mode, double bytes,
+                                        double bandwidth_scale) const;
+
+    /** K_opt per tree for a payload of @p bytes_per_tree. */
+    int chunksPerTree(double bytes_per_tree) const;
+
+    /** α-β parameters implied by the graph's first NVLink channel. */
+    model::AlphaBeta linkModel() const;
+
+    /** The workload this scheduler runs. */
+    const dnn::NetworkModel& network() const { return network_; }
+
+    /** The double-tree embedding in use. */
+    const topo::DoubleTreeEmbedding& doubleTree() const
+    {
+        return double_tree_;
+    }
+
+    /** GPU compute parameters in use. */
+    const dnn::GpuComputeParams& gpuParams() const
+    {
+        return gpu_params_;
+    }
+
+    /** The logical rings in use (NCCL-style multi-ring R). */
+    const std::vector<topo::RingEmbedding>& rings() const
+    {
+        return rings_;
+    }
+
+    /**
+     * Per-GPU normalized performance (Fig. 15): GPUs hosting detour
+     * forwarding kernels pay @p tax_per_kernel of their compute
+     * throughput per hosted kernel.
+     */
+    std::vector<double> perGpuNormalizedPerf(
+        Mode mode, const IterationConfig& config,
+        double tax_per_kernel) const;
+
+  private:
+    /**
+     * Full evaluation with a compute slowdown factor (1.0 = nominal);
+     * the slowdown models the SM tax of detour forwarding kernels.
+     */
+    IterationResult evaluate(Mode mode, const IterationConfig& config,
+                             double compute_slowdown) const;
+
+    const topo::Graph& graph_;
+    topo::DoubleTreeEmbedding double_tree_;
+    std::vector<topo::RingEmbedding> rings_;
+    dnn::NetworkModel network_;
+    dnn::GpuComputeParams gpu_params_;
+};
+
+} // namespace core
+} // namespace ccube
+
+#endif // CCUBE_CORE_ITERATION_SCHEDULER_H_

@@ -1,0 +1,52 @@
+#include "core/report.h"
+
+#include "util/units.h"
+
+namespace ccube {
+namespace core {
+
+util::Table
+makeIterationTable()
+{
+    return util::Table({"workload", "bw", "batch", "mode", "fwd_ms",
+                        "bwd_ms", "comm_ms", "turnaround_ms", "iter_ms",
+                        "norm_perf", "chain_eff"});
+}
+
+void
+addIterationRow(util::Table& table, const std::string& workload,
+                const std::string& bandwidth, int batch, Mode mode,
+                const IterationResult& result)
+{
+    table.addRow({workload, bandwidth, std::to_string(batch),
+                  modeName(mode),
+                  util::formatDouble(result.forward_time * 1e3, 3),
+                  util::formatDouble(result.backward_time * 1e3, 3),
+                  util::formatDouble(result.comm_time * 1e3, 3),
+                  util::formatDouble(result.turnaround_time * 1e3, 3),
+                  util::formatDouble(result.iteration_time * 1e3, 3),
+                  util::formatDouble(result.normalized_perf, 3),
+                  util::formatDouble(result.chain_efficiency, 3)});
+}
+
+util::Table
+makeCommTable()
+{
+    return util::Table({"algorithm", "size", "completion_ms",
+                        "turnaround_ms", "bandwidth_GBps"});
+}
+
+void
+addCommRow(util::Table& table, const std::string& algorithm,
+           double bytes, const simnet::ScheduleResult& schedule)
+{
+    table.addRow(
+        {algorithm, util::formatBytes(bytes),
+         util::formatDouble(schedule.completion_time * 1e3, 3),
+         util::formatDouble(schedule.turnaroundTime() * 1e3, 3),
+         util::formatDouble(
+             schedule.effectiveBandwidth(bytes) / 1e9, 2)});
+}
+
+} // namespace core
+} // namespace ccube

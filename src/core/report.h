@@ -1,0 +1,36 @@
+#ifndef CCUBE_CORE_REPORT_H_
+#define CCUBE_CORE_REPORT_H_
+
+/**
+ * @file
+ * Report helpers shared by the benchmark harnesses: uniform table
+ * rows for iteration results and communication schedules.
+ */
+
+#include <string>
+
+#include "core/iteration_scheduler.h"
+#include "util/table.h"
+
+namespace ccube {
+namespace core {
+
+/** Column headers for iteration-result tables. */
+util::Table makeIterationTable();
+
+/** Appends one iteration result as a row. */
+void addIterationRow(util::Table& table, const std::string& workload,
+                     const std::string& bandwidth, int batch, Mode mode,
+                     const IterationResult& result);
+
+/** Column headers for communication-schedule tables. */
+util::Table makeCommTable();
+
+/** Appends one communication result as a row. */
+void addCommRow(util::Table& table, const std::string& algorithm,
+                double bytes, const simnet::ScheduleResult& schedule);
+
+} // namespace core
+} // namespace ccube
+
+#endif // CCUBE_CORE_REPORT_H_

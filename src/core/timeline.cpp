@@ -1,0 +1,122 @@
+#include "core/timeline.h"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+#include "core/chunk_mapper.h"
+#include "util/logging.h"
+#include "util/table.h"
+
+namespace ccube {
+namespace core {
+
+std::vector<TimelineEvent>
+TimelineBuilder::build(const IterationScheduler& scheduler, Mode mode,
+                       const IterationConfig& config)
+{
+    const dnn::NetworkModel& network = scheduler.network();
+    const dnn::ComputeModel compute(scheduler.gpuParams());
+    const std::vector<double> fwd_times =
+        compute.layerForwardTimes(network, config.batch);
+    const double bwd = compute.backwardTime(network, config.batch);
+    const double bytes = network.totalParamBytes();
+    const simnet::ScheduleResult schedule =
+        scheduler.commSchedule(mode, bytes, config.bandwidth_scale);
+
+    std::vector<TimelineEvent> events;
+    events.push_back(TimelineEvent{"backward", "backward", 0.0, bwd});
+
+    // AllReduce: one bar per chunk, from the previous chunk's
+    // availability (per tree) to this one's. For the multi-ring all
+    // chunks share the collective span.
+    const int chunks = schedule.num_chunks;
+    std::vector<double> sorted_ready = schedule.chunk_ready;
+    std::sort(sorted_ready.begin(), sorted_ready.end());
+    double prev = 0.0;
+    for (int c = 0; c < chunks; ++c) {
+        const double ready = sorted_ready[static_cast<std::size_t>(c)];
+        events.push_back(TimelineEvent{
+            "allreduce", "chunk " + std::to_string(c), bwd + prev,
+            bwd + ready});
+        prev = ready;
+    }
+
+    // Forward: chained modes gate each layer on its gradients.
+    const bool chained = mode == Mode::kComputeChaining ||
+                         mode == Mode::kCCube;
+    const std::vector<double> layer_bytes = network.layerParamBytes();
+    const ChunkMapper mapper =
+        ChunkMapper::doubleTree(bytes, std::max(1, chunks / 2));
+    double t = chained ? 0.0 : bwd + schedule.completion_time;
+    for (int l = 0; l < network.numLayers(); ++l) {
+        double start = t;
+        if (chained) {
+            const double ready =
+                bwd + mapper.layerReadyTime(layer_bytes, l,
+                                            schedule.chunk_ready);
+            start = std::max(t, ready);
+        }
+        const double end =
+            start + fwd_times[static_cast<std::size_t>(l)];
+        events.push_back(TimelineEvent{
+            "forward", network.layer(l).name, start, end});
+        t = end;
+    }
+    return events;
+}
+
+void
+TimelineBuilder::writeCsv(std::ostream& out,
+                          const std::vector<TimelineEvent>& events)
+{
+    out << "track,label,start_s,end_s\n";
+    for (const TimelineEvent& e : events) {
+        out << e.track << ',' << e.label << ',' << e.start << ','
+            << e.end << "\n";
+    }
+}
+
+void
+TimelineBuilder::printAscii(std::ostream& out,
+                            const std::vector<TimelineEvent>& events,
+                            int width)
+{
+    CCUBE_CHECK(width >= 10, "ascii timeline too narrow");
+    if (events.empty())
+        return;
+    double horizon = 0.0;
+    for (const TimelineEvent& e : events)
+        horizon = std::max(horizon, e.end);
+    CCUBE_CHECK(horizon > 0.0, "empty timeline horizon");
+
+    // Merge each track's events into one occupancy row.
+    std::map<std::string, std::string> rows;
+    for (const TimelineEvent& e : events) {
+        auto& row = rows[e.track];
+        if (row.empty())
+            row.assign(static_cast<std::size_t>(width), ' ');
+        int lo = static_cast<int>(e.start / horizon * width);
+        int hi = static_cast<int>(e.end / horizon * width);
+        lo = std::clamp(lo, 0, width - 1);
+        hi = std::clamp(hi, lo + 1, width);
+        for (int i = lo; i < hi; ++i)
+            row[static_cast<std::size_t>(i)] = '#';
+    }
+    std::size_t name_width = 0;
+    for (const auto& [track, row] : rows)
+        name_width = std::max(name_width, track.size());
+    for (const auto& [track, row] : rows) {
+        out << track;
+        for (std::size_t p = track.size(); p < name_width + 2; ++p)
+            out << ' ';
+        out << '|' << row << "|\n";
+    }
+    out << "0" << std::string(static_cast<std::size_t>(name_width) + 2 +
+                                  static_cast<std::size_t>(width) - 8,
+                              ' ')
+        << util::formatDouble(horizon * 1e3, 2) << " ms\n";
+}
+
+} // namespace core
+} // namespace ccube

@@ -1,0 +1,62 @@
+#ifndef CCUBE_CORE_TIMELINE_H_
+#define CCUBE_CORE_TIMELINE_H_
+
+/**
+ * @file
+ * Iteration timeline reconstruction — the data behind Fig. 2/8-style
+ * diagrams: when backward ran, when each collective chunk became
+ * available, and when each chained forward layer executed.
+ *
+ * Exports CSV (for plotting) and a scaled ASCII Gantt view.
+ */
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/iteration_scheduler.h"
+
+namespace ccube {
+namespace core {
+
+/** One bar on the timeline. */
+struct TimelineEvent {
+    std::string track; ///< "backward" | "allreduce" | "forward"
+    std::string label; ///< e.g. "chunk 12", "layer conv3_2"
+    double start = 0.0;
+    double end = 0.0;
+};
+
+/**
+ * Builds the steady-state iteration timeline for one mode.
+ */
+class TimelineBuilder
+{
+  public:
+    /**
+     * Reconstructs the timeline: backward [0, bwd]; one allreduce
+     * event per chunk (start = previous chunk's availability, end =
+     * this chunk's); one forward event per layer (chained modes gate
+     * each layer on its gradients).
+     */
+    static std::vector<TimelineEvent>
+    build(const IterationScheduler& scheduler, Mode mode,
+          const IterationConfig& config);
+
+    /** Writes "track,label,start,end" rows. */
+    static void writeCsv(std::ostream& out,
+                         const std::vector<TimelineEvent>& events);
+
+    /**
+     * Renders an ASCII Gantt chart: one row per track, @p width
+     * character columns across the iteration.
+     */
+    static void printAscii(std::ostream& out,
+                           const std::vector<TimelineEvent>& events,
+                           int width = 72);
+};
+
+} // namespace core
+} // namespace ccube
+
+#endif // CCUBE_CORE_TIMELINE_H_

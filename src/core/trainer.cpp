@@ -1,0 +1,49 @@
+#include "core/trainer.h"
+
+#include "util/logging.h"
+
+namespace ccube {
+namespace core {
+
+TrainingRunResult
+Trainer::run(Mode mode, const IterationConfig& config,
+             int iterations) const
+{
+    CCUBE_CHECK(iterations >= 1, "need at least one iteration");
+
+    const IterationResult steady = scheduler_.run(mode, config);
+
+    // Cold start: iteration 0 has no previous collective to chain
+    // against, so its forward runs unchained; its backward and
+    // AllReduce then feed iteration 1. The cold iteration costs
+    // fwd + bwd; the collective's cost lands in the next period.
+    const double cold = steady.forward_time + steady.backward_time;
+
+    TrainingRunResult result;
+    result.iterations = iterations;
+    result.cold_start_time = cold;
+    result.steady_iteration_time = steady.iteration_time;
+    result.total_time =
+        cold + static_cast<double>(iterations - 1) *
+                   steady.iteration_time;
+
+    const double samples_per_iteration =
+        static_cast<double>(config.batch) *
+        static_cast<double>(num_gpus_);
+    result.samples_per_second =
+        samples_per_iteration * static_cast<double>(iterations) /
+        result.total_time;
+
+    // Single-GPU baseline processes `batch` samples in fwd+bwd with
+    // no communication at all.
+    const double single_gpu_rate =
+        static_cast<double>(config.batch) /
+        (steady.forward_time + steady.backward_time);
+    result.scaling_efficiency =
+        result.samples_per_second /
+        (single_gpu_rate * static_cast<double>(num_gpus_));
+    return result;
+}
+
+} // namespace core
+} // namespace ccube

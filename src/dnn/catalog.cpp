@@ -1,0 +1,377 @@
+#include "dnn/catalog.h"
+
+#include <string>
+
+namespace ccube {
+namespace dnn {
+
+namespace {
+
+/** Appends a conv layer and returns its output spatial size. */
+int
+addConv(std::vector<Layer>& layers, const std::string& name, int in_ch,
+        int out_ch, int kernel, int stride, int padding, int in_size)
+{
+    const ConvShape shape{in_ch, out_ch, kernel, stride, padding,
+                          in_size};
+    layers.push_back(Layer::conv(name, shape));
+    return shape.outSize();
+}
+
+int
+addPool(std::vector<Layer>& layers, const std::string& name,
+        int channels, int kernel, int stride, int in_size)
+{
+    const PoolShape shape{channels, kernel, stride, in_size};
+    layers.push_back(Layer::pool(name, shape));
+    return shape.outSize();
+}
+
+void
+addFc(std::vector<Layer>& layers, const std::string& name, int in,
+      int out)
+{
+    layers.push_back(Layer::fc(name, FcShape{in, out}));
+}
+
+/**
+ * Appends one ResNet bottleneck (1x1 reduce, 3x3, 1x1 expand, plus a
+ * 1x1 projection when the block changes shape). Returns the output
+ * spatial size.
+ */
+int
+addBottleneck(std::vector<Layer>& layers, const std::string& prefix,
+              int in_ch, int width, int stride, int in_size)
+{
+    const int out_ch = 4 * width;
+    int size = in_size;
+    size = addConv(layers, prefix + ".conv1", in_ch, width, 1, 1, 0,
+                   size);
+    size = addConv(layers, prefix + ".conv2", width, width, 3, stride, 1,
+                   size);
+    size = addConv(layers, prefix + ".conv3", width, out_ch, 1, 1, 0,
+                   size);
+    if (stride != 1 || in_ch != out_ch) {
+        addConv(layers, prefix + ".downsample", in_ch, out_ch, 1, stride,
+                0, in_size);
+    }
+    return size;
+}
+
+} // namespace
+
+NetworkModel
+buildZfNet()
+{
+    std::vector<Layer> layers;
+    int size = 224;
+    size = addConv(layers, "conv1", 3, 96, 7, 2, 1, size);
+    size = addPool(layers, "pool1", 96, 3, 2, size);
+    size = addConv(layers, "conv2", 96, 256, 5, 2, 0, size);
+    size = addPool(layers, "pool2", 256, 3, 2, size);
+    size = addConv(layers, "conv3", 256, 384, 3, 1, 1, size);
+    size = addConv(layers, "conv4", 384, 384, 3, 1, 1, size);
+    size = addConv(layers, "conv5", 384, 256, 3, 1, 1, size);
+    size = addPool(layers, "pool5", 256, 3, 2, size);
+    addFc(layers, "fc6", size * size * 256, 4096);
+    addFc(layers, "fc7", 4096, 4096);
+    addFc(layers, "fc8", 4096, 1000);
+    return NetworkModel("zfnet", std::move(layers));
+}
+
+NetworkModel
+buildAlexNet()
+{
+    std::vector<Layer> layers;
+    int size = 227;
+    size = addConv(layers, "conv1", 3, 96, 11, 4, 0, size);
+    size = addPool(layers, "pool1", 96, 3, 2, size);
+    size = addConv(layers, "conv2", 96, 256, 5, 1, 2, size);
+    size = addPool(layers, "pool2", 256, 3, 2, size);
+    size = addConv(layers, "conv3", 256, 384, 3, 1, 1, size);
+    size = addConv(layers, "conv4", 384, 384, 3, 1, 1, size);
+    size = addConv(layers, "conv5", 384, 256, 3, 1, 1, size);
+    size = addPool(layers, "pool5", 256, 3, 2, size);
+    addFc(layers, "fc6", size * size * 256, 4096);
+    addFc(layers, "fc7", 4096, 4096);
+    addFc(layers, "fc8", 4096, 1000);
+    return NetworkModel("alexnet", std::move(layers));
+}
+
+namespace {
+
+NetworkModel
+buildResnet(const std::string& name, const int (&blocks)[4])
+{
+    std::vector<Layer> layers;
+    int size = 224;
+    size = addConv(layers, "conv1", 3, 64, 7, 2, 3, size);
+    size = addPool(layers, "pool1", 64, 3, 2, size);
+    const int widths[4] = {64, 128, 256, 512};
+    int in_ch = 64;
+    for (int s = 0; s < 4; ++s) {
+        for (int b = 0; b < blocks[s]; ++b) {
+            const int stride = (s > 0 && b == 0) ? 2 : 1;
+            const std::string prefix = "layer" + std::to_string(s + 1) +
+                                       "." + std::to_string(b);
+            size = addBottleneck(layers, prefix, in_ch, widths[s],
+                                 stride, size);
+            in_ch = 4 * widths[s];
+        }
+    }
+    addPool(layers, "avgpool", in_ch, size, size, size);
+    addFc(layers, "fc", in_ch, 1000);
+    return NetworkModel(name, std::move(layers));
+}
+
+} // namespace
+
+NetworkModel
+buildResnet101()
+{
+    const int blocks[4] = {3, 4, 23, 3};
+    return buildResnet("resnet101", blocks);
+}
+
+NetworkModel
+buildVgg16()
+{
+    std::vector<Layer> layers;
+    int size = 224;
+    int in_ch = 3;
+    const struct {
+        int convs;
+        int channels;
+    } stages[] = {{2, 64}, {2, 128}, {3, 256}, {3, 512}, {3, 512}};
+    int stage_id = 1;
+    for (const auto& stage : stages) {
+        for (int c = 0; c < stage.convs; ++c) {
+            size = addConv(layers,
+                           "conv" + std::to_string(stage_id) + "_" +
+                               std::to_string(c + 1),
+                           in_ch, stage.channels, 3, 1, 1, size);
+            in_ch = stage.channels;
+        }
+        size = addPool(layers, "pool" + std::to_string(stage_id), in_ch,
+                       2, 2, size);
+        ++stage_id;
+    }
+    addFc(layers, "fc6", size * size * 512, 4096);
+    addFc(layers, "fc7", 4096, 4096);
+    addFc(layers, "fc8", 4096, 1000);
+    return NetworkModel("vgg16", std::move(layers));
+}
+
+NetworkModel
+buildResnet50()
+{
+    std::vector<Layer> layers;
+    int size = 224;
+    size = addConv(layers, "conv1", 3, 64, 7, 2, 3, size);
+    size = addPool(layers, "pool1", 64, 3, 2, size);
+
+    const struct {
+        int blocks;
+        int width;
+    } stages[] = {{3, 64}, {4, 128}, {6, 256}, {3, 512}};
+    int in_ch = 64;
+    for (int s = 0; s < 4; ++s) {
+        for (int b = 0; b < stages[s].blocks; ++b) {
+            const int stride = (s > 0 && b == 0) ? 2 : 1;
+            const std::string prefix = "layer" + std::to_string(s + 1) +
+                                       "." + std::to_string(b);
+            size = addBottleneck(layers, prefix, in_ch, stages[s].width,
+                                 stride, size);
+            in_ch = 4 * stages[s].width;
+        }
+    }
+    addPool(layers, "avgpool", in_ch, size, size, size);
+    addFc(layers, "fc", in_ch, 1000);
+    return NetworkModel("resnet50", std::move(layers));
+}
+
+NetworkModel
+buildSsdVgg16()
+{
+    // VGG-16 backbone (without the classifier FCs) plus SSD extra
+    // feature layers and multibox heads.
+    std::vector<Layer> layers;
+    int size = 300;
+    int in_ch = 3;
+    const struct {
+        int convs;
+        int channels;
+    } stages[] = {{2, 64}, {2, 128}, {3, 256}, {3, 512}, {3, 512}};
+    int stage_id = 1;
+    for (const auto& stage : stages) {
+        for (int c = 0; c < stage.convs; ++c) {
+            size = addConv(layers,
+                           "backbone" + std::to_string(stage_id) + "_" +
+                               std::to_string(c + 1),
+                           in_ch, stage.channels, 3, 1, 1, size);
+            in_ch = stage.channels;
+        }
+        if (stage_id < 5)
+            size = addPool(layers, "pool" + std::to_string(stage_id),
+                           in_ch, 2, 2, size);
+        ++stage_id;
+    }
+    // fc6/fc7 converted to dilated convolutions (SSD style).
+    size = addConv(layers, "conv6", 512, 1024, 3, 1, 1, size);
+    size = addConv(layers, "conv7", 1024, 1024, 1, 1, 0, size);
+    // Extra feature layers.
+    size = addConv(layers, "conv8_1", 1024, 256, 1, 1, 0, size);
+    size = addConv(layers, "conv8_2", 256, 512, 3, 2, 1, size);
+    size = addConv(layers, "conv9_1", 512, 128, 1, 1, 0, size);
+    size = addConv(layers, "conv9_2", 128, 256, 3, 2, 1, size);
+    // Multibox classification + localization heads.
+    addConv(layers, "head_cls", 512, 486, 3, 1, 1, 38);
+    addConv(layers, "head_loc", 512, 24, 3, 1, 1, 38);
+    return NetworkModel("ssd_vgg16", std::move(layers));
+}
+
+NetworkModel
+buildMaskRcnnR50()
+{
+    // ResNet-50 backbone plus FPN lateral/output convs and the
+    // box/mask heads.
+    NetworkModel backbone = buildResnet50();
+    std::vector<Layer> layers = backbone.layers();
+    layers.pop_back(); // drop the ImageNet fc
+    for (int level = 2; level <= 5; ++level) {
+        const int in_ch = 64 * (1 << level);
+        addConv(layers, "fpn_lateral" + std::to_string(level), in_ch,
+                256, 1, 1, 0, 7 * (1 << (5 - level)));
+        addConv(layers, "fpn_output" + std::to_string(level), 256, 256,
+                3, 1, 1, 7 * (1 << (5 - level)));
+    }
+    addFc(layers, "box_head_fc1", 256 * 7 * 7, 1024);
+    addFc(layers, "box_head_fc2", 1024, 1024);
+    addFc(layers, "box_predictor", 1024, 81 * 5);
+    for (int c = 0; c < 4; ++c)
+        addConv(layers, "mask_head_conv" + std::to_string(c + 1), 256,
+                256, 3, 1, 1, 14);
+    addConv(layers, "mask_predictor", 256, 81, 1, 1, 0, 28);
+    return NetworkModel("maskrcnn_r50", std::move(layers));
+}
+
+NetworkModel
+buildNcf()
+{
+    // NeuMF: user/item embeddings (memory-bound) + a small MLP.
+    std::vector<Layer> layers;
+    layers.push_back(Layer::embedding(
+        "user_embedding", EmbeddingShape{138000000 / 64, 64, 1}));
+    layers.push_back(Layer::embedding(
+        "item_embedding", EmbeddingShape{27000000 / 64, 64, 1}));
+    addFc(layers, "mlp1", 128, 256);
+    addFc(layers, "mlp2", 256, 128);
+    addFc(layers, "mlp3", 128, 64);
+    addFc(layers, "predict", 64, 1);
+    return NetworkModel("ncf", std::move(layers));
+}
+
+NetworkModel
+buildGnmt()
+{
+    // 8-layer LSTM encoder/decoder, hidden 1024, vocab 32k. An LSTM
+    // layer's weights are 4·h·(2h); modeled as an equivalent FC.
+    std::vector<Layer> layers;
+    const int hidden = 1024;
+    const int seq = 50; // average sentence length
+    layers.push_back(
+        Layer::embedding("src_embedding", EmbeddingShape{32000, hidden,
+                                                         seq}));
+    for (int l = 0; l < 8; ++l) {
+        Layer lstm = Layer::fc("encoder_lstm" + std::to_string(l),
+                               FcShape{2 * hidden, 4 * hidden});
+        lstm.forward_flops_per_sample *= seq;
+        layers.push_back(lstm);
+    }
+    layers.push_back(
+        Layer::embedding("tgt_embedding", EmbeddingShape{32000, hidden,
+                                                         seq}));
+    for (int l = 0; l < 8; ++l) {
+        Layer lstm = Layer::fc("decoder_lstm" + std::to_string(l),
+                               FcShape{2 * hidden, 4 * hidden});
+        lstm.forward_flops_per_sample *= seq;
+        layers.push_back(lstm);
+    }
+    Layer proj = Layer::fc("vocab_projection", FcShape{hidden, 32000});
+    proj.forward_flops_per_sample *= seq;
+    layers.push_back(proj);
+    return NetworkModel("gnmt", std::move(layers));
+}
+
+NetworkModel
+buildTransformer()
+{
+    // Transformer base: 6+6 layers, d_model 512, ffn 2048, vocab 32k.
+    std::vector<Layer> layers;
+    const int d = 512;
+    const int ffn = 2048;
+    const int seq = 64;
+    layers.push_back(
+        Layer::embedding("embedding", EmbeddingShape{32000, d, seq}));
+    for (int l = 0; l < 12; ++l) {
+        const std::string p = "block" + std::to_string(l);
+        Layer attn = Layer::fc(p + ".attention", FcShape{d, 4 * d});
+        attn.kind = LayerKind::kAttention;
+        attn.forward_flops_per_sample *= seq;
+        layers.push_back(attn);
+        Layer ffn1 = Layer::fc(p + ".ffn1", FcShape{d, ffn});
+        ffn1.forward_flops_per_sample *= seq;
+        layers.push_back(ffn1);
+        Layer ffn2 = Layer::fc(p + ".ffn2", FcShape{ffn, d});
+        ffn2.forward_flops_per_sample *= seq;
+        layers.push_back(ffn2);
+    }
+    Layer proj = Layer::fc("vocab_projection", FcShape{d, 32000});
+    proj.forward_flops_per_sample *= seq;
+    layers.push_back(proj);
+    return NetworkModel("transformer", std::move(layers));
+}
+
+std::vector<Workload>
+mlperfSuite()
+{
+    std::vector<Workload> suite;
+    auto add = [&suite](std::string label, NetworkModel model, int batch,
+                        double allreduce_bytes = -1.0) {
+        Workload w{std::move(label), std::move(model), batch, 0.0};
+        w.allreduce_bytes = allreduce_bytes > 0.0
+                                ? allreduce_bytes
+                                : w.model.totalParamBytes();
+        suite.push_back(std::move(w));
+    };
+    add("SingleStageDetector", buildSsdVgg16(), 16);
+    add("MaskR-CNN", buildMaskRcnnR50(), 4);
+    add("ResNet-50", buildResnet50(), 64);
+    // GNMT / Transformer train their embedding tables with sparse
+    // gradients (PyTorch sparse=True, as in the MLPerf reference);
+    // only the dense parameters go through AllReduce.
+    {
+        NetworkModel gnmt = buildGnmt();
+        double dense = gnmt.totalParamBytes();
+        for (const Layer& layer : gnmt.layers())
+            if (layer.kind == LayerKind::kEmbedding)
+                dense -= layer.paramBytes();
+        add("GNMT", std::move(gnmt), 64, dense);
+    }
+    {
+        NetworkModel transformer = buildTransformer();
+        double dense = transformer.totalParamBytes();
+        for (const Layer& layer : transformer.layers())
+            if (layer.kind == LayerKind::kEmbedding)
+                dense -= layer.paramBytes();
+        add("Transformer", std::move(transformer), 32, dense);
+    }
+    // NCF exchanges only the dense MLP gradients; the embedding
+    // tables update sparsely outside AllReduce.
+    add("NCF", buildNcf(), 1024, 4.0 * (128.0 * 256 + 256.0 * 128 +
+                                        128.0 * 64 + 64.0) * 16);
+    return suite;
+}
+
+} // namespace dnn
+} // namespace ccube

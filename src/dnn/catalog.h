@@ -1,0 +1,73 @@
+#ifndef CCUBE_DNN_CATALOG_H_
+#define CCUBE_DNN_CATALOG_H_
+
+/**
+ * @file
+ * Workload catalog: the networks evaluated by the paper (§V-A) plus an
+ * MLPerf-like suite for the Fig. 1 characterization.
+ *
+ * All models are shape-derived (see shapes.h); parameter totals land
+ * close to the published counts (ZFNet ≈ 60 M, VGG-16 ≈ 138 M,
+ * ResNet-50 ≈ 25.6 M).
+ */
+
+#include <string>
+#include <vector>
+
+#include "dnn/network.h"
+
+namespace ccube {
+namespace dnn {
+
+/** ZFNet (Zeiler & Fergus) — the paper's "simple CNN". */
+NetworkModel buildZfNet();
+
+/** AlexNet — ZFNet's ancestor, for sanity comparisons. */
+NetworkModel buildAlexNet();
+
+/** VGG-16 configuration D — backbone of Single Stage Detector. */
+NetworkModel buildVgg16();
+
+/** ResNet-50 v1 — backbone of Mask R-CNN. */
+NetworkModel buildResnet50();
+
+/** ResNet-101 v1 — the deeper variant (more layers, same pattern). */
+NetworkModel buildResnet101();
+
+/** SSD-style detector: VGG-16 backbone + detection heads. */
+NetworkModel buildSsdVgg16();
+
+/** Mask R-CNN-style detector: ResNet-50 backbone + FPN/heads. */
+NetworkModel buildMaskRcnnR50();
+
+/** Neural Collaborative Filtering: embeddings + small MLP. */
+NetworkModel buildNcf();
+
+/** GNMT-style LSTM translator. */
+NetworkModel buildGnmt();
+
+/** Transformer (base) translator. */
+NetworkModel buildTransformer();
+
+/**
+ * One Fig. 1 workload: a model plus the conditions it trains under.
+ */
+struct Workload {
+    std::string label;
+    NetworkModel model;
+    int batch_per_gpu = 32;
+    /**
+     * Bytes all-reduced per iteration. Usually the model's dense
+     * parameter bytes; NCF overrides it because its embedding tables
+     * exchange sparse updates rather than dense AllReduce.
+     */
+    double allreduce_bytes = 0.0;
+};
+
+/** The MLPerf-like suite used to reproduce Fig. 1. */
+std::vector<Workload> mlperfSuite();
+
+} // namespace dnn
+} // namespace ccube
+
+#endif // CCUBE_DNN_CATALOG_H_

@@ -1,0 +1,78 @@
+#include "dnn/layer.h"
+
+namespace ccube {
+namespace dnn {
+
+Layer
+Layer::conv(std::string name, const ConvShape& shape)
+{
+    Layer layer;
+    layer.name = std::move(name);
+    layer.kind = LayerKind::kConv;
+    layer.param_count = shape.params();
+    layer.forward_flops_per_sample = shape.flopsPerSample();
+    layer.output_elems_per_sample = shape.outputElemsPerSample();
+    layer.input_elems_per_sample =
+        static_cast<std::int64_t>(shape.in_size) * shape.in_size *
+        shape.in_channels;
+    return layer;
+}
+
+Layer
+Layer::fc(std::string name, const FcShape& shape)
+{
+    Layer layer;
+    layer.name = std::move(name);
+    layer.kind = LayerKind::kFc;
+    layer.param_count = shape.params();
+    layer.forward_flops_per_sample = shape.flopsPerSample();
+    layer.output_elems_per_sample = shape.outputElemsPerSample();
+    layer.input_elems_per_sample = shape.in_features;
+    return layer;
+}
+
+Layer
+Layer::pool(std::string name, const PoolShape& shape)
+{
+    Layer layer;
+    layer.name = std::move(name);
+    layer.kind = LayerKind::kPool;
+    layer.param_count = 0;
+    layer.forward_flops_per_sample = shape.flopsPerSample();
+    layer.output_elems_per_sample = shape.outputElemsPerSample();
+    layer.input_elems_per_sample =
+        static_cast<std::int64_t>(shape.in_size) * shape.in_size *
+        shape.channels;
+    return layer;
+}
+
+Layer
+Layer::embedding(std::string name, const EmbeddingShape& shape)
+{
+    Layer layer;
+    layer.name = std::move(name);
+    layer.kind = LayerKind::kEmbedding;
+    layer.param_count = shape.params();
+    layer.forward_flops_per_sample = shape.flopsPerSample();
+    layer.output_elems_per_sample = shape.outputElemsPerSample();
+    layer.input_elems_per_sample = shape.lookups_per_sample;
+    return layer;
+}
+
+Layer
+Layer::norm(std::string name, int channels, int size)
+{
+    Layer layer;
+    layer.name = std::move(name);
+    layer.kind = LayerKind::kNorm;
+    layer.param_count = 2 * static_cast<std::int64_t>(channels);
+    const std::int64_t elems =
+        static_cast<std::int64_t>(size) * size * channels;
+    layer.forward_flops_per_sample = 4 * elems;
+    layer.output_elems_per_sample = elems;
+    layer.input_elems_per_sample = elems;
+    return layer;
+}
+
+} // namespace dnn
+} // namespace ccube

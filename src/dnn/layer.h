@@ -1,0 +1,60 @@
+#ifndef CCUBE_DNN_LAYER_H_
+#define CCUBE_DNN_LAYER_H_
+
+/**
+ * @file
+ * Layer descriptor: the unit of gradient queuing.
+ *
+ * A layer is whatever produces one gradient bucket; its parameter
+ * bytes determine its chunk footprint in the one-shot AllReduce
+ * buffer, and its FLOPs determine the forward/backward compute times
+ * C-Cube chains against.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "dnn/shapes.h"
+
+namespace ccube {
+namespace dnn {
+
+/** Broad layer category (affects the roofline memory estimate). */
+enum class LayerKind {
+    kConv,
+    kFc,
+    kPool,
+    kNorm,
+    kEmbedding,
+    kElementwise,
+    kAttention,
+};
+
+/**
+ * One layer of a workload model.
+ */
+struct Layer {
+    std::string name;
+    LayerKind kind = LayerKind::kConv;
+    std::int64_t param_count = 0;
+    std::int64_t forward_flops_per_sample = 0;
+    std::int64_t output_elems_per_sample = 0;
+    std::int64_t input_elems_per_sample = 0;
+
+    /** Gradient bytes this layer contributes to AllReduce (fp32). */
+    double paramBytes() const { return 4.0 * param_count; }
+
+    /** Factory helpers from shapes. */
+    static Layer conv(std::string name, const ConvShape& shape);
+    static Layer fc(std::string name, const FcShape& shape);
+    static Layer pool(std::string name, const PoolShape& shape);
+    static Layer embedding(std::string name, const EmbeddingShape& shape);
+
+    /** Batch-norm over @p channels × @p size² activations. */
+    static Layer norm(std::string name, int channels, int size);
+};
+
+} // namespace dnn
+} // namespace ccube
+
+#endif // CCUBE_DNN_LAYER_H_

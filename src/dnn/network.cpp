@@ -1,0 +1,57 @@
+#include "dnn/network.h"
+
+#include "util/logging.h"
+
+namespace ccube {
+namespace dnn {
+
+NetworkModel::NetworkModel(std::string name, std::vector<Layer> layers)
+    : name_(std::move(name)), layers_(std::move(layers))
+{
+    CCUBE_CHECK(!layers_.empty(), "network needs at least one layer");
+}
+
+const Layer&
+NetworkModel::layer(int index) const
+{
+    CCUBE_CHECK(index >= 0 && index < numLayers(),
+                "bad layer index " << index);
+    return layers_[static_cast<std::size_t>(index)];
+}
+
+std::int64_t
+NetworkModel::totalParams() const
+{
+    std::int64_t total = 0;
+    for (const Layer& layer : layers_)
+        total += layer.param_count;
+    return total;
+}
+
+double
+NetworkModel::totalParamBytes() const
+{
+    return 4.0 * static_cast<double>(totalParams());
+}
+
+std::vector<double>
+NetworkModel::layerParamBytes() const
+{
+    std::vector<double> bytes;
+    bytes.reserve(layers_.size());
+    for (const Layer& layer : layers_)
+        bytes.push_back(layer.paramBytes());
+    return bytes;
+}
+
+std::int64_t
+NetworkModel::totalForwardFlopsPerSample() const
+{
+    std::int64_t total = 0;
+    for (const Layer& layer : layers_)
+        total += layer.forward_flops_per_sample;
+    return total;
+}
+
+} // namespace dnn
+} // namespace ccube

@@ -1,0 +1,57 @@
+#ifndef CCUBE_DNN_NETWORK_H_
+#define CCUBE_DNN_NETWORK_H_
+
+/**
+ * @file
+ * A workload model: an ordered list of layers.
+ *
+ * Layer order is *forward* order; the one-shot AllReduce buffer is
+ * laid out in the same order so that the first chunks to complete the
+ * tree collective belong to the first layers the next forward pass
+ * needs (paper Fig. 8).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dnn/layer.h"
+
+namespace ccube {
+namespace dnn {
+
+/**
+ * Immutable layer-graph model of one neural network.
+ */
+class NetworkModel
+{
+  public:
+    NetworkModel(std::string name, std::vector<Layer> layers);
+
+    const std::string& name() const { return name_; }
+    int numLayers() const { return static_cast<int>(layers_.size()); }
+    const Layer& layer(int index) const;
+    const std::vector<Layer>& layers() const { return layers_; }
+
+    /** Total trainable parameters. */
+    std::int64_t totalParams() const;
+
+    /** Total gradient bytes all-reduced per iteration (fp32). */
+    double totalParamBytes() const;
+
+    /** Per-layer gradient bytes in forward (buffer) order; layers
+     *  with no parameters contribute 0 and never gate dequeue. */
+    std::vector<double> layerParamBytes() const;
+
+    /** Total forward FLOPs for one sample. */
+    std::int64_t totalForwardFlopsPerSample() const;
+
+  private:
+    std::string name_;
+    std::vector<Layer> layers_;
+};
+
+} // namespace dnn
+} // namespace ccube
+
+#endif // CCUBE_DNN_NETWORK_H_

@@ -1,0 +1,104 @@
+#include "dnn/shapes.h"
+
+#include "util/logging.h"
+
+namespace ccube {
+namespace dnn {
+
+int
+ConvShape::outSize() const
+{
+    CCUBE_CHECK(stride >= 1, "conv stride must be positive");
+    const int numerator = in_size + 2 * padding - kernel;
+    CCUBE_CHECK(numerator >= 0, "conv kernel larger than padded input");
+    return numerator / stride + 1;
+}
+
+std::int64_t
+ConvShape::params() const
+{
+    return static_cast<std::int64_t>(kernel) * kernel * in_channels *
+               out_channels +
+           out_channels;
+}
+
+std::int64_t
+ConvShape::flopsPerSample() const
+{
+    const std::int64_t out = outSize();
+    return 2 * out * out * static_cast<std::int64_t>(kernel) * kernel *
+           in_channels * out_channels;
+}
+
+std::int64_t
+ConvShape::outputElemsPerSample() const
+{
+    const std::int64_t out = outSize();
+    return out * out * out_channels;
+}
+
+std::int64_t
+FcShape::params() const
+{
+    return static_cast<std::int64_t>(in_features) * out_features +
+           out_features;
+}
+
+std::int64_t
+FcShape::flopsPerSample() const
+{
+    return 2 * static_cast<std::int64_t>(in_features) * out_features;
+}
+
+std::int64_t
+FcShape::outputElemsPerSample() const
+{
+    return out_features;
+}
+
+int
+PoolShape::outSize() const
+{
+    CCUBE_CHECK(stride >= 1, "pool stride must be positive");
+    const int numerator = in_size - kernel;
+    CCUBE_CHECK(numerator >= 0, "pool kernel larger than input");
+    return numerator / stride + 1;
+}
+
+std::int64_t
+PoolShape::flopsPerSample() const
+{
+    const std::int64_t out = outSize();
+    return out * out * channels * static_cast<std::int64_t>(kernel) *
+           kernel;
+}
+
+std::int64_t
+PoolShape::outputElemsPerSample() const
+{
+    const std::int64_t out = outSize();
+    return out * out * channels;
+}
+
+std::int64_t
+EmbeddingShape::params() const
+{
+    return rows * dim;
+}
+
+std::int64_t
+EmbeddingShape::flopsPerSample() const
+{
+    // Lookups are copies; charge one FLOP per copied element so the
+    // roofline's memory term dominates.
+    return static_cast<std::int64_t>(lookups_per_sample) * dim;
+}
+
+std::int64_t
+EmbeddingShape::outputElemsPerSample() const
+{
+    return static_cast<std::int64_t>(lookups_per_sample) * dim;
+}
+
+} // namespace dnn
+} // namespace ccube

@@ -1,0 +1,78 @@
+#ifndef CCUBE_DNN_SHAPES_H_
+#define CCUBE_DNN_SHAPES_H_
+
+/**
+ * @file
+ * Layer shape descriptors with parameter and FLOP calculators.
+ *
+ * The workload models (ZFNet / VGG-16 / ResNet-50, §V-A) are built
+ * from these shapes so that per-layer parameter sizes and compute
+ * times — the inputs to gradient queuing and Fig. 16/17 — derive from
+ * the real architectures rather than hand-entered constants.
+ */
+
+#include <cstdint>
+
+namespace ccube {
+namespace dnn {
+
+/** 2-D convolution over square feature maps. */
+struct ConvShape {
+    int in_channels = 0;
+    int out_channels = 0;
+    int kernel = 0;
+    int stride = 1;
+    int padding = 0;
+    int in_size = 0; ///< input spatial side (square)
+
+    /** Output spatial side: (in + 2·pad − k)/stride + 1. */
+    int outSize() const;
+
+    /** Weights + bias. */
+    std::int64_t params() const;
+
+    /** Multiply-accumulate FLOPs for one sample (2 per MAC). */
+    std::int64_t flopsPerSample() const;
+
+    /** Output activation elements for one sample. */
+    std::int64_t outputElemsPerSample() const;
+};
+
+/** Fully connected layer. */
+struct FcShape {
+    int in_features = 0;
+    int out_features = 0;
+
+    std::int64_t params() const;
+    std::int64_t flopsPerSample() const;
+    std::int64_t outputElemsPerSample() const;
+};
+
+/** Max/avg pooling (no parameters). */
+struct PoolShape {
+    int channels = 0;
+    int kernel = 0;
+    int stride = 0;
+    int in_size = 0;
+
+    int outSize() const;
+    std::int64_t flopsPerSample() const;
+    std::int64_t outputElemsPerSample() const;
+};
+
+/** Embedding table lookup (memory-bound, parameters not all-reduced
+ *  densely in practice). */
+struct EmbeddingShape {
+    std::int64_t rows = 0;
+    int dim = 0;
+    int lookups_per_sample = 1;
+
+    std::int64_t params() const;
+    std::int64_t flopsPerSample() const;
+    std::int64_t outputElemsPerSample() const;
+};
+
+} // namespace dnn
+} // namespace ccube
+
+#endif // CCUBE_DNN_SHAPES_H_

@@ -1,0 +1,39 @@
+#include "gpu/device.h"
+
+#include "util/logging.h"
+
+namespace ccube {
+namespace gpu {
+
+Device::Device(int id, dnn::GpuComputeParams params)
+    : id_(id), params_(params)
+{
+    CCUBE_CHECK(id >= 0, "negative device id");
+}
+
+void
+Device::hostForwardingKernels(int count, double tax_per_kernel)
+{
+    CCUBE_CHECK(count >= 0, "negative kernel count");
+    CCUBE_CHECK(tax_per_kernel >= 0.0 && tax_per_kernel < 1.0,
+                "tax per kernel out of range");
+    tax_ += count * tax_per_kernel;
+    CCUBE_CHECK(tax_ < 1.0, "forwarding kernels consume the whole GPU");
+}
+
+dnn::ComputeModel
+Device::computeModel() const
+{
+    dnn::GpuComputeParams residual = params_;
+    residual.efficiency = params_.efficiency * (1.0 - tax_);
+    return dnn::ComputeModel(residual);
+}
+
+double
+Device::computeSlowdown() const
+{
+    return 1.0 / (1.0 - tax_);
+}
+
+} // namespace gpu
+} // namespace ccube

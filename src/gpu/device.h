@@ -1,0 +1,61 @@
+#ifndef CCUBE_GPU_DEVICE_H_
+#define CCUBE_GPU_DEVICE_H_
+
+/**
+ * @file
+ * GPU device model.
+ *
+ * Wraps the roofline compute model with the per-device state C-Cube
+ * cares about: the SM tax paid by GPUs that host detour forwarding
+ * kernels (§V-C, Fig. 15). Forwarding kernels occupy a few SMs
+ * permanently, shrinking the throughput available to training
+ * kernels on that device.
+ */
+
+#include <string>
+
+#include "dnn/compute_model.h"
+
+namespace ccube {
+namespace gpu {
+
+/**
+ * One GPU: compute parameters plus forwarding-kernel occupancy.
+ */
+class Device
+{
+  public:
+    /** Creates device @p id with the given compute parameters. */
+    Device(int id, dnn::GpuComputeParams params);
+
+    /** Device index (matches the topology node id). */
+    int id() const { return id_; }
+
+    /**
+     * Registers @p count detour forwarding kernels on this device,
+     * each occupying @p tax_per_kernel of the SMs.
+     */
+    void hostForwardingKernels(int count, double tax_per_kernel);
+
+    /** Fraction of compute throughput consumed by forwarding. */
+    double forwardingTax() const { return tax_; }
+
+    /** Compute model with the residual throughput of this device. */
+    dnn::ComputeModel computeModel() const;
+
+    /**
+     * Slowdown factor of compute on this device relative to an
+     * untaxed one: 1 / (1 − tax).
+     */
+    double computeSlowdown() const;
+
+  private:
+    int id_;
+    dnn::GpuComputeParams params_;
+    double tax_ = 0.0;
+};
+
+} // namespace gpu
+} // namespace ccube
+
+#endif // CCUBE_GPU_DEVICE_H_

@@ -1,0 +1,24 @@
+#include "gpu/stream.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace ccube {
+namespace gpu {
+
+Stream::Stream(sim::Simulation& simulation, std::string name)
+    : resource_(simulation, std::move(name))
+{
+}
+
+void
+Stream::launch(double duration, sim::EventFn done)
+{
+    CCUBE_CHECK(duration >= 0.0, "negative kernel duration");
+    resource_.request([duration]() { return duration; },
+                      std::move(done));
+}
+
+} // namespace gpu
+} // namespace ccube

@@ -1,0 +1,48 @@
+#ifndef CCUBE_GPU_STREAM_H_
+#define CCUBE_GPU_STREAM_H_
+
+/**
+ * @file
+ * Simulated GPU stream: in-order kernel execution on one device.
+ *
+ * The paper runs communication and computation as separate streams on
+ * the same GPU, synchronized by device-side semaphores; in the timed
+ * simulation a stream is a FIFO resource whose occupancy is the
+ * kernel duration.
+ */
+
+#include <string>
+
+#include "sim/resource.h"
+
+namespace ccube {
+namespace gpu {
+
+/**
+ * In-order kernel queue bound to a simulation.
+ */
+class Stream
+{
+  public:
+    Stream(sim::Simulation& simulation, std::string name);
+
+    /**
+     * Enqueues a kernel of @p duration seconds; @p done fires at
+     * completion. Kernels on one stream execute back to back.
+     */
+    void launch(double duration, sim::EventFn done = nullptr);
+
+    /** Cumulative busy time. */
+    double busyTime() const { return resource_.busyTime(); }
+
+    /** Kernels executed or in flight. */
+    std::uint64_t launches() const { return resource_.grants(); }
+
+  private:
+    sim::FifoResource resource_;
+};
+
+} // namespace gpu
+} // namespace ccube
+
+#endif // CCUBE_GPU_STREAM_H_

@@ -1,0 +1,24 @@
+#include "model/alpha_beta.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ccube {
+namespace model {
+
+double
+log2Nodes(int p)
+{
+    CCUBE_CHECK(p >= 2, "need at least two nodes, got " << p);
+    return std::log2(static_cast<double>(p));
+}
+
+int
+treeDepth(int p)
+{
+    return static_cast<int>(std::ceil(log2Nodes(p)));
+}
+
+} // namespace model
+} // namespace ccube

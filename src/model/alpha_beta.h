@@ -1,0 +1,43 @@
+#ifndef CCUBE_MODEL_ALPHA_BETA_H_
+#define CCUBE_MODEL_ALPHA_BETA_H_
+
+/**
+ * @file
+ * Linear (α + βN) communication cost model (§II-C, after Thakur et
+ * al.). α is the per-transfer latency, β the inverse bandwidth.
+ */
+
+namespace ccube {
+namespace model {
+
+/**
+ * Parameters of one point-to-point transfer.
+ */
+struct AlphaBeta {
+    double alpha = 4.6e-6; ///< latency component, seconds
+    double beta = 4e-11;   ///< inverse bandwidth, seconds per byte
+
+    /** Builds from a latency and a bandwidth in bytes/second. */
+    static AlphaBeta
+    fromBandwidth(double alpha_seconds, double bytes_per_second)
+    {
+        return AlphaBeta{alpha_seconds, 1.0 / bytes_per_second};
+    }
+
+    /** Time to move @p bytes over one channel: α + βN. */
+    double time(double bytes) const { return alpha + beta * bytes; }
+
+    /** Bandwidth implied by β, bytes/second. */
+    double bandwidth() const { return 1.0 / beta; }
+};
+
+/** Tree depth term: log2(p) as a real number (p ≥ 2). */
+double log2Nodes(int p);
+
+/** Tree depth in whole steps: ⌈log2(p)⌉. */
+int treeDepth(int p);
+
+} // namespace model
+} // namespace ccube
+
+#endif // CCUBE_MODEL_ALPHA_BETA_H_

@@ -1,0 +1,63 @@
+#include "model/invocation_model.h"
+
+#include <numeric>
+
+#include "model/tree_model.h"
+#include "util/logging.h"
+
+namespace ccube {
+namespace model {
+
+double
+InvocationModel::totalTime(int p,
+                           const std::vector<double>& buffer_bytes) const
+{
+    CCUBE_CHECK(!buffer_bytes.empty(), "no buffers to reduce");
+    const TreeModel tree(params_.link);
+    double total = 0.0;
+    for (double bytes : buffer_bytes) {
+        CCUBE_CHECK(bytes > 0.0, "non-positive buffer size");
+        total += params_.setup_overhead + tree.allReduceTime(p, bytes);
+    }
+    return total;
+}
+
+std::vector<double>
+InvocationModel::invocationSizes(const std::vector<double>& layer_bytes,
+                                 InvocationStrategy strategy) const
+{
+    switch (strategy) {
+      case InvocationStrategy::kOneShot: {
+        const double total = std::accumulate(layer_bytes.begin(),
+                                             layer_bytes.end(), 0.0);
+        return {total};
+      }
+      case InvocationStrategy::kLayerWise:
+        return layer_bytes;
+      case InvocationStrategy::kSlicing: {
+        std::vector<double> slices;
+        for (double bytes : layer_bytes) {
+            const int n = params_.slices_per_layer;
+            for (int s = 0; s < n; ++s)
+                slices.push_back(bytes / n);
+        }
+        return slices;
+      }
+    }
+    util::panic("unknown invocation strategy");
+}
+
+double
+InvocationModel::effectiveBandwidth(int p,
+                                    const std::vector<double>& layer_bytes,
+                                    InvocationStrategy strategy) const
+{
+    const std::vector<double> sizes =
+        invocationSizes(layer_bytes, strategy);
+    const double total_bytes =
+        std::accumulate(sizes.begin(), sizes.end(), 0.0);
+    return total_bytes / totalTime(p, sizes);
+}
+
+} // namespace model
+} // namespace ccube

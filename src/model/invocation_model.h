@@ -1,0 +1,74 @@
+#ifndef CCUBE_MODEL_INVOCATION_MODEL_H_
+#define CCUBE_MODEL_INVOCATION_MODEL_H_
+
+/**
+ * @file
+ * Cost of splitting AllReduce into multiple invocations (paper Fig. 3).
+ *
+ * "One-shot" calls AllReduce once for the whole gradient buffer;
+ * "layer-wise" calls once per layer; "slicing" divides further. Every
+ * invocation pays a fixed setup overhead (kernel launches, protocol
+ * setup) in addition to the α-β transfer cost, which is why finer
+ * granularity loses ~2× (layer-wise) to >4× (slicing) in bandwidth.
+ */
+
+#include <vector>
+
+#include "model/alpha_beta.h"
+
+namespace ccube {
+namespace model {
+
+/** Granularity strategies compared in Fig. 3. */
+enum class InvocationStrategy {
+    kOneShot,   ///< single AllReduce over the full buffer
+    kLayerWise, ///< one AllReduce per layer
+    kSlicing,   ///< several slices per layer
+};
+
+/** Parameters of the invocation-overhead model. */
+struct InvocationParams {
+    AlphaBeta link;               ///< per-step transfer cost
+    double setup_overhead = 2e-5; ///< per-invocation fixed cost, seconds
+    int slices_per_layer = 4;     ///< slicing granularity
+};
+
+/**
+ * Models AllReduce bandwidth as a function of invocation granularity.
+ */
+class InvocationModel
+{
+  public:
+    explicit InvocationModel(InvocationParams params) : params_(params) {}
+
+    /**
+     * Total time to all-reduce buffers of the given sizes, one
+     * invocation per buffer, on @p p nodes using the tree algorithm
+     * at its per-invocation K_opt.
+     */
+    double totalTime(int p, const std::vector<double>& buffer_bytes) const;
+
+    /**
+     * Splits @p layer_bytes according to @p strategy and returns the
+     * per-invocation buffer sizes.
+     */
+    std::vector<double>
+    invocationSizes(const std::vector<double>& layer_bytes,
+                    InvocationStrategy strategy) const;
+
+    /**
+     * Effective AllReduce bandwidth (total bytes / total time) for the
+     * given strategy over a network with per-layer gradient sizes
+     * @p layer_bytes.
+     */
+    double effectiveBandwidth(int p, const std::vector<double>& layer_bytes,
+                              InvocationStrategy strategy) const;
+
+  private:
+    InvocationParams params_;
+};
+
+} // namespace model
+} // namespace ccube
+
+#endif // CCUBE_MODEL_INVOCATION_MODEL_H_

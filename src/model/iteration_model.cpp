@@ -1,0 +1,119 @@
+#include "model/iteration_model.h"
+
+#include <algorithm>
+
+#include "model/overlapped_tree_model.h"
+#include "model/ring_model.h"
+#include "model/tree_model.h"
+#include "util/logging.h"
+
+namespace ccube {
+namespace model {
+
+IterationModel::IterationModel(IterationModelParams params)
+    : params_(params)
+{
+    CCUBE_CHECK(params.num_gpus >= 2, "need at least two GPUs");
+    CCUBE_CHECK(params.ring_count >= 1, "need at least one ring");
+    CCUBE_CHECK(params.bandwidth_scale > 0.0,
+                "bandwidth scale must be positive");
+}
+
+AlphaBeta
+IterationModel::scaledLink() const
+{
+    AlphaBeta link = params_.link;
+    link.beta /= params_.bandwidth_scale;
+    return link;
+}
+
+double
+IterationModel::commTime(ModeledMode mode, double bytes) const
+{
+    const AlphaBeta link = scaledLink();
+    const int p = params_.num_gpus;
+    switch (mode) {
+      case ModeledMode::kBaseline:
+        // Each tree of the double tree carries half, in parallel.
+        return TreeModel(link).allReduceTime(p, bytes / 2.0);
+      case ModeledMode::kOverlappedTree:
+      case ModeledMode::kCCube:
+        return OverlappedTreeModel(link).allReduceTime(p, bytes / 2.0);
+      case ModeledMode::kRing:
+        // Striped across ring_count channel-disjoint rings.
+        return RingModel(link).allReduceTime(
+            p, bytes / params_.ring_count);
+    }
+    util::panic("unknown modeled mode");
+}
+
+double
+IterationModel::turnaroundTime(ModeledMode mode, double bytes) const
+{
+    const AlphaBeta link = scaledLink();
+    const int p = params_.num_gpus;
+    const TreeModel tree(link);
+    const int k = tree.optimalChunksInt(p, bytes / 2.0);
+    switch (mode) {
+      case ModeledMode::kBaseline:
+        return tree.turnaroundTime(p, bytes / 2.0, k);
+      case ModeledMode::kOverlappedTree:
+      case ModeledMode::kCCube:
+        return OverlappedTreeModel(link).turnaroundTime(
+            p, bytes / 2.0, k);
+      case ModeledMode::kRing:
+        return commTime(mode, bytes);
+    }
+    util::panic("unknown modeled mode");
+}
+
+double
+IterationModel::iterationTime(ModeledMode mode,
+                              const dnn::NetworkModel& network,
+                              int batch) const
+{
+    const dnn::ComputeModel compute(params_.gpu);
+    const std::vector<double> fwd =
+        compute.layerForwardTimes(network, batch);
+    double fwd_total = 0.0;
+    for (double f : fwd)
+        fwd_total += f;
+    const double bwd = compute.backwardTime(network, batch);
+    const double bytes = network.totalParamBytes();
+    const double comm = commTime(mode, bytes);
+
+    if (mode != ModeledMode::kCCube)
+        return bwd + comm + fwd_total;
+
+    // Chained: layer L's gradients arrive at
+    //   ready(q_L) = turnaround + q_L (comm − turnaround)
+    // with q_L the byte-prefix fraction through layer L. The chain end
+    // is max over L of ready(q_L) + Σ_{j≥L} fwd_j (plus bwd).
+    const double turnaround = turnaroundTime(mode, bytes);
+    const std::vector<double> layer_bytes = network.layerParamBytes();
+    double suffix = fwd_total;
+    double prefix_bytes = 0.0;
+    double end = fwd_total; // L = 0 with ready 0 lower bound
+    for (int l = 0; l < network.numLayers(); ++l) {
+        prefix_bytes += layer_bytes[static_cast<std::size_t>(l)];
+        const double q = prefix_bytes / bytes;
+        const double ready = turnaround + q * (comm - turnaround);
+        end = std::max(end, ready + suffix);
+        suffix -= fwd[static_cast<std::size_t>(l)];
+    }
+    return bwd + end;
+}
+
+double
+IterationModel::normalizedPerf(ModeledMode mode,
+                               const dnn::NetworkModel& network,
+                               int batch) const
+{
+    const dnn::ComputeModel compute(params_.gpu);
+    const double ideal = compute.forwardTime(network, batch) +
+                         compute.backwardTime(network, batch);
+    return ideal / iterationTime(mode, network, batch);
+}
+
+} // namespace model
+} // namespace ccube

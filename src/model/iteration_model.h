@@ -1,0 +1,79 @@
+#ifndef CCUBE_MODEL_ITERATION_MODEL_H_
+#define CCUBE_MODEL_ITERATION_MODEL_H_
+
+/**
+ * @file
+ * Closed-form end-to-end iteration model.
+ *
+ * Extends the paper's §II-C α-β communication models to the whole
+ * training iteration: compute from the roofline model, communication
+ * from Eqs. (2)/(6)/(7) (halved per tree for the double tree, striped
+ * for the multi-ring), and chaining approximated by a linear
+ * chunk-availability ramp between the gradient turnaround and the
+ * collective completion. Cross-validated against the discrete-event
+ * scheduler in tests — the system-level analog of Fig. 12(b).
+ */
+
+#include "dnn/compute_model.h"
+#include "dnn/network.h"
+#include "model/alpha_beta.h"
+
+namespace ccube {
+namespace model {
+
+/** Machine description for the closed forms. */
+struct IterationModelParams {
+    AlphaBeta link;                ///< per-channel α-β
+    dnn::GpuComputeParams gpu;     ///< compute roofline
+    int num_gpus = 8;              ///< P
+    int ring_count = 4;            ///< R's striping factor
+    double bandwidth_scale = 1.0;  ///< low-bandwidth knob
+};
+
+/** Modes mirrored from core (kept independent to avoid a cycle). */
+enum class ModeledMode {
+    kBaseline,
+    kOverlappedTree,
+    kRing,
+    kCCube,
+};
+
+/**
+ * Closed-form predictor for communication and iteration time.
+ */
+class IterationModel
+{
+  public:
+    explicit IterationModel(IterationModelParams params);
+
+    /** AllReduce completion time for @p bytes under @p mode. */
+    double commTime(ModeledMode mode, double bytes) const;
+
+    /** Gradient turnaround for @p bytes under @p mode. */
+    double turnaroundTime(ModeledMode mode, double bytes) const;
+
+    /**
+     * Steady-state iteration period. Chained (kCCube): backward, then
+     * forward gated by the linear availability ramp
+     *   ready(q) = turnaround + q·(completion − turnaround)
+     * where q is the byte-prefix fraction of the gated layer.
+     */
+    double iterationTime(ModeledMode mode,
+                         const dnn::NetworkModel& network,
+                         int batch) const;
+
+    /** (fwd+bwd) / iteration, the Fig. 13 normalization. */
+    double normalizedPerf(ModeledMode mode,
+                          const dnn::NetworkModel& network,
+                          int batch) const;
+
+  private:
+    AlphaBeta scaledLink() const;
+
+    IterationModelParams params_;
+};
+
+} // namespace model
+} // namespace ccube
+
+#endif // CCUBE_MODEL_ITERATION_MODEL_H_

@@ -1,0 +1,43 @@
+#include "model/overlapped_tree_model.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ccube {
+namespace model {
+
+double
+OverlappedTreeModel::allReduceTime(int p, double bytes) const
+{
+    const double logp = log2Nodes(p);
+    return 2.0 * logp * link_.alpha + link_.beta * bytes +
+           3.0 * std::sqrt(link_.alpha * link_.beta * bytes * logp);
+}
+
+double
+OverlappedTreeModel::allReduceTimeChunked(int p, double bytes,
+                                          int chunks) const
+{
+    CCUBE_CHECK(chunks >= 1, "need at least one chunk");
+    CCUBE_CHECK(bytes > 0.0, "non-positive message size");
+    const double s = link_.time(bytes / static_cast<double>(chunks));
+    return (2.0 * log2Nodes(p) + static_cast<double>(chunks)) * s;
+}
+
+double
+OverlappedTreeModel::turnaroundTime(int p, double bytes, int chunks) const
+{
+    CCUBE_CHECK(chunks >= 1, "need at least one chunk");
+    const double s = link_.time(bytes / static_cast<double>(chunks));
+    return (2.0 * log2Nodes(p) + 1.0) * s;
+}
+
+double
+OverlappedTreeModel::effectiveBandwidth(int p, double bytes) const
+{
+    return bytes / allReduceTime(p, bytes);
+}
+
+} // namespace model
+} // namespace ccube

@@ -1,0 +1,52 @@
+#ifndef CCUBE_MODEL_OVERLAPPED_TREE_MODEL_H_
+#define CCUBE_MODEL_OVERLAPPED_TREE_MODEL_H_
+
+/**
+ * @file
+ * Analytical cost of the overlapped tree AllReduce — the paper's C1
+ * algorithm (Eq. (7)): reduction and broadcast chained so the total
+ * pipeline is 2log(P)+K steps instead of 2(log(P)+K).
+ */
+
+#include "model/alpha_beta.h"
+
+namespace ccube {
+namespace model {
+
+/**
+ * Overlapped (reduction-broadcast chained) tree AllReduce model.
+ */
+class OverlappedTreeModel
+{
+  public:
+    explicit OverlappedTreeModel(AlphaBeta link) : link_(link) {}
+
+    /**
+     * Eq. (7) closed form at the baseline's K_opt:
+     * 2log(P)α + βN + 3√(αβN·log(P)).
+     */
+    double allReduceTime(int p, double bytes) const;
+
+    /** Chunked form: (2log(P)+K)(α + βN/K). */
+    double allReduceTimeChunked(int p, double bytes, int chunks) const;
+
+    /**
+     * Gradient turnaround: the first chunk completes after climbing
+     * and descending the tree once: (2log(P)+1)(α + βN/K).
+     */
+    double turnaroundTime(int p, double bytes, int chunks) const;
+
+    /** Algorithm bandwidth at K_opt: bytes / allReduceTime. */
+    double effectiveBandwidth(int p, double bytes) const;
+
+    /** Link parameters used by this model. */
+    const AlphaBeta& link() const { return link_; }
+
+  private:
+    AlphaBeta link_;
+};
+
+} // namespace model
+} // namespace ccube
+
+#endif // CCUBE_MODEL_OVERLAPPED_TREE_MODEL_H_

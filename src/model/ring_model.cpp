@@ -1,0 +1,36 @@
+#include "model/ring_model.h"
+
+#include "util/logging.h"
+
+namespace ccube {
+namespace model {
+
+double
+RingModel::allGatherTime(int p, double bytes) const
+{
+    CCUBE_CHECK(p >= 2, "ring needs at least two nodes");
+    CCUBE_CHECK(bytes > 0.0, "non-positive message size");
+    const double steps = static_cast<double>(p - 1);
+    return steps * link_.time(bytes / static_cast<double>(p));
+}
+
+double
+RingModel::reduceScatterTime(int p, double bytes) const
+{
+    return allGatherTime(p, bytes);
+}
+
+double
+RingModel::allReduceTime(int p, double bytes) const
+{
+    return reduceScatterTime(p, bytes) + allGatherTime(p, bytes);
+}
+
+double
+RingModel::effectiveBandwidth(int p, double bytes) const
+{
+    return bytes / allReduceTime(p, bytes);
+}
+
+} // namespace model
+} // namespace ccube

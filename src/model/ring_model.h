@@ -1,0 +1,45 @@
+#ifndef CCUBE_MODEL_RING_MODEL_H_
+#define CCUBE_MODEL_RING_MODEL_H_
+
+/**
+ * @file
+ * Analytical cost of the ring AllReduce (paper Eqs. (1)–(2)).
+ */
+
+#include "model/alpha_beta.h"
+
+namespace ccube {
+namespace model {
+
+/**
+ * Ring AllReduce: Reduce-Scatter followed by AllGather, each P−1
+ * steps of N/P-byte chunks.
+ */
+class RingModel
+{
+  public:
+    explicit RingModel(AlphaBeta link) : link_(link) {}
+
+    /** Eq. (1): (P−1)(α + βN/P). */
+    double allGatherTime(int p, double bytes) const;
+
+    /** Identical cost structure to AllGather. */
+    double reduceScatterTime(int p, double bytes) const;
+
+    /** Eq. (2): 2(P−1)α + 2((P−1)/P)βN. */
+    double allReduceTime(int p, double bytes) const;
+
+    /** Algorithm bandwidth: bytes / allReduceTime. */
+    double effectiveBandwidth(int p, double bytes) const;
+
+    /** Link parameters used by this model. */
+    const AlphaBeta& link() const { return link_; }
+
+  private:
+    AlphaBeta link_;
+};
+
+} // namespace model
+} // namespace ccube
+
+#endif // CCUBE_MODEL_RING_MODEL_H_

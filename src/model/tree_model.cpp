@@ -1,0 +1,68 @@
+#include "model/tree_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ccube {
+namespace model {
+
+double
+TreeModel::stepTime(double bytes, int chunks) const
+{
+    CCUBE_CHECK(chunks >= 1, "need at least one chunk");
+    CCUBE_CHECK(bytes > 0.0, "non-positive message size");
+    return link_.time(bytes / static_cast<double>(chunks));
+}
+
+double
+TreeModel::phaseTime(int p, double bytes, int chunks) const
+{
+    return (log2Nodes(p) + static_cast<double>(chunks)) *
+           stepTime(bytes, chunks);
+}
+
+double
+TreeModel::optimalChunks(int p, double bytes) const
+{
+    CCUBE_CHECK(bytes > 0.0, "non-positive message size");
+    return std::sqrt(log2Nodes(p) * link_.beta * bytes / link_.alpha);
+}
+
+int
+TreeModel::optimalChunksInt(int p, double bytes) const
+{
+    return std::max(1, static_cast<int>(std::lround(
+                           optimalChunks(p, bytes))));
+}
+
+double
+TreeModel::allReduceTime(int p, double bytes) const
+{
+    const double logp = log2Nodes(p);
+    return 2.0 * logp * link_.alpha + 2.0 * link_.beta * bytes +
+           4.0 * std::sqrt(link_.alpha * link_.beta * bytes * logp);
+}
+
+double
+TreeModel::allReduceTimeChunked(int p, double bytes, int chunks) const
+{
+    return 2.0 * phaseTime(p, bytes, chunks);
+}
+
+double
+TreeModel::turnaroundTime(int p, double bytes, int chunks) const
+{
+    const double s = stepTime(bytes, chunks);
+    return (2.0 * log2Nodes(p) + static_cast<double>(chunks)) * s;
+}
+
+double
+TreeModel::effectiveBandwidth(int p, double bytes) const
+{
+    return bytes / allReduceTime(p, bytes);
+}
+
+} // namespace model
+} // namespace ccube

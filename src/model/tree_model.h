@@ -1,0 +1,65 @@
+#ifndef CCUBE_MODEL_TREE_MODEL_H_
+#define CCUBE_MODEL_TREE_MODEL_H_
+
+/**
+ * @file
+ * Analytical cost of the (non-overlapped) tree AllReduce
+ * (paper Eqs. (3)–(6)).
+ */
+
+#include "model/alpha_beta.h"
+
+namespace ccube {
+namespace model {
+
+/**
+ * Pipelined tree AllReduce: reduction up the tree, then broadcast
+ * down, message split into K chunks; log(P)+K steps per phase.
+ */
+class TreeModel
+{
+  public:
+    explicit TreeModel(AlphaBeta link) : link_(link) {}
+
+    /** One pipeline step: α + βN/K. */
+    double stepTime(double bytes, int chunks) const;
+
+    /** Eq. (3): (log(P)+K)(α + βN/K) — one phase. */
+    double phaseTime(int p, double bytes, int chunks) const;
+
+    /** Eq. (4): K_opt = √(log(P)·βN/α), continuous. */
+    double optimalChunks(int p, double bytes) const;
+
+    /** Rounded K_opt, clamped to ≥ 1. */
+    int optimalChunksInt(int p, double bytes) const;
+
+    /**
+     * Eq. (6) closed form at K_opt:
+     * 2log(P)α + 2βN + 4√(αβN·log(P)).
+     */
+    double allReduceTime(int p, double bytes) const;
+
+    /** Chunked form: 2(log(P)+K)(α + βN/K) for a given K. */
+    double allReduceTimeChunked(int p, double bytes, int chunks) const;
+
+    /**
+     * Gradient turnaround: time until the *first* chunk completes
+     * AllReduce. The baseline broadcasts only after the full
+     * reduction: (log(P)+K)·s + log(P)·s = (2log(P)+K)·s.
+     */
+    double turnaroundTime(int p, double bytes, int chunks) const;
+
+    /** Algorithm bandwidth at K_opt: bytes / allReduceTime. */
+    double effectiveBandwidth(int p, double bytes) const;
+
+    /** Link parameters used by this model. */
+    const AlphaBeta& link() const { return link_; }
+
+  private:
+    AlphaBeta link_;
+};
+
+} // namespace model
+} // namespace ccube
+
+#endif // CCUBE_MODEL_TREE_MODEL_H_

@@ -1,0 +1,61 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ccube {
+namespace sim {
+
+void
+EventQueue::schedule(Time when, EventFn fn, int priority)
+{
+    CCUBE_CHECK(when >= now_, "cannot schedule event in the past: "
+                                  << when << " < " << now_);
+    heap_.push(Entry{when, priority, next_seq_++, std::move(fn)});
+}
+
+bool
+EventQueue::step()
+{
+    if (heap_.empty())
+        return false;
+    // priority_queue::top() returns const&; the callback must be moved
+    // out before pop, so copy the entry (std::function copy is cheap
+    // relative to event work).
+    Entry entry = heap_.top();
+    heap_.pop();
+    now_ = entry.when;
+    ++executed_;
+    entry.fn();
+    return true;
+}
+
+Time
+EventQueue::run()
+{
+    while (step()) {
+    }
+    return now_;
+}
+
+Time
+EventQueue::runUntil(Time deadline)
+{
+    while (!heap_.empty() && heap_.top().when <= deadline)
+        step();
+    now_ = std::max(now_, deadline);
+    return now_;
+}
+
+void
+EventQueue::reset()
+{
+    heap_ = {};
+    now_ = 0.0;
+    next_seq_ = 0;
+    executed_ = 0;
+}
+
+} // namespace sim
+} // namespace ccube

@@ -1,0 +1,95 @@
+#ifndef CCUBE_SIM_EVENT_QUEUE_H_
+#define CCUBE_SIM_EVENT_QUEUE_H_
+
+/**
+ * @file
+ * Discrete-event queue: the heart of the timed network simulator.
+ *
+ * Events are (time, priority, sequence) ordered; the sequence number
+ * makes simultaneous events deterministic (FIFO among equal keys),
+ * which the collective schedules rely on for reproducible timelines.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace ccube {
+namespace sim {
+
+/** Simulated time in seconds. */
+using Time = double;
+
+/** Callback executed when an event fires. */
+using EventFn = std::function<void()>;
+
+/**
+ * Priority queue of timestamped events with deterministic tie-breaking.
+ */
+class EventQueue
+{
+  public:
+    /** Schedules @p fn at absolute time @p when (>= current time). */
+    void schedule(Time when, EventFn fn, int priority = 0);
+
+    /** True when no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return heap_.size(); }
+
+    /** Current simulated time (time of the last executed event). */
+    Time now() const { return now_; }
+
+    /**
+     * Executes the earliest pending event.
+     * @return false when the queue was empty.
+     */
+    bool step();
+
+    /** Runs until the queue drains; returns the final time. */
+    Time run();
+
+    /**
+     * Runs until simulated time would exceed @p deadline; events at
+     * exactly @p deadline still execute. Returns the final time.
+     */
+    Time runUntil(Time deadline);
+
+    /** Total events executed since construction. */
+    std::uint64_t executedCount() const { return executed_; }
+
+    /** Drops all pending events and resets the clock to zero. */
+    void reset();
+
+  private:
+    struct Entry {
+        Time when;
+        int priority;
+        std::uint64_t seq;
+        EventFn fn;
+    };
+
+    struct Later {
+        bool
+        operator()(const Entry& a, const Entry& b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    Time now_ = 0.0;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace sim
+} // namespace ccube
+
+#endif // CCUBE_SIM_EVENT_QUEUE_H_

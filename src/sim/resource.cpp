@@ -1,0 +1,56 @@
+#include "sim/resource.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace ccube {
+namespace sim {
+
+FifoResource::FifoResource(Simulation& simulation, std::string name)
+    : sim_(simulation), name_(std::move(name))
+{
+}
+
+void
+FifoResource::request(HoldFn hold, DoneFn done)
+{
+    Pending pending{std::move(hold), std::move(done)};
+    if (busy_) {
+        waiting_.push_back(std::move(pending));
+        return;
+    }
+    grant(std::move(pending));
+}
+
+void
+FifoResource::grant(Pending pending)
+{
+    CCUBE_CHECK(!busy_, "grant while busy on " << name_);
+    busy_ = true;
+    ++grants_;
+    const Time duration = pending.hold();
+    CCUBE_CHECK(duration >= 0.0, "negative hold on " << name_);
+    busy_time_ += duration;
+    DoneFn done = std::move(pending.done);
+    sim_.after(duration, [this, done = std::move(done)]() {
+        release();
+        if (done)
+            done();
+    });
+}
+
+void
+FifoResource::release()
+{
+    CCUBE_CHECK(busy_, "release while idle on " << name_);
+    busy_ = false;
+    if (!waiting_.empty()) {
+        Pending next = std::move(waiting_.front());
+        waiting_.pop_front();
+        grant(std::move(next));
+    }
+}
+
+} // namespace sim
+} // namespace ccube

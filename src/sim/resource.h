@@ -1,0 +1,86 @@
+#ifndef CCUBE_SIM_RESOURCE_H_
+#define CCUBE_SIM_RESOURCE_H_
+
+/**
+ * @file
+ * FIFO-serialized resource for the discrete-event simulator.
+ *
+ * A unidirectional network channel is the canonical instance: at most
+ * one transfer occupies it at a time and waiters are served in request
+ * order. Invariant #6 in DESIGN.md is enforced here.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "sim/simulation.h"
+
+namespace ccube {
+namespace sim {
+
+/**
+ * A resource with unit capacity and FIFO admission.
+ *
+ * Usage: call request() with a function that returns the busy duration;
+ * the resource runs it when granted and frees itself that much later.
+ * An optional completion callback fires when the occupancy ends.
+ */
+class FifoResource
+{
+  public:
+    /** Computes the occupancy duration, called at grant time. */
+    using HoldFn = std::function<Time()>;
+
+    /** Invoked when the occupancy ends (resource freed). */
+    using DoneFn = std::function<void()>;
+
+    /** Creates a resource bound to @p simulation with a debug name. */
+    FifoResource(Simulation& simulation, std::string name);
+
+    FifoResource(const FifoResource&) = delete;
+    FifoResource& operator=(const FifoResource&) = delete;
+
+    /**
+     * Requests the resource. When granted, @p hold is evaluated to get
+     * the busy duration; @p done fires when the busy period elapses.
+     */
+    void request(HoldFn hold, DoneFn done);
+
+    /** True while a grant is outstanding. */
+    bool busy() const { return busy_; }
+
+    /** Number of queued (not yet granted) requests. */
+    std::size_t queueLength() const { return waiting_.size(); }
+
+    /** Cumulative busy time, for utilization reporting. */
+    Time busyTime() const { return busy_time_; }
+
+    /** Total grants made. */
+    std::uint64_t grants() const { return grants_; }
+
+    /** Debug name. */
+    const std::string& name() const { return name_; }
+
+  private:
+    struct Pending {
+        HoldFn hold;
+        DoneFn done;
+    };
+
+    void grant(Pending pending);
+    void release();
+
+    Simulation& sim_;
+    std::string name_;
+    bool busy_ = false;
+    std::deque<Pending> waiting_;
+    Time busy_time_ = 0.0;
+    std::uint64_t grants_ = 0;
+};
+
+} // namespace sim
+} // namespace ccube
+
+#endif // CCUBE_SIM_RESOURCE_H_

@@ -1,0 +1,39 @@
+#include "sim/simulation.h"
+
+namespace ccube {
+namespace sim {
+
+void
+Simulation::after(Time delay, EventFn fn, int priority)
+{
+    queue_.schedule(queue_.now() + delay, std::move(fn), priority);
+}
+
+void
+Simulation::at(Time when, EventFn fn, int priority)
+{
+    queue_.schedule(when, std::move(fn), priority);
+}
+
+void
+Simulation::addStat(const std::string& name, double delta)
+{
+    stats_[name] += delta;
+}
+
+double
+Simulation::stat(const std::string& name) const
+{
+    auto it = stats_.find(name);
+    return it == stats_.end() ? 0.0 : it->second;
+}
+
+void
+Simulation::reset()
+{
+    queue_.reset();
+    stats_.clear();
+}
+
+} // namespace sim
+} // namespace ccube

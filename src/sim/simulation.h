@@ -1,0 +1,74 @@
+#ifndef CCUBE_SIM_SIMULATION_H_
+#define CCUBE_SIM_SIMULATION_H_
+
+/**
+ * @file
+ * Simulation context: owns the event queue and simulation-wide state.
+ *
+ * Components (channels, devices, schedules) hold a reference to one
+ * Simulation and use it as their single source of simulated time.
+ */
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "sim/event_queue.h"
+
+namespace ccube {
+namespace sim {
+
+/**
+ * Top-level simulation context.
+ *
+ * Also carries a simple named-counter facility used by components to
+ * export statistics (transfers completed, bytes moved, ...) without
+ * each component defining its own bookkeeping.
+ */
+class Simulation
+{
+  public:
+    Simulation() = default;
+
+    Simulation(const Simulation&) = delete;
+    Simulation& operator=(const Simulation&) = delete;
+
+    /** The event queue driving this simulation. */
+    EventQueue& queue() { return queue_; }
+
+    /** Current simulated time in seconds. */
+    Time now() const { return queue_.now(); }
+
+    /** Schedules @p fn to run @p delay seconds from now. */
+    void after(Time delay, EventFn fn, int priority = 0);
+
+    /** Schedules @p fn at absolute time @p when. */
+    void at(Time when, EventFn fn, int priority = 0);
+
+    /** Runs to completion and returns the final simulated time. */
+    Time run() { return queue_.run(); }
+
+    /** Adds @p delta to the named statistic counter. */
+    void addStat(const std::string& name, double delta);
+
+    /** Reads a named statistic counter (0 when never written). */
+    double stat(const std::string& name) const;
+
+    /** All statistics gathered so far. */
+    const std::unordered_map<std::string, double>& stats() const
+    {
+        return stats_;
+    }
+
+    /** Clears events, time, and statistics. */
+    void reset();
+
+  private:
+    EventQueue queue_;
+    std::unordered_map<std::string, double> stats_;
+};
+
+} // namespace sim
+} // namespace ccube
+
+#endif // CCUBE_SIM_SIMULATION_H_

@@ -1,0 +1,78 @@
+#include "simnet/channel.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/logging.h"
+
+namespace ccube {
+namespace simnet {
+
+Network::Network(sim::Simulation& simulation, const topo::Graph& graph,
+                 double bandwidth_scale)
+    : sim_(simulation), graph_(graph), bandwidth_scale_(bandwidth_scale)
+{
+    CCUBE_CHECK(bandwidth_scale > 0.0, "bandwidth scale must be positive");
+    resources_.reserve(static_cast<std::size_t>(graph.channelCount()));
+    for (int id = 0; id < graph.channelCount(); ++id) {
+        const topo::ChannelDesc& desc = graph.channel(id);
+        resources_.push_back(std::make_unique<sim::FifoResource>(
+            simulation, graph.nodeLabel(desc.src) + "->" +
+                            graph.nodeLabel(desc.dst) + "#" +
+                            std::to_string(id)));
+    }
+}
+
+void
+Network::transferOnChannel(int channel_id, double bytes, DoneFn done)
+{
+    CCUBE_CHECK(channel_id >= 0 &&
+                    channel_id < static_cast<int>(resources_.size()),
+                "bad channel id " << channel_id);
+    CCUBE_CHECK(bytes > 0.0, "non-positive transfer size");
+    const double hold = occupancy(channel_id, bytes);
+    sim_.addStat("net.bytes", bytes);
+    sim_.addStat("net.transfers", 1.0);
+    resources_[static_cast<std::size_t>(channel_id)]->request(
+        [hold]() { return hold; }, std::move(done));
+}
+
+void
+Network::transfer(topo::NodeId src, topo::NodeId dst, double bytes,
+                  DoneFn done, int lane)
+{
+    const std::vector<int> ids = graph_.channelIds(src, dst);
+    CCUBE_CHECK(!ids.empty(),
+                "no channel " << src << " → " << dst);
+    const int pick = std::clamp(lane, 0, static_cast<int>(ids.size()) - 1);
+    transferOnChannel(ids[static_cast<std::size_t>(pick)], bytes,
+                      std::move(done));
+}
+
+double
+Network::channelBusyTime(int channel_id) const
+{
+    CCUBE_CHECK(channel_id >= 0 &&
+                    channel_id < static_cast<int>(resources_.size()),
+                "bad channel id " << channel_id);
+    return resources_[static_cast<std::size_t>(channel_id)]->busyTime();
+}
+
+std::uint64_t
+Network::channelGrants(int channel_id) const
+{
+    CCUBE_CHECK(channel_id >= 0 &&
+                    channel_id < static_cast<int>(resources_.size()),
+                "bad channel id " << channel_id);
+    return resources_[static_cast<std::size_t>(channel_id)]->grants();
+}
+
+double
+Network::occupancy(int channel_id, double bytes) const
+{
+    const topo::ChannelDesc& desc = graph_.channel(channel_id);
+    return desc.latency + bytes / (desc.bandwidth * bandwidth_scale_);
+}
+
+} // namespace simnet
+} // namespace ccube

@@ -1,0 +1,85 @@
+#ifndef CCUBE_SIMNET_CHANNEL_H_
+#define CCUBE_SIMNET_CHANNEL_H_
+
+/**
+ * @file
+ * Timed network: binds a physical topology to the discrete-event
+ * simulator. Every unidirectional channel is a FIFO resource occupied
+ * for α + N/bw per transfer, matching the linear cost model the paper
+ * builds on (§II-C) while capturing contention when two logical flows
+ * share a physical channel.
+ */
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/resource.h"
+#include "sim/simulation.h"
+#include "topo/graph.h"
+
+namespace ccube {
+namespace simnet {
+
+/** Completion callback of a transfer. */
+using DoneFn = std::function<void()>;
+
+/**
+ * The simulated network fabric.
+ */
+class Network
+{
+  public:
+    /**
+     * Binds @p graph to @p simulation. @p bandwidth_scale scales every
+     * channel's bandwidth (the paper's "low-bandwidth" configuration
+     * divides the AllReduce kernel's thread allocation by 4, modeled
+     * here as bandwidth_scale = 0.25).
+     */
+    Network(sim::Simulation& simulation, const topo::Graph& graph,
+            double bandwidth_scale = 1.0);
+
+    Network(const Network&) = delete;
+    Network& operator=(const Network&) = delete;
+
+    /** The driving simulation. */
+    sim::Simulation& simulation() { return sim_; }
+
+    /** The physical topology. */
+    const topo::Graph& graph() const { return graph_; }
+
+    /**
+     * Queues a transfer of @p bytes on channel @p channel_id; @p done
+     * fires at completion. Transfers on one channel serialize FIFO.
+     */
+    void transferOnChannel(int channel_id, double bytes, DoneFn done);
+
+    /**
+     * Queues a transfer between adjacent nodes. When several parallel
+     * channels connect the pair, @p lane selects one (clamped) — the
+     * mechanism by which the two trees of the C-Cube double tree each
+     * claim a private channel on double-NVLink pairs.
+     */
+    void transfer(topo::NodeId src, topo::NodeId dst, double bytes,
+                  DoneFn done, int lane = 0);
+
+    /** Cumulative busy time of a channel (utilization telemetry). */
+    double channelBusyTime(int channel_id) const;
+
+    /** Total transfers granted on a channel. */
+    std::uint64_t channelGrants(int channel_id) const;
+
+    /** Time one transfer of @p bytes occupies channel @p channel_id. */
+    double occupancy(int channel_id, double bytes) const;
+
+  private:
+    sim::Simulation& sim_;
+    const topo::Graph& graph_;
+    double bandwidth_scale_;
+    std::vector<std::unique_ptr<sim::FifoResource>> resources_;
+};
+
+} // namespace simnet
+} // namespace ccube
+
+#endif // CCUBE_SIMNET_CHANNEL_H_

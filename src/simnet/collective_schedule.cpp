@@ -1,0 +1,41 @@
+#include "simnet/collective_schedule.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ccube {
+namespace simnet {
+
+double
+ScheduleResult::turnaroundTime() const
+{
+    CCUBE_CHECK(!chunk_ready.empty(), "empty schedule result");
+    return *std::min_element(chunk_ready.begin(), chunk_ready.end());
+}
+
+double
+ScheduleResult::effectiveBandwidth(double bytes) const
+{
+    CCUBE_CHECK(completion_time > 0.0, "schedule has not run");
+    return bytes / completion_time;
+}
+
+void
+ScheduleResult::merge(const ScheduleResult& other)
+{
+    CCUBE_CHECK(chunk_at_rank.size() == other.chunk_at_rank.size(),
+                "merging results with different rank counts");
+    num_chunks += other.num_chunks;
+    completion_time = std::max(completion_time, other.completion_time);
+    for (std::size_t r = 0; r < chunk_at_rank.size(); ++r) {
+        chunk_at_rank[r].insert(chunk_at_rank[r].end(),
+                                other.chunk_at_rank[r].begin(),
+                                other.chunk_at_rank[r].end());
+    }
+    chunk_ready.insert(chunk_ready.end(), other.chunk_ready.begin(),
+                       other.chunk_ready.end());
+}
+
+} // namespace simnet
+} // namespace ccube

@@ -1,0 +1,37 @@
+#include "simnet/double_tree_schedule.h"
+
+#include "util/logging.h"
+
+namespace ccube {
+namespace simnet {
+
+ScheduleResult
+runDoubleTreeSchedule(sim::Simulation& simulation, Network& network,
+                      const topo::DoubleTreeEmbedding& embedding,
+                      double total_bytes, PhaseMode mode,
+                      int chunks_per_tree, LanePolicy lanes)
+{
+    CCUBE_CHECK(total_bytes > 0.0, "non-positive payload");
+    CCUBE_CHECK(chunks_per_tree >= 1, "need at least one chunk per tree");
+
+    const bool p2p = lanes == LanePolicy::kPointToPoint;
+    const int t0_up = 0;
+    const int t0_down = p2p ? 0 : 1;
+    const int t1_up = p2p ? 1 : 0;
+    const int t1_down = 1;
+    TreeSchedule first(network, embedding.tree0, total_bytes / 2.0, mode,
+                       chunks_per_tree, t0_up, t0_down);
+    TreeSchedule second(network, embedding.tree1, total_bytes / 2.0, mode,
+                        chunks_per_tree, t1_up, t1_down);
+    const double at = simulation.now();
+    first.start(at);
+    second.start(at);
+    simulation.run();
+
+    ScheduleResult merged = first.result();
+    merged.merge(second.result());
+    return merged;
+}
+
+} // namespace simnet
+} // namespace ccube

@@ -1,0 +1,57 @@
+#include "simnet/multi_ring_schedule.h"
+
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace ccube {
+namespace simnet {
+
+ScheduleResult
+runMultiRingSchedule(sim::Simulation& simulation, Network& network,
+                     const std::vector<topo::RingEmbedding>& rings,
+                     double total_bytes)
+{
+    CCUBE_CHECK(!rings.empty(), "need at least one ring");
+    CCUBE_CHECK(total_bytes > 0.0, "non-positive payload");
+
+    // Per ordered pair, assign each ring that uses it a distinct lane
+    // so that double links carry two rings without contention.
+    using Pair = std::pair<topo::NodeId, topo::NodeId>;
+    std::vector<std::map<Pair, int>> lanes(rings.size());
+    std::map<Pair, int> next_lane;
+    for (std::size_t r = 0; r < rings.size(); ++r) {
+        const topo::RingEmbedding& ring = rings[r];
+        for (int i = 0; i < ring.size(); ++i) {
+            const Pair pair{ring.order[static_cast<std::size_t>(i)],
+                            ring.next(i)};
+            lanes[r][pair] = next_lane[pair]++;
+        }
+    }
+
+    const double stripe = total_bytes / static_cast<double>(rings.size());
+    std::vector<std::unique_ptr<RingSchedule>> schedules;
+    for (std::size_t r = 0; r < rings.size(); ++r) {
+        auto lane_fn = [table = lanes[r]](topo::NodeId src,
+                                          topo::NodeId dst) {
+            const auto it = table.find({src, dst});
+            return it == table.end() ? 0 : it->second;
+        };
+        schedules.push_back(std::make_unique<RingSchedule>(
+            network, rings[r], stripe, lane_fn));
+    }
+    const double at = simulation.now();
+    for (auto& schedule : schedules)
+        schedule->start(at);
+    simulation.run();
+
+    ScheduleResult merged = schedules.front()->result();
+    for (std::size_t r = 1; r < schedules.size(); ++r)
+        merged.merge(schedules[r]->result());
+    return merged;
+}
+
+} // namespace simnet
+} // namespace ccube

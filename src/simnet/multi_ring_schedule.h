@@ -1,0 +1,33 @@
+#ifndef CCUBE_SIMNET_MULTI_RING_SCHEDULE_H_
+#define CCUBE_SIMNET_MULTI_RING_SCHEDULE_H_
+
+/**
+ * @file
+ * Timed multi-ring AllReduce: the NCCL-style R baseline.
+ *
+ * NCCL stripes the buffer across several channel-disjoint logical
+ * rings to use all NVLinks of each GPU. Ring r carries bytes
+ * [r·N/R, (r+1)·N/R); global chunk ids are ring-major (ring r's P
+ * slices occupy ids [r·P, (r+1)·P)). When two rings share a
+ * double-link pair each rides its own physical channel.
+ */
+
+#include <vector>
+
+#include "simnet/ring_schedule.h"
+
+namespace ccube {
+namespace simnet {
+
+/**
+ * Runs @p rings concurrently, striping @p total_bytes across them.
+ */
+ScheduleResult
+runMultiRingSchedule(sim::Simulation& simulation, Network& network,
+                     const std::vector<topo::RingEmbedding>& rings,
+                     double total_bytes);
+
+} // namespace simnet
+} // namespace ccube
+
+#endif // CCUBE_SIMNET_MULTI_RING_SCHEDULE_H_

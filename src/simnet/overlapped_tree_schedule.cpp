@@ -1,0 +1,16 @@
+#include "simnet/overlapped_tree_schedule.h"
+
+namespace ccube {
+namespace simnet {
+
+ScheduleResult
+runOverlappedTreeSchedule(sim::Simulation& simulation, Network& network,
+                          const topo::TreeEmbedding& embedding,
+                          double total_bytes, int num_chunks, int lane)
+{
+    return runTreeSchedule(simulation, network, embedding, total_bytes,
+                           PhaseMode::kOverlapped, num_chunks, lane);
+}
+
+} // namespace simnet
+} // namespace ccube

@@ -1,0 +1,24 @@
+#ifndef CCUBE_SIMNET_OVERLAPPED_TREE_SCHEDULE_H_
+#define CCUBE_SIMNET_OVERLAPPED_TREE_SCHEDULE_H_
+
+/**
+ * @file
+ * Convenience wrapper: timed overlapped tree AllReduce (C1).
+ */
+
+#include "simnet/tree_schedule.h"
+
+namespace ccube {
+namespace simnet {
+
+/** Tree AllReduce with reduction-broadcast chaining (paper C1). */
+ScheduleResult
+runOverlappedTreeSchedule(sim::Simulation& simulation, Network& network,
+                          const topo::TreeEmbedding& embedding,
+                          double total_bytes, int num_chunks,
+                          int lane = 0);
+
+} // namespace simnet
+} // namespace ccube
+
+#endif // CCUBE_SIMNET_OVERLAPPED_TREE_SCHEDULE_H_

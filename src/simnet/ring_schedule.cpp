@@ -1,0 +1,144 @@
+#include "simnet/ring_schedule.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ccube {
+namespace simnet {
+
+RingSchedule::RingSchedule(Network& network,
+                           const topo::RingEmbedding& ring,
+                           double total_bytes, LaneFn lane_fn)
+    : net_(network),
+      engine_(network),
+      ring_(ring),
+      lane_fn_(std::move(lane_fn)),
+      chunk_bytes_(total_bytes / ring.size()),
+      total_steps_(2 * (ring.size() - 1)),
+      send_done_(static_cast<std::size_t>(ring.size()), -1),
+      recv_done_(static_cast<std::size_t>(ring.size()), -1),
+      current_(static_cast<std::size_t>(ring.size()), 0),
+      available_at_(static_cast<std::size_t>(ring.size()),
+                    std::vector<double>(
+                        static_cast<std::size_t>(ring.size()), -1.0))
+{
+    CCUBE_CHECK(ring.size() >= 2, "ring needs at least two ranks");
+    CCUBE_CHECK(total_bytes > 0.0, "non-positive payload");
+}
+
+void
+RingSchedule::start(double at)
+{
+    net_.simulation().at(at, [this]() {
+        for (int pos = 0; pos < ring_.size(); ++pos)
+            startStep(pos, 0);
+    });
+}
+
+void
+RingSchedule::startStep(int pos, int step)
+{
+    const int p = ring_.size();
+    const topo::NodeId src =
+        ring_.order[static_cast<std::size_t>(pos)];
+    const topo::NodeId dst = ring_.next(pos);
+    const int next_pos = (pos + 1) % p;
+    const int lane = lane_fn_ ? lane_fn_(src, dst) : 0;
+    engine_.send(src, dst, chunk_bytes_,
+                 [this, pos, next_pos, step]() {
+                     // One completion serves both endpoints: the
+                     // sender's channel drained and the receiver's
+                     // chunk landed.
+                     onSendDrained(pos, step);
+                     onChunkArrived(next_pos, step);
+                 },
+                 lane);
+}
+
+void
+RingSchedule::onSendDrained(int pos, int step)
+{
+    send_done_[static_cast<std::size_t>(pos)] = step;
+    maybeAdvance(pos);
+}
+
+void
+RingSchedule::onChunkArrived(int pos, int step)
+{
+    const int p = ring_.size();
+    recv_done_[static_cast<std::size_t>(pos)] = step;
+    if (step == p - 2) {
+        // Last Reduce-Scatter arrival: this position now owns the
+        // fully reduced chunk at ring position (pos+1) mod P.
+        recordAvailable(pos, (pos + 1) % p);
+    } else if (step >= p - 1) {
+        // AllGather arrival of the fully reduced chunk
+        // (pos − (step − (P−1))) mod P.
+        const int s = step - (p - 1);
+        recordAvailable(pos, ((pos - s) % p + p) % p);
+    }
+    maybeAdvance(pos);
+}
+
+void
+RingSchedule::maybeAdvance(int pos)
+{
+    const int step = current_[static_cast<std::size_t>(pos)];
+    if (send_done_[static_cast<std::size_t>(pos)] < step ||
+        recv_done_[static_cast<std::size_t>(pos)] < step) {
+        return;
+    }
+    const int next = step + 1;
+    current_[static_cast<std::size_t>(pos)] = next;
+    if (next < total_steps_) {
+        startStep(pos, next);
+    } else {
+        ++ranks_done_;
+        if (ranks_done_ == ring_.size())
+            completion_time_ = net_.simulation().now();
+    }
+}
+
+void
+RingSchedule::recordAvailable(int pos, int chunk)
+{
+    const topo::NodeId rank =
+        ring_.order[static_cast<std::size_t>(pos)];
+    double& slot = available_at_[static_cast<std::size_t>(rank)]
+                                [static_cast<std::size_t>(chunk)];
+    CCUBE_CHECK(slot < 0.0, "ring chunk delivered twice");
+    slot = net_.simulation().now();
+}
+
+ScheduleResult
+RingSchedule::result() const
+{
+    CCUBE_CHECK(finished(), "schedule has not completed");
+    ScheduleResult out;
+    out.num_chunks = ring_.size();
+    out.completion_time = completion_time_;
+    out.chunk_at_rank = available_at_;
+    out.chunk_ready.assign(static_cast<std::size_t>(ring_.size()), 0.0);
+    for (int c = 0; c < ring_.size(); ++c) {
+        double latest = 0.0;
+        for (const auto& per_rank : available_at_)
+            latest = std::max(latest,
+                              per_rank[static_cast<std::size_t>(c)]);
+        out.chunk_ready[static_cast<std::size_t>(c)] = latest;
+    }
+    return out;
+}
+
+ScheduleResult
+runRingSchedule(sim::Simulation& simulation, Network& network,
+                const topo::RingEmbedding& ring, double total_bytes)
+{
+    RingSchedule schedule(network, ring, total_bytes);
+    schedule.start(simulation.now());
+    simulation.run();
+    return schedule.result();
+}
+
+} // namespace simnet
+} // namespace ccube

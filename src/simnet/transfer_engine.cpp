@@ -1,0 +1,91 @@
+#include "simnet/transfer_engine.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace ccube {
+namespace simnet {
+
+void
+TransferEngine::sendAlongRoute(const topo::Route& route, double bytes,
+                               DoneFn done, int lane)
+{
+    CCUBE_CHECK(route.hops.size() >= 2, "route needs at least two hops");
+    runStage(route, 0, bytes, std::move(done), lane);
+}
+
+void
+TransferEngine::runStage(const topo::Route& route, std::size_t index,
+                         double bytes, DoneFn done, int lane)
+{
+    const topo::Graph& graph = net_.graph();
+    // Extend the stage across consecutive switch transits.
+    std::size_t end = index + 1;
+    while (end + 1 < route.hops.size() && graph.isSwitch(route.hops[end]))
+        ++end;
+
+    auto continuation = [this, route, end, bytes,
+                         done = std::move(done), lane]() mutable {
+        if (end + 1 == route.hops.size()) {
+            if (done)
+                done();
+        } else {
+            // A non-switch transit: store-and-forward into the next
+            // stage (the paper's GPU forwarding kernels).
+            runStage(route, end, bytes, std::move(done), lane);
+        }
+    };
+
+    if (end == index + 1) {
+        // Single channel.
+        net_.transfer(route.hops[index], route.hops[index + 1], bytes,
+                      std::move(continuation), lane);
+        return;
+    }
+
+    // Cut-through across switches: occupy the entry channel, add the
+    // intermediate switch latencies as pure delay, then occupy the
+    // exit channel (the receiver's port is a real contention point).
+    double mid_latency = 0.0;
+    for (std::size_t m = index + 1; m + 1 < end; ++m) {
+        const auto ids = graph.channelIds(route.hops[m],
+                                          route.hops[m + 1]);
+        CCUBE_CHECK(!ids.empty(), "broken route");
+        mid_latency += graph.channel(ids.front()).latency;
+    }
+    net_.transfer(
+        route.hops[index], route.hops[index + 1], bytes,
+        [this, route, index, end, bytes, mid_latency,
+         continuation = std::move(continuation), lane]() mutable {
+            net_.simulation().after(
+                mid_latency,
+                [this, route, end, bytes,
+                 continuation = std::move(continuation), lane]() mutable {
+                    net_.transfer(route.hops[end - 1], route.hops[end],
+                                  bytes, std::move(continuation), lane);
+                });
+        },
+        lane);
+}
+
+void
+TransferEngine::send(topo::NodeId src, topo::NodeId dst, double bytes,
+                     DoneFn done, int lane)
+{
+    auto it = route_cache_.find({src, dst});
+    if (it == route_cache_.end()) {
+        topo::Route route;
+        route.hops = net_.graph().shortestPath(src, dst,
+                                               topo::LinkKind::kNvlink);
+        CCUBE_CHECK(!route.hops.empty(),
+                    "no NVLink path " << src << " → " << dst);
+        it = route_cache_.emplace(std::make_pair(src, dst),
+                                  std::move(route))
+                 .first;
+    }
+    sendAlongRoute(it->second, bytes, std::move(done), lane);
+}
+
+} // namespace simnet
+} // namespace ccube

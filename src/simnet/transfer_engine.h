@@ -1,0 +1,65 @@
+#ifndef CCUBE_SIMNET_TRANSFER_ENGINE_H_
+#define CCUBE_SIMNET_TRANSFER_ENGINE_H_
+
+/**
+ * @file
+ * Multi-hop transfers: store-and-forward along a route.
+ *
+ * Detour routes (§IV-A) and switch-fabric paths move a chunk through
+ * intermediate nodes; each segment is a full channel occupancy, which
+ * is exactly how the paper's forwarding kernels behave (the chunk is
+ * received into the transit GPU's memory, then re-sent).
+ */
+
+#include <map>
+#include <utility>
+
+#include "simnet/channel.h"
+#include "topo/tree_embedding.h"
+
+namespace ccube {
+namespace simnet {
+
+/**
+ * Issues chunk transfers along physical routes.
+ */
+class TransferEngine
+{
+  public:
+    explicit TransferEngine(Network& network) : net_(network) {}
+
+    /**
+     * Sends @p bytes along @p route (node sequence) hop by hop;
+     * @p done fires when the final hop completes. @p lane selects
+     * among parallel channels on every segment.
+     */
+    void sendAlongRoute(const topo::Route& route, double bytes,
+                        DoneFn done, int lane = 0);
+
+    /**
+     * Sends @p bytes from @p src to @p dst along the shortest NVLink
+     * path (computed on demand and cached).
+     */
+    void send(topo::NodeId src, topo::NodeId dst, double bytes,
+              DoneFn done, int lane = 0);
+
+  private:
+    /**
+     * Runs the stage starting at hop @p index. A stage spans
+     * consecutive switch hops (cut-through: only the entry and exit
+     * channels are occupied; intermediate switch channels contribute
+     * latency only). A non-switch transit (a GPU detour) ends a stage
+     * — it stores and forwards.
+     */
+    void runStage(const topo::Route& route, std::size_t index,
+                  double bytes, DoneFn done, int lane);
+
+    Network& net_;
+    std::map<std::pair<topo::NodeId, topo::NodeId>, topo::Route>
+        route_cache_;
+};
+
+} // namespace simnet
+} // namespace ccube
+
+#endif // CCUBE_SIMNET_TRANSFER_ENGINE_H_

@@ -1,0 +1,69 @@
+#include "topo/dgx1.h"
+
+#include <string>
+
+#include "util/logging.h"
+
+namespace ccube {
+namespace topo {
+
+namespace {
+
+/** Unordered GPU pair with NVLink multiplicity. */
+struct LinkSpec {
+    int a;
+    int b;
+    int links;
+};
+
+// V100 DGX-1 hybrid mesh-cube (Li et al., "Evaluating Modern GPU
+// Interconnect", cited as [35] by the paper). Two quads {0..3} and
+// {4..7} with intra-quad meshes plus cube edges between them.
+constexpr LinkSpec kDgx1Links[] = {
+    {0, 1, 1}, {0, 2, 1}, {0, 3, 2}, {0, 4, 2},
+    {1, 2, 2}, {1, 3, 1}, {1, 5, 2},
+    {2, 3, 2}, {2, 6, 1},
+    {3, 7, 1},
+    {4, 5, 1}, {4, 6, 1}, {4, 7, 2},
+    {5, 6, 2}, {5, 7, 1},
+    {6, 7, 2},
+};
+
+} // namespace
+
+Graph
+makeDgx1(const Dgx1Params& params)
+{
+    CCUBE_CHECK(params.num_gpus == 8, "DGX-1 has exactly 8 GPUs");
+    Graph graph("dgx1");
+    for (int g = 0; g < params.num_gpus; ++g)
+        graph.addNode("GPU" + std::to_string(g));
+
+    int links_per_gpu[8] = {};
+    for (const LinkSpec& spec : kDgx1Links) {
+        for (int l = 0; l < spec.links; ++l) {
+            graph.addLink(spec.a, spec.b, params.nvlink_bandwidth,
+                          params.nvlink_latency, LinkKind::kNvlink);
+        }
+        links_per_gpu[spec.a] += spec.links;
+        links_per_gpu[spec.b] += spec.links;
+    }
+    for (int g = 0; g < params.num_gpus; ++g) {
+        CCUBE_CHECK(links_per_gpu[g] == kDgx1LinksPerGpu,
+                    "GPU" << g << " has " << links_per_gpu[g]
+                          << " NVLinks, want " << kDgx1LinksPerGpu);
+    }
+
+    if (params.with_host) {
+        const NodeId host = graph.addNode("Host");
+        CCUBE_CHECK(host == kDgx1Host, "host node id mismatch");
+        for (int g = 0; g < params.num_gpus; ++g) {
+            graph.addLink(g, host, params.pcie_bandwidth,
+                          params.pcie_latency, LinkKind::kPcie);
+        }
+    }
+    return graph;
+}
+
+} // namespace topo
+} // namespace ccube

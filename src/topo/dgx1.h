@@ -1,0 +1,52 @@
+#ifndef CCUBE_TOPO_DGX1_H_
+#define CCUBE_TOPO_DGX1_H_
+
+/**
+ * @file
+ * NVIDIA DGX-1 (V100) hybrid mesh-cube topology builder.
+ *
+ * The DGX-1 connects 8 V100 GPUs with 6 NVLinks each (25 GB/s per
+ * direction per link). Pairs within each quad and across the cube are
+ * connected, some with two parallel links — the extra connectivity
+ * C-Cube exploits for its double-tree embedding (paper Fig. 10(c)).
+ */
+
+#include "topo/graph.h"
+
+namespace ccube {
+namespace topo {
+
+/** Parameters of the DGX-1 interconnect model. */
+struct Dgx1Params {
+    int num_gpus = 8;                 ///< fixed by the platform
+    double nvlink_bandwidth = 25e9;   ///< bytes/s per direction per link
+    double nvlink_latency = 4.6e-6;   ///< α per transfer, seconds
+    double pcie_bandwidth = 10e9;     ///< host-routed fallback, bytes/s
+    double pcie_latency = 9.2e-6;     ///< higher latency through the host
+    bool with_host = false;           ///< add host node + PCIe channels
+};
+
+/**
+ * Builds the DGX-1 hybrid mesh-cube.
+ *
+ * GPU nodes are ids 0..7. When @p params.with_host is set, node 8 is
+ * the host (CPU/PCIe switch complex) with a PCIe link to every GPU —
+ * the slow path the paper's detour routes exist to avoid.
+ *
+ * Link multiplicity matches the V100 DGX-1: double links on pairs
+ * (0,3) (0,4) (1,2) (1,5) (2,3) (4,7) (5,6) (6,7), single links on
+ * (0,1) (0,2) (1,3) (2,6) (3,7) (4,5) (4,6) (5,7). Every GPU has
+ * exactly 6 NVLinks.
+ */
+Graph makeDgx1(const Dgx1Params& params = {});
+
+/** Host node id when built with_host (always num_gpus). */
+inline constexpr NodeId kDgx1Host = 8;
+
+/** Number of NVLinks per V100 GPU. */
+inline constexpr int kDgx1LinksPerGpu = 6;
+
+} // namespace topo
+} // namespace ccube
+
+#endif // CCUBE_TOPO_DGX1_H_

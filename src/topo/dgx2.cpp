@@ -1,0 +1,116 @@
+#include "topo/dgx2.h"
+
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace ccube {
+namespace topo {
+
+Graph
+makeDgx2(const Dgx2Params& params)
+{
+    CCUBE_CHECK(params.num_gpus >= 2, "DGX-2 model needs GPUs");
+    CCUBE_CHECK(params.num_switch_planes >= 1,
+                "DGX-2 model needs switch planes");
+
+    Graph graph("dgx2");
+    for (int g = 0; g < params.num_gpus; ++g)
+        graph.addNode("GPU" + std::to_string(g));
+    for (int p = 0; p < params.num_switch_planes; ++p) {
+        const NodeId sw =
+            graph.addNode("NVSwitch" + std::to_string(p));
+        graph.markSwitch(sw);
+        CCUBE_CHECK(sw == dgx2SwitchNode(params, p),
+                    "switch node id mismatch");
+    }
+    // One NVLink from every GPU into every plane. A GPU's links to
+    // the planes are its six lanes; the planes are non-blocking.
+    for (int g = 0; g < params.num_gpus; ++g) {
+        for (int p = 0; p < params.num_switch_planes; ++p) {
+            graph.addLink(g, dgx2SwitchNode(params, p),
+                          params.nvlink_bandwidth,
+                          params.nvlink_latency + params.switch_latency,
+                          LinkKind::kNvlink);
+        }
+    }
+    return graph;
+}
+
+namespace {
+
+/**
+ * Greedy edge coloring of a binary tree: edges sharing a node get
+ * distinct colors. With arity ≤ 2 (max degree 3) a BFS-order greedy
+ * pass needs at most 3 colors — one switch plane per color keeps
+ * every GPU port down to a single logical flow per direction.
+ */
+std::vector<int>
+colorTreeEdges(const BinaryTree& tree)
+{
+    const auto edges = tree.edges();
+    std::vector<int> colors(edges.size(), -1);
+    // Per node, the set of colors already taken by incident edges.
+    std::vector<std::vector<bool>> taken(
+        static_cast<std::size_t>(tree.numNodes()),
+        std::vector<bool>(3, false));
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+        const auto& [u, v] = edges[e];
+        int color = 0;
+        while (color < 3 &&
+               (taken[static_cast<std::size_t>(u)]
+                     [static_cast<std::size_t>(color)] ||
+                taken[static_cast<std::size_t>(v)]
+                     [static_cast<std::size_t>(color)])) {
+            ++color;
+        }
+        CCUBE_CHECK(color < 3, "tree is not 3-edge-colorable?");
+        colors[e] = color;
+        taken[static_cast<std::size_t>(u)]
+             [static_cast<std::size_t>(color)] = true;
+        taken[static_cast<std::size_t>(v)]
+             [static_cast<std::size_t>(color)] = true;
+    }
+    return colors;
+}
+
+/**
+ * Routes @p tree's edges through planes [first_plane, first_plane+3)
+ * according to the edge coloring, so no GPU port carries two of this
+ * tree's flows.
+ */
+TreeEmbedding
+embedColored(const Graph& graph, const Dgx2Params& params,
+             BinaryTree tree, int first_plane)
+{
+    TreeEmbedding embedding(std::move(tree));
+    const auto colors = colorTreeEdges(embedding.tree);
+    const auto edges = embedding.tree.edges();
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+        const NodeId sw = dgx2SwitchNode(
+            params, first_plane + colors[e]);
+        const auto& [parent, child] = edges[e];
+        CCUBE_CHECK(graph.hasChannel(parent, sw) &&
+                        graph.hasChannel(sw, child),
+                    "plane not wired");
+        embedding.routes.push_back(Route{{parent, sw, child}});
+    }
+    return embedding;
+}
+
+} // namespace
+
+DoubleTreeEmbedding
+makeDgx2DoubleTree(const Graph& dgx2, const Dgx2Params& params)
+{
+    CCUBE_CHECK(params.num_switch_planes >= 6,
+                "two 3-edge-colored trees need six planes");
+    const BinaryTree t0 = BinaryTree::inorder(params.num_gpus);
+    const BinaryTree t1 = t0.mirrored();
+    return DoubleTreeEmbedding(embedColored(dgx2, params, t0, 0),
+                               embedColored(dgx2, params, t1, 3));
+}
+
+} // namespace topo
+} // namespace ccube

@@ -1,0 +1,65 @@
+#ifndef CCUBE_TOPO_DGX2_H_
+#define CCUBE_TOPO_DGX2_H_
+
+/**
+ * @file
+ * NVIDIA DGX-2 (NVSwitch) topology builder — the paper's future-work
+ * direction ("it remains to be seen how alternative physical
+ * topologies in large-scale systems can be exploited for efficient
+ * collective communications", §VI).
+ *
+ * The DGX-2 connects 16 V100 GPUs through 6 NVSwitch planes: every
+ * GPU has one NVLink into each plane, and any GPU pair can talk at
+ * full link bandwidth through any plane (non-blocking). Consequences
+ * for C-Cube:
+ *   - no pair is direct, every logical edge routes GPU→switch→GPU
+ *     (cut-through at the switch);
+ *   - there are effectively six parallel lanes per GPU, so a double
+ *     tree (or even several trees) never conflicts — the conflict
+ *     problem of the hybrid mesh-cube disappears;
+ *   - detours are unnecessary: the switch plane *is* the detour.
+ */
+
+#include "topo/double_tree.h"
+#include "topo/graph.h"
+
+namespace ccube {
+namespace topo {
+
+/** Parameters of the DGX-2 interconnect model. */
+struct Dgx2Params {
+    int num_gpus = 16;               ///< fixed by the platform
+    int num_switch_planes = 6;       ///< NVSwitch planes
+    double nvlink_bandwidth = 25e9;  ///< bytes/s per direction per link
+    double nvlink_latency = 4.6e-6;  ///< α per transfer, seconds
+    double switch_latency = 0.3e-6;  ///< extra NVSwitch traversal
+};
+
+/**
+ * Builds the DGX-2. GPU nodes are ids 0..15; switch planes follow
+ * (ids 16..21), marked as switches so transfers cut through.
+ */
+Graph makeDgx2(const Dgx2Params& params = {});
+
+/** Node id of switch plane @p plane (0-based). */
+inline NodeId
+dgx2SwitchNode(const Dgx2Params& params, int plane)
+{
+    return params.num_gpus + plane;
+}
+
+/**
+ * C-Cube double tree on the DGX-2: mirrored trees over the 16 GPUs
+ * with every logical edge routed through a dedicated NVSwitch plane
+ * per tree (tree 0 → plane 0, tree 1 → plane 1). Because each tree
+ * owns a plane, the embedding is conflict-free with four planes to
+ * spare — the NVSwitch generation dissolves the channel-conflict
+ * problem the hybrid mesh-cube forced the paper to solve.
+ */
+DoubleTreeEmbedding makeDgx2DoubleTree(const Graph& dgx2,
+                                       const Dgx2Params& params = {});
+
+} // namespace topo
+} // namespace ccube
+
+#endif // CCUBE_TOPO_DGX2_H_

@@ -1,0 +1,148 @@
+#include "topo/double_tree.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ccube {
+namespace topo {
+
+namespace {
+
+/** Adds one use per direction for every segment of @p route. */
+void
+accumulateRoute(UsageMap& usage, const Route& route)
+{
+    for (std::size_t i = 0; i + 1 < route.hops.size(); ++i) {
+        const NodeId a = route.hops[i];
+        const NodeId b = route.hops[i + 1];
+        const auto key = std::minmax(a, b);
+        ChannelUsage& entry = usage[{key.first, key.second}];
+        // The overlapped algorithm drives every logical edge in both
+        // directions at once (reduction up + broadcast down).
+        if (a < b) {
+            ++entry.forward;
+            ++entry.backward;
+        } else {
+            ++entry.backward;
+            ++entry.forward;
+        }
+    }
+}
+
+void
+accumulateTree(UsageMap& usage, const TreeEmbedding& embedding)
+{
+    for (const Route& route : embedding.routes)
+        accumulateRoute(usage, route);
+}
+
+/** Builds a BinaryTree from explicit (parent, child) edges. */
+BinaryTree
+treeFromEdges(int num_nodes, NodeId root,
+              const std::vector<std::pair<NodeId, NodeId>>& edges)
+{
+    BinaryTree tree(num_nodes);
+    tree.setRoot(root);
+    for (const auto& [parent, child] : edges)
+        tree.addEdge(parent, child);
+    CCUBE_CHECK(tree.valid(), "hand-crafted tree is invalid");
+    return tree;
+}
+
+} // namespace
+
+UsageMap
+analyzeChannelUsage(const DoubleTreeEmbedding& embedding)
+{
+    UsageMap usage;
+    accumulateTree(usage, embedding.tree0);
+    accumulateTree(usage, embedding.tree1);
+    return usage;
+}
+
+bool
+isConflictFree(const Graph& graph, const DoubleTreeEmbedding& embedding)
+{
+    return conflictingPairs(graph, embedding).empty();
+}
+
+std::vector<std::pair<NodeId, NodeId>>
+conflictingPairs(const Graph& graph, const DoubleTreeEmbedding& embedding)
+{
+    std::vector<std::pair<NodeId, NodeId>> conflicts;
+    for (const auto& [pair, usage] : analyzeChannelUsage(embedding)) {
+        const int multiplicity = graph.linkCount(pair.first, pair.second);
+        if (usage.forward > multiplicity || usage.backward > multiplicity)
+            conflicts.push_back(pair);
+    }
+    return conflicts;
+}
+
+DoubleTreeEmbedding
+makeDgx1DoubleTree(const Graph& dgx1)
+{
+    CCUBE_CHECK(dgx1.nodeCount() >= 8, "expected a DGX-1 graph");
+
+    // Tree 0 (paper Fig. 10(b) left): root GPU2. The logical edge
+    // 2–4 has no physical NVLink; its route detours through GPU0.
+    const BinaryTree t0 = treeFromEdges(
+        8, /*root=*/2,
+        {{2, 3}, {2, 4}, {3, 0}, {3, 7}, {0, 1}, {4, 6}, {6, 5}});
+
+    // Tree 1: root GPU3; logical edge 3–5 detours through GPU1. The
+    // pairs carrying both trees — (2,3) and (0,4) — are double
+    // NVLinks, so the overlapped algorithm has a private channel per
+    // tree per direction.
+    const BinaryTree t1 = treeFromEdges(
+        8, /*root=*/3,
+        {{3, 2}, {3, 5}, {2, 1}, {2, 6}, {5, 4}, {5, 7}, {4, 0}});
+
+    TreeEmbedding e0 = embedTree(dgx1, t0);
+    TreeEmbedding e1 = embedTree(dgx1, t1);
+
+    // The construction is only correct if the promised detours were
+    // actually taken (shortest NVLink paths through GPU0 / GPU1).
+    bool found_detour0 = false;
+    for (const Route& r : e0.routes) {
+        if (r.isDetour()) {
+            CCUBE_CHECK(r.transits() == std::vector<NodeId>{0},
+                        "tree0 detour must transit GPU0");
+            found_detour0 = true;
+        }
+    }
+    bool found_detour1 = false;
+    for (const Route& r : e1.routes) {
+        if (r.isDetour()) {
+            CCUBE_CHECK(r.transits() == std::vector<NodeId>{1},
+                        "tree1 detour must transit GPU1");
+            found_detour1 = true;
+        }
+    }
+    CCUBE_CHECK(found_detour0 && found_detour1,
+                "DGX-1 double tree lost its detour edges");
+
+    return DoubleTreeEmbedding(std::move(e0), std::move(e1));
+}
+
+DoubleTreeEmbedding
+makeNaiveDgx1DoubleTree(const Graph& dgx1)
+{
+    const BinaryTree t0 = BinaryTree::inorder(8);
+    const BinaryTree t1 = t0.mirrored();
+    return DoubleTreeEmbedding(embedTree(dgx1, t0), embedTree(dgx1, t1));
+}
+
+DoubleTreeEmbedding
+makeMirroredDoubleTree(const Graph& graph, int num_ranks)
+{
+    CCUBE_CHECK(num_ranks >= 2, "need at least two ranks");
+    CCUBE_CHECK(num_ranks <= graph.nodeCount(),
+                "more ranks than graph nodes");
+    const BinaryTree t0 = BinaryTree::inorder(num_ranks);
+    const BinaryTree t1 = t0.mirrored();
+    return DoubleTreeEmbedding(embedTree(graph, t0), embedTree(graph, t1));
+}
+
+} // namespace topo
+} // namespace ccube

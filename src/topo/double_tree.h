@@ -1,0 +1,96 @@
+#ifndef CCUBE_TOPO_DOUBLE_TREE_H_
+#define CCUBE_TOPO_DOUBLE_TREE_H_
+
+/**
+ * @file
+ * Double binary trees (Sanders et al.) and the C-Cube DGX-1 embedding.
+ *
+ * A double tree splits the message across two trees to use full
+ * bandwidth. The paper's key physical-topology observation (§IV-A):
+ * naively, overlapping reduction and broadcast in *both* trees
+ * oversubscribes channels that the two trees share in opposite
+ * directions; on the DGX-1 this can be resolved by placing the shared
+ * pairs on double NVLinks. The conflict analysis here verifies that
+ * property (DESIGN.md invariant #8).
+ */
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "topo/graph.h"
+#include "topo/tree_embedding.h"
+
+namespace ccube {
+namespace topo {
+
+/** Two embedded trees, each carrying half the message. */
+struct DoubleTreeEmbedding {
+    TreeEmbedding tree0;
+    TreeEmbedding tree1;
+
+    DoubleTreeEmbedding(TreeEmbedding t0, TreeEmbedding t1)
+        : tree0(std::move(t0)), tree1(std::move(t1))
+    {
+    }
+};
+
+/**
+ * Per-direction usage of a physical node pair by an overlapped
+ * double-tree schedule.
+ */
+struct ChannelUsage {
+    int forward = 0;  ///< concurrent uses of the a→b direction
+    int backward = 0; ///< concurrent uses of the b→a direction
+};
+
+/** Usage keyed by ordered pair (a < b). */
+using UsageMap = std::map<std::pair<NodeId, NodeId>, ChannelUsage>;
+
+/**
+ * Counts, for every physical pair, how many (tree, direction) roles
+ * use each channel direction when both trees run the overlapped
+ * algorithm simultaneously. Each logical edge contributes one use per
+ * direction; detour routes contribute on every segment.
+ */
+UsageMap analyzeChannelUsage(const DoubleTreeEmbedding& embedding);
+
+/**
+ * True when every channel direction's usage is within the physical
+ * link multiplicity of the pair — i.e. the overlapped double tree can
+ * run with no channel shared between the two trees.
+ */
+bool isConflictFree(const Graph& graph, const DoubleTreeEmbedding& embedding);
+
+/** Pairs whose usage exceeds multiplicity (empty when conflict-free). */
+std::vector<std::pair<NodeId, NodeId>>
+conflictingPairs(const Graph& graph, const DoubleTreeEmbedding& embedding);
+
+/**
+ * Builds the C-Cube double-tree embedding for the DGX-1 (paper
+ * Fig. 10(b,c)): both trees span GPUs 0..7; tree0 uses a detour
+ * (GPU2 → GPU0 → GPU4) and tree1 a detour (GPU3 → GPU1 → GPU5), so
+ * GPU0 and GPU1 are the forwarding nodes; the only pairs carrying
+ * both trees sit on double NVLinks.
+ */
+DoubleTreeEmbedding makeDgx1DoubleTree(const Graph& dgx1);
+
+/**
+ * Builds the *naive* double tree for the DGX-1: tree and mirrored
+ * tree via the generic construction, without conflict-aware placement.
+ * Used to demonstrate the channel conflicts of Fig. 10(a).
+ */
+DoubleTreeEmbedding makeNaiveDgx1DoubleTree(const Graph& dgx1);
+
+/**
+ * Generic mirror-pair double tree over endpoint nodes 0..num_ranks-1
+ * of @p graph (e.g. a switch fabric, where routes pass through switch
+ * nodes with ids ≥ num_ranks).
+ */
+DoubleTreeEmbedding makeMirroredDoubleTree(const Graph& graph,
+                                           int num_ranks);
+
+} // namespace topo
+} // namespace ccube
+
+#endif // CCUBE_TOPO_DOUBLE_TREE_H_

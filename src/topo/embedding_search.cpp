@@ -1,0 +1,210 @@
+#include "topo/embedding_search.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace ccube {
+namespace topo {
+
+namespace {
+
+/** Remaining per-direction channel budget during construction. */
+class Budget
+{
+  public:
+    explicit Budget(const Graph& graph) : graph_(graph) {}
+
+    int
+    remaining(NodeId src, NodeId dst) const
+    {
+        const auto it = used_.find({src, dst});
+        const int used = it == used_.end() ? 0 : it->second;
+        return graph_.linkCount(src, dst) - used;
+    }
+
+    /** A logical edge on route r consumes both directions of every
+     *  segment (the overlapped algorithm drives up and down at once). */
+    bool
+    canTake(const Route& route) const
+    {
+        for (std::size_t i = 0; i + 1 < route.hops.size(); ++i) {
+            if (remaining(route.hops[i], route.hops[i + 1]) < 1 ||
+                remaining(route.hops[i + 1], route.hops[i]) < 1) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    void
+    take(const Route& route)
+    {
+        for (std::size_t i = 0; i + 1 < route.hops.size(); ++i) {
+            ++used_[{route.hops[i], route.hops[i + 1]}];
+            ++used_[{route.hops[i + 1], route.hops[i]}];
+        }
+    }
+
+  private:
+    const Graph& graph_;
+    std::map<std::pair<NodeId, NodeId>, int> used_;
+};
+
+/**
+ * Candidate routes from @p from to @p to within the hop budget and
+ * channel budget: the direct channel if present, else all two-hop
+ * GPU detours with available capacity.
+ */
+std::vector<Route>
+candidateRoutes(const Graph& graph, const Budget& budget, NodeId from,
+                NodeId to, int max_hops)
+{
+    std::vector<Route> routes;
+    Route direct{{from, to}};
+    if (graph.hasChannel(from, to) && budget.canTake(direct))
+        routes.push_back(std::move(direct));
+    if (max_hops >= 2) {
+        for (NodeId mid : graph.neighbors(from)) {
+            if (mid == to || !graph.hasChannel(mid, to))
+                continue;
+            Route detour{{from, mid, to}};
+            if (budget.canTake(detour))
+                routes.push_back(std::move(detour));
+        }
+    }
+    return routes;
+}
+
+/**
+ * Grows one spanning binary tree from @p root, preferring direct
+ * edges, consuming @p budget. Returns nullopt when the tree cannot
+ * span all ranks within the budget.
+ */
+std::optional<TreeEmbedding>
+growTree(const Graph& graph, Budget& budget, int num_ranks, NodeId root,
+         util::Rng& rng, int max_hops)
+{
+    BinaryTree tree(num_ranks);
+    tree.setRoot(root);
+    TreeEmbedding embedding(std::move(tree));
+
+    std::vector<bool> in_tree(static_cast<std::size_t>(num_ranks),
+                              false);
+    in_tree[static_cast<std::size_t>(root)] = true;
+    std::vector<int> arity(static_cast<std::size_t>(num_ranks), 0);
+    std::vector<NodeId> frontier{root};
+    int placed = 1;
+
+    while (placed < num_ranks) {
+        // Collect all feasible (parent, child, route) extensions.
+        struct Extension {
+            NodeId parent;
+            NodeId child;
+            Route route;
+        };
+        std::vector<Extension> extensions;
+        for (NodeId parent : frontier) {
+            if (arity[static_cast<std::size_t>(parent)] >= 2)
+                continue;
+            for (NodeId child = 0; child < num_ranks; ++child) {
+                if (in_tree[static_cast<std::size_t>(child)])
+                    continue;
+                for (Route& route : candidateRoutes(graph, budget,
+                                                    parent, child,
+                                                    max_hops)) {
+                    extensions.push_back(
+                        Extension{parent, child, std::move(route)});
+                }
+            }
+        }
+        if (extensions.empty())
+            return std::nullopt;
+        // Prefer direct routes; among equals pick randomly.
+        std::stable_sort(extensions.begin(), extensions.end(),
+                         [](const Extension& a, const Extension& b) {
+                             return a.route.hopCount() <
+                                    b.route.hopCount();
+                         });
+        const int best_hops = extensions.front().route.hopCount();
+        std::size_t pool = 0;
+        while (pool < extensions.size() &&
+               extensions[pool].route.hopCount() == best_hops) {
+            ++pool;
+        }
+        Extension& pick = extensions[static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<std::int64_t>(pool) - 1))];
+
+        budget.take(pick.route);
+        embedding.tree.addEdge(pick.parent, pick.child);
+        embedding.routes.push_back(std::move(pick.route));
+        in_tree[static_cast<std::size_t>(pick.child)] = true;
+        ++arity[static_cast<std::size_t>(pick.parent)];
+        frontier.push_back(pick.child);
+        ++placed;
+    }
+    // Routes were appended in insertion order; edges() returns BFS
+    // order, so rebuild the route list aligned with edges().
+    std::map<std::pair<NodeId, NodeId>, Route> by_edge;
+    {
+        const auto edges = embedding.tree.edges();
+        // Insertion order of addEdge matches the order routes were
+        // pushed; reconstruct the mapping via parent/child endpoints.
+        std::size_t i = 0;
+        for (const Route& route : embedding.routes) {
+            by_edge[{route.hops.front(), route.hops.back()}] = route;
+            ++i;
+        }
+        std::vector<Route> ordered;
+        for (const auto& [parent, child] : edges)
+            ordered.push_back(by_edge.at({parent, child}));
+        embedding.routes = std::move(ordered);
+    }
+    return embedding;
+}
+
+} // namespace
+
+std::optional<DoubleTreeEmbedding>
+findConflictFreeDoubleTree(const Graph& graph,
+                           const EmbeddingSearchOptions& options)
+{
+    const int num_ranks =
+        options.num_ranks > 0 ? options.num_ranks : graph.nodeCount();
+    CCUBE_CHECK(num_ranks >= 2, "need at least two ranks");
+    CCUBE_CHECK(num_ranks <= graph.nodeCount(),
+                "more ranks than graph nodes");
+
+    util::Rng rng(options.seed);
+    for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
+        Budget budget(graph);
+        const NodeId root0 = static_cast<NodeId>(
+            rng.uniformInt(0, num_ranks - 1));
+        NodeId root1 = static_cast<NodeId>(
+            rng.uniformInt(0, num_ranks - 1));
+        if (root1 == root0)
+            root1 = (root1 + 1) % num_ranks;
+
+        auto tree0 = growTree(graph, budget, num_ranks, root0, rng,
+                              options.max_detour_hops);
+        if (!tree0)
+            continue;
+        auto tree1 = growTree(graph, budget, num_ranks, root1, rng,
+                              options.max_detour_hops);
+        if (!tree1)
+            continue;
+
+        DoubleTreeEmbedding candidate(std::move(*tree0),
+                                      std::move(*tree1));
+        if (isConflictFree(graph, candidate))
+            return candidate;
+    }
+    return std::nullopt;
+}
+
+} // namespace topo
+} // namespace ccube

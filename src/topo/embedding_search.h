@@ -1,0 +1,49 @@
+#ifndef CCUBE_TOPO_EMBEDDING_SEARCH_H_
+#define CCUBE_TOPO_EMBEDDING_SEARCH_H_
+
+/**
+ * @file
+ * Automated search for conflict-free double-tree embeddings.
+ *
+ * The paper hand-crafts its DGX-1 embedding (Fig. 10(b,c)); this
+ * module automates the construction for arbitrary GPU-to-GPU
+ * topologies: find two spanning binary trees (with detours for
+ * missing edges) such that, when both run the overlapped algorithm
+ * simultaneously, no unidirectional channel is oversubscribed —
+ * cross-tree sharing is only allowed where the physical pair has
+ * enough parallel links.
+ *
+ * Randomized-greedy with restarts: trees are grown from random roots
+ * by BFS over edges with remaining capacity; detour routes consume
+ * capacity on every segment. Deterministic given the seed.
+ */
+
+#include <optional>
+
+#include "topo/double_tree.h"
+#include "topo/graph.h"
+
+namespace ccube {
+namespace topo {
+
+/** Search knobs. */
+struct EmbeddingSearchOptions {
+    int num_ranks = 0;        ///< 0 = all graph nodes are ranks
+    int max_attempts = 2000;  ///< randomized restarts
+    std::uint64_t seed = 1;   ///< RNG seed (deterministic)
+    int max_detour_hops = 2;  ///< longest allowed detour route
+};
+
+/**
+ * Searches for a conflict-free double tree on @p graph. Returns
+ * std::nullopt when no embedding was found within the attempt budget
+ * (which does not prove none exists).
+ */
+std::optional<DoubleTreeEmbedding>
+findConflictFreeDoubleTree(const Graph& graph,
+                           const EmbeddingSearchOptions& options = {});
+
+} // namespace topo
+} // namespace ccube
+
+#endif // CCUBE_TOPO_EMBEDDING_SEARCH_H_

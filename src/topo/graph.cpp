@@ -1,0 +1,172 @@
+#include "topo/graph.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/logging.h"
+
+namespace ccube {
+namespace topo {
+
+Graph::Graph(std::string name)
+    : name_(std::move(name))
+{
+}
+
+NodeId
+Graph::addNode(std::string label)
+{
+    labels_.push_back(std::move(label));
+    is_switch_.push_back(false);
+    out_.emplace_back();
+    return static_cast<NodeId>(labels_.size()) - 1;
+}
+
+void
+Graph::markSwitch(NodeId node)
+{
+    checkNode(node);
+    is_switch_[static_cast<std::size_t>(node)] = true;
+}
+
+bool
+Graph::isSwitch(NodeId node) const
+{
+    checkNode(node);
+    return is_switch_[static_cast<std::size_t>(node)];
+}
+
+void
+Graph::scaleChannelBandwidth(int id, double factor)
+{
+    CCUBE_CHECK(id >= 0 && id < channelCount(), "bad channel id " << id);
+    CCUBE_CHECK(factor > 0.0, "non-positive bandwidth factor");
+    channels_[static_cast<std::size_t>(id)].bandwidth *= factor;
+}
+
+int
+Graph::addChannel(NodeId src, NodeId dst, double bandwidth, double latency,
+                  LinkKind kind)
+{
+    checkNode(src);
+    checkNode(dst);
+    CCUBE_CHECK(src != dst, "self-channel on node " << src);
+    CCUBE_CHECK(bandwidth > 0.0, "non-positive bandwidth");
+    CCUBE_CHECK(latency >= 0.0, "negative latency");
+    const int id = static_cast<int>(channels_.size());
+    channels_.push_back(ChannelDesc{id, src, dst, bandwidth, latency, kind});
+    out_[static_cast<std::size_t>(src)].push_back(id);
+    return id;
+}
+
+void
+Graph::addLink(NodeId a, NodeId b, double bandwidth, double latency,
+               LinkKind kind)
+{
+    addChannel(a, b, bandwidth, latency, kind);
+    addChannel(b, a, bandwidth, latency, kind);
+}
+
+const ChannelDesc&
+Graph::channel(int id) const
+{
+    CCUBE_CHECK(id >= 0 && id < channelCount(), "bad channel id " << id);
+    return channels_[static_cast<std::size_t>(id)];
+}
+
+const std::string&
+Graph::nodeLabel(NodeId node) const
+{
+    checkNode(node);
+    return labels_[static_cast<std::size_t>(node)];
+}
+
+const std::vector<int>&
+Graph::outChannels(NodeId node) const
+{
+    checkNode(node);
+    return out_[static_cast<std::size_t>(node)];
+}
+
+std::vector<int>
+Graph::channelIds(NodeId src, NodeId dst) const
+{
+    std::vector<int> ids;
+    for (int id : outChannels(src)) {
+        if (channels_[static_cast<std::size_t>(id)].dst == dst)
+            ids.push_back(id);
+    }
+    return ids;
+}
+
+bool
+Graph::hasChannel(NodeId src, NodeId dst) const
+{
+    return !channelIds(src, dst).empty();
+}
+
+int
+Graph::linkCount(NodeId a, NodeId b) const
+{
+    // A bidirectional link contributes one a→b channel; counting the
+    // a→b direction alone therefore counts each link once.
+    return static_cast<int>(channelIds(a, b).size());
+}
+
+std::vector<NodeId>
+Graph::neighbors(NodeId node) const
+{
+    std::vector<NodeId> result;
+    for (int id : outChannels(node)) {
+        const NodeId dst = channels_[static_cast<std::size_t>(id)].dst;
+        if (std::find(result.begin(), result.end(), dst) == result.end())
+            result.push_back(dst);
+    }
+    return result;
+}
+
+std::vector<NodeId>
+Graph::shortestPath(NodeId src, NodeId dst, LinkKind kind) const
+{
+    checkNode(src);
+    checkNode(dst);
+    if (src == dst)
+        return {src};
+
+    std::vector<NodeId> prev(labels_.size(), kInvalidNode);
+    std::vector<bool> seen(labels_.size(), false);
+    std::deque<NodeId> frontier{src};
+    seen[static_cast<std::size_t>(src)] = true;
+
+    while (!frontier.empty()) {
+        const NodeId here = frontier.front();
+        frontier.pop_front();
+        for (int id : outChannels(here)) {
+            const ChannelDesc& ch = channels_[static_cast<std::size_t>(id)];
+            if (ch.kind != kind || seen[static_cast<std::size_t>(ch.dst)])
+                continue;
+            seen[static_cast<std::size_t>(ch.dst)] = true;
+            prev[static_cast<std::size_t>(ch.dst)] = here;
+            if (ch.dst == dst) {
+                std::vector<NodeId> path{dst};
+                for (NodeId n = here; n != kInvalidNode;
+                     n = prev[static_cast<std::size_t>(n)]) {
+                    path.push_back(n);
+                }
+                std::reverse(path.begin(), path.end());
+                return path;
+            }
+            frontier.push_back(ch.dst);
+        }
+    }
+    return {};
+}
+
+void
+Graph::checkNode(NodeId node) const
+{
+    CCUBE_CHECK(node >= 0 && node < nodeCount(), "bad node id " << node);
+}
+
+} // namespace topo
+} // namespace ccube

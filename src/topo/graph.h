@@ -1,0 +1,144 @@
+#ifndef CCUBE_TOPO_GRAPH_H_
+#define CCUBE_TOPO_GRAPH_H_
+
+/**
+ * @file
+ * Physical topology graph: nodes and unidirectional channels.
+ *
+ * Following §II/§IV of the paper, a bidirectional link consists of two
+ * unidirectional channels — the distinction matters because the
+ * overlapped tree algorithm uses the idle downlink during reduction
+ * (Observation #2). Pairs of nodes may be connected by multiple links
+ * (e.g., GPU2–GPU3 on the DGX-1 has two NVLinks), which the double-tree
+ * C-Cube embedding exploits (Observation #4).
+ */
+
+#include <string>
+#include <vector>
+
+namespace ccube {
+namespace topo {
+
+/** Index of a node within a Graph. */
+using NodeId = int;
+
+/** Sentinel for "no node". */
+inline constexpr NodeId kInvalidNode = -1;
+
+/** Physical medium of a channel. */
+enum class LinkKind {
+    kNvlink, ///< GPU-side interconnect (fast, point-to-point)
+    kPcie,   ///< host-routed fallback (slow, shared)
+};
+
+/** One unidirectional channel. */
+struct ChannelDesc {
+    int id = -1;                  ///< dense channel index
+    NodeId src = kInvalidNode;    ///< sending endpoint
+    NodeId dst = kInvalidNode;    ///< receiving endpoint
+    double bandwidth = 0.0;       ///< bytes / second
+    double latency = 0.0;         ///< per-transfer latency (α), seconds
+    LinkKind kind = LinkKind::kNvlink;
+};
+
+/**
+ * A directed multigraph describing physical connectivity.
+ */
+class Graph
+{
+  public:
+    /** Creates an empty graph with a debug name. */
+    explicit Graph(std::string name);
+
+    /** Adds a node and returns its id. */
+    NodeId addNode(std::string label);
+
+    /**
+     * Adds one unidirectional channel and returns its id.
+     */
+    int addChannel(NodeId src, NodeId dst, double bandwidth, double latency,
+                   LinkKind kind = LinkKind::kNvlink);
+
+    /**
+     * Adds a bidirectional link: two unidirectional channels, one in
+     * each direction, with identical parameters.
+     */
+    void addLink(NodeId a, NodeId b, double bandwidth, double latency,
+                 LinkKind kind = LinkKind::kNvlink);
+
+    /** Number of nodes. */
+    int nodeCount() const { return static_cast<int>(labels_.size()); }
+
+    /** Number of unidirectional channels. */
+    int channelCount() const { return static_cast<int>(channels_.size()); }
+
+    /** Channel descriptor by id. */
+    const ChannelDesc& channel(int id) const;
+
+    /** All channels. */
+    const std::vector<ChannelDesc>& channels() const { return channels_; }
+
+    /** Node label by id. */
+    const std::string& nodeLabel(NodeId node) const;
+
+    /**
+     * Marks @p node as a switch. Switches cut through at the network
+     * level (they are not chunk-granularity store-and-forward hops
+     * the way GPU detour transits are); the transfer engine collapses
+     * consecutive switch hops into one pipelined stage.
+     */
+    void markSwitch(NodeId node);
+
+    /** True when @p node was marked as a switch. */
+    bool isSwitch(NodeId node) const;
+
+    /**
+     * Scales channel @p id's bandwidth by @p factor — models degraded
+     * links / stragglers for sensitivity studies.
+     */
+    void scaleChannelBandwidth(int id, double factor);
+
+    /** Graph debug name. */
+    const std::string& name() const { return name_; }
+
+    /** Ids of channels leaving @p node. */
+    const std::vector<int>& outChannels(NodeId node) const;
+
+    /** Ids of channels going @p src → @p dst (may be several). */
+    std::vector<int> channelIds(NodeId src, NodeId dst) const;
+
+    /** True when at least one channel goes @p src → @p dst. */
+    bool hasChannel(NodeId src, NodeId dst) const;
+
+    /**
+     * Number of physical links between the unordered pair {a, b}
+     * (counting each bidirectional link once). Returns 0 when not
+     * adjacent.
+     */
+    int linkCount(NodeId a, NodeId b) const;
+
+    /** Distinct neighbors reachable by one outgoing channel. */
+    std::vector<NodeId> neighbors(NodeId node) const;
+
+    /**
+     * Shortest path (fewest hops, BFS) from @p src to @p dst using only
+     * channels of kind @p kind. Returns the node sequence including
+     * both endpoints, or an empty vector when unreachable.
+     */
+    std::vector<NodeId> shortestPath(NodeId src, NodeId dst,
+                                     LinkKind kind = LinkKind::kNvlink) const;
+
+  private:
+    void checkNode(NodeId node) const;
+
+    std::string name_;
+    std::vector<std::string> labels_;
+    std::vector<bool> is_switch_;
+    std::vector<ChannelDesc> channels_;
+    std::vector<std::vector<int>> out_; ///< per-node outgoing channel ids
+};
+
+} // namespace topo
+} // namespace ccube
+
+#endif // CCUBE_TOPO_GRAPH_H_

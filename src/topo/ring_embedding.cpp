@@ -1,0 +1,138 @@
+#include "topo/ring_embedding.h"
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace ccube {
+namespace topo {
+
+namespace {
+
+/** Remaining same-direction capacity between ordered pairs. */
+class Capacity
+{
+  public:
+    explicit Capacity(const Graph& graph) : graph_(graph) {}
+
+    int
+    remaining(NodeId src, NodeId dst) const
+    {
+        const auto it = used_.find({src, dst});
+        const int used = it == used_.end() ? 0 : it->second;
+        return graph_.linkCount(src, dst) - used;
+    }
+
+    void consume(NodeId src, NodeId dst) { ++used_[{src, dst}]; }
+
+    void
+    consumeRing(const RingEmbedding& ring)
+    {
+        for (int i = 0; i < ring.size(); ++i) {
+            consume(ring.order[static_cast<std::size_t>(i)],
+                    ring.next(i));
+        }
+    }
+
+  private:
+    const Graph& graph_;
+    std::map<std::pair<NodeId, NodeId>, int> used_;
+};
+
+bool
+extend(const Graph& graph, int num_ranks, std::vector<NodeId>& path,
+       std::vector<bool>& used, const Capacity* capacity)
+{
+    auto usable = [&](NodeId src, NodeId dst) {
+        if (capacity)
+            return capacity->remaining(src, dst) > 0;
+        return graph.hasChannel(src, dst);
+    };
+    if (static_cast<int>(path.size()) == num_ranks)
+        return usable(path.back(), path.front());
+
+    const NodeId here = path.back();
+    for (NodeId next : graph.neighbors(here)) {
+        if (next >= num_ranks || used[static_cast<std::size_t>(next)] ||
+            !usable(here, next)) {
+            continue;
+        }
+        used[static_cast<std::size_t>(next)] = true;
+        path.push_back(next);
+        if (extend(graph, num_ranks, path, used, capacity))
+            return true;
+        path.pop_back();
+        used[static_cast<std::size_t>(next)] = false;
+    }
+    return false;
+}
+
+RingEmbedding
+findRingWithCapacity(const Graph& graph, int num_ranks,
+                     const Capacity* capacity)
+{
+    std::vector<NodeId> path{0};
+    std::vector<bool> used(static_cast<std::size_t>(num_ranks), false);
+    used[0] = true;
+    RingEmbedding ring;
+    if (extend(graph, num_ranks, path, used, capacity))
+        ring.order = std::move(path);
+    return ring;
+}
+
+} // namespace
+
+RingEmbedding
+findHamiltonianRing(const Graph& graph, int num_ranks)
+{
+    CCUBE_CHECK(num_ranks >= 2, "ring needs at least two ranks");
+    CCUBE_CHECK(num_ranks <= graph.nodeCount(), "too many ranks");
+    return findRingWithCapacity(graph, num_ranks, nullptr);
+}
+
+std::vector<RingEmbedding>
+findDisjointRings(const Graph& graph, int num_ranks, int max_rings)
+{
+    CCUBE_CHECK(num_ranks >= 2, "ring needs at least two ranks");
+    CCUBE_CHECK(max_rings >= 1, "need at least one ring");
+    Capacity capacity(graph);
+    std::vector<RingEmbedding> rings;
+    for (int r = 0; r < max_rings; ++r) {
+        RingEmbedding ring =
+            findRingWithCapacity(graph, num_ranks, &capacity);
+        if (ring.size() == 0)
+            break;
+        capacity.consumeRing(ring);
+        rings.push_back(std::move(ring));
+    }
+    return rings;
+}
+
+RingEmbedding
+makeSequentialRing(int num_ranks)
+{
+    CCUBE_CHECK(num_ranks >= 2, "ring needs at least two ranks");
+    RingEmbedding ring;
+    ring.order.resize(static_cast<std::size_t>(num_ranks));
+    for (int i = 0; i < num_ranks; ++i)
+        ring.order[static_cast<std::size_t>(i)] = i;
+    return ring;
+}
+
+bool
+ringIsPhysical(const Graph& graph, const RingEmbedding& ring)
+{
+    if (ring.size() < 2)
+        return false;
+    for (int i = 0; i < ring.size(); ++i) {
+        const NodeId here = ring.order[static_cast<std::size_t>(i)];
+        if (!graph.hasChannel(here, ring.next(i)))
+            return false;
+    }
+    return true;
+}
+
+} // namespace topo
+} // namespace ccube

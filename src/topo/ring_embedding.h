@@ -1,0 +1,71 @@
+#ifndef CCUBE_TOPO_RING_EMBEDDING_H_
+#define CCUBE_TOPO_RING_EMBEDDING_H_
+
+/**
+ * @file
+ * Logical ring embedding for the ring AllReduce baseline (R).
+ *
+ * The physical topology need not be a ring: a logical ring is embedded
+ * onto it (§III-A). For the DGX-1, a Hamiltonian NVLink cycle exists
+ * and is found by backtracking search.
+ */
+
+#include <vector>
+
+#include "topo/graph.h"
+
+namespace ccube {
+namespace topo {
+
+/**
+ * A logical ring: node order; node i sends to order[(i+1) % P].
+ */
+struct RingEmbedding {
+    std::vector<NodeId> order;
+
+    /** Number of ranks on the ring. */
+    int size() const { return static_cast<int>(order.size()); }
+
+    /** Successor of the node at ring position @p pos. */
+    NodeId next(int pos) const
+    {
+        return order[static_cast<std::size_t>((pos + 1) % size())];
+    }
+};
+
+/**
+ * Finds a Hamiltonian cycle over nodes 0..num_ranks-1 using only
+ * direct NVLink channels (backtracking; practical for small node
+ * counts such as the 8-GPU DGX-1). Returns an empty embedding when no
+ * such cycle exists.
+ */
+RingEmbedding findHamiltonianRing(const Graph& graph, int num_ranks);
+
+/**
+ * Returns the trivial ring 0,1,...,P-1 (suitable for switch fabrics
+ * where every pair is routable at uniform cost).
+ */
+RingEmbedding makeSequentialRing(int num_ranks);
+
+/** True when consecutive ring hops all have direct channels. */
+bool ringIsPhysical(const Graph& graph, const RingEmbedding& ring);
+
+/**
+ * Finds up to @p max_rings channel-disjoint Hamiltonian cycles over
+ * nodes 0..num_ranks-1, respecting per-direction link multiplicity
+ * (a double NVLink can carry two rings in the same direction). This
+ * is how NCCL exploits all six NVLinks per GPU on the DGX-1: data is
+ * striped across several logical rings running concurrently.
+ *
+ * Greedy: rings are found one at a time, each consuming capacity.
+ * Returns fewer rings when the residual graph has no Hamiltonian
+ * cycle left.
+ */
+std::vector<RingEmbedding> findDisjointRings(const Graph& graph,
+                                             int num_ranks,
+                                             int max_rings);
+
+} // namespace topo
+} // namespace ccube
+
+#endif // CCUBE_TOPO_RING_EMBEDDING_H_

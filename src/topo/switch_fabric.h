@@ -1,0 +1,43 @@
+#ifndef CCUBE_TOPO_SWITCH_FABRIC_H_
+#define CCUBE_TOPO_SWITCH_FABRIC_H_
+
+/**
+ * @file
+ * Hierarchical indirect (switched) topology for scale-out simulation.
+ *
+ * §V-B3 of the paper evaluates scalability on "a hierarchical,
+ * indirect topology (i.e., intermediate switches)". This builder
+ * produces a two-level fat tree: endpoints attach to leaf switches,
+ * leaf switches attach to a spine, with full bisection bandwidth.
+ */
+
+#include "topo/graph.h"
+
+namespace ccube {
+namespace topo {
+
+/** Parameters of the switch fabric. */
+struct SwitchFabricParams {
+    int num_nodes = 16;              ///< endpoint count (ranks)
+    int leaf_radix = 8;              ///< endpoints per leaf switch
+    int links_per_node = 2;          ///< parallel endpoint↔leaf links
+    double link_bandwidth = 25e9;    ///< bytes/s per direction
+    double link_latency = 4.6e-6;    ///< per-hop latency, seconds
+    double switch_latency = 0.7e-6;  ///< extra per-switch traversal
+};
+
+/**
+ * Builds the fabric. Endpoints are node ids 0..num_nodes-1; leaf
+ * switches follow, then a single spine switch (uplinks are widened to
+ * leaf_radix × link_bandwidth so the spine is non-blocking).
+ */
+Graph makeSwitchFabric(const SwitchFabricParams& params = {});
+
+/** Number of switch-to-switch and node-to-switch hops between two
+ *  endpoints (2 within a leaf, 4 across leaves). */
+int fabricHopCount(const SwitchFabricParams& params, NodeId a, NodeId b);
+
+} // namespace topo
+} // namespace ccube
+
+#endif // CCUBE_TOPO_SWITCH_FABRIC_H_

@@ -1,0 +1,87 @@
+#include "util/logging.h"
+
+#include <mutex>
+
+namespace ccube {
+namespace util {
+
+namespace {
+
+const char*
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO";
+      case LogLevel::kWarn: return "WARN";
+      case LogLevel::kError: return "ERROR";
+      case LogLevel::kNone: return "NONE";
+    }
+    return "?";
+}
+
+std::mutex& logMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+} // namespace
+
+Logger&
+Logger::instance()
+{
+    static Logger logger;
+    return logger;
+}
+
+void
+Logger::log(LogLevel level, std::string_view tag, std::string_view msg)
+{
+    if (level < level_)
+        return;
+    std::lock_guard<std::mutex> guard(logMutex());
+    std::ostream& out = sink_ ? *sink_ : std::cerr;
+    out << "[" << levelName(level) << "] " << tag << ": " << msg << "\n";
+}
+
+void
+logDebug(std::string_view tag, std::string_view msg)
+{
+    Logger::instance().log(LogLevel::kDebug, tag, msg);
+}
+
+void
+logInfo(std::string_view tag, std::string_view msg)
+{
+    Logger::instance().log(LogLevel::kInfo, tag, msg);
+}
+
+void
+logWarn(std::string_view tag, std::string_view msg)
+{
+    Logger::instance().log(LogLevel::kWarn, tag, msg);
+}
+
+void
+fatal(std::string_view msg)
+{
+    {
+        std::lock_guard<std::mutex> guard(logMutex());
+        std::cerr << "[FATAL] " << msg << std::endl;
+    }
+    std::exit(1);
+}
+
+void
+panic(std::string_view msg)
+{
+    {
+        std::lock_guard<std::mutex> guard(logMutex());
+        std::cerr << "[PANIC] " << msg << std::endl;
+    }
+    std::abort();
+}
+
+} // namespace util
+} // namespace ccube

@@ -1,0 +1,85 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ccube {
+namespace util {
+
+void
+RunningStats::add(double x)
+{
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void
+RunningStats::merge(const RunningStats& other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double total = n1 + n2;
+    mean_ += delta * n2 / total;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+RunningStats::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+quantile(std::vector<double> samples, double q)
+{
+    CCUBE_CHECK(!samples.empty(), "quantile of empty sample set");
+    CCUBE_CHECK(q >= 0.0 && q <= 1.0, "quantile out of range");
+    std::sort(samples.begin(), samples.end());
+    if (samples.size() == 1)
+        return samples.front();
+    const double pos = q * static_cast<double>(samples.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+double
+geomean(const std::vector<double>& samples)
+{
+    if (samples.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double s : samples) {
+        CCUBE_CHECK(s > 0.0, "geomean requires positive samples");
+        log_sum += std::log(s);
+    }
+    return std::exp(log_sum / static_cast<double>(samples.size()));
+}
+
+} // namespace util
+} // namespace ccube

@@ -1,0 +1,72 @@
+#ifndef CCUBE_UTIL_STATS_H_
+#define CCUBE_UTIL_STATS_H_
+
+/**
+ * @file
+ * Small statistics accumulators used by benchmarks and reports.
+ */
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace ccube {
+namespace util {
+
+/**
+ * Online accumulator for min / max / mean / variance of a sample stream.
+ *
+ * Uses Welford's algorithm so that single-pass accumulation is
+ * numerically stable even for long benchmark runs.
+ */
+class RunningStats
+{
+  public:
+    /** Adds one sample. */
+    void add(double x);
+
+    /** Merges another accumulator into this one. */
+    void merge(const RunningStats& other);
+
+    /** Number of samples observed. */
+    std::size_t count() const { return count_; }
+
+    /** Sample mean; 0 when empty. */
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Unbiased sample variance; 0 for fewer than two samples. */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample; +inf when empty. */
+    double min() const { return min_; }
+
+    /** Largest sample; -inf when empty. */
+    double max() const { return max_; }
+
+    /** Sum of all samples. */
+    double sum() const { return mean_ * static_cast<double>(count_); }
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Computes the @p q quantile (0 <= q <= 1) of @p samples by linear
+ * interpolation; the input vector is copied and sorted internally.
+ */
+double quantile(std::vector<double> samples, double q);
+
+/** Geometric mean of strictly positive samples; 0 when empty. */
+double geomean(const std::vector<double>& samples);
+
+} // namespace util
+} // namespace ccube
+
+#endif // CCUBE_UTIL_STATS_H_

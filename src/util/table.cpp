@@ -1,0 +1,95 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "util/logging.h"
+
+namespace ccube {
+namespace util {
+
+std::string
+formatDouble(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    CCUBE_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    CCUBE_CHECK(cells.size() == headers_.size(),
+                "row arity mismatch: got " << cells.size() << ", want "
+                                           << headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::addNumericRow(const std::vector<double>& cells, int precision)
+{
+    std::vector<std::string> row;
+    row.reserve(cells.size());
+    for (double c : cells)
+        row.push_back(formatDouble(c, precision));
+    addRow(std::move(row));
+}
+
+void
+Table::print(std::ostream& out) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string>& row) {
+        out << "|";
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << " " << row[c];
+            for (std::size_t p = row[c].size(); p < widths[c]; ++p)
+                out << ' ';
+            out << " |";
+        }
+        out << "\n";
+    };
+
+    print_row(headers_);
+    out << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        for (std::size_t p = 0; p < widths[c] + 2; ++p)
+            out << '-';
+        out << "|";
+    }
+    out << "\n";
+    for (const auto& row : rows_)
+        print_row(row);
+}
+
+void
+Table::printCsv(std::ostream& out) const
+{
+    auto print_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                out << ',';
+            out << row[c];
+        }
+        out << "\n";
+    };
+    print_row(headers_);
+    for (const auto& row : rows_)
+        print_row(row);
+}
+
+} // namespace util
+} // namespace ccube

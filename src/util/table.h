@@ -1,0 +1,54 @@
+#ifndef CCUBE_UTIL_TABLE_H_
+#define CCUBE_UTIL_TABLE_H_
+
+/**
+ * @file
+ * Plain-text table printer used by the benchmark harnesses.
+ *
+ * Every figure/table reproduction prints its series through this class
+ * so that bench output is uniform and machine-parsable (also emits CSV).
+ */
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ccube {
+namespace util {
+
+/**
+ * Accumulates rows of string cells and renders an aligned table.
+ */
+class Table
+{
+  public:
+    /** Creates a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Appends a row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: formats doubles with @p precision digits. */
+    void addNumericRow(const std::vector<double>& cells, int precision = 4);
+
+    /** Number of data rows added so far. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Renders as an aligned, pipe-separated table. */
+    void print(std::ostream& out) const;
+
+    /** Renders as CSV (header row first). */
+    void printCsv(std::ostream& out) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Formats a double with fixed precision. */
+std::string formatDouble(double v, int precision = 4);
+
+} // namespace util
+} // namespace ccube
+
+#endif // CCUBE_UTIL_TABLE_H_

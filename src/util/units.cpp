@@ -1,0 +1,55 @@
+#include "util/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ccube {
+namespace util {
+
+namespace {
+
+std::string
+format(double value, const char* suffix)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f %s", value, suffix);
+    return buf;
+}
+
+} // namespace
+
+std::string
+formatBytes(double bytes)
+{
+    if (bytes >= kGiB)
+        return format(bytes / kGiB, "GiB");
+    if (bytes >= kMiB)
+        return format(bytes / kMiB, "MiB");
+    if (bytes >= kKiB)
+        return format(bytes / kKiB, "KiB");
+    return format(bytes, "B");
+}
+
+std::string
+formatSeconds(double seconds)
+{
+    const double abs = std::fabs(seconds);
+    if (abs >= 1.0)
+        return format(seconds, "s");
+    if (abs >= 1e-3)
+        return format(seconds * 1e3, "ms");
+    if (abs >= 1e-6)
+        return format(seconds * 1e6, "us");
+    return format(seconds * 1e9, "ns");
+}
+
+std::string
+formatBandwidth(double bytes_per_second)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f GB/s", bytes_per_second / 1e9);
+    return buf;
+}
+
+} // namespace util
+} // namespace ccube

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the P2P mailbox (receive-buffer model) and communicator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "ccl/communicator.h"
+#include "ccl/mailbox.h"
+
+namespace ccube {
+namespace ccl {
+namespace {
+
+TEST(Mailbox, SendRecvRoundTrip)
+{
+    Mailbox box(2);
+    const std::vector<float> payload{1.0f, 2.0f, 3.0f};
+    box.send(payload, /*tag=*/7);
+    std::vector<float> out;
+    EXPECT_EQ(box.recv(out), 7);
+    EXPECT_EQ(out, payload);
+    EXPECT_EQ(box.delivered(), 1);
+}
+
+TEST(Mailbox, RecvIntoOverwrites)
+{
+    Mailbox box(1);
+    box.send(std::vector<float>{5.0f, 6.0f}, 1);
+    std::vector<float> out{0.0f, 0.0f};
+    EXPECT_EQ(box.recvInto(out), 1);
+    EXPECT_EQ(out, (std::vector<float>{5.0f, 6.0f}));
+}
+
+TEST(Mailbox, RecvReduceAccumulates)
+{
+    Mailbox box(1);
+    box.send(std::vector<float>{1.0f, 2.0f}, 0);
+    std::vector<float> acc{10.0f, 20.0f};
+    box.recvReduce(acc);
+    EXPECT_EQ(acc, (std::vector<float>{11.0f, 22.0f}));
+}
+
+TEST(Mailbox, PreservesFifoOrderAcrossThreads)
+{
+    Mailbox box(3);
+    constexpr int kChunks = 200;
+    std::thread producer([&]() {
+        for (int c = 0; c < kChunks; ++c)
+            box.send(std::vector<float>{static_cast<float>(c)}, c);
+    });
+    for (int c = 0; c < kChunks; ++c) {
+        std::vector<float> out;
+        const int tag = box.recv(out);
+        EXPECT_EQ(tag, c);
+        EXPECT_EQ(out[0], static_cast<float>(c));
+    }
+    producer.join();
+    EXPECT_EQ(box.delivered(), kChunks);
+}
+
+TEST(Mailbox, BackpressureWithOneSlot)
+{
+    // With a single receive buffer, the producer can run at most one
+    // chunk ahead of the consumer — flow control via post/wait.
+    Mailbox box(1);
+    constexpr int kChunks = 100;
+    std::atomic<int> sent{0};
+    std::thread producer([&]() {
+        for (int c = 0; c < kChunks; ++c) {
+            box.send(std::vector<float>{0.0f}, c);
+            sent.fetch_add(1);
+        }
+    });
+    std::vector<float> out;
+    for (int c = 0; c < kChunks; ++c) {
+        box.recv(out);
+        EXPECT_LE(sent.load(), c + 2);
+    }
+    producer.join();
+}
+
+TEST(Communicator, MailboxIdentityPerFlow)
+{
+    Communicator comm(4);
+    Mailbox& a = comm.mailbox(0, 1, kFlowTree0Reduce);
+    Mailbox& b = comm.mailbox(0, 1, kFlowTree0Reduce);
+    Mailbox& c = comm.mailbox(0, 1, kFlowTree0Broadcast);
+    Mailbox& d = comm.mailbox(1, 0, kFlowTree0Reduce);
+    EXPECT_EQ(&a, &b);
+    EXPECT_NE(&a, &c);
+    EXPECT_NE(&a, &d);
+}
+
+TEST(Communicator, RunExecutesEveryRank)
+{
+    Communicator comm(8);
+    std::vector<std::atomic<int>> hits(8);
+    comm.run([&](int rank) { hits[static_cast<std::size_t>(rank)]++; });
+    for (const auto& h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Communicator, BarrierSynchronizes)
+{
+    Communicator comm(4);
+    std::atomic<int> before{0};
+    std::atomic<bool> violated{false};
+    comm.run([&](int) {
+        before.fetch_add(1);
+        comm.barrier();
+        if (before.load() != 4)
+            violated.store(true);
+    });
+    EXPECT_FALSE(violated.load());
+}
+
+TEST(Communicator, BarrierReusable)
+{
+    Communicator comm(3);
+    std::atomic<int> phase_sum{0};
+    std::atomic<bool> violated{false};
+    comm.run([&](int) {
+        for (int phase = 0; phase < 5; ++phase) {
+            phase_sum.fetch_add(1);
+            comm.barrier();
+            if (phase_sum.load() < (phase + 1) * 3)
+                violated.store(true);
+            comm.barrier();
+        }
+    });
+    EXPECT_FALSE(violated.load());
+    EXPECT_EQ(phase_sum.load(), 15);
+}
+
+} // namespace
+} // namespace ccl
+} // namespace ccube

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for the standalone collective primitives (tree broadcast /
+ * reduce, ring Reduce-Scatter / AllGather) and the one-call AllReduce
+ * dispatcher — including the identity
+ * ReduceScatter ∘ AllGather ≡ AllReduce and broadcast-after-reduce
+ * composition.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ccl/primitives.h"
+#include "ccl/ring_allreduce.h"
+#include "topo/dgx1.h"
+#include "topo/double_tree.h"
+#include "util/rng.h"
+
+namespace ccube {
+namespace ccl {
+namespace {
+
+RankBuffers
+makeBuffers(int ranks, std::size_t elems, std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    RankBuffers buffers(static_cast<std::size_t>(ranks));
+    for (auto& b : buffers) {
+        b.resize(elems);
+        rng.fill(b, -2.0f, 2.0f);
+    }
+    return buffers;
+}
+
+std::vector<float>
+expectedSum(const RankBuffers& buffers)
+{
+    std::vector<float> sum(buffers[0].size(), 0.0f);
+    for (const auto& b : buffers)
+        for (std::size_t i = 0; i < sum.size(); ++i)
+            sum[i] += b[i];
+    return sum;
+}
+
+TEST(TreeBroadcast, EveryRankGetsTheRootBuffer)
+{
+    const int ranks = 8;
+    RankBuffers buffers = makeBuffers(ranks, 64, 3);
+    const topo::TreeEmbedding embedding =
+        topo::directEmbedding(topo::BinaryTree::inorder(ranks));
+    const std::vector<float> root_data =
+        buffers[static_cast<std::size_t>(embedding.tree.root())];
+    Communicator comm(ranks);
+    treeBroadcast(comm, buffers, embedding, 4);
+    for (int r = 0; r < ranks; ++r)
+        EXPECT_EQ(buffers[static_cast<std::size_t>(r)], root_data);
+}
+
+TEST(TreeBroadcast, WorksThroughDgx1Detours)
+{
+    const topo::Graph dgx1 = topo::makeDgx1();
+    const auto dt = topo::makeDgx1DoubleTree(dgx1);
+    RankBuffers buffers = makeBuffers(8, 32, 5);
+    const std::vector<float> root_data =
+        buffers[static_cast<std::size_t>(dt.tree0.tree.root())];
+    Communicator comm(8);
+    treeBroadcast(comm, buffers, dt.tree0, 4);
+    for (int r = 0; r < 8; ++r)
+        EXPECT_EQ(buffers[static_cast<std::size_t>(r)], root_data);
+}
+
+TEST(TreeReduce, RootHoldsTheSum)
+{
+    const int ranks = 5;
+    RankBuffers buffers = makeBuffers(ranks, 40, 7);
+    const std::vector<float> sum = expectedSum(buffers);
+    const topo::TreeEmbedding embedding =
+        topo::directEmbedding(topo::BinaryTree::inorder(ranks));
+    Communicator comm(ranks);
+    treeReduce(comm, buffers, embedding, 8);
+    const auto& root_buf =
+        buffers[static_cast<std::size_t>(embedding.tree.root())];
+    for (std::size_t i = 0; i < sum.size(); ++i)
+        ASSERT_NEAR(root_buf[i], sum[i], 1e-4f);
+}
+
+TEST(TreeReduceThenBroadcast, ComposesIntoAllReduce)
+{
+    const int ranks = 8;
+    RankBuffers buffers = makeBuffers(ranks, 48, 11);
+    const std::vector<float> sum = expectedSum(buffers);
+    const topo::TreeEmbedding embedding =
+        topo::directEmbedding(topo::BinaryTree::inorder(ranks));
+    {
+        Communicator comm(ranks);
+        treeReduce(comm, buffers, embedding, 6);
+    }
+    {
+        Communicator comm(ranks);
+        treeBroadcast(comm, buffers, embedding, 6);
+    }
+    for (int r = 0; r < ranks; ++r)
+        for (std::size_t i = 0; i < sum.size(); ++i)
+            ASSERT_NEAR(buffers[static_cast<std::size_t>(r)][i], sum[i],
+                        1e-4f);
+}
+
+TEST(RingPhases, ReduceScatterThenAllGatherIsAllReduce)
+{
+    const int ranks = 8;
+    RankBuffers via_phases = makeBuffers(ranks, 64, 13);
+    RankBuffers via_allreduce = via_phases;
+    const topo::RingEmbedding ring = topo::makeSequentialRing(ranks);
+    {
+        Communicator comm(ranks);
+        ringReduceScatter(comm, via_phases, ring);
+    }
+    {
+        Communicator comm(ranks);
+        ringAllGather(comm, via_phases, ring);
+    }
+    {
+        Communicator comm(ranks);
+        ringAllReduce(comm, via_allreduce, ring);
+    }
+    for (int r = 0; r < ranks; ++r)
+        EXPECT_EQ(via_phases[static_cast<std::size_t>(r)],
+                  via_allreduce[static_cast<std::size_t>(r)]);
+}
+
+TEST(RingReduceScatter, OwnedSliceIsFullyReduced)
+{
+    const int ranks = 4;
+    RankBuffers buffers = makeBuffers(ranks, 16, 17);
+    const std::vector<float> sum = expectedSum(buffers);
+    const topo::RingEmbedding ring = topo::makeSequentialRing(ranks);
+    Communicator comm(ranks);
+    ringReduceScatter(comm, buffers, ring);
+    const ChunkSplit split(16, ranks);
+    for (int pos = 0; pos < ranks; ++pos) {
+        const int owned = (pos + 1) % ranks;
+        const auto& buf = buffers[static_cast<std::size_t>(
+            ring.order[static_cast<std::size_t>(pos)])];
+        for (std::size_t i = split.begin(owned); i < split.end(owned);
+             ++i) {
+            ASSERT_NEAR(buf[i], sum[i], 1e-4f)
+                << "pos " << pos << " elem " << i;
+        }
+    }
+}
+
+class DispatcherSweep
+    : public ::testing::TestWithParam<AllReduceAlgorithm>
+{
+};
+
+TEST_P(DispatcherSweep, AllAlgorithmsCorrectOnDgx1)
+{
+    const topo::Graph dgx1 = topo::makeDgx1();
+    RankBuffers buffers = makeBuffers(8, 64, 23);
+    const std::vector<float> sum = expectedSum(buffers);
+    Communicator comm(8);
+    AllReduceOptions options;
+    options.algorithm = GetParam();
+    options.num_chunks = 4;
+    allReduce(comm, buffers, dgx1, options);
+    for (int r = 0; r < 8; ++r)
+        for (std::size_t i = 0; i < sum.size(); ++i)
+            ASSERT_NEAR(buffers[static_cast<std::size_t>(r)][i], sum[i],
+                        1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DispatcherSweep,
+    ::testing::Values(AllReduceAlgorithm::kRing,
+                      AllReduceAlgorithm::kTree,
+                      AllReduceAlgorithm::kOverlappedTree,
+                      AllReduceAlgorithm::kDoubleTree,
+                      AllReduceAlgorithm::kCCubeDoubleTree));
+
+TEST(Dispatcher, ObserverSeesEveryChunkOnEveryRank)
+{
+    const topo::Graph dgx1 = topo::makeDgx1();
+    RankBuffers buffers = makeBuffers(8, 64, 29);
+    Communicator comm(8);
+    std::vector<std::atomic<int>> seen(8);
+    AllReduceOptions options;
+    options.algorithm = AllReduceAlgorithm::kCCubeDoubleTree;
+    options.num_chunks = 4;
+    options.observer = [&seen](int rank, int) {
+        seen[static_cast<std::size_t>(rank)]++;
+    };
+    allReduce(comm, buffers, dgx1, options);
+    for (const auto& s : seen)
+        EXPECT_EQ(s.load(), 8); // 2 trees × 4 chunks
+}
+
+} // namespace
+} // namespace ccl
+} // namespace ccube

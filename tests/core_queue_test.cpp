@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Gradient-queue and chunk-mapper tests (DESIGN.md invariant #4):
+ * FIFO semantics, LIC monotonicity, layer gating via the Layer-Chunk
+ * Table, and the byte↔chunk↔layer mapping that derives it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/chunk_mapper.h"
+#include "core/gradient_queue.h"
+
+namespace ccube {
+namespace core {
+namespace {
+
+TEST(GradientQueue, TableValidation)
+{
+    EXPECT_DEATH(GradientQueue({}), "empty");
+    EXPECT_DEATH(GradientQueue({3, 1}), "non-decreasing");
+}
+
+TEST(GradientQueue, DequeueUnblocksAtLayerBound)
+{
+    // Layers gate at cumulative chunk counts 1, 3, 6 (L1 has 1 chunk,
+    // L2 has 2, L3 has 3 — the Fig. 8 example).
+    GradientQueue queue({1, 3, 6});
+    EXPECT_EQ(queue.totalChunks(), 6);
+    queue.enqueueChunk();
+    EXPECT_TRUE(queue.tryDequeueLayer(0));
+    EXPECT_FALSE(queue.tryDequeueLayer(1));
+    queue.enqueueChunk();
+    EXPECT_FALSE(queue.tryDequeueLayer(1));
+    queue.enqueueChunk();
+    EXPECT_TRUE(queue.tryDequeueLayer(1));
+    EXPECT_EQ(queue.layerIndexCounter(), 2);
+}
+
+TEST(GradientQueue, LicAdvancesInOrderOnly)
+{
+    GradientQueue queue({1, 2});
+    queue.enqueueChunk();
+    queue.enqueueChunk();
+    EXPECT_DEATH(queue.dequeueLayer(1), "in order");
+    queue.dequeueLayer(0);
+    queue.dequeueLayer(1);
+    EXPECT_EQ(queue.layerIndexCounter(), 2);
+}
+
+TEST(GradientQueue, ZeroChunkLayersPassImmediately)
+{
+    // Layers without parameters (pooling) share the previous bound.
+    GradientQueue queue({2, 2, 5});
+    queue.enqueueChunk();
+    queue.enqueueChunk();
+    EXPECT_TRUE(queue.tryDequeueLayer(0));
+    EXPECT_TRUE(queue.tryDequeueLayer(1)); // no extra chunks needed
+    EXPECT_FALSE(queue.tryDequeueLayer(2));
+}
+
+TEST(GradientQueue, BlockingDequeueWaitsForBroadcast)
+{
+    GradientQueue queue({2, 4});
+    std::atomic<int> dequeued{0};
+    std::thread compute([&]() {
+        queue.dequeueLayer(0);
+        dequeued.store(1);
+        queue.dequeueLayer(1);
+        dequeued.store(2);
+    });
+    EXPECT_EQ(dequeued.load(), 0);
+    queue.enqueueChunk();
+    queue.enqueueChunk(); // layer 0 complete
+    while (dequeued.load() < 1)
+        std::this_thread::yield();
+    EXPECT_EQ(dequeued.load(), 1);
+    queue.enqueueChunk();
+    queue.enqueueChunk(); // layer 1 complete
+    compute.join();
+    EXPECT_EQ(dequeued.load(), 2);
+}
+
+TEST(GradientQueue, ConcurrentEnqueueDequeueFullIteration)
+{
+    // A full "iteration": broadcast thread enqueues 100 chunks while
+    // the compute thread dequeues 10 layers of 10 chunks each; the
+    // compute thread must never observe a layer before its chunks.
+    std::vector<std::int64_t> table;
+    for (int l = 1; l <= 10; ++l)
+        table.push_back(10 * l);
+    GradientQueue queue(table);
+    std::atomic<bool> violated{false};
+    std::thread broadcaster([&]() {
+        for (int c = 0; c < 100; ++c)
+            queue.enqueueChunk();
+    });
+    for (int l = 0; l < 10; ++l) {
+        queue.dequeueLayer(l);
+        if (queue.enqueued() < queue.layerChunkBound(l))
+            violated.store(true);
+    }
+    broadcaster.join();
+    EXPECT_FALSE(violated.load());
+    EXPECT_EQ(queue.layerIndexCounter(), 10);
+}
+
+TEST(GradientQueue, ResetForNextIteration)
+{
+    GradientQueue queue({1});
+    queue.enqueueChunk();
+    queue.dequeueLayer(0);
+    queue.resetIteration();
+    EXPECT_EQ(queue.layerIndexCounter(), 0);
+    EXPECT_EQ(queue.enqueued(), 0);
+    EXPECT_FALSE(queue.tryDequeueLayer(0));
+}
+
+// ----------------------------------------------------------- mapper
+
+TEST(ChunkMapper, SingleTreeRangesPartitionBuffer)
+{
+    const ChunkMapper mapper = ChunkMapper::singleTree(100.0, 7);
+    double covered = 0.0;
+    for (int c = 0; c < mapper.numChunks(); ++c) {
+        const auto [lo, hi] = mapper.chunkByteRange(c);
+        EXPECT_DOUBLE_EQ(lo, covered);
+        EXPECT_GT(hi, lo);
+        covered = hi;
+    }
+    EXPECT_DOUBLE_EQ(covered, 100.0);
+}
+
+TEST(ChunkMapper, DoubleTreeSplitsHalves)
+{
+    const ChunkMapper mapper = ChunkMapper::doubleTree(100.0, 2);
+    EXPECT_EQ(mapper.numChunks(), 4);
+    EXPECT_DOUBLE_EQ(mapper.chunkByteRange(0).first, 0.0);
+    EXPECT_DOUBLE_EQ(mapper.chunkByteRange(1).second, 50.0);
+    EXPECT_DOUBLE_EQ(mapper.chunkByteRange(2).first, 50.0);
+    EXPECT_DOUBLE_EQ(mapper.chunkByteRange(3).second, 100.0);
+}
+
+TEST(ChunkMapper, ChunksOfLayerIntersection)
+{
+    const ChunkMapper mapper = ChunkMapper::singleTree(100.0, 4);
+    // Layers of 30 / 0 / 45 / 25 bytes.
+    const std::vector<double> layers{30.0, 0.0, 45.0, 25.0};
+    EXPECT_EQ(mapper.chunksOfLayer(layers, 0),
+              (std::vector<int>{0, 1}));
+    EXPECT_TRUE(mapper.chunksOfLayer(layers, 1).empty());
+    EXPECT_EQ(mapper.chunksOfLayer(layers, 2),
+              (std::vector<int>{1, 2}));
+    EXPECT_EQ(mapper.chunksOfLayer(layers, 3),
+              (std::vector<int>{3}));
+}
+
+TEST(ChunkMapper, LayerReadyTimeIsMaxOfGatingChunks)
+{
+    const ChunkMapper mapper = ChunkMapper::singleTree(100.0, 4);
+    const std::vector<double> layers{30.0, 0.0, 45.0, 25.0};
+    const std::vector<double> ready{1.0, 4.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(mapper.layerReadyTime(layers, 0, ready), 4.0);
+    EXPECT_DOUBLE_EQ(mapper.layerReadyTime(layers, 1, ready), 0.0);
+    EXPECT_DOUBLE_EQ(mapper.layerReadyTime(layers, 2, ready), 4.0);
+    EXPECT_DOUBLE_EQ(mapper.layerReadyTime(layers, 3, ready), 3.0);
+}
+
+TEST(ChunkMapper, LayerChunkTableIsMonotoneAndMatchesFig8)
+{
+    // Fig. 8: L1 has 1 chunk, L2 has 2, L3 has 3 — with 6 equal
+    // chunks of equal bytes the cumulative table is 1, 3, 6.
+    const ChunkMapper mapper = ChunkMapper::singleTree(60.0, 6);
+    const std::vector<double> layers{10.0, 20.0, 30.0};
+    const auto table = mapper.layerChunkTable(layers);
+    EXPECT_EQ(table, (std::vector<std::int64_t>{1, 3, 6}));
+}
+
+TEST(ChunkMapper, TableHandlesZeroByteLayers)
+{
+    const ChunkMapper mapper = ChunkMapper::singleTree(40.0, 4);
+    const std::vector<double> layers{10.0, 0.0, 10.0, 0.0, 20.0};
+    const auto table = mapper.layerChunkTable(layers);
+    EXPECT_EQ(table, (std::vector<std::int64_t>{1, 1, 2, 2, 4}));
+}
+
+TEST(ChunkMapper, RingMapperUsesOneSlicePerRank)
+{
+    const ChunkMapper mapper = ChunkMapper::ring(80.0, 8);
+    EXPECT_EQ(mapper.numChunks(), 8);
+    EXPECT_DOUBLE_EQ(mapper.chunkByteRange(7).second, 80.0);
+}
+
+} // namespace
+} // namespace core
+} // namespace ccube

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Workload-substrate tests: shape arithmetic, catalog parameter
+ * totals against published counts, and the compute-model properties
+ * behind Fig. 16/17 (compute time falls with depth while parameter
+ * size rises for CNNs).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "dnn/catalog.h"
+#include "dnn/compute_model.h"
+#include "dnn/layer.h"
+#include "dnn/network.h"
+#include "dnn/shapes.h"
+
+namespace ccube {
+namespace dnn {
+namespace {
+
+TEST(ConvShape, OutSizeAndParams)
+{
+    // ResNet-50 stem: 7x7/2 pad 3 on 224 → 112.
+    const ConvShape stem{3, 64, 7, 2, 3, 224};
+    EXPECT_EQ(stem.outSize(), 112);
+    EXPECT_EQ(stem.params(), 7LL * 7 * 3 * 64 + 64);
+    EXPECT_EQ(stem.flopsPerSample(),
+              2LL * 112 * 112 * 7 * 7 * 3 * 64);
+    EXPECT_EQ(stem.outputElemsPerSample(), 112LL * 112 * 64);
+}
+
+TEST(ConvShape, StrideOnePreservesSize)
+{
+    const ConvShape conv{64, 64, 3, 1, 1, 56};
+    EXPECT_EQ(conv.outSize(), 56);
+}
+
+TEST(FcShape, ParamsAndFlops)
+{
+    const FcShape fc{2048, 1000};
+    EXPECT_EQ(fc.params(), 2048LL * 1000 + 1000);
+    EXPECT_EQ(fc.flopsPerSample(), 2LL * 2048 * 1000);
+}
+
+TEST(PoolShape, NoParams)
+{
+    const PoolShape pool{64, 3, 2, 112};
+    EXPECT_EQ(pool.outSize(), 55);
+    const Layer layer = Layer::pool("p", pool);
+    EXPECT_EQ(layer.param_count, 0);
+    EXPECT_DOUBLE_EQ(layer.paramBytes(), 0.0);
+}
+
+TEST(EmbeddingShape, MemoryBoundProfile)
+{
+    const EmbeddingShape emb{1000000, 64, 4};
+    EXPECT_EQ(emb.params(), 64000000);
+    // Few FLOPs relative to parameters: memory-bound by construction.
+    EXPECT_LT(emb.flopsPerSample(), emb.params() / 100);
+}
+
+TEST(Catalog, ParameterTotalsMatchPublishedCounts)
+{
+    // Shape-derived totals must land near the published numbers.
+    const std::int64_t resnet = buildResnet50().totalParams();
+    EXPECT_GT(resnet, 25000000);
+    EXPECT_LT(resnet, 26500000);
+
+    const std::int64_t vgg = buildVgg16().totalParams();
+    EXPECT_GT(vgg, 132000000);
+    EXPECT_LT(vgg, 144000000);
+
+    const std::int64_t zf = buildZfNet().totalParams();
+    EXPECT_GT(zf, 40000000);
+    EXPECT_LT(zf, 80000000);
+}
+
+TEST(Catalog, Vgg16FcLayersDominateParameters)
+{
+    const NetworkModel vgg = buildVgg16();
+    std::int64_t fc_params = 0;
+    for (const Layer& layer : vgg.layers())
+        if (layer.kind == LayerKind::kFc)
+            fc_params += layer.param_count;
+    EXPECT_GT(fc_params, vgg.totalParams() / 2);
+}
+
+TEST(Catalog, Resnet50Fig17Trend)
+{
+    // Fig. 17: as layer index increases, parameter size increases
+    // while per-layer compute decreases. Compare the first and last
+    // thirds of the parameterized layers.
+    const NetworkModel net = buildResnet50();
+    const ComputeModel compute;
+    std::vector<const Layer*> convs;
+    for (const Layer& layer : net.layers())
+        if (layer.kind == LayerKind::kConv)
+            convs.push_back(&layer);
+    const std::size_t third = convs.size() / 3;
+
+    double early_params = 0.0, late_params = 0.0;
+    double early_time = 0.0, late_time = 0.0;
+    for (std::size_t i = 0; i < third; ++i) {
+        early_params += static_cast<double>(convs[i]->param_count);
+        early_time += compute.forwardTime(*convs[i], 64);
+        const std::size_t j = convs.size() - 1 - i;
+        late_params += static_cast<double>(convs[j]->param_count);
+        late_time += compute.forwardTime(*convs[j], 64);
+    }
+    EXPECT_GT(late_params, early_params * 4);
+    EXPECT_LT(late_time, early_time);
+}
+
+TEST(Catalog, AllModelsBuildAndAreConsistent)
+{
+    for (const NetworkModel& net :
+         {buildZfNet(), buildVgg16(), buildResnet50(), buildSsdVgg16(),
+          buildMaskRcnnR50(), buildNcf(), buildGnmt(),
+          buildTransformer()}) {
+        EXPECT_GT(net.numLayers(), 3) << net.name();
+        EXPECT_GT(net.totalParams(), 0) << net.name();
+        EXPECT_GT(net.totalForwardFlopsPerSample(), 0) << net.name();
+        double sum = 0.0;
+        for (double b : net.layerParamBytes())
+            sum += b;
+        EXPECT_DOUBLE_EQ(sum, net.totalParamBytes()) << net.name();
+    }
+}
+
+TEST(Catalog, MlperfSuiteOverridesNcfCommBytes)
+{
+    const auto suite = mlperfSuite();
+    ASSERT_GE(suite.size(), 5u);
+    bool found_ncf = false;
+    for (const Workload& w : suite) {
+        EXPECT_GT(w.allreduce_bytes, 0.0) << w.label;
+        if (w.label == "NCF") {
+            found_ncf = true;
+            // The embedding tables are excluded from AllReduce.
+            EXPECT_LT(w.allreduce_bytes,
+                      w.model.totalParamBytes() / 10);
+        }
+    }
+    EXPECT_TRUE(found_ncf);
+}
+
+TEST(ComputeModel, ForwardScalesWithBatch)
+{
+    const ComputeModel compute;
+    const NetworkModel net = buildResnet50();
+    const double t16 = compute.forwardTime(net, 16);
+    const double t64 = compute.forwardTime(net, 64);
+    EXPECT_GT(t64, t16 * 2.5);
+    EXPECT_LT(t64, t16 * 4.5);
+}
+
+TEST(ComputeModel, BackwardCostsMoreThanForward)
+{
+    const ComputeModel compute;
+    const NetworkModel net = buildResnet50();
+    EXPECT_GT(compute.backwardTime(net, 32),
+              compute.forwardTime(net, 32));
+}
+
+TEST(ComputeModel, MemoryBoundLayerUsesMemoryTerm)
+{
+    GpuComputeParams params;
+    params.kernel_overhead = 0.0;
+    const ComputeModel compute(params);
+    Layer emb = Layer::embedding(
+        "e", EmbeddingShape{10000000, 64, 8});
+    const double t = compute.forwardTime(emb, 256);
+    // The memory term (≥ activation bytes / bandwidth) dominates the
+    // negligible FLOPs.
+    const double flop_term =
+        static_cast<double>(emb.forward_flops_per_sample) * 256 /
+        (params.peak_flops * params.efficiency);
+    EXPECT_GT(t, flop_term * 10);
+}
+
+TEST(ComputeModel, LayerTimesSumToNetworkTime)
+{
+    const ComputeModel compute;
+    const NetworkModel net = buildZfNet();
+    const auto times = compute.layerForwardTimes(net, 32);
+    double sum = 0.0;
+    for (double t : times)
+        sum += t;
+    EXPECT_NEAR(sum, compute.forwardTime(net, 32), 1e-12);
+}
+
+TEST(NetworkModel, LayerAccessorBounds)
+{
+    const NetworkModel net = buildZfNet();
+    EXPECT_NO_THROW(net.layer(0));
+    EXPECT_NO_THROW(net.layer(net.numLayers() - 1));
+    EXPECT_DEATH(net.layer(net.numLayers()), "bad layer");
+}
+
+} // namespace
+} // namespace dnn
+} // namespace ccube

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Tests for the analytical α-β cost models: the paper's Eqs. (1)–(7),
+ * K_opt optimality (DESIGN.md invariant #5), and the tree-vs-ring
+ * crossover of Fig. 4.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/alpha_beta.h"
+#include "model/invocation_model.h"
+#include "model/overlapped_tree_model.h"
+#include "model/ring_model.h"
+#include "model/tree_model.h"
+#include "util/units.h"
+
+namespace ccube {
+namespace model {
+namespace {
+
+const AlphaBeta kLink = AlphaBeta::fromBandwidth(4.6e-6, 25e9);
+
+TEST(AlphaBeta, BasicArithmetic)
+{
+    EXPECT_DOUBLE_EQ(kLink.alpha, 4.6e-6);
+    EXPECT_DOUBLE_EQ(kLink.bandwidth(), 25e9);
+    EXPECT_DOUBLE_EQ(kLink.time(25e9), 4.6e-6 + 1.0);
+    EXPECT_DOUBLE_EQ(log2Nodes(8), 3.0);
+    EXPECT_EQ(treeDepth(8), 3);
+    EXPECT_EQ(treeDepth(9), 4);
+}
+
+TEST(RingModel, MatchesEquationTwo)
+{
+    const RingModel ring(kLink);
+    const int p = 8;
+    const double n = util::mib(64);
+    // Eq. (2): 2(P−1)α + 2((P−1)/P)βN.
+    const double expected = 2.0 * (p - 1) * kLink.alpha +
+                            2.0 * ((p - 1.0) / p) * kLink.beta * n;
+    EXPECT_NEAR(ring.allReduceTime(p, n), expected, 1e-12);
+    // AllGather is exactly half the AllReduce.
+    EXPECT_NEAR(ring.allGatherTime(p, n),
+                ring.allReduceTime(p, n) / 2.0, 1e-12);
+}
+
+TEST(RingModel, BandwidthApproachesOptimalForLargeN)
+{
+    const RingModel ring(kLink);
+    // For N → ∞ the ring achieves N/T → bw·P/(2(P−1)).
+    const double bw = ring.effectiveBandwidth(8, util::gib(8));
+    EXPECT_NEAR(bw, 25e9 * 8 / 14.0, 25e9 * 0.01);
+}
+
+TEST(TreeModel, PhaseTimeMatchesEquationThree)
+{
+    const TreeModel tree(kLink);
+    const double n = util::mib(16);
+    const int k = 32;
+    const double expected =
+        (log2Nodes(8) + k) * (kLink.alpha + kLink.beta * n / k);
+    EXPECT_NEAR(tree.phaseTime(8, n, k), expected, 1e-12);
+}
+
+TEST(TreeModel, KoptMatchesEquationFour)
+{
+    const TreeModel tree(kLink);
+    const double n = util::mib(64);
+    const double expected =
+        std::sqrt(log2Nodes(8) * kLink.beta * n / kLink.alpha);
+    EXPECT_NEAR(tree.optimalChunks(8, n), expected, 1e-9);
+}
+
+TEST(TreeModel, ClosedFormMatchesEquationSix)
+{
+    const TreeModel tree(kLink);
+    const double n = util::mib(64);
+    const double logp = log2Nodes(8);
+    const double expected =
+        2.0 * logp * kLink.alpha + 2.0 * kLink.beta * n +
+        4.0 * std::sqrt(kLink.alpha * kLink.beta * n * logp);
+    EXPECT_NEAR(tree.allReduceTime(8, n), expected, 1e-12);
+}
+
+TEST(OverlappedTreeModel, ClosedFormMatchesEquationSeven)
+{
+    const OverlappedTreeModel overlapped(kLink);
+    const double n = util::mib(64);
+    const double logp = log2Nodes(8);
+    const double expected =
+        2.0 * logp * kLink.alpha + kLink.beta * n +
+        3.0 * std::sqrt(kLink.alpha * kLink.beta * n * logp);
+    EXPECT_NEAR(overlapped.allReduceTime(8, n), expected, 1e-12);
+}
+
+TEST(OverlappedTreeModel, ChunkedFormAtKoptMatchesClosedForm)
+{
+    // Substituting K_opt from Eq. (4) into (2log(P)+K)(α+βN/K) must
+    // give Eq. (7) — the continuous-K identity behind the paper's
+    // derivation.
+    const TreeModel tree(kLink);
+    const OverlappedTreeModel overlapped(kLink);
+    const double n = util::mib(64);
+    const double kopt = tree.optimalChunks(8, n);
+    const double chunked =
+        (2.0 * log2Nodes(8) + kopt) * (kLink.alpha + kLink.beta * n /
+                                                         kopt);
+    EXPECT_NEAR(chunked, overlapped.allReduceTime(8, n),
+                overlapped.allReduceTime(8, n) * 1e-12);
+}
+
+TEST(TreeModel, BaselineChunkedAtKoptMatchesClosedForm)
+{
+    const TreeModel tree(kLink);
+    const double n = util::mib(64);
+    const double kopt = tree.optimalChunks(8, n);
+    const double chunked = 2.0 * (log2Nodes(8) + kopt) *
+                           (kLink.alpha + kLink.beta * n / kopt);
+    EXPECT_NEAR(chunked, tree.allReduceTime(8, n),
+                tree.allReduceTime(8, n) * 1e-12);
+}
+
+/**
+ * Property sweep: K_opt (rounded) beats its integer neighbours.
+ */
+class KoptProperty
+    : public ::testing::TestWithParam<std::tuple<int, double>>
+{
+};
+
+TEST_P(KoptProperty, IntegerNeighboursAreNoBetter)
+{
+    const auto [p, n] = GetParam();
+    const TreeModel tree(kLink);
+    const int kopt = tree.optimalChunksInt(p, n);
+    const double at_opt = tree.allReduceTimeChunked(p, n, kopt);
+    if (kopt > 1) {
+        EXPECT_GE(tree.allReduceTimeChunked(p, n, kopt - 1),
+                  at_opt * (1.0 - 1e-9));
+    }
+    EXPECT_GE(tree.allReduceTimeChunked(p, n, kopt + 1),
+              at_opt * (1.0 - 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KoptProperty,
+    ::testing::Combine(::testing::Values(4, 8, 64, 256, 1024),
+                       ::testing::Values(16.0 * 1024, 1024.0 * 1024,
+                                         64.0 * 1024 * 1024)));
+
+TEST(TreeVsRing, LatencyDominatedFavorsTree)
+{
+    // Fig. 4: small messages / many nodes — tree wins (log P vs P
+    // latency terms).
+    const RingModel ring(kLink);
+    const TreeModel tree(kLink);
+    const double n = util::kib(16);
+    EXPECT_LT(tree.allReduceTime(1024, n), ring.allReduceTime(1024, n));
+}
+
+TEST(TreeVsRing, BandwidthDominatedFavorsRingAtSmallScale)
+{
+    // Fig. 4: large messages on few nodes — ring is bandwidth-optimal
+    // (2(P−1)/P·βN < 2βN).
+    const RingModel ring(kLink);
+    const TreeModel tree(kLink);
+    const double n = util::mib(64);
+    EXPECT_LT(ring.allReduceTime(8, n), tree.allReduceTime(8, n));
+}
+
+TEST(TreeVsRing, CrossoverExistsAsNodesGrow)
+{
+    const RingModel ring(kLink);
+    const TreeModel tree(kLink);
+    const double n = util::mib(1);
+    bool tree_wins_somewhere = false;
+    bool ring_wins_somewhere = false;
+    for (int p = 4; p <= 4096; p *= 2) {
+        if (tree.allReduceTime(p, n) < ring.allReduceTime(p, n))
+            tree_wins_somewhere = true;
+        else
+            ring_wins_somewhere = true;
+    }
+    EXPECT_TRUE(tree_wins_somewhere);
+    EXPECT_TRUE(ring_wins_somewhere);
+}
+
+TEST(OverlappedModel, AlwaysBeatsBaselineTree)
+{
+    const TreeModel tree(kLink);
+    const OverlappedTreeModel overlapped(kLink);
+    for (int p = 4; p <= 1024; p *= 4) {
+        for (double n : {16e3, 1e6, 64e6}) {
+            EXPECT_LT(overlapped.allReduceTime(p, n),
+                      tree.allReduceTime(p, n))
+                << "p=" << p << " n=" << n;
+        }
+    }
+}
+
+TEST(OverlappedModel, TurnaroundBeatsBaselineByPipelineDepth)
+{
+    const TreeModel tree(kLink);
+    const OverlappedTreeModel overlapped(kLink);
+    const double n = util::mib(64);
+    const int k = 256;
+    const double ratio = tree.turnaroundTime(8, n, k) /
+                         overlapped.turnaroundTime(8, n, k);
+    // (2log P + K) / (2log P + 1) = 262/7 ≈ 37×.
+    EXPECT_NEAR(ratio, (2.0 * 3 + k) / (2.0 * 3 + 1), 1e-9);
+}
+
+TEST(InvocationModel, OneShotBeatsLayerWiseBeatsSlicing)
+{
+    InvocationParams params;
+    params.link = kLink;
+    const InvocationModel model(params);
+    // ResNet-50-like: ~50 layers of 0.5–8 MB.
+    std::vector<double> layers;
+    for (int i = 0; i < 50; ++i)
+        layers.push_back(0.5e6 + 7.5e6 * i / 49.0);
+    const double one_shot = model.effectiveBandwidth(
+        8, layers, InvocationStrategy::kOneShot);
+    const double layer_wise = model.effectiveBandwidth(
+        8, layers, InvocationStrategy::kLayerWise);
+    const double slicing = model.effectiveBandwidth(
+        8, layers, InvocationStrategy::kSlicing);
+    EXPECT_GT(one_shot, layer_wise);
+    EXPECT_GT(layer_wise, slicing);
+    // Paper Fig. 3: layer-wise loses ~2×, slicing > 4×.
+    EXPECT_GT(one_shot / layer_wise, 1.3);
+    EXPECT_GT(one_shot / slicing, 2.0);
+}
+
+TEST(InvocationModel, SizesPreserveTotalBytes)
+{
+    InvocationParams params;
+    params.link = kLink;
+    const InvocationModel model(params);
+    const std::vector<double> layers{1e6, 2e6, 3e6};
+    for (auto strategy :
+         {InvocationStrategy::kOneShot, InvocationStrategy::kLayerWise,
+          InvocationStrategy::kSlicing}) {
+        const auto sizes = model.invocationSizes(layers, strategy);
+        double total = 0.0;
+        for (double s : sizes)
+            total += s;
+        EXPECT_NEAR(total, 6e6, 1e-6);
+    }
+}
+
+} // namespace
+} // namespace model
+} // namespace ccube

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Reuse and stress tests: a long-lived communicator running many
+ * back-to-back collectives (the steady-state training pattern), the
+ * multi-ring channel budget on the DGX-1, and engine configuration
+ * knobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ccl/double_tree_allreduce.h"
+#include "ccl/ring_allreduce.h"
+#include "core/ccube_engine.h"
+#include "simnet/channel.h"
+#include "simnet/multi_ring_schedule.h"
+#include "topo/dgx1.h"
+#include "topo/double_tree.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace ccube {
+namespace {
+
+TEST(CommunicatorReuse, BackToBackTreeCollectives)
+{
+    // One communicator, many iterations — mailboxes must drain
+    // cleanly between collectives (no stale chunks, no deadlock).
+    const topo::Graph dgx1 = topo::makeDgx1();
+    const topo::DoubleTreeEmbedding dt = topo::makeDgx1DoubleTree(dgx1);
+    ccl::Communicator comm(8);
+    util::Rng rng(77);
+    for (int iter = 0; iter < 5; ++iter) {
+        ccl::RankBuffers buffers(8);
+        for (auto& b : buffers) {
+            b.resize(48);
+            rng.fill(b, -1.0f, 1.0f);
+        }
+        std::vector<float> sum(48, 0.0f);
+        for (const auto& b : buffers)
+            for (std::size_t i = 0; i < sum.size(); ++i)
+                sum[i] += b[i];
+        const auto trace = ccl::doubleTreeAllReduce(
+            comm, buffers, dt, 3, ccl::TreePhaseMode::kOverlapped);
+        for (int r = 0; r < 8; ++r) {
+            for (std::size_t i = 0; i < sum.size(); ++i) {
+                ASSERT_NEAR(buffers[static_cast<std::size_t>(r)][i],
+                            sum[i], 1e-4f)
+                    << "iter " << iter << " rank " << r;
+            }
+        }
+        // Per-tree in-order delivery (global ids interleave across
+        // the two concurrent trees).
+        for (int r = 0; r < 8; ++r) {
+            int last0 = -1;
+            int last1 = -1;
+            for (int chunk : trace.order(r)) {
+                if (chunk < 3) {
+                    EXPECT_GT(chunk, last0) << "iter " << iter;
+                    last0 = chunk;
+                } else {
+                    EXPECT_GT(chunk, last1) << "iter " << iter;
+                    last1 = chunk;
+                }
+            }
+        }
+    }
+}
+
+TEST(CommunicatorReuse, MixedAlgorithmsShareFlows)
+{
+    // Ring then tree on the same communicator: distinct flow ids keep
+    // their mailboxes separate.
+    const topo::Graph dgx1 = topo::makeDgx1();
+    const topo::DoubleTreeEmbedding dt = topo::makeDgx1DoubleTree(dgx1);
+    const topo::RingEmbedding ring = topo::findHamiltonianRing(dgx1, 8);
+    ccl::Communicator comm(8);
+    util::Rng rng(78);
+    for (int round = 0; round < 2; ++round) {
+        ccl::RankBuffers buffers(8);
+        for (auto& b : buffers) {
+            b.resize(64);
+            rng.fill(b, -1.0f, 1.0f);
+        }
+        std::vector<float> sum(64, 0.0f);
+        for (const auto& b : buffers)
+            for (std::size_t i = 0; i < sum.size(); ++i)
+                sum[i] += b[i];
+        if (round == 0)
+            ccl::ringAllReduce(comm, buffers, ring);
+        else
+            ccl::doubleTreeAllReduce(comm, buffers, dt, 4,
+                                     ccl::TreePhaseMode::kTwoPhase);
+        for (int r = 0; r < 8; ++r)
+            for (std::size_t i = 0; i < sum.size(); ++i)
+                ASSERT_NEAR(buffers[static_cast<std::size_t>(r)][i],
+                            sum[i], 1e-4f);
+    }
+}
+
+TEST(MultiRingBudget, NoChannelOversubscribedOnDgx1)
+{
+    // With lane assignment, 4 striped rings must never put two rings
+    // on one physical channel: per channel, the grant count equals
+    // the 2(P−1) steps of exactly one ring (or zero).
+    const topo::Graph dgx1 = topo::makeDgx1();
+    const auto rings = topo::findDisjointRings(dgx1, 8, 4);
+    ASSERT_EQ(rings.size(), 4u);
+    sim::Simulation sim;
+    simnet::Network net(sim, dgx1);
+    simnet::runMultiRingSchedule(sim, net, rings, util::mib(8));
+    const std::uint64_t steps = 2 * (8 - 1);
+    for (int id = 0; id < dgx1.channelCount(); ++id) {
+        const std::uint64_t grants = net.channelGrants(id);
+        EXPECT_TRUE(grants == 0 || grants == steps)
+            << "channel " << id << " carried " << grants;
+    }
+}
+
+TEST(EngineKnobs, RingCountChangesRBaselineOnly)
+{
+    core::EngineConfig three;
+    three.ring_count = 3;
+    core::EngineConfig four;
+    four.ring_count = 4;
+    core::CCubeEngine engine3(dnn::buildResnet50(), three);
+    core::CCubeEngine engine4(dnn::buildResnet50(), four);
+    const double bytes = util::mib(64);
+    const double r3 =
+        engine3.commOnly(core::Mode::kRing, bytes).completion_time;
+    const double r4 =
+        engine4.commOnly(core::Mode::kRing, bytes).completion_time;
+    EXPECT_NEAR(r3 / r4, 4.0 / 3.0, 0.15);
+    const double c3 = engine3.commOnly(core::Mode::kOverlappedTree,
+                                       bytes)
+                          .completion_time;
+    const double c4 = engine4.commOnly(core::Mode::kOverlappedTree,
+                                       bytes)
+                          .completion_time;
+    EXPECT_DOUBLE_EQ(c3, c4); // trees unaffected
+}
+
+TEST(EngineKnobs, DetourTaxScalesPerGpuPenalty)
+{
+    core::EngineConfig light;
+    light.detour_tax_per_kernel = 0.01;
+    core::EngineConfig heavy;
+    heavy.detour_tax_per_kernel = 0.04;
+    core::CCubeEngine engine_light(dnn::buildResnet50(), light);
+    core::CCubeEngine engine_heavy(dnn::buildResnet50(), heavy);
+    core::IterationConfig config;
+    const auto p_light =
+        engine_light.perGpuNormalizedPerf(core::Mode::kCCube, config);
+    const auto p_heavy =
+        engine_heavy.perGpuNormalizedPerf(core::Mode::kCCube, config);
+    EXPECT_LT(p_heavy[0], p_light[0]);
+    EXPECT_NEAR(p_light[2], 1.0, 1e-9);
+    EXPECT_NEAR(p_heavy[2], 1.0, 1e-9);
+}
+
+} // namespace
+} // namespace ccube

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Unit tests for the topology graph, DGX-1 builder, switch fabric,
+ * and ring embeddings.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topo/dgx1.h"
+#include "topo/graph.h"
+#include "topo/ring_embedding.h"
+#include "topo/switch_fabric.h"
+
+namespace ccube {
+namespace topo {
+namespace {
+
+Graph
+triangle()
+{
+    Graph g("triangle");
+    g.addNode("a");
+    g.addNode("b");
+    g.addNode("c");
+    g.addLink(0, 1, 1e9, 1e-6);
+    g.addLink(1, 2, 1e9, 1e-6);
+    g.addLink(2, 0, 1e9, 1e-6);
+    return g;
+}
+
+TEST(Graph, AddLinkCreatesBothDirections)
+{
+    Graph g = triangle();
+    EXPECT_EQ(g.nodeCount(), 3);
+    EXPECT_EQ(g.channelCount(), 6);
+    EXPECT_TRUE(g.hasChannel(0, 1));
+    EXPECT_TRUE(g.hasChannel(1, 0));
+    EXPECT_FALSE(g.hasChannel(0, 0));
+}
+
+TEST(Graph, LinkCountCountsMultiplicity)
+{
+    Graph g("multi");
+    g.addNode("a");
+    g.addNode("b");
+    g.addLink(0, 1, 1e9, 1e-6);
+    g.addLink(0, 1, 1e9, 1e-6);
+    EXPECT_EQ(g.linkCount(0, 1), 2);
+    EXPECT_EQ(g.linkCount(1, 0), 2);
+    EXPECT_EQ(g.channelIds(0, 1).size(), 2u);
+}
+
+TEST(Graph, NeighborsDeduplicated)
+{
+    Graph g("multi");
+    g.addNode("a");
+    g.addNode("b");
+    g.addLink(0, 1, 1e9, 1e-6);
+    g.addLink(0, 1, 1e9, 1e-6);
+    EXPECT_EQ(g.neighbors(0), std::vector<NodeId>{1});
+}
+
+TEST(Graph, ShortestPathDirect)
+{
+    Graph g = triangle();
+    EXPECT_EQ(g.shortestPath(0, 1), (std::vector<NodeId>{0, 1}));
+    EXPECT_EQ(g.shortestPath(2, 2), (std::vector<NodeId>{2}));
+}
+
+TEST(Graph, ShortestPathAvoidsWrongKind)
+{
+    Graph g("mixed");
+    g.addNode("a");
+    g.addNode("b");
+    g.addNode("host");
+    g.addLink(0, 2, 1e9, 1e-6, LinkKind::kPcie);
+    g.addLink(2, 1, 1e9, 1e-6, LinkKind::kPcie);
+    // Only a PCIe path exists: the NVLink search must fail.
+    EXPECT_TRUE(g.shortestPath(0, 1, LinkKind::kNvlink).empty());
+    EXPECT_EQ(g.shortestPath(0, 1, LinkKind::kPcie).size(), 3u);
+}
+
+TEST(Dgx1, SixLinksPerGpu)
+{
+    const Graph g = makeDgx1();
+    EXPECT_EQ(g.nodeCount(), 8);
+    // 24 bidirectional links = 48 unidirectional channels.
+    EXPECT_EQ(g.channelCount(), 48);
+    for (NodeId gpu = 0; gpu < 8; ++gpu)
+        EXPECT_EQ(static_cast<int>(g.outChannels(gpu).size()),
+                  kDgx1LinksPerGpu);
+}
+
+TEST(Dgx1, DoubleLinkPairs)
+{
+    const Graph g = makeDgx1();
+    const std::set<std::pair<int, int>> doubles{
+        {0, 3}, {0, 4}, {1, 2}, {1, 5},
+        {2, 3}, {4, 7}, {5, 6}, {6, 7}};
+    for (NodeId a = 0; a < 8; ++a) {
+        for (NodeId b = a + 1; b < 8; ++b) {
+            const int count = g.linkCount(a, b);
+            if (doubles.count({a, b})) {
+                EXPECT_EQ(count, 2) << a << "-" << b;
+            } else {
+                EXPECT_LE(count, 1) << a << "-" << b;
+            }
+        }
+    }
+}
+
+TEST(Dgx1, MissingPairsNeedDetours)
+{
+    const Graph g = makeDgx1();
+    // The pairs the paper's detours exist for.
+    EXPECT_FALSE(g.hasChannel(2, 4));
+    EXPECT_FALSE(g.hasChannel(3, 5));
+    // Two-hop NVLink paths exist.
+    EXPECT_EQ(g.shortestPath(2, 4).size(), 3u);
+    EXPECT_EQ(g.shortestPath(3, 5).size(), 3u);
+}
+
+TEST(Dgx1, HostOnlyWhenRequested)
+{
+    Dgx1Params params;
+    params.with_host = true;
+    const Graph g = makeDgx1(params);
+    EXPECT_EQ(g.nodeCount(), 9);
+    EXPECT_TRUE(g.hasChannel(0, kDgx1Host));
+    // PCIe path 2→host→4 exists but NVLink search avoids it.
+    const auto nvlink_path = g.shortestPath(2, 4, LinkKind::kNvlink);
+    ASSERT_EQ(nvlink_path.size(), 3u);
+    EXPECT_NE(nvlink_path[1], kDgx1Host);
+}
+
+TEST(SwitchFabric, StructureAndReachability)
+{
+    SwitchFabricParams params;
+    params.num_nodes = 16;
+    params.leaf_radix = 8;
+    const Graph g = makeSwitchFabric(params);
+    // 16 endpoints + 2 leaves + 1 spine.
+    EXPECT_EQ(g.nodeCount(), 19);
+    // Same leaf: 2 hops; across leaves: 4 hops.
+    EXPECT_EQ(g.shortestPath(0, 1).size(), 3u);
+    EXPECT_EQ(g.shortestPath(0, 15).size(), 5u);
+    EXPECT_EQ(fabricHopCount(params, 0, 1), 2);
+    EXPECT_EQ(fabricHopCount(params, 0, 15), 4);
+}
+
+TEST(SwitchFabric, SingleLeafHasNoSpine)
+{
+    SwitchFabricParams params;
+    params.num_nodes = 4;
+    params.leaf_radix = 8;
+    const Graph g = makeSwitchFabric(params);
+    EXPECT_EQ(g.nodeCount(), 5);
+}
+
+TEST(RingEmbedding, Dgx1HamiltonianRingExists)
+{
+    const Graph g = makeDgx1();
+    const RingEmbedding ring = findHamiltonianRing(g, 8);
+    ASSERT_EQ(ring.size(), 8);
+    EXPECT_TRUE(ringIsPhysical(g, ring));
+    // Every GPU appears exactly once.
+    std::set<NodeId> seen(ring.order.begin(), ring.order.end());
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RingEmbedding, SequentialRing)
+{
+    const RingEmbedding ring = makeSequentialRing(4);
+    EXPECT_EQ(ring.order, (std::vector<NodeId>{0, 1, 2, 3}));
+    EXPECT_EQ(ring.next(3), 0);
+}
+
+TEST(RingEmbedding, DisjointRingsRespectCapacity)
+{
+    const Graph g = makeDgx1();
+    const auto rings = findDisjointRings(g, 8, 8);
+    // 48 directed channels / 8 per ring = at most 6 rings.
+    EXPECT_GE(rings.size(), 3u);
+    EXPECT_LE(rings.size(), 6u);
+    // Count directed usage; must never exceed multiplicity.
+    std::map<std::pair<NodeId, NodeId>, int> used;
+    for (const RingEmbedding& ring : rings) {
+        EXPECT_TRUE(ringIsPhysical(g, ring));
+        for (int i = 0; i < ring.size(); ++i) {
+            ++used[{ring.order[static_cast<std::size_t>(i)],
+                    ring.next(i)}];
+        }
+    }
+    for (const auto& [pair, count] : used)
+        EXPECT_LE(count, g.linkCount(pair.first, pair.second))
+            << pair.first << "→" << pair.second;
+}
+
+TEST(RingEmbedding, NoRingOnAPath)
+{
+    Graph g("path");
+    g.addNode("a");
+    g.addNode("b");
+    g.addNode("c");
+    g.addLink(0, 1, 1e9, 1e-6);
+    g.addLink(1, 2, 1e9, 1e-6);
+    EXPECT_EQ(findHamiltonianRing(g, 3).size(), 0);
+}
+
+} // namespace
+} // namespace topo
+} // namespace ccube

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Unit tests for logical trees, embeddings, double trees, and detour
+ * routing — including DESIGN.md invariants #7 (detours never touch
+ * the host) and #8 (naive double tree conflicts, C-Cube embedding is
+ * conflict-free).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "topo/detour_router.h"
+#include "topo/dgx1.h"
+#include "topo/double_tree.h"
+#include "topo/switch_fabric.h"
+#include "topo/tree_embedding.h"
+
+namespace ccube {
+namespace topo {
+namespace {
+
+TEST(BinaryTree, InorderIsValidAndBalanced)
+{
+    for (int p = 2; p <= 64; ++p) {
+        const BinaryTree tree = BinaryTree::inorder(p);
+        ASSERT_TRUE(tree.valid()) << "p=" << p;
+        // Height of the midpoint tree is ⌈log2(p+1)⌉.
+        int expect = 0;
+        while ((1 << expect) < p + 1)
+            ++expect;
+        EXPECT_EQ(tree.height(), expect) << "p=" << p;
+    }
+}
+
+TEST(BinaryTree, EdgesSpanAllNodes)
+{
+    const BinaryTree tree = BinaryTree::inorder(8);
+    EXPECT_EQ(tree.edges().size(), 7u);
+    EXPECT_EQ(tree.bfsOrder().size(), 8u);
+    EXPECT_EQ(tree.leaves().size() + tree.interior().size(), 8u);
+}
+
+TEST(BinaryTree, MirrorIsValidAndMapsRoot)
+{
+    const BinaryTree tree = BinaryTree::inorder(8);
+    const BinaryTree mirror = tree.mirrored();
+    ASSERT_TRUE(mirror.valid());
+    EXPECT_EQ(mirror.root(), 7 - tree.root());
+    EXPECT_EQ(mirror.height(), tree.height());
+}
+
+TEST(BinaryTree, ShiftIsValidRelabeling)
+{
+    const BinaryTree tree = BinaryTree::inorder(8);
+    const BinaryTree shifted = tree.shifted(3);
+    ASSERT_TRUE(shifted.valid());
+    EXPECT_EQ(shifted.root(), (tree.root() + 3) % 8);
+}
+
+TEST(BinaryTree, MirrorSwapsMostRoles)
+{
+    // Sanders-style load balancing: interior nodes of one tree tend to
+    // be leaves of the other. For the inorder tree on 8 nodes at most
+    // half the interior nodes may coincide.
+    const BinaryTree t0 = BinaryTree::inorder(8);
+    const BinaryTree t1 = t0.mirrored();
+    const auto i0 = t0.interior();
+    const auto i1 = t1.interior();
+    int shared = 0;
+    for (NodeId n : i0)
+        if (std::find(i1.begin(), i1.end(), n) != i1.end())
+            ++shared;
+    EXPECT_LE(shared, static_cast<int>(i0.size()) / 2 + 1);
+}
+
+TEST(BinaryTree, DepthOfRootIsZero)
+{
+    const BinaryTree tree = BinaryTree::inorder(8);
+    EXPECT_EQ(tree.depthOf(tree.root()), 0);
+    for (NodeId leaf : tree.leaves())
+        EXPECT_GE(tree.depthOf(leaf), 1);
+}
+
+TEST(Route, ReverseAndTransits)
+{
+    Route route{{2, 0, 4}};
+    EXPECT_TRUE(route.isDetour());
+    EXPECT_EQ(route.hopCount(), 2);
+    EXPECT_EQ(route.transits(), std::vector<NodeId>{0});
+    EXPECT_EQ(route.reversed().hops, (std::vector<NodeId>{4, 0, 2}));
+    Route direct{{1, 3}};
+    EXPECT_FALSE(direct.isDetour());
+    EXPECT_TRUE(direct.transits().empty());
+}
+
+TEST(EmbedTree, UsesDirectChannelsWhenAvailable)
+{
+    const Graph g = makeDgx1();
+    BinaryTree tree(8);
+    tree.setRoot(0);
+    tree.addEdge(0, 1);
+    tree.addEdge(0, 2);
+    tree.addEdge(1, 3);
+    tree.addEdge(2, 6);
+    tree.addEdge(3, 7);
+    tree.addEdge(6, 4);
+    tree.addEdge(4, 5);
+    const TreeEmbedding emb = embedTree(g, std::move(tree));
+    for (const Route& route : emb.routes)
+        EXPECT_FALSE(route.isDetour());
+}
+
+TEST(EmbedTree, DetoursWhenNotAdjacent)
+{
+    const Graph g = makeDgx1();
+    BinaryTree tree(8);
+    tree.setRoot(2);
+    tree.addEdge(2, 4); // not adjacent — needs a detour
+    tree.addEdge(2, 3);
+    tree.addEdge(4, 6);
+    tree.addEdge(4, 5);
+    tree.addEdge(3, 0);
+    tree.addEdge(3, 1);
+    tree.addEdge(6, 7);
+    const TreeEmbedding emb = embedTree(g, std::move(tree));
+    const Route& route = emb.routeToChild(4);
+    EXPECT_TRUE(route.isDetour());
+    EXPECT_EQ(route.hops.size(), 3u);
+}
+
+TEST(DirectEmbedding, AllRoutesDirect)
+{
+    const TreeEmbedding emb = directEmbedding(BinaryTree::inorder(16));
+    EXPECT_EQ(emb.routes.size(), 15u);
+    for (const Route& route : emb.routes)
+        EXPECT_EQ(route.hops.size(), 2u);
+}
+
+class Dgx1DoubleTreeTest : public ::testing::Test
+{
+  protected:
+    Dgx1DoubleTreeTest() : graph_(makeDgx1()) {}
+    Graph graph_;
+};
+
+TEST_F(Dgx1DoubleTreeTest, CCubeEmbeddingIsConflictFree)
+{
+    const DoubleTreeEmbedding emb = makeDgx1DoubleTree(graph_);
+    EXPECT_TRUE(emb.tree0.tree.valid());
+    EXPECT_TRUE(emb.tree1.tree.valid());
+    EXPECT_TRUE(isConflictFree(graph_, emb))
+        << "conflicts: " << conflictingPairs(graph_, emb).size();
+}
+
+TEST_F(Dgx1DoubleTreeTest, SharedPairsSitOnDoubleLinks)
+{
+    const DoubleTreeEmbedding emb = makeDgx1DoubleTree(graph_);
+    for (const auto& [pair, usage] : analyzeChannelUsage(emb)) {
+        if (usage.forward > 1 || usage.backward > 1) {
+            EXPECT_EQ(graph_.linkCount(pair.first, pair.second), 2)
+                << pair.first << "-" << pair.second;
+        }
+    }
+}
+
+TEST_F(Dgx1DoubleTreeTest, DetourTransitsAreGpu0And1)
+{
+    const DoubleTreeEmbedding emb = makeDgx1DoubleTree(graph_);
+    const auto rules = extractForwardingRules(emb);
+    EXPECT_EQ(transitNodes(rules), (std::vector<NodeId>{0, 1}));
+    // One forwarding kernel per direction per detour edge.
+    EXPECT_EQ(rules.size(), 4u);
+}
+
+TEST_F(Dgx1DoubleTreeTest, DetoursAvoidHost)
+{
+    Dgx1Params params;
+    params.with_host = true;
+    const Graph with_host = makeDgx1(params);
+    const DoubleTreeEmbedding emb = makeDgx1DoubleTree(with_host);
+    EXPECT_TRUE(routesAvoidHost(with_host, emb.tree0));
+    EXPECT_TRUE(routesAvoidHost(with_host, emb.tree1));
+}
+
+TEST_F(Dgx1DoubleTreeTest, NaiveDoubleTreeHasConflicts)
+{
+    // Paper Fig. 10(a): without conflict-aware placement, channels are
+    // shared between the two trees in opposite roles, making the
+    // overlapped algorithm impossible.
+    const DoubleTreeEmbedding naive = makeNaiveDgx1DoubleTree(graph_);
+    EXPECT_FALSE(isConflictFree(graph_, naive));
+}
+
+TEST(MirroredDoubleTree, ConflictFreeOnFabric)
+{
+    SwitchFabricParams params;
+    params.num_nodes = 16;
+    const Graph fabric = makeSwitchFabric(params);
+    const DoubleTreeEmbedding emb = makeMirroredDoubleTree(fabric, 16);
+    EXPECT_TRUE(emb.tree0.tree.valid());
+    EXPECT_TRUE(emb.tree1.tree.valid());
+}
+
+TEST(ForwardingRules, DirectionsComeInPairs)
+{
+    const Graph g = makeDgx1();
+    const DoubleTreeEmbedding emb = makeDgx1DoubleTree(g);
+    int reduce = 0;
+    int broadcast = 0;
+    for (const ForwardingRule& rule : extractForwardingRules(emb)) {
+        if (rule.phase == PhaseDirection::kReduction)
+            ++reduce;
+        else
+            ++broadcast;
+    }
+    EXPECT_EQ(reduce, broadcast);
+}
+
+} // namespace
+} // namespace topo
+} // namespace ccube

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Unit tests for util: stats, table, rng, units.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace ccube {
+namespace util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats stats;
+    EXPECT_EQ(stats.count(), 0u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStats, MeanMinMax)
+{
+    RunningStats stats;
+    for (double v : {3.0, 1.0, 2.0})
+        stats.add(v);
+    EXPECT_EQ(stats.count(), 3u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 3.0);
+    EXPECT_DOUBLE_EQ(stats.sum(), 6.0);
+}
+
+TEST(RunningStats, VarianceMatchesTwoPass)
+{
+    Rng rng(7);
+    std::vector<double> samples;
+    RunningStats stats;
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform(-5.0, 5.0);
+        samples.push_back(v);
+        stats.add(v);
+    }
+    double mean = 0.0;
+    for (double v : samples)
+        mean += v;
+    mean /= static_cast<double>(samples.size());
+    double var = 0.0;
+    for (double v : samples)
+        var += (v - mean) * (v - mean);
+    var /= static_cast<double>(samples.size() - 1);
+    EXPECT_NEAR(stats.mean(), mean, 1e-12);
+    EXPECT_NEAR(stats.variance(), var, 1e-9);
+}
+
+TEST(RunningStats, MergeEqualsSequential)
+{
+    Rng rng(11);
+    RunningStats all, a, b;
+    for (int i = 0; i < 500; ++i) {
+        const double v = rng.normal();
+        all.add(v);
+        (i % 2 ? a : b).add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Quantile, MedianAndExtremes)
+{
+    std::vector<double> xs{5.0, 1.0, 3.0, 2.0, 4.0};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+}
+
+TEST(Quantile, Interpolates)
+{
+    std::vector<double> xs{0.0, 10.0};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+}
+
+TEST(Geomean, KnownValue)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform(2.0, 3.0);
+        EXPECT_GE(v, 2.0);
+        EXPECT_LT(v, 3.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversRange)
+{
+    Rng rng(3);
+    bool seen[5] = {};
+    for (int i = 0; i < 500; ++i) {
+        const std::int64_t v = rng.uniformInt(0, 4);
+        ASSERT_GE(v, 0);
+        ASSERT_LE(v, 4);
+        seen[v] = true;
+    }
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(5);
+    RunningStats stats;
+    for (int i = 0; i < 20000; ++i)
+        stats.add(rng.normal());
+    EXPECT_NEAR(stats.mean(), 0.0, 0.05);
+    EXPECT_NEAR(stats.stddev(), 1.0, 0.05);
+}
+
+TEST(Units, Conversions)
+{
+    EXPECT_DOUBLE_EQ(kib(1), 1024.0);
+    EXPECT_DOUBLE_EQ(mib(64), 64.0 * 1024 * 1024);
+    EXPECT_DOUBLE_EQ(gbps(25), 25e9);
+    EXPECT_DOUBLE_EQ(usec(4.6), 4.6e-6);
+}
+
+TEST(Units, Formatting)
+{
+    EXPECT_EQ(formatBytes(mib(64)), "64.0 MiB");
+    EXPECT_EQ(formatBytes(512), "512.0 B");
+    EXPECT_EQ(formatSeconds(1.5e-3), "1.5 ms");
+    EXPECT_EQ(formatSeconds(2.5e-6), "2.5 us");
+    EXPECT_EQ(formatBandwidth(25e9), "25.00 GB/s");
+}
+
+TEST(Table, AlignsAndCounts)
+{
+    Table table({"a", "long_header"});
+    table.addRow({"1", "2"});
+    table.addNumericRow({3.14159, 2.71828}, 2);
+    EXPECT_EQ(table.rowCount(), 2u);
+    std::ostringstream oss;
+    table.print(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("long_header"), std::string::npos);
+    EXPECT_NE(out.find("3.14"), std::string::npos);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table table({"x", "y"});
+    table.addRow({"1", "2"});
+    std::ostringstream oss;
+    table.printCsv(oss);
+    EXPECT_EQ(oss.str(), "x,y\n1,2\n");
+}
+
+TEST(Logging, LevelGate)
+{
+    std::ostringstream sink;
+    Logger::instance().setSink(&sink);
+    Logger::instance().setLevel(LogLevel::kWarn);
+    logDebug("test", "should not appear");
+    logWarn("test", "should appear");
+    Logger::instance().setSink(nullptr);
+    EXPECT_EQ(sink.str().find("should not appear"), std::string::npos);
+    EXPECT_NE(sink.str().find("should appear"), std::string::npos);
+}
+
+} // namespace
+} // namespace util
+} // namespace ccube
