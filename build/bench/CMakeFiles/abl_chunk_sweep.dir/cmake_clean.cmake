@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_chunk_sweep.dir/abl_chunk_sweep.cpp.o"
+  "CMakeFiles/abl_chunk_sweep.dir/abl_chunk_sweep.cpp.o.d"
+  "abl_chunk_sweep"
+  "abl_chunk_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_chunk_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_detour_vs_pcie.dir/abl_detour_vs_pcie.cpp.o"
+  "CMakeFiles/abl_detour_vs_pcie.dir/abl_detour_vs_pcie.cpp.o.d"
+  "abl_detour_vs_pcie"
+  "abl_detour_vs_pcie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_detour_vs_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

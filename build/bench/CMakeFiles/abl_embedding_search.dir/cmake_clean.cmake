@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_embedding_search.dir/abl_embedding_search.cpp.o"
+  "CMakeFiles/abl_embedding_search.dir/abl_embedding_search.cpp.o.d"
+  "abl_embedding_search"
+  "abl_embedding_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_embedding_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

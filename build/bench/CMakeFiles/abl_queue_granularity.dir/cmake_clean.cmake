@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_queue_granularity.dir/abl_queue_granularity.cpp.o"
+  "CMakeFiles/abl_queue_granularity.dir/abl_queue_granularity.cpp.o.d"
+  "abl_queue_granularity"
+  "abl_queue_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_queue_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

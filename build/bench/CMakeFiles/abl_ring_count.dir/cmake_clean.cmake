@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_ring_count.dir/abl_ring_count.cpp.o"
+  "CMakeFiles/abl_ring_count.dir/abl_ring_count.cpp.o.d"
+  "abl_ring_count"
+  "abl_ring_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ring_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dgx2_ccube.dir/ext_dgx2_ccube.cpp.o"
+  "CMakeFiles/ext_dgx2_ccube.dir/ext_dgx2_ccube.cpp.o.d"
+  "ext_dgx2_ccube"
+  "ext_dgx2_ccube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dgx2_ccube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

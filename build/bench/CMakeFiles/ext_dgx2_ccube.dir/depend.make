@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_dgx2_ccube.
+# This may be replaced when dependencies are built.

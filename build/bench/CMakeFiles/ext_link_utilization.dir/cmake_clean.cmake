@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_link_utilization.dir/ext_link_utilization.cpp.o"
+  "CMakeFiles/ext_link_utilization.dir/ext_link_utilization.cpp.o.d"
+  "ext_link_utilization"
+  "ext_link_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_link_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_allreduce_ratio.dir/fig01_allreduce_ratio.cpp.o"
+  "CMakeFiles/fig01_allreduce_ratio.dir/fig01_allreduce_ratio.cpp.o.d"
+  "fig01_allreduce_ratio"
+  "fig01_allreduce_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_allreduce_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_model_tree_vs_ring.dir/fig04_model_tree_vs_ring.cpp.o"
+  "CMakeFiles/fig04_model_tree_vs_ring.dir/fig04_model_tree_vs_ring.cpp.o.d"
+  "fig04_model_tree_vs_ring"
+  "fig04_model_tree_vs_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_model_tree_vs_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_model_tree_vs_ring.
+# This may be replaced when dependencies are built.

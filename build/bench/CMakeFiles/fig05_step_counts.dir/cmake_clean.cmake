@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_step_counts.dir/fig05_step_counts.cpp.o"
+  "CMakeFiles/fig05_step_counts.dir/fig05_step_counts.cpp.o.d"
+  "fig05_step_counts"
+  "fig05_step_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_step_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

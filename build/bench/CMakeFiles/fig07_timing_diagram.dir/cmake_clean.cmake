@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_timing_diagram.dir/fig07_timing_diagram.cpp.o"
+  "CMakeFiles/fig07_timing_diagram.dir/fig07_timing_diagram.cpp.o.d"
+  "fig07_timing_diagram"
+  "fig07_timing_diagram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_timing_diagram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

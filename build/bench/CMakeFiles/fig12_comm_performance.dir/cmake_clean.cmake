@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_comm_performance.dir/fig12_comm_performance.cpp.o"
+  "CMakeFiles/fig12_comm_performance.dir/fig12_comm_performance.cpp.o.d"
+  "fig12_comm_performance"
+  "fig12_comm_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_comm_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

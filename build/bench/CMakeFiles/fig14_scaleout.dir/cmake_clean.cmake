@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_scaleout.dir/fig14_scaleout.cpp.o"
+  "CMakeFiles/fig14_scaleout.dir/fig14_scaleout.cpp.o.d"
+  "fig14_scaleout"
+  "fig14_scaleout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_comm_compute_patterns.dir/fig16_comm_compute_patterns.cpp.o"
+  "CMakeFiles/fig16_comm_compute_patterns.dir/fig16_comm_compute_patterns.cpp.o.d"
+  "fig16_comm_compute_patterns"
+  "fig16_comm_compute_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_comm_compute_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/functional_allreduce.dir/functional_allreduce.cpp.o"
+  "CMakeFiles/functional_allreduce.dir/functional_allreduce.cpp.o.d"
+  "functional_allreduce"
+  "functional_allreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/functional_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

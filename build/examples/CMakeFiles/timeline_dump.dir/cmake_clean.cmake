@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeline_dump.dir/timeline_dump.cpp.o"
+  "CMakeFiles/timeline_dump.dir/timeline_dump.cpp.o.d"
+  "timeline_dump"
+  "timeline_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeline_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

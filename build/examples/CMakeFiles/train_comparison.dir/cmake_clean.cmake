@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_comparison.dir/train_comparison.cpp.o"
+  "CMakeFiles/train_comparison.dir/train_comparison.cpp.o.d"
+  "train_comparison"
+  "train_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,74 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ccl/allreduce.cpp" "src/CMakeFiles/ccube.dir/ccl/allreduce.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/ccl/allreduce.cpp.o.d"
+  "/root/repo/src/ccl/communicator.cpp" "src/CMakeFiles/ccube.dir/ccl/communicator.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/ccl/communicator.cpp.o.d"
+  "/root/repo/src/ccl/double_tree_allreduce.cpp" "src/CMakeFiles/ccube.dir/ccl/double_tree_allreduce.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/ccl/double_tree_allreduce.cpp.o.d"
+  "/root/repo/src/ccl/mailbox.cpp" "src/CMakeFiles/ccube.dir/ccl/mailbox.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/ccl/mailbox.cpp.o.d"
+  "/root/repo/src/ccl/overlapped_tree_allreduce.cpp" "src/CMakeFiles/ccube.dir/ccl/overlapped_tree_allreduce.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/ccl/overlapped_tree_allreduce.cpp.o.d"
+  "/root/repo/src/ccl/primitives.cpp" "src/CMakeFiles/ccube.dir/ccl/primitives.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/ccl/primitives.cpp.o.d"
+  "/root/repo/src/ccl/ring_allreduce.cpp" "src/CMakeFiles/ccube.dir/ccl/ring_allreduce.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/ccl/ring_allreduce.cpp.o.d"
+  "/root/repo/src/ccl/sync_primitives.cpp" "src/CMakeFiles/ccube.dir/ccl/sync_primitives.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/ccl/sync_primitives.cpp.o.d"
+  "/root/repo/src/ccl/tree_allreduce.cpp" "src/CMakeFiles/ccube.dir/ccl/tree_allreduce.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/ccl/tree_allreduce.cpp.o.d"
+  "/root/repo/src/core/ccube_engine.cpp" "src/CMakeFiles/ccube.dir/core/ccube_engine.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/core/ccube_engine.cpp.o.d"
+  "/root/repo/src/core/chunk_mapper.cpp" "src/CMakeFiles/ccube.dir/core/chunk_mapper.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/core/chunk_mapper.cpp.o.d"
+  "/root/repo/src/core/dual_gradient_queue.cpp" "src/CMakeFiles/ccube.dir/core/dual_gradient_queue.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/core/dual_gradient_queue.cpp.o.d"
+  "/root/repo/src/core/gradient_queue.cpp" "src/CMakeFiles/ccube.dir/core/gradient_queue.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/core/gradient_queue.cpp.o.d"
+  "/root/repo/src/core/iteration_scheduler.cpp" "src/CMakeFiles/ccube.dir/core/iteration_scheduler.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/core/iteration_scheduler.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/ccube.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/timeline.cpp" "src/CMakeFiles/ccube.dir/core/timeline.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/core/timeline.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/CMakeFiles/ccube.dir/core/trainer.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/core/trainer.cpp.o.d"
+  "/root/repo/src/dnn/catalog.cpp" "src/CMakeFiles/ccube.dir/dnn/catalog.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/dnn/catalog.cpp.o.d"
+  "/root/repo/src/dnn/compute_model.cpp" "src/CMakeFiles/ccube.dir/dnn/compute_model.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/dnn/compute_model.cpp.o.d"
+  "/root/repo/src/dnn/layer.cpp" "src/CMakeFiles/ccube.dir/dnn/layer.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/dnn/layer.cpp.o.d"
+  "/root/repo/src/dnn/network.cpp" "src/CMakeFiles/ccube.dir/dnn/network.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/dnn/network.cpp.o.d"
+  "/root/repo/src/dnn/shapes.cpp" "src/CMakeFiles/ccube.dir/dnn/shapes.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/dnn/shapes.cpp.o.d"
+  "/root/repo/src/gpu/device.cpp" "src/CMakeFiles/ccube.dir/gpu/device.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/gpu/device.cpp.o.d"
+  "/root/repo/src/gpu/stream.cpp" "src/CMakeFiles/ccube.dir/gpu/stream.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/gpu/stream.cpp.o.d"
+  "/root/repo/src/model/alpha_beta.cpp" "src/CMakeFiles/ccube.dir/model/alpha_beta.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/model/alpha_beta.cpp.o.d"
+  "/root/repo/src/model/invocation_model.cpp" "src/CMakeFiles/ccube.dir/model/invocation_model.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/model/invocation_model.cpp.o.d"
+  "/root/repo/src/model/iteration_model.cpp" "src/CMakeFiles/ccube.dir/model/iteration_model.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/model/iteration_model.cpp.o.d"
+  "/root/repo/src/model/overlapped_tree_model.cpp" "src/CMakeFiles/ccube.dir/model/overlapped_tree_model.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/model/overlapped_tree_model.cpp.o.d"
+  "/root/repo/src/model/ring_model.cpp" "src/CMakeFiles/ccube.dir/model/ring_model.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/model/ring_model.cpp.o.d"
+  "/root/repo/src/model/tree_model.cpp" "src/CMakeFiles/ccube.dir/model/tree_model.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/model/tree_model.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/ccube.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/resource.cpp" "src/CMakeFiles/ccube.dir/sim/resource.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/sim/resource.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "src/CMakeFiles/ccube.dir/sim/simulation.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/sim/simulation.cpp.o.d"
+  "/root/repo/src/simnet/channel.cpp" "src/CMakeFiles/ccube.dir/simnet/channel.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/simnet/channel.cpp.o.d"
+  "/root/repo/src/simnet/collective_schedule.cpp" "src/CMakeFiles/ccube.dir/simnet/collective_schedule.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/simnet/collective_schedule.cpp.o.d"
+  "/root/repo/src/simnet/double_tree_schedule.cpp" "src/CMakeFiles/ccube.dir/simnet/double_tree_schedule.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/simnet/double_tree_schedule.cpp.o.d"
+  "/root/repo/src/simnet/multi_ring_schedule.cpp" "src/CMakeFiles/ccube.dir/simnet/multi_ring_schedule.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/simnet/multi_ring_schedule.cpp.o.d"
+  "/root/repo/src/simnet/overlapped_tree_schedule.cpp" "src/CMakeFiles/ccube.dir/simnet/overlapped_tree_schedule.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/simnet/overlapped_tree_schedule.cpp.o.d"
+  "/root/repo/src/simnet/ring_schedule.cpp" "src/CMakeFiles/ccube.dir/simnet/ring_schedule.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/simnet/ring_schedule.cpp.o.d"
+  "/root/repo/src/simnet/transfer_engine.cpp" "src/CMakeFiles/ccube.dir/simnet/transfer_engine.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/simnet/transfer_engine.cpp.o.d"
+  "/root/repo/src/simnet/tree_schedule.cpp" "src/CMakeFiles/ccube.dir/simnet/tree_schedule.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/simnet/tree_schedule.cpp.o.d"
+  "/root/repo/src/topo/detour_router.cpp" "src/CMakeFiles/ccube.dir/topo/detour_router.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/topo/detour_router.cpp.o.d"
+  "/root/repo/src/topo/dgx1.cpp" "src/CMakeFiles/ccube.dir/topo/dgx1.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/topo/dgx1.cpp.o.d"
+  "/root/repo/src/topo/dgx2.cpp" "src/CMakeFiles/ccube.dir/topo/dgx2.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/topo/dgx2.cpp.o.d"
+  "/root/repo/src/topo/double_tree.cpp" "src/CMakeFiles/ccube.dir/topo/double_tree.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/topo/double_tree.cpp.o.d"
+  "/root/repo/src/topo/embedding_search.cpp" "src/CMakeFiles/ccube.dir/topo/embedding_search.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/topo/embedding_search.cpp.o.d"
+  "/root/repo/src/topo/graph.cpp" "src/CMakeFiles/ccube.dir/topo/graph.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/topo/graph.cpp.o.d"
+  "/root/repo/src/topo/ring_embedding.cpp" "src/CMakeFiles/ccube.dir/topo/ring_embedding.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/topo/ring_embedding.cpp.o.d"
+  "/root/repo/src/topo/switch_fabric.cpp" "src/CMakeFiles/ccube.dir/topo/switch_fabric.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/topo/switch_fabric.cpp.o.d"
+  "/root/repo/src/topo/tree_embedding.cpp" "src/CMakeFiles/ccube.dir/topo/tree_embedding.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/topo/tree_embedding.cpp.o.d"
+  "/root/repo/src/util/flags.cpp" "src/CMakeFiles/ccube.dir/util/flags.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/util/flags.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/ccube.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/ccube.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/ccube.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/ccube.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/units.cpp" "src/CMakeFiles/ccube.dir/util/units.cpp.o" "gcc" "src/CMakeFiles/ccube.dir/util/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

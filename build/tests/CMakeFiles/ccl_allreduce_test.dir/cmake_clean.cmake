@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccl_allreduce_test.dir/ccl_allreduce_test.cpp.o"
+  "CMakeFiles/ccl_allreduce_test.dir/ccl_allreduce_test.cpp.o.d"
+  "ccl_allreduce_test"
+  "ccl_allreduce_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccl_allreduce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

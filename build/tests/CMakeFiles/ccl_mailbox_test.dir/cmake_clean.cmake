@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccl_mailbox_test.dir/ccl_mailbox_test.cpp.o"
+  "CMakeFiles/ccl_mailbox_test.dir/ccl_mailbox_test.cpp.o.d"
+  "ccl_mailbox_test"
+  "ccl_mailbox_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccl_mailbox_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

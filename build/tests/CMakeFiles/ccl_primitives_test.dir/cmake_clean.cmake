@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccl_primitives_test.dir/ccl_primitives_test.cpp.o"
+  "CMakeFiles/ccl_primitives_test.dir/ccl_primitives_test.cpp.o.d"
+  "ccl_primitives_test"
+  "ccl_primitives_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccl_primitives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

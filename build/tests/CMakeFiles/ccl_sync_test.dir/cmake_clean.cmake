@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccl_sync_test.dir/ccl_sync_test.cpp.o"
+  "CMakeFiles/ccl_sync_test.dir/ccl_sync_test.cpp.o.d"
+  "ccl_sync_test"
+  "ccl_sync_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccl_sync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedding_search_test.dir/embedding_search_test.cpp.o"
+  "CMakeFiles/embedding_search_test.dir/embedding_search_test.cpp.o.d"
+  "embedding_search_test"
+  "embedding_search_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedding_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_iteration_test.dir/model_iteration_test.cpp.o"
+  "CMakeFiles/model_iteration_test.dir/model_iteration_test.cpp.o.d"
+  "model_iteration_test"
+  "model_iteration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_iteration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

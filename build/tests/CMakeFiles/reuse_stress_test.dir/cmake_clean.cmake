@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reuse_stress_test.dir/reuse_stress_test.cpp.o"
+  "CMakeFiles/reuse_stress_test.dir/reuse_stress_test.cpp.o.d"
+  "reuse_stress_test"
+  "reuse_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reuse_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

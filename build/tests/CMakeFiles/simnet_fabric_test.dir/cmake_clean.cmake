@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simnet_fabric_test.dir/simnet_fabric_test.cpp.o"
+  "CMakeFiles/simnet_fabric_test.dir/simnet_fabric_test.cpp.o.d"
+  "simnet_fabric_test"
+  "simnet_fabric_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simnet_fabric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_dgx2_test.dir/topo_dgx2_test.cpp.o"
+  "CMakeFiles/topo_dgx2_test.dir/topo_dgx2_test.cpp.o.d"
+  "topo_dgx2_test"
+  "topo_dgx2_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_dgx2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

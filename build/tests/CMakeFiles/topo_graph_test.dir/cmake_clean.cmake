@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_graph_test.dir/topo_graph_test.cpp.o"
+  "CMakeFiles/topo_graph_test.dir/topo_graph_test.cpp.o.d"
+  "topo_graph_test"
+  "topo_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
