@@ -9,12 +9,16 @@
 
 #include <algorithm>
 #include <iostream>
+#include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/session.h"
 #include "simnet/channel.h"
 #include "simnet/double_tree_schedule.h"
 #include "topo/dgx1.h"
 #include "topo/double_tree.h"
+#include "util/flags.h"
 #include "util/stats.h"
 #include "util/table.h"
 #include "util/units.h"
@@ -30,7 +34,7 @@ struct Utilization {
 };
 
 Utilization
-measure(simnet::PhaseMode mode)
+measure(simnet::PhaseMode mode, const std::string& metric_prefix)
 {
     const topo::Graph graph = topo::makeDgx1();
     const auto dt = topo::makeDgx1DoubleTree(graph);
@@ -48,20 +52,31 @@ measure(simnet::PhaseMode mode)
         u.used_channels.add(utilization);
         u.max_utilization = std::max(u.max_utilization, utilization);
     }
+    net.closeTraceEpoch(result.completion_time);
+    obs::MetricRegistry& registry = obs::MetricRegistry::global();
+    if (registry.enabled())
+        net.exportMetrics(registry, result.completion_time,
+                          metric_prefix);
     return u;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    const util::Flags flags(argc, argv);
+    obs::ObsSession obs_session(flags);
+
+
     std::cout << "=== Extension: NVLink channel utilization, "
                  "baseline vs overlapped double tree "
                  "(DGX-1, 64 MiB) ===\n\n";
 
-    const Utilization base = measure(simnet::PhaseMode::kTwoPhase);
-    const Utilization over = measure(simnet::PhaseMode::kOverlapped);
+    const Utilization base =
+        measure(simnet::PhaseMode::kTwoPhase, "simnet.B");
+    const Utilization over =
+        measure(simnet::PhaseMode::kOverlapped, "simnet.C1");
 
     util::Table table({"algorithm", "completion_ms", "busy_channels",
                        "mean_utilization", "max_utilization"});
@@ -84,5 +99,6 @@ main()
            "its utilization near 50%; the overlapped algorithm's "
            "bottleneck channels approach full utilization — the same "
            "channels finish the same bytes almost twice as fast.\n";
+    obs_session.finish();
     return 0;
 }

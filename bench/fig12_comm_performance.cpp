@@ -14,13 +14,18 @@
 #include "core/ccube_engine.h"
 #include "model/overlapped_tree_model.h"
 #include "model/tree_model.h"
+#include "obs/session.h"
+#include "util/flags.h"
 #include "util/table.h"
 #include "util/units.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace ccube;
+
+    const util::Flags flags(argc, argv);
+    obs::ObsSession obs_session(flags);
 
     std::cout << "=== Fig. 12: DGX-1 communication performance, "
                  "B vs C1 ===\n\n";
@@ -61,5 +66,6 @@ main()
                  "Fig. 12(b) shows measurement tracking the Eq.(6)/"
                  "Eq.(7) model. Residual gap vs the model comes from "
                  "the detour hop the physical embedding needs.\n";
+    obs_session.finish();
     return 0;
 }

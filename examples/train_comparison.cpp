@@ -5,6 +5,7 @@
  * settings, and a batch sweep, then shows the per-GPU detour cost.
  *
  * Usage: train_comparison [zfnet|vgg16|resnet50]   (default resnet50)
+ *                         [--trace-out=FILE] [--metrics-out=FILE]
  */
 
 #include <cstring>
@@ -13,13 +14,20 @@
 #include "core/ccube_engine.h"
 #include "core/report.h"
 #include "core/trainer.h"
+#include "obs/session.h"
+#include "util/flags.h"
 
 int
 main(int argc, char** argv)
 {
     using namespace ccube;
 
+    const util::Flags flags(argc, argv);
+    obs::ObsSession obs_session(flags);
+
     dnn::NetworkModel network = dnn::buildResnet50();
+    if (argc > 1 && argv[1][0] == '-')
+        argc = 1; // only observability flags given, no workload
     if (argc > 1) {
         if (std::strcmp(argv[1], "zfnet") == 0) {
             network = dnn::buildZfNet();
@@ -85,5 +93,6 @@ main(int argc, char** argv)
                                       : "")
                   << "\n";
     }
+    obs_session.finish();
     return 0;
 }

@@ -1,8 +1,11 @@
 #include "ccl/communicator.h"
 
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/context.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace ccube {
@@ -28,6 +31,9 @@ Communicator::mailbox(int src, int dst, FlowId flow)
         it = mailboxes_
                  .emplace(key, std::make_unique<Mailbox>(mailbox_slots_))
                  .first;
+        it->second->setTraceLabel(
+            "mb " + std::to_string(src) + "->" + std::to_string(dst) +
+            "/f" + std::to_string(flow));
     }
     return *it->second;
 }
@@ -37,8 +43,16 @@ Communicator::run(const std::function<void(int rank)>& body)
 {
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(num_ranks_));
-    for (int r = 0; r < num_ranks_; ++r)
-        threads.emplace_back([&body, r]() { body(r); });
+    for (int r = 0; r < num_ranks_; ++r) {
+        threads.emplace_back([&body, r]() {
+            // Tag the rank thread so spans and per-rank counters from
+            // everything it (and its helpers) runs attribute here.
+            obs::setThreadRank(r);
+            obs::labelThread(
+                ("rank" + std::to_string(r) + "/main").c_str());
+            body(r);
+        });
+    }
     for (auto& t : threads)
         t.join();
 }
@@ -46,6 +60,9 @@ Communicator::run(const std::function<void(int rank)>& body)
 void
 Communicator::barrier()
 {
+    obs::ScopedSpan span("barrier", "ccl.sync",
+                         obs::pids::cclRank(obs::threadRank()),
+                         obs::threadTrack());
     const int sense = barrier_sense_.load(std::memory_order_acquire);
     if (barrier_count_.fetch_add(1, std::memory_order_acq_rel) ==
         num_ranks_ - 1) {

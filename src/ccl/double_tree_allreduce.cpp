@@ -1,8 +1,10 @@
 #include "ccl/double_tree_allreduce.h"
 
 #include <span>
+#include <string>
 #include <thread>
 
+#include "obs/context.h"
 #include "util/logging.h"
 
 namespace ccube {
@@ -44,7 +46,10 @@ doubleTreeAllReduce(Communicator& comm, RankBuffers& buffers,
         std::span<float> lower = buffer.subspan(0, half);
         std::span<float> upper = buffer.subspan(half);
         // Each tree's pipeline runs as its own persistent kernel.
-        std::thread second([&]() {
+        std::thread second([&, rank]() {
+            obs::setThreadRank(rank);
+            obs::labelThread(
+                ("rank" + std::to_string(rank) + "/tree1").c_str());
             detail::treeRankBody(comm, rank, upper, embedding.tree1,
                                  split1, mode, flows1, trace,
                                  /*chunk_id_offset=*/chunks_per_tree);

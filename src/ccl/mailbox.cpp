@@ -1,9 +1,24 @@
 #include "ccl/mailbox.h"
 
+#include <utility>
+
+#include "obs/context.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace ccube {
 namespace ccl {
+
+namespace {
+
+/** Span pid/tid for the calling thread (rank-attributed). */
+int
+spanPid()
+{
+    return obs::pids::cclRank(obs::threadRank());
+}
+
+} // namespace
 
 Mailbox::Mailbox(int slots)
     : ring_(static_cast<std::size_t>(slots)),
@@ -14,9 +29,35 @@ Mailbox::Mailbox(int slots)
 }
 
 void
+Mailbox::setTraceLabel(std::string label)
+{
+    trace_label_ = std::move(label);
+}
+
+void
 Mailbox::send(std::span<const float> data, int tag)
 {
-    empty_.wait(); // block while all receive buffers are occupied
+    obs::RankCounters& counters = obs::RankCounters::global();
+    counters.addMailboxSend();
+    // Flow control (paper Fig. 11): all receive buffers occupied means
+    // the producer stalls until the consumer frees one. The snapshot
+    // is racy but only feeds telemetry, never the protocol.
+    const bool stalled = empty_.value() == 0;
+    if (stalled)
+        counters.addSlotFullStall();
+
+    obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+    if (recorder.enabled()) {
+        obs::ScopedSpan span(recorder, "post " + trace_label_,
+                             "ccl.mailbox", spanPid(),
+                             obs::threadTrack());
+        span.arg("bytes", static_cast<double>(data.size() *
+                                              sizeof(float)));
+        span.arg("stalled", stalled ? 1.0 : 0.0);
+        empty_.wait(); // block while all receive buffers are occupied
+    } else {
+        empty_.wait();
+    }
     Slot& slot = ring_[head_];
     slot.data.assign(data.begin(), data.end());
     slot.tag = tag;
@@ -28,7 +69,16 @@ template <typename Fn>
 int
 Mailbox::consumeSlot(Fn&& consume)
 {
-    full_.wait();
+    obs::RankCounters::global().addMailboxRecv();
+    obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+    if (recorder.enabled()) {
+        obs::ScopedSpan span(recorder, "wait " + trace_label_,
+                             "ccl.mailbox", spanPid(),
+                             obs::threadTrack());
+        full_.wait();
+    } else {
+        full_.wait();
+    }
     Slot& slot = ring_[tail_];
     const int tag = slot.tag;
     consume(slot);

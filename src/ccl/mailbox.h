@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "ccl/sync_primitives.h"
@@ -62,6 +63,13 @@ class Mailbox
     /** Total chunks delivered (for telemetry/tests). */
     std::int64_t delivered() const { return delivered_.value(); }
 
+    /**
+     * Names this mailbox for trace spans (e.g. "mb 0->1/f2", set by
+     * the Communicator at creation). Post/wait spans then carry the
+     * label; an unlabeled mailbox still traces as "mb ?".
+     */
+    void setTraceLabel(std::string label);
+
   private:
     struct Slot {
         std::vector<float> data;
@@ -78,6 +86,7 @@ class Mailbox
     std::size_t head_ = 0; ///< producer cursor (producer thread only)
     std::size_t tail_ = 0; ///< consumer cursor (consumer thread only)
     CheckableCounter delivered_;
+    std::string trace_label_ = "mb ?";
 };
 
 } // namespace ccl

@@ -2,6 +2,8 @@
 
 #include <span>
 
+#include "obs/context.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace ccube {
@@ -44,15 +46,22 @@ ringAllReduce(Communicator& comm, RankBuffers& buffers,
         // Reduce-Scatter: after step s the chunk received in that step
         // carries partial sums from s+1 ranks; after P−1 steps each
         // position owns one fully reduced chunk.
-        for (int s = 0; s < p - 1; ++s) {
-            const int send_chunk = (pos - s + p) % p;
-            const int recv_chunk = (pos - s - 1 + p) % p;
-            to_next.send(split.slice(std::span<const float>(buffer),
-                                     send_chunk),
-                         send_chunk);
-            const int tag = from_prev.recvReduce(
-                split.slice(buffer, recv_chunk));
-            CCUBE_CHECK(tag == recv_chunk, "ring chunk out of sequence");
+        {
+            obs::ScopedSpan span("ring.reduce_scatter",
+                                 "ccl.allreduce",
+                                 obs::pids::cclRank(rank),
+                                 obs::threadTrack());
+            for (int s = 0; s < p - 1; ++s) {
+                const int send_chunk = (pos - s + p) % p;
+                const int recv_chunk = (pos - s - 1 + p) % p;
+                to_next.send(split.slice(std::span<const float>(buffer),
+                                         send_chunk),
+                             send_chunk);
+                const int tag = from_prev.recvReduce(
+                    split.slice(buffer, recv_chunk));
+                CCUBE_CHECK(tag == recv_chunk,
+                            "ring chunk out of sequence");
+            }
         }
         // This rank now owns the fully reduced chunk at ring position
         // (pos+1) mod P — the first chunk available here.
@@ -60,16 +69,22 @@ ringAllReduce(Communicator& comm, RankBuffers& buffers,
         trace.record(rank, owned);
 
         // AllGather: circulate the fully reduced chunks.
-        for (int s = 0; s < p - 1; ++s) {
-            const int send_chunk = (pos + 1 - s + p) % p;
-            const int recv_chunk = (pos - s + p) % p;
-            to_next.send(split.slice(std::span<const float>(buffer),
-                                     send_chunk),
-                         send_chunk);
-            const int tag =
-                from_prev.recvInto(split.slice(buffer, recv_chunk));
-            CCUBE_CHECK(tag == recv_chunk, "ring chunk out of sequence");
-            trace.record(rank, recv_chunk);
+        {
+            obs::ScopedSpan span("ring.allgather", "ccl.allreduce",
+                                 obs::pids::cclRank(rank),
+                                 obs::threadTrack());
+            for (int s = 0; s < p - 1; ++s) {
+                const int send_chunk = (pos + 1 - s + p) % p;
+                const int recv_chunk = (pos - s + p) % p;
+                to_next.send(split.slice(std::span<const float>(buffer),
+                                         send_chunk),
+                             send_chunk);
+                const int tag =
+                    from_prev.recvInto(split.slice(buffer, recv_chunk));
+                CCUBE_CHECK(tag == recv_chunk,
+                            "ring chunk out of sequence");
+                trace.record(rank, recv_chunk);
+            }
         }
     });
     return trace;

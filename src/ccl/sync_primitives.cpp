@@ -1,7 +1,9 @@
 #include "ccl/sync_primitives.h"
 
+#include <cstdint>
 #include <thread>
 
+#include "obs/context.h"
 #include "util/logging.h"
 
 namespace ccube {
@@ -14,12 +16,18 @@ SpinLock::lock()
     // acquire ordering plays the role of the threadfence; yield keeps
     // the protocol live on oversubscribed CPU cores.
     int expected = 0;
+    std::uint64_t retries = 0;
     while (!flag_.compare_exchange_weak(expected, 1,
                                         std::memory_order_acquire,
                                         std::memory_order_relaxed)) {
         expected = 0;
+        ++retries;
         std::this_thread::yield();
     }
+    // Contention telemetry, attributed to the current rank; the fast
+    // path (CAS succeeds first try) records nothing.
+    if (retries > 0)
+        obs::RankCounters::global().addCasRetries(retries);
 }
 
 void
@@ -52,6 +60,8 @@ BoundedSemaphore::post()
     // Paper's post(): lock; while cnt == capacity { unlock; lock; }
     // ++cnt; unlock.
     lock_.lock();
+    if (count_ == capacity_)
+        obs::RankCounters::global().addPostStall();
     while (count_ == capacity_) {
         lock_.unlock();
         std::this_thread::yield();
@@ -67,6 +77,8 @@ BoundedSemaphore::wait()
     // Paper's wait(): lock; while cnt == 0 { unlock; lock; } --cnt;
     // unlock.
     lock_.lock();
+    if (count_ == 0)
+        obs::RankCounters::global().addWaitStall();
     while (count_ == 0) {
         lock_.unlock();
         std::this_thread::yield();

@@ -1,8 +1,11 @@
 #include "ccl/tree_allreduce.h"
 
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/context.h"
+#include "obs/trace.h"
 #include "topo/detour_router.h"
 #include "util/logging.h"
 
@@ -24,6 +27,12 @@ void
 forwardLoop(Communicator& comm, const topo::ForwardingRule& rule,
             FlowId flow, int num_chunks)
 {
+    obs::ScopedSpan span("tree.forward " +
+                             std::to_string(rule.upstream) + "->" +
+                             std::to_string(rule.downstream),
+                         "ccl.allreduce",
+                         obs::pids::cclRank(rule.transit),
+                         obs::threadTrack());
     Mailbox& in = comm.mailbox(rule.upstream, rule.transit, flow);
     Mailbox& out = comm.mailbox(rule.transit, rule.downstream, flow);
     std::vector<float> payload;
@@ -59,6 +68,11 @@ treeRankBody(Communicator& comm, int rank, std::span<float> buffer,
                                 : flows.broadcast;
         forwarders.emplace_back(
             [&comm, rule, flow, num_chunks]() {
+                obs::setThreadRank(rule.transit);
+                obs::labelThread(("rank" +
+                                  std::to_string(rule.transit) +
+                                  "/forward")
+                                     .c_str());
                 forwardLoop(comm, rule, flow, num_chunks);
             });
     }
@@ -87,6 +101,9 @@ treeRankBody(Communicator& comm, int rank, std::span<float> buffer,
     // Reduction role: accumulate children, pass up (or, at the root,
     // record completion and — when overlapped — start the broadcast).
     auto reduction_role = [&]() {
+        obs::ScopedSpan span("tree.reduce", "ccl.allreduce",
+                             obs::pids::cclRank(rank),
+                             obs::threadTrack());
         for (int c = 0; c < num_chunks; ++c) {
             for (std::size_t i = 0; i < children.size(); ++i) {
                 const int tag =
@@ -109,6 +126,9 @@ treeRankBody(Communicator& comm, int rank, std::span<float> buffer,
     // Broadcast role of a non-root: receive from the parent, record,
     // and forward down.
     auto broadcast_role = [&]() {
+        obs::ScopedSpan span("tree.broadcast", "ccl.allreduce",
+                             obs::pids::cclRank(rank),
+                             obs::threadTrack());
         for (int c = 0; c < num_chunks; ++c) {
             const int tag =
                 comm.mailbox(parent_hop, rank, flows.broadcast)
@@ -131,7 +151,12 @@ treeRankBody(Communicator& comm, int rank, std::span<float> buffer,
     } else {
         // Overlapped: the reduction and broadcast pipelines run as
         // concurrent "persistent kernels" on this rank.
-        std::thread reducer(reduction_role);
+        std::thread reducer([&reduction_role, rank]() {
+            obs::setThreadRank(rank);
+            obs::labelThread(
+                ("rank" + std::to_string(rank) + "/reduce").c_str());
+            reduction_role();
+        });
         broadcast_role();
         reducer.join();
     }

@@ -6,6 +6,7 @@
 
 #include "core/chunk_mapper.h"
 #include "model/tree_model.h"
+#include "obs/metrics.h"
 #include "simnet/channel.h"
 #include "simnet/double_tree_schedule.h"
 #include "simnet/multi_ring_schedule.h"
@@ -74,22 +75,37 @@ IterationScheduler::commSchedule(Mode mode, double bytes,
 {
     sim::Simulation simulation;
     simnet::Network network(simulation, graph_, bandwidth_scale);
+    simnet::ScheduleResult result;
     switch (mode) {
       case Mode::kRing:
-        return simnet::runMultiRingSchedule(simulation, network, rings_,
-                                            bytes);
+        result = simnet::runMultiRingSchedule(simulation, network,
+                                              rings_, bytes);
+        break;
       case Mode::kBaseline:
       case Mode::kComputeChaining:
-        return simnet::runDoubleTreeSchedule(
+        result = simnet::runDoubleTreeSchedule(
             simulation, network, double_tree_, bytes,
             simnet::PhaseMode::kTwoPhase, chunksPerTree(bytes / 2.0));
+        break;
       case Mode::kOverlappedTree:
       case Mode::kCCube:
-        return simnet::runDoubleTreeSchedule(
+        result = simnet::runDoubleTreeSchedule(
             simulation, network, double_tree_, bytes,
             simnet::PhaseMode::kOverlapped, chunksPerTree(bytes / 2.0));
+        break;
+      default:
+        util::panic("unknown mode");
     }
-    util::panic("unknown mode");
+
+    // Observability: serialize this DES run on the trace timeline and
+    // export per-channel telemetry when a metrics capture is active.
+    network.closeTraceEpoch(result.completion_time);
+    obs::MetricRegistry& registry = obs::MetricRegistry::global();
+    if (registry.enabled() && result.completion_time > 0.0) {
+        network.exportMetrics(registry, result.completion_time,
+                              std::string("simnet.") + modeName(mode));
+    }
+    return result;
 }
 
 IterationResult

@@ -11,10 +11,30 @@
 namespace ccube {
 namespace core {
 
-std::vector<TimelineEvent>
-TimelineBuilder::build(const IterationScheduler& scheduler, Mode mode,
-                       const IterationConfig& config)
+namespace {
+
+/** Display name of a timeline track. */
+const char*
+trackName(int tid)
 {
+    switch (tid) {
+      case TimelineBuilder::kBackwardTrack: return "backward";
+      case TimelineBuilder::kAllReduceTrack: return "allreduce";
+      case TimelineBuilder::kForwardTrack: return "forward";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+TimelineBuilder::record(obs::TraceRecorder& recorder,
+                        const IterationScheduler& scheduler, Mode mode,
+                        const IterationConfig& config, int pid)
+{
+    if (!recorder.enabled())
+        return;
+
     const dnn::NetworkModel& network = scheduler.network();
     const dnn::ComputeModel compute(scheduler.gpuParams());
     const std::vector<double> fwd_times =
@@ -24,10 +44,16 @@ TimelineBuilder::build(const IterationScheduler& scheduler, Mode mode,
     const simnet::ScheduleResult schedule =
         scheduler.commSchedule(mode, bytes, config.bandwidth_scale);
 
-    std::vector<TimelineEvent> events;
-    events.push_back(TimelineEvent{"backward", "backward", 0.0, bwd});
+    recorder.setProcessName(pid, std::string("core iteration ") +
+                                     modeName(mode));
+    for (int tid : {kBackwardTrack, kAllReduceTrack, kForwardTrack})
+        recorder.setThreadName(pid, tid, trackName(tid));
 
-    // AllReduce: one bar per chunk, from the previous chunk's
+    const std::string cat = "core.iteration";
+    recorder.completeEvent("backward", cat, pid, kBackwardTrack, 0.0,
+                           bwd * 1e6);
+
+    // AllReduce: one span per chunk, from the previous chunk's
     // availability (per tree) to this one's. For the multi-ring all
     // chunks share the collective span.
     const int chunks = schedule.num_chunks;
@@ -36,9 +62,9 @@ TimelineBuilder::build(const IterationScheduler& scheduler, Mode mode,
     double prev = 0.0;
     for (int c = 0; c < chunks; ++c) {
         const double ready = sorted_ready[static_cast<std::size_t>(c)];
-        events.push_back(TimelineEvent{
-            "allreduce", "chunk " + std::to_string(c), bwd + prev,
-            bwd + ready});
+        recorder.completeEvent("chunk " + std::to_string(c), cat, pid,
+                               kAllReduceTrack, (bwd + prev) * 1e6,
+                               (ready - prev) * 1e6);
         prev = ready;
     }
 
@@ -59,9 +85,28 @@ TimelineBuilder::build(const IterationScheduler& scheduler, Mode mode,
         }
         const double end =
             start + fwd_times[static_cast<std::size_t>(l)];
-        events.push_back(TimelineEvent{
-            "forward", network.layer(l).name, start, end});
+        recorder.completeEvent(network.layer(l).name, cat, pid,
+                               kForwardTrack, start * 1e6,
+                               (end - start) * 1e6);
         t = end;
+    }
+}
+
+std::vector<TimelineEvent>
+TimelineBuilder::build(const IterationScheduler& scheduler, Mode mode,
+                       const IterationConfig& config)
+{
+    // The recorder is the single source of truth: record into a local
+    // one and project its spans back onto the flat event list.
+    obs::TraceRecorder recorder;
+    recorder.enable();
+    record(recorder, scheduler, mode, config);
+
+    std::vector<TimelineEvent> events;
+    for (const obs::TraceEvent& e : recorder.snapshot()) {
+        events.push_back(TimelineEvent{trackName(e.tid), e.name,
+                                       e.ts_us / 1e6,
+                                       (e.ts_us + e.dur_us) / 1e6});
     }
     return events;
 }

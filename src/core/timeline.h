@@ -7,7 +7,11 @@
  * diagrams: when backward ran, when each collective chunk became
  * available, and when each chained forward layer executed.
  *
- * Exports CSV (for plotting) and a scaled ASCII Gantt view.
+ * The timeline is recorded as spans into an obs::TraceRecorder (the
+ * unified observability substrate), from which the CSV rows, the
+ * ASCII Gantt view, and Chrome/Perfetto traces are all derived —
+ * `TimelineBuilder::record` into the global recorder is how the
+ * iteration phases land in a `--trace-out=` capture.
  */
 
 #include <iosfwd>
@@ -15,6 +19,7 @@
 #include <vector>
 
 #include "core/iteration_scheduler.h"
+#include "obs/trace.h"
 
 namespace ccube {
 namespace core {
@@ -33,11 +38,30 @@ struct TimelineEvent {
 class TimelineBuilder
 {
   public:
+    /** Trace tracks (tids) the iteration phases record under. */
+    enum Track : int {
+        kBackwardTrack = 0,
+        kAllReduceTrack = 1,
+        kForwardTrack = 2,
+    };
+
     /**
-     * Reconstructs the timeline: backward [0, bwd]; one allreduce
-     * event per chunk (start = previous chunk's availability, end =
-     * this chunk's); one forward event per layer (chained modes gate
-     * each layer on its gradients).
+     * Records the steady-state timeline of @p mode as complete spans
+     * into @p recorder under @p pid (simulated time): backward
+     * [0, bwd] on the backward track; one span per collective chunk
+     * (start = previous chunk's availability, end = this chunk's) on
+     * the allreduce track; one span per forward layer (chained modes
+     * gate each layer on its gradients) on the forward track. No-op
+     * when the recorder is disabled.
+     */
+    static void record(obs::TraceRecorder& recorder,
+                       const IterationScheduler& scheduler, Mode mode,
+                       const IterationConfig& config,
+                       int pid = obs::pids::core());
+
+    /**
+     * Reconstructs the timeline as a flat event list (seconds) — the
+     * recorder-derived view the CSV/ASCII renderers consume.
      */
     static std::vector<TimelineEvent>
     build(const IterationScheduler& scheduler, Mode mode,

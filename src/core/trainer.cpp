@@ -1,5 +1,8 @@
 #include "core/trainer.h"
 
+#include <string>
+
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace ccube {
@@ -42,6 +45,29 @@ Trainer::run(Mode mode, const IterationConfig& config,
     result.scaling_efficiency =
         result.samples_per_second /
         (single_gpu_rate * static_cast<double>(num_gpus_));
+
+    // One span per simulated iteration on the trainer track, so a
+    // `--trace-out=` capture shows the cold start next to the steady
+    // periods.
+    obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+    if (recorder.enabled()) {
+        const int pid = obs::pids::core();
+        recorder.setThreadName(pid, kTrainerTrack,
+                               std::string("trainer ") + modeName(mode));
+        recorder.completeEvent("iter 0 (cold)", "core.trainer", pid,
+                               kTrainerTrack, 0.0, cold * 1e6,
+                               {{"batch", double(config.batch)}});
+        for (int i = 1; i < iterations; ++i) {
+            const double start =
+                cold + static_cast<double>(i - 1) *
+                           steady.iteration_time;
+            recorder.completeEvent(
+                "iter " + std::to_string(i), "core.trainer", pid,
+                kTrainerTrack, start * 1e6,
+                steady.iteration_time * 1e6,
+                {{"batch", double(config.batch)}});
+        }
+    }
     return result;
 }
 

@@ -38,6 +38,10 @@ struct TrainingRunResult {
 class Trainer
 {
   public:
+    /** Trace track (tid) the per-iteration spans record under —
+     *  distinct from TimelineBuilder's phase tracks. */
+    static constexpr int kTrainerTrack = 3;
+
     Trainer(const IterationScheduler& scheduler, int num_gpus)
         : scheduler_(scheduler), num_gpus_(num_gpus)
     {

@@ -1,0 +1,233 @@
+#include "obs/context.h"
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ccube {
+namespace obs {
+
+namespace {
+
+thread_local int t_rank = -1;
+thread_local int t_track = 0;
+
+std::atomic<int> g_next_track{1};
+
+} // namespace
+
+void
+setThreadRank(int rank)
+{
+    t_rank = rank;
+}
+
+int
+threadRank()
+{
+    return t_rank;
+}
+
+int
+threadTrack()
+{
+    if (t_track == 0)
+        t_track = g_next_track.fetch_add(1, std::memory_order_relaxed);
+    return t_track;
+}
+
+void
+labelThread(const char* label)
+{
+    TraceRecorder& recorder = TraceRecorder::global();
+    if (!recorder.enabled())
+        return;
+    const int rank = threadRank();
+    recorder.setThreadName(pids::cclRank(rank), threadTrack(), label);
+    recorder.setProcessName(pids::cclRank(rank),
+                            rank >= 0
+                                ? "ccl rank " + std::to_string(rank)
+                                : std::string("ccl (no rank)"));
+}
+
+RankCounters&
+RankCounters::global()
+{
+    static RankCounters counters;
+    return counters;
+}
+
+RankCounters::Slot&
+RankCounters::current()
+{
+    const int rank = t_rank;
+    const int index = (rank >= 0 && rank < kMaxRanks) ? rank + 1 : 0;
+    return slots_[index];
+}
+
+const RankCounters::Slot&
+RankCounters::slot(int rank) const
+{
+    const int index = (rank >= 0 && rank < kMaxRanks) ? rank + 1 : 0;
+    return slots_[index];
+}
+
+void
+RankCounters::addCasRetries(std::uint64_t n)
+{
+    current().cas_retries.fetch_add(n, std::memory_order_relaxed);
+}
+
+void
+RankCounters::addPostStall()
+{
+    current().post_stalls.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+RankCounters::addWaitStall()
+{
+    current().wait_stalls.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+RankCounters::addSlotFullStall()
+{
+    current().slot_full_stalls.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+RankCounters::addMailboxSend()
+{
+    current().mailbox_sends.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+RankCounters::addMailboxRecv()
+{
+    current().mailbox_recvs.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t
+RankCounters::casRetries(int rank) const
+{
+    return slot(rank).cas_retries.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+RankCounters::postStalls(int rank) const
+{
+    return slot(rank).post_stalls.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+RankCounters::waitStalls(int rank) const
+{
+    return slot(rank).wait_stalls.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+RankCounters::slotFullStalls(int rank) const
+{
+    return slot(rank).slot_full_stalls.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+RankCounters::mailboxSends(int rank) const
+{
+    return slot(rank).mailbox_sends.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+RankCounters::mailboxRecvs(int rank) const
+{
+    return slot(rank).mailbox_recvs.load(std::memory_order_relaxed);
+}
+
+namespace {
+
+template <typename Member>
+std::uint64_t
+sumSlots(const RankCounters& counters, Member member)
+{
+    std::uint64_t total = 0;
+    for (int rank = -1; rank < RankCounters::kMaxRanks; ++rank)
+        total += (counters.*member)(rank);
+    return total;
+}
+
+} // namespace
+
+std::uint64_t
+RankCounters::totalCasRetries() const
+{
+    return sumSlots(*this, &RankCounters::casRetries);
+}
+
+std::uint64_t
+RankCounters::totalSlotFullStalls() const
+{
+    return sumSlots(*this, &RankCounters::slotFullStalls);
+}
+
+std::uint64_t
+RankCounters::totalMailboxSends() const
+{
+    return sumSlots(*this, &RankCounters::mailboxSends);
+}
+
+std::uint64_t
+RankCounters::totalMailboxRecvs() const
+{
+    return sumSlots(*this, &RankCounters::mailboxRecvs);
+}
+
+void
+RankCounters::exportTo(MetricRegistry& registry) const
+{
+    struct Field {
+        const char* name;
+        std::uint64_t (RankCounters::*read)(int) const;
+    };
+    static constexpr Field kFields[] = {
+        {"cas_retries", &RankCounters::casRetries},
+        {"post_stalls", &RankCounters::postStalls},
+        {"wait_stalls", &RankCounters::waitStalls},
+        {"slot_full_stalls", &RankCounters::slotFullStalls},
+        {"mailbox_sends", &RankCounters::mailboxSends},
+        {"mailbox_recvs", &RankCounters::mailboxRecvs},
+    };
+    for (const Field& field : kFields) {
+        std::uint64_t total = 0;
+        for (int rank = -1; rank < kMaxRanks; ++rank) {
+            const std::uint64_t value = (this->*field.read)(rank);
+            total += value;
+            if (value == 0)
+                continue;
+            const std::string label =
+                rank >= 0 ? "rank" + std::to_string(rank) : "unknown";
+            registry.addCounter(
+                "ccl." + label + "." + field.name,
+                static_cast<double>(value));
+        }
+        registry.addCounter("ccl.total." + std::string(field.name),
+                            static_cast<double>(total));
+    }
+}
+
+void
+RankCounters::reset()
+{
+    for (Slot& s : slots_) {
+        s.cas_retries.store(0, std::memory_order_relaxed);
+        s.post_stalls.store(0, std::memory_order_relaxed);
+        s.wait_stalls.store(0, std::memory_order_relaxed);
+        s.slot_full_stalls.store(0, std::memory_order_relaxed);
+        s.mailbox_sends.store(0, std::memory_order_relaxed);
+        s.mailbox_recvs.store(0, std::memory_order_relaxed);
+    }
+}
+
+} // namespace obs
+} // namespace ccube

@@ -1,0 +1,132 @@
+#ifndef CCUBE_OBS_CONTEXT_H_
+#define CCUBE_OBS_CONTEXT_H_
+
+/**
+ * @file
+ * Per-thread observability context and per-rank synchronization
+ * counters for the functional (`ccl::`) runtime.
+ *
+ * The functional path runs one thread per rank plus helper threads
+ * (forwarding kernels, the overlapped reducer, the second tree).
+ * `setThreadRank()` tags each such thread with the rank it acts for;
+ * the low-level primitives (`SpinLock`, `BoundedSemaphore`, `Mailbox`)
+ * then attribute their counters to the current rank without taking
+ * any lock — each rank slot is a cache-padded atomic, the thread
+ * analogue of per-channel NVLink counters.
+ *
+ * Counters mirror the paper's Fig. 11 semaphore protocol:
+ *   - cas_retries      — failed CAS attempts inside SpinLock::lock();
+ *   - post_stalls      — BoundedSemaphore::post() found count==capacity;
+ *   - wait_stalls      — BoundedSemaphore::wait() found count==0;
+ *   - slot_full_stalls — Mailbox::send() found every receive buffer
+ *                        occupied (the flow-control backpressure of
+ *                        the paper's bounded receive rings);
+ *   - mailbox_sends / mailbox_recvs — chunk traffic per rank.
+ */
+
+#include <atomic>
+#include <cstdint>
+
+namespace ccube {
+namespace obs {
+
+class MetricRegistry;
+
+/** Tags the calling thread as acting for @p rank (-1 = unknown). */
+void setThreadRank(int rank);
+
+/** Rank the calling thread acts for; -1 when untagged. */
+int threadRank();
+
+/**
+ * Stable per-thread trace track id (assigned on first use). Distinct
+ * helper threads of one rank get distinct tracks so their concurrent
+ * spans render side by side instead of stacking.
+ */
+int threadTrack();
+
+/**
+ * Registers a display name for the calling thread's trace track under
+ * the pid of its current rank. No-op when tracing is disabled.
+ */
+void labelThread(const char* label);
+
+/**
+ * Always-on, lock-free per-rank counters for the Fig. 11 protocol.
+ * Increment cost is one relaxed atomic add on an already-slow path
+ * (a retry or a stall), so the counters need no enable gate.
+ */
+class RankCounters
+{
+  public:
+    static constexpr int kMaxRanks = 64;
+
+    /** Process-wide instance. */
+    static RankCounters& global();
+
+    RankCounters() = default;
+    RankCounters(const RankCounters&) = delete;
+    RankCounters& operator=(const RankCounters&) = delete;
+
+    /** Adds @p n failed CAS attempts for the calling thread's rank. */
+    void addCasRetries(std::uint64_t n);
+
+    /** Records one post() stall (count at capacity). */
+    void addPostStall();
+
+    /** Records one wait() stall (count at zero). */
+    void addWaitStall();
+
+    /** Records one send() that found all receive buffers full. */
+    void addSlotFullStall();
+
+    /** Records one mailbox send. */
+    void addMailboxSend();
+
+    /** Records one mailbox receive. */
+    void addMailboxRecv();
+
+    /** Per-rank reads; @p rank -1 reads the unknown-rank slot. */
+    std::uint64_t casRetries(int rank) const;
+    std::uint64_t postStalls(int rank) const;
+    std::uint64_t waitStalls(int rank) const;
+    std::uint64_t slotFullStalls(int rank) const;
+    std::uint64_t mailboxSends(int rank) const;
+    std::uint64_t mailboxRecvs(int rank) const;
+
+    /** Sums across all rank slots (including unknown). */
+    std::uint64_t totalCasRetries() const;
+    std::uint64_t totalSlotFullStalls() const;
+    std::uint64_t totalMailboxSends() const;
+    std::uint64_t totalMailboxRecvs() const;
+
+    /**
+     * Exports non-zero counters as `ccl.rank<r>.<counter>` plus
+     * `ccl.total.<counter>` into @p registry.
+     */
+    void exportTo(MetricRegistry& registry) const;
+
+    /** Zeroes every counter (tests / between runs). */
+    void reset();
+
+  private:
+    struct alignas(64) Slot {
+        std::atomic<std::uint64_t> cas_retries{0};
+        std::atomic<std::uint64_t> post_stalls{0};
+        std::atomic<std::uint64_t> wait_stalls{0};
+        std::atomic<std::uint64_t> slot_full_stalls{0};
+        std::atomic<std::uint64_t> mailbox_sends{0};
+        std::atomic<std::uint64_t> mailbox_recvs{0};
+    };
+
+    /** Slot for the calling thread (0 = unknown rank). */
+    Slot& current();
+    const Slot& slot(int rank) const;
+
+    Slot slots_[kMaxRanks + 1];
+};
+
+} // namespace obs
+} // namespace ccube
+
+#endif // CCUBE_OBS_CONTEXT_H_

@@ -1,0 +1,174 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace ccube {
+namespace obs {
+
+namespace {
+
+void
+writeJsonKey(std::ostream& out, const std::string& s)
+{
+    out << '"';
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out << '\\';
+        out << c;
+    }
+    out << '"';
+}
+
+} // namespace
+
+MetricRegistry&
+MetricRegistry::global()
+{
+    static MetricRegistry registry;
+    return registry;
+}
+
+void
+MetricRegistry::addCounter(const std::string& name, double delta)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    counters_[name] += delta;
+}
+
+double
+MetricRegistry::counter(const std::string& name) const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0.0 : it->second;
+}
+
+void
+MetricRegistry::setGauge(const std::string& name, double value)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    gauges_[name] = value;
+}
+
+double
+MetricRegistry::gauge(const std::string& name) const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second;
+}
+
+bool
+MetricRegistry::hasGauge(const std::string& name) const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return gauges_.count(name) != 0;
+}
+
+void
+MetricRegistry::observe(const std::string& name, double sample)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    histograms_[name].add(sample);
+}
+
+void
+MetricRegistry::mergeHistogram(const std::string& name,
+                               const util::RunningStats& stats)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    histograms_[name].merge(stats);
+}
+
+util::RunningStats
+MetricRegistry::histogram(const std::string& name) const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? util::RunningStats{} : it->second;
+}
+
+std::vector<std::pair<std::string, std::string>>
+MetricRegistry::names() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    std::vector<std::pair<std::string, std::string>> out;
+    out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+    for (const auto& [name, value] : counters_)
+        out.emplace_back(name, "counter");
+    for (const auto& [name, value] : gauges_)
+        out.emplace_back(name, "gauge");
+    for (const auto& [name, stats] : histograms_)
+        out.emplace_back(name, "histogram");
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+void
+MetricRegistry::clear()
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+}
+
+void
+MetricRegistry::writeCsv(std::ostream& out) const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    out << "name,kind,count,value,mean,min,max,stddev\n";
+    for (const auto& [name, value] : counters_)
+        out << name << ",counter,," << value << ",,,,\n";
+    for (const auto& [name, value] : gauges_)
+        out << name << ",gauge,," << value << ",,,,\n";
+    for (const auto& [name, stats] : histograms_) {
+        out << name << ",histogram," << stats.count() << ","
+            << stats.sum() << "," << stats.mean() << ",";
+        if (stats.count() > 0)
+            out << stats.min() << "," << stats.max();
+        else
+            out << ",";
+        out << "," << stats.stddev() << "\n";
+    }
+}
+
+void
+MetricRegistry::writeJson(std::ostream& out) const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    out << "{\n";
+    bool first = true;
+    auto sep = [&]() {
+        if (!first)
+            out << ",\n";
+        first = false;
+    };
+    for (const auto& [name, value] : counters_) {
+        sep();
+        writeJsonKey(out, name);
+        out << ": {\"kind\": \"counter\", \"value\": " << value << "}";
+    }
+    for (const auto& [name, value] : gauges_) {
+        sep();
+        writeJsonKey(out, name);
+        out << ": {\"kind\": \"gauge\", \"value\": " << value << "}";
+    }
+    for (const auto& [name, stats] : histograms_) {
+        sep();
+        writeJsonKey(out, name);
+        out << ": {\"kind\": \"histogram\", \"count\": "
+            << stats.count() << ", \"sum\": " << stats.sum()
+            << ", \"mean\": " << stats.mean();
+        if (stats.count() > 0) {
+            out << ", \"min\": " << stats.min()
+                << ", \"max\": " << stats.max();
+        }
+        out << ", \"stddev\": " << stats.stddev() << "}";
+    }
+    out << "\n}\n";
+}
+
+} // namespace obs
+} // namespace ccube

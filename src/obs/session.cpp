@@ -1,0 +1,91 @@
+#include "obs/session.h"
+
+#include <fstream>
+#include <utility>
+
+#include "obs/context.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace ccube {
+namespace obs {
+
+namespace {
+
+bool
+endsWithJson(const std::string& path)
+{
+    static const std::string suffix = ".json";
+    return path.size() >= suffix.size() &&
+           path.compare(path.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+} // namespace
+
+ObsSession::ObsSession(const util::Flags& flags)
+    : ObsSession(flags.get("trace-out"), flags.get("metrics-out"))
+{
+}
+
+ObsSession::ObsSession(std::string trace_path, std::string metrics_path)
+    : trace_path_(std::move(trace_path)),
+      metrics_path_(std::move(metrics_path))
+{
+    start();
+}
+
+ObsSession::~ObsSession()
+{
+    finish();
+}
+
+void
+ObsSession::start()
+{
+    if (tracing())
+        TraceRecorder::global().enable();
+    if (metrics())
+        MetricRegistry::global().enable();
+}
+
+void
+ObsSession::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+
+    if (tracing()) {
+        TraceRecorder& recorder = TraceRecorder::global();
+        std::ofstream out(trace_path_);
+        if (!out) {
+            util::logWarn("obs", "cannot open trace file " + trace_path_);
+        } else {
+            recorder.writeJson(out);
+            util::logInfo("obs",
+                          "wrote " + std::to_string(recorder.eventCount()) +
+                              " trace events to " + trace_path_);
+        }
+        recorder.disable();
+    }
+
+    if (metrics()) {
+        MetricRegistry& registry = MetricRegistry::global();
+        RankCounters::global().exportTo(registry);
+        std::ofstream out(metrics_path_);
+        if (!out) {
+            util::logWarn("obs",
+                          "cannot open metrics file " + metrics_path_);
+        } else if (endsWithJson(metrics_path_)) {
+            registry.writeJson(out);
+        } else {
+            registry.writeCsv(out);
+        }
+        registry.disable();
+    }
+}
+
+} // namespace obs
+} // namespace ccube

@@ -1,0 +1,67 @@
+#ifndef CCUBE_OBS_SESSION_H_
+#define CCUBE_OBS_SESSION_H_
+
+/**
+ * @file
+ * Command-line wiring for the observability layer.
+ *
+ * Any bench or example constructs an ObsSession from its parsed flags;
+ * `--trace-out=FILE` enables the global TraceRecorder and writes a
+ * Chrome/Perfetto trace at the end of the run, `--metrics-out=FILE`
+ * enables the global MetricRegistry and writes CSV (or JSON when the
+ * path ends in `.json`). With neither flag present the session is
+ * inert and the instrumented code paths stay on their disabled
+ * fast path.
+ */
+
+#include <string>
+
+#include "util/flags.h"
+
+namespace ccube {
+namespace obs {
+
+/**
+ * RAII capture session: enables the global recorder/registry on
+ * construction, flushes them to the requested files on finish() or
+ * destruction.
+ */
+class ObsSession
+{
+  public:
+    /** Reads `--trace-out` / `--metrics-out` from @p flags. */
+    explicit ObsSession(const util::Flags& flags);
+
+    /** Direct construction (empty path = facility off). */
+    ObsSession(std::string trace_path, std::string metrics_path);
+
+    /** Flushes on scope exit when finish() was not called. */
+    ~ObsSession();
+
+    ObsSession(const ObsSession&) = delete;
+    ObsSession& operator=(const ObsSession&) = delete;
+
+    /** True when a trace file was requested. */
+    bool tracing() const { return !trace_path_.empty(); }
+
+    /** True when a metrics file was requested. */
+    bool metrics() const { return !metrics_path_.empty(); }
+
+    /**
+     * Writes the trace JSON and metrics files, folding the per-rank
+     * RankCounters into the registry first. Idempotent.
+     */
+    void finish();
+
+  private:
+    void start();
+
+    std::string trace_path_;
+    std::string metrics_path_;
+    bool finished_ = false;
+};
+
+} // namespace obs
+} // namespace ccube
+
+#endif // CCUBE_OBS_SESSION_H_

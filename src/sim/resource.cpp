@@ -2,25 +2,37 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace ccube {
 namespace sim {
 
 FifoResource::FifoResource(Simulation& simulation, std::string name)
-    : sim_(simulation), name_(std::move(name))
+    : sim_(simulation), name_(std::move(name)),
+      recorder_(obs::TraceRecorder::global()),
+      registry_(obs::MetricRegistry::global())
 {
 }
 
 void
-FifoResource::request(HoldFn hold, DoneFn done)
+FifoResource::request(HoldFn hold, DoneFn done, double payload)
 {
-    Pending pending{std::move(hold), std::move(done)};
+    Pending pending{std::move(hold), std::move(done), payload,
+                    sim_.now()};
     if (busy_) {
         waiting_.push_back(std::move(pending));
         return;
     }
     grant(std::move(pending));
+}
+
+void
+FifoResource::setTraceIdentity(int pid, int tid)
+{
+    trace_pid_ = pid;
+    trace_tid_ = tid;
 }
 
 void
@@ -32,6 +44,20 @@ FifoResource::grant(Pending pending)
     const Time duration = pending.hold();
     CCUBE_CHECK(duration >= 0.0, "negative hold on " << name_);
     busy_time_ += duration;
+    if (recorder_.enabled() || registry_.enabled()) {
+        total_payload_ += pending.payload;
+        const Time queue_wait = sim_.now() - pending.requested_at;
+        queue_wait_.add(queue_wait);
+        if (trace_pid_ >= 0 && recorder_.enabled()) {
+            const double offset = recorder_.simOffsetUs();
+            recorder_.completeEvent(
+                name_, "simnet.channel", trace_pid_, trace_tid_,
+                offset + sim_.now() * 1e6, duration * 1e6,
+                {{"queue_wait_us", queue_wait * 1e6},
+                 {"bytes", pending.payload}});
+        }
+    }
+
     DoneFn done = std::move(pending.done);
     sim_.after(duration, [this, done = std::move(done)]() {
         release();

@@ -16,8 +16,15 @@
 #include <string>
 
 #include "sim/simulation.h"
+#include "util/stats.h"
 
 namespace ccube {
+
+namespace obs {
+class MetricRegistry;
+class TraceRecorder;
+}
+
 namespace sim {
 
 /**
@@ -45,8 +52,18 @@ class FifoResource
     /**
      * Requests the resource. When granted, @p hold is evaluated to get
      * the busy duration; @p done fires when the busy period elapses.
+     * @p payload (bytes, or any workload measure) is recorded for
+     * telemetry and attached to the occupancy trace span.
      */
-    void request(HoldFn hold, DoneFn done);
+    void request(HoldFn hold, DoneFn done, double payload = 0.0);
+
+    /**
+     * Binds this resource to a (pid, tid) identity in the global
+     * obs::TraceRecorder; every grant then emits one complete span
+     * (simulated time) named after the resource, with queue-wait and
+     * payload args. Without an identity the resource never traces.
+     */
+    void setTraceIdentity(int pid, int tid);
 
     /** True while a grant is outstanding. */
     bool busy() const { return busy_; }
@@ -60,6 +77,18 @@ class FifoResource
     /** Total grants made. */
     std::uint64_t grants() const { return grants_; }
 
+    /** Cumulative payload (bytes) moved through this resource.
+     *  Accumulated only while tracing or a metrics capture is enabled
+     *  — the unobserved fast path skips all telemetry. */
+    double totalPayload() const { return total_payload_; }
+
+    /** Queue-wait samples: time between request and grant. Captured
+     *  only while tracing or a metrics capture is enabled. */
+    const util::RunningStats& queueWaitStats() const
+    {
+        return queue_wait_;
+    }
+
     /** Debug name. */
     const std::string& name() const { return name_; }
 
@@ -67,6 +96,8 @@ class FifoResource
     struct Pending {
         HoldFn hold;
         DoneFn done;
+        double payload = 0.0;
+        Time requested_at = 0.0;
     };
 
     void grant(Pending pending);
@@ -78,6 +109,12 @@ class FifoResource
     std::deque<Pending> waiting_;
     Time busy_time_ = 0.0;
     std::uint64_t grants_ = 0;
+    double total_payload_ = 0.0;
+    util::RunningStats queue_wait_;
+    obs::TraceRecorder& recorder_; ///< cached globals: the per-grant
+    obs::MetricRegistry& registry_; ///< cost is two relaxed loads
+    int trace_pid_ = -1;
+    int trace_tid_ = 0;
 };
 
 } // namespace sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace ccube {
@@ -20,7 +21,35 @@ Network::Network(sim::Simulation& simulation, const topo::Graph& graph,
             simulation, graph.nodeLabel(desc.src) + "->" +
                             graph.nodeLabel(desc.dst) + "#" +
                             std::to_string(id)));
+        resources_.back()->setTraceIdentity(
+            obs::pids::simNode(desc.src), id);
     }
+    announceTraceTopology();
+}
+
+void
+Network::announceTraceTopology() const
+{
+    obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+    if (!recorder.enabled())
+        return;
+    for (int id = 0; id < graph_.channelCount(); ++id) {
+        const topo::ChannelDesc& desc = graph_.channel(id);
+        recorder.setProcessName(obs::pids::simNode(desc.src),
+                                "simnet node " +
+                                    graph_.nodeLabel(desc.src));
+        recorder.setThreadName(obs::pids::simNode(desc.src), id,
+                               resources_[static_cast<std::size_t>(id)]
+                                   ->name());
+    }
+}
+
+void
+Network::closeTraceEpoch(double run_end) const
+{
+    obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+    if (recorder.enabled())
+        recorder.advanceSimEpoch(run_end * 1e6);
 }
 
 void
@@ -34,7 +63,7 @@ Network::transferOnChannel(int channel_id, double bytes, DoneFn done)
     sim_.addStat("net.bytes", bytes);
     sim_.addStat("net.transfers", 1.0);
     resources_[static_cast<std::size_t>(channel_id)]->request(
-        [hold]() { return hold; }, std::move(done));
+        [hold]() { return hold; }, std::move(done), bytes);
 }
 
 void
@@ -65,6 +94,51 @@ Network::channelGrants(int channel_id) const
                     channel_id < static_cast<int>(resources_.size()),
                 "bad channel id " << channel_id);
     return resources_[static_cast<std::size_t>(channel_id)]->grants();
+}
+
+double
+Network::channelBytes(int channel_id) const
+{
+    CCUBE_CHECK(channel_id >= 0 &&
+                    channel_id < static_cast<int>(resources_.size()),
+                "bad channel id " << channel_id);
+    return resources_[static_cast<std::size_t>(channel_id)]
+        ->totalPayload();
+}
+
+const util::RunningStats&
+Network::channelQueueWait(int channel_id) const
+{
+    CCUBE_CHECK(channel_id >= 0 &&
+                    channel_id < static_cast<int>(resources_.size()),
+                "bad channel id " << channel_id);
+    return resources_[static_cast<std::size_t>(channel_id)]
+        ->queueWaitStats();
+}
+
+void
+Network::exportMetrics(obs::MetricRegistry& registry, double horizon,
+                       const std::string& prefix) const
+{
+    CCUBE_CHECK(horizon > 0.0, "metrics horizon must be positive");
+    for (int id = 0; id < graph_.channelCount(); ++id) {
+        const sim::FifoResource& res =
+            *resources_[static_cast<std::size_t>(id)];
+        if (res.grants() == 0)
+            continue; // channel unused by the embedding
+        const std::string base =
+            prefix + ".channel." + std::to_string(id);
+        const double utilization = res.busyTime() / horizon;
+        registry.setGauge(base + ".bytes", res.totalPayload());
+        registry.setGauge(base + ".busy_s", res.busyTime());
+        registry.setGauge(base + ".grants",
+                          static_cast<double>(res.grants()));
+        registry.setGauge(base + ".utilization", utilization);
+        registry.mergeHistogram(prefix + ".queue_wait_s",
+                                res.queueWaitStats());
+        registry.observe(prefix + ".channel_utilization", utilization);
+    }
+    registry.setGauge(prefix + ".horizon_s", horizon);
 }
 
 double

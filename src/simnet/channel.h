@@ -12,8 +12,10 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sim/resource.h"
 #include "sim/simulation.h"
 #include "topo/graph.h"
@@ -69,8 +71,39 @@ class Network
     /** Total transfers granted on a channel. */
     std::uint64_t channelGrants(int channel_id) const;
 
+    /** Total bytes granted on a channel. */
+    double channelBytes(int channel_id) const;
+
+    /** Queue-wait statistics of a channel (time requests spent
+     *  serialized behind earlier transfers). */
+    const util::RunningStats& channelQueueWait(int channel_id) const;
+
     /** Time one transfer of @p bytes occupies channel @p channel_id. */
     double occupancy(int channel_id, double bytes) const;
+
+    /**
+     * Exports per-channel telemetry into @p registry under @p prefix:
+     * gauges `<prefix>.channel.<id>.{bytes,busy_s,grants,utilization}`
+     * (utilization = busy / @p horizon), histogram
+     * `<prefix>.queue_wait_s` pooled over all channels, and histogram
+     * `<prefix>.channel_utilization` over channels that carried
+     * traffic — the numbers `bench/ext_link_utilization` prints.
+     */
+    void exportMetrics(obs::MetricRegistry& registry, double horizon,
+                       const std::string& prefix = "simnet") const;
+
+    /**
+     * Registers this network's nodes/channels as named processes and
+     * tracks in the global trace recorder (no-op while disabled).
+     * Called from the constructor; call again after enabling tracing
+     * if the network outlives the ObsSession setup.
+     */
+    void announceTraceTopology() const;
+
+    /** Closes the current trace epoch after a finished simulation run
+     *  ending at @p run_end (simulated seconds), so the next run's
+     *  spans land after this one on the trace timeline. */
+    void closeTraceEpoch(double run_end) const;
 
   private:
     sim::Simulation& sim_;

@@ -1,7 +1,9 @@
 #include "simnet/transfer_engine.h"
 
+#include <string>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace ccube {
@@ -12,6 +14,33 @@ TransferEngine::sendAlongRoute(const topo::Route& route, double bytes,
                                DoneFn done, int lane)
 {
     CCUBE_CHECK(route.hops.size() >= 2, "route needs at least two hops");
+    ++sends_issued_;
+    hop_stats_.add(static_cast<double>(route.hops.size() - 1));
+
+    if (route.hops.size() > 2 &&
+        obs::TraceRecorder::global().enabled()) {
+        // End-to-end flow span for multi-hop routes (single-channel
+        // sends are already covered by the channel occupancy span).
+        obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+        const topo::NodeId src = route.hops.front();
+        const topo::NodeId dst = route.hops.back();
+        const double start = net_.simulation().now();
+        const double offset = recorder.simOffsetUs();
+        const int hops = static_cast<int>(route.hops.size() - 1);
+        done = [this, src, dst, start, offset, bytes, hops, lane,
+                inner = std::move(done), &recorder]() {
+            const double end = net_.simulation().now();
+            recorder.completeEvent(
+                "flow " + net_.graph().nodeLabel(src) + "->" +
+                    net_.graph().nodeLabel(dst),
+                "simnet.flow", obs::pids::simNode(src),
+                obs::kFlowTrackBase + lane, offset + start * 1e6,
+                (end - start) * 1e6,
+                {{"bytes", bytes}, {"hops", hops}});
+            if (inner)
+                inner();
+        };
+    }
     runStage(route, 0, bytes, std::move(done), lane);
 }
 

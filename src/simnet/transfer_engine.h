@@ -31,10 +31,18 @@ class TransferEngine
     /**
      * Sends @p bytes along @p route (node sequence) hop by hop;
      * @p done fires when the final hop completes. @p lane selects
-     * among parallel channels on every segment.
+     * among parallel channels on every segment. With tracing enabled
+     * each send also emits one end-to-end flow span (src pid, flow
+     * track) covering queueing and every hop.
      */
     void sendAlongRoute(const topo::Route& route, double bytes,
                         DoneFn done, int lane = 0);
+
+    /** Multi-hop sends issued (store-and-forward or cut-through). */
+    std::uint64_t sendsIssued() const { return sends_issued_; }
+
+    /** Hop-count samples, one per send. */
+    const util::RunningStats& hopStats() const { return hop_stats_; }
 
     /**
      * Sends @p bytes from @p src to @p dst along the shortest NVLink
@@ -57,6 +65,8 @@ class TransferEngine
     Network& net_;
     std::map<std::pair<topo::NodeId, topo::NodeId>, topo::Route>
         route_cache_;
+    std::uint64_t sends_issued_ = 0;
+    util::RunningStats hop_stats_;
 };
 
 } // namespace simnet

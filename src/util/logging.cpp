@@ -38,10 +38,14 @@ Logger::instance()
 void
 Logger::log(LogLevel level, std::string_view tag, std::string_view msg)
 {
-    if (level < level_)
+    if (level < level_.load(std::memory_order_relaxed))
         return;
+    // Read the sink once, then emit under the mutex: a concurrent
+    // setSink() cannot tear the pointer or interleave half-written
+    // lines.
     std::lock_guard<std::mutex> guard(logMutex());
-    std::ostream& out = sink_ ? *sink_ : std::cerr;
+    std::ostream* sink = sink_.load(std::memory_order_acquire);
+    std::ostream& out = sink ? *sink : std::cerr;
     out << "[" << levelName(level) << "] " << tag << ": " << msg << "\n";
 }
 

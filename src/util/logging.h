@@ -9,6 +9,7 @@
  * configuration errors) from panic (internal invariant violations).
  */
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -31,7 +32,9 @@ enum class LogLevel {
  * Global logging configuration.
  *
  * Minimal by design: a single process-wide level gate plus an optional
- * sink override used by the tests to capture output.
+ * sink override used by the tests to capture output. Thread-safe: the
+ * level/sink are atomics and line emission is serialized, so rank
+ * threads may log concurrently with a reconfiguration.
  */
 class Logger
 {
@@ -40,14 +43,23 @@ class Logger
     static Logger& instance();
 
     /** Sets the minimum severity that will be emitted. */
-    void setLevel(LogLevel level) { level_ = level; }
+    void setLevel(LogLevel level)
+    {
+        level_.store(level, std::memory_order_relaxed);
+    }
 
     /** Returns the current minimum severity. */
-    LogLevel level() const { return level_; }
+    LogLevel level() const
+    {
+        return level_.load(std::memory_order_relaxed);
+    }
 
     /** Redirects output to the given stream (not owned); null restores
      *  std::cerr. */
-    void setSink(std::ostream* sink) { sink_ = sink; }
+    void setSink(std::ostream* sink)
+    {
+        sink_.store(sink, std::memory_order_release);
+    }
 
     /** Emits one formatted log line if @p level passes the gate. */
     void log(LogLevel level, std::string_view tag, std::string_view msg);
@@ -55,8 +67,8 @@ class Logger
   private:
     Logger() = default;
 
-    LogLevel level_ = LogLevel::kWarn;
-    std::ostream* sink_ = nullptr;
+    std::atomic<LogLevel> level_{LogLevel::kWarn};
+    std::atomic<std::ostream*> sink_{nullptr};
 };
 
 /** Emits a debug-level message under @p tag. */

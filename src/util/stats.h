@@ -6,6 +6,7 @@
  * Small statistics accumulators used by benchmarks and reports.
  */
 
+#include <algorithm>
 #include <cstddef>
 #include <limits>
 #include <vector>
@@ -22,8 +23,17 @@ namespace util {
 class RunningStats
 {
   public:
-    /** Adds one sample. */
-    void add(double x);
+    /** Adds one sample. Inline: this sits on per-grant hot paths of
+     *  the discrete-event simulator. */
+    void add(double x)
+    {
+        ++count_;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(count_);
+        m2_ += delta * (x - mean_);
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
 
     /** Merges another accumulator into this one. */
     void merge(const RunningStats& other);
