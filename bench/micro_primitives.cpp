@@ -2,19 +2,41 @@
  * @file
  * Micro-benchmarks (google-benchmark) for the building blocks whose
  * cost the paper's design leans on: the device-side-style sync
- * primitives (Fig. 11), the mailbox path, the event queue, and the
- * gradient queue's enqueue/dequeue.
+ * primitives (Fig. 11), the mailbox path, the event queue, the
+ * gradient queue's enqueue/dequeue — and the full functional AllReduce
+ * per algorithm × message size, run against both execution engines
+ * (persistent rank executor vs legacy spawn-per-collective) so one run
+ * yields before/after numbers.
+ *
+ * AllReduce results are exported to BENCH_ccl.json (schema
+ * bench_ccl/v1, see util/bench_json.h); set CCUBE_BENCH_OUT to
+ * override the path.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "ccl/communicator.h"
+#include "ccl/double_tree_allreduce.h"
 #include "ccl/mailbox.h"
+#include "ccl/overlapped_tree_allreduce.h"
+#include "ccl/primitives.h"
+#include "ccl/ring_allreduce.h"
 #include "ccl/sync_primitives.h"
+#include "ccl/tree_allreduce.h"
 #include "core/gradient_queue.h"
 #include "sim/event_queue.h"
 #include "sim/resource.h"
+#include "topo/dgx1.h"
+#include "topo/double_tree.h"
+#include "topo/ring_embedding.h"
+#include "topo/tree_embedding.h"
+#include "util/bench_json.h"
 
 namespace {
 
@@ -138,6 +160,203 @@ BM_GradientQueueIteration(benchmark::State& state)
 }
 BENCHMARK(BM_GradientQueueIteration)->Arg(16)->Arg(128);
 
+// ---------------------------------------------------------------------------
+// Functional AllReduce latency: algorithm × message size × execution engine.
+//
+// The "persistent" mode runs on the parked RankExecutor threads; the
+// "spawn" mode re-creates every rank/forwarder thread per collective,
+// which is the pre-executor behaviour. Comparing the two is the
+// paper's Fig. 3 argument (invocation granularity) applied to this
+// host runtime. Buffers are zero-filled so repeated iterations keep
+// summing zeros instead of overflowing.
+// ---------------------------------------------------------------------------
+
+enum class Alg { kRing, kTree, kOverlappedTree, kDoubleTree };
+
+/** Topologies + one communicator per executor mode, built once. */
+struct AllReduceFixture {
+    topo::Graph dgx1 = topo::makeDgx1();
+    topo::RingEmbedding ring = topo::findHamiltonianRing(dgx1, 8);
+    topo::TreeEmbedding tree =
+        topo::embedTree(dgx1, topo::BinaryTree::inorder(8));
+    topo::DoubleTreeEmbedding double_tree = topo::makeDgx1DoubleTree(dgx1);
+    ccl::Communicator persistent{8, 4,
+                                 ccl::RankExecutor::Mode::kPersistent};
+    ccl::Communicator spawn{8, 4,
+                            ccl::RankExecutor::Mode::kSpawnPerCall};
+};
+
+AllReduceFixture&
+fixture()
+{
+    static AllReduceFixture f;
+    return f;
+}
+
+constexpr int kAllReduceChunks = 4;
+
+void
+runAllReduce(benchmark::State& state, Alg alg,
+             ccl::RankExecutor::Mode mode)
+{
+    AllReduceFixture& f = fixture();
+    ccl::Communicator& comm =
+        mode == ccl::RankExecutor::Mode::kPersistent ? f.persistent
+                                                     : f.spawn;
+    const auto elems = static_cast<std::size_t>(state.range(0));
+    ccl::RankBuffers buffers(8, std::vector<float>(elems, 0.0f));
+    for (auto _ : state) {
+        switch (alg) {
+        case Alg::kRing:
+            ccl::ringAllReduce(comm, buffers, f.ring);
+            break;
+        case Alg::kTree:
+            ccl::treeAllReduce(comm, buffers, f.tree, kAllReduceChunks,
+                               ccl::TreePhaseMode::kTwoPhase);
+            break;
+        case Alg::kOverlappedTree:
+            ccl::overlappedTreeAllReduce(comm, buffers, f.tree,
+                                         kAllReduceChunks);
+            break;
+        case Alg::kDoubleTree:
+            ccl::doubleTreeAllReduce(comm, buffers, f.double_tree,
+                                     kAllReduceChunks,
+                                     ccl::TreePhaseMode::kOverlapped);
+            break;
+        }
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * state.range(0) *
+        static_cast<std::int64_t>(sizeof(float)));
+}
+
+void
+registerAllReduceBenchmarks()
+{
+    struct AlgEntry {
+        const char* name;
+        Alg alg;
+    };
+    struct ModeEntry {
+        const char* name;
+        ccl::RankExecutor::Mode mode;
+    };
+    static constexpr AlgEntry kAlgs[] = {
+        {"ring", Alg::kRing},
+        {"tree", Alg::kTree},
+        {"overlapped_tree", Alg::kOverlappedTree},
+        {"double_tree", Alg::kDoubleTree},
+    };
+    static constexpr ModeEntry kModes[] = {
+        {"persistent", ccl::RankExecutor::Mode::kPersistent},
+        {"spawn", ccl::RankExecutor::Mode::kSpawnPerCall},
+    };
+    for (const AlgEntry& alg : kAlgs) {
+        for (const ModeEntry& mode : kModes) {
+            const std::string name = std::string("allreduce_latency/") +
+                                     alg.name + "/" + mode.name;
+            benchmark::RegisterBenchmark(
+                name.c_str(),
+                [alg, mode](benchmark::State& state) {
+                    runAllReduce(state, alg.alg, mode.mode);
+                })
+                ->Arg(256)   // 1 KiB
+                ->Arg(4096)  // 16 KiB
+                ->Arg(16384) // 64 KiB
+                ->Unit(benchmark::kMicrosecond)
+                ->UseRealTime();
+        }
+    }
+}
+
+/** Console output plus a copy of every per-iteration run. */
+class CaptureReporter : public benchmark::ConsoleReporter {
+public:
+    std::vector<Run> runs;
+
+    void
+    ReportRuns(const std::vector<Run>& report) override
+    {
+        for (const Run& run : report) {
+            if (run.run_type == Run::RT_Iteration &&
+                !run.error_occurred)
+                runs.push_back(run);
+        }
+        ConsoleReporter::ReportRuns(report);
+    }
+};
+
+std::vector<std::string>
+splitName(const std::string& name)
+{
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t slash = name.find('/', start);
+        if (slash == std::string::npos) {
+            parts.push_back(name.substr(start));
+            return parts;
+        }
+        parts.push_back(name.substr(start, slash - start));
+        start = slash + 1;
+    }
+}
+
+util::BenchRecord
+toRecord(const benchmark::BenchmarkReporter::Run& run)
+{
+    util::BenchRecord record;
+    record.source = "micro_primitives";
+    record.ns_per_op =
+        run.iterations > 0
+            ? run.real_accumulated_time /
+                  static_cast<double>(run.iterations) * 1e9
+            : 0.0;
+    const std::vector<std::string> parts =
+        splitName(run.benchmark_name());
+    // allreduce_latency/<alg>/<mode>/<elems>[/real_time]
+    if (parts.size() >= 4 && parts[0] == "allreduce_latency") {
+        record.kind = parts[0];
+        record.name = parts[1];
+        record.mode = parts[2];
+        record.bytes = std::strtoll(parts[3].c_str(), nullptr, 10) *
+                       static_cast<std::int64_t>(sizeof(float));
+    } else {
+        record.kind = "micro";
+        record.name = run.benchmark_name();
+        if (parts.size() >= 2) {
+            char* end = nullptr;
+            const double arg =
+                std::strtod(parts.back().c_str(), &end);
+            if (end && *end == '\0')
+                record.extra["arg"] = arg;
+        }
+    }
+    return record;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    registerAllReduceBenchmarks();
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    CaptureReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+
+    std::vector<ccube::util::BenchRecord> records;
+    records.reserve(reporter.runs.size());
+    for (const auto& run : reporter.runs)
+        records.push_back(toRecord(run));
+    if (!records.empty()) {
+        const std::string path = ccube::util::benchOutputPath();
+        ccube::util::writeBenchRecords(path, records, /*append=*/true);
+        std::fprintf(stderr, "wrote %zu records to %s\n",
+                     records.size(), path.c_str());
+    }
+    return 0;
+}

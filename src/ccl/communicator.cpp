@@ -2,7 +2,6 @@
 
 #include <string>
 #include <thread>
-#include <vector>
 
 #include "obs/context.h"
 #include "obs/trace.h"
@@ -11,11 +10,30 @@
 namespace ccube {
 namespace ccl {
 
-Communicator::Communicator(int num_ranks, int mailbox_slots)
-    : num_ranks_(num_ranks), mailbox_slots_(mailbox_slots)
+Communicator::Communicator(int num_ranks, int mailbox_slots,
+                           RankExecutor::Mode exec_mode)
+    : num_ranks_(num_ranks),
+      mailbox_slots_(mailbox_slots),
+      exec_mode_(exec_mode),
+      table_(static_cast<std::size_t>(num_ranks) *
+             static_cast<std::size_t>(num_ranks) * kMaxFlows)
 {
     CCUBE_CHECK(num_ranks >= 1, "need at least one rank");
     CCUBE_CHECK(mailbox_slots >= 1, "need at least one mailbox slot");
+    for (auto& entry : table_)
+        entry.store(nullptr, std::memory_order_relaxed);
+}
+
+Communicator::~Communicator() = default;
+
+std::size_t
+Communicator::tableIndex(int src, int dst, FlowId flow) const
+{
+    return (static_cast<std::size_t>(src) *
+                static_cast<std::size_t>(num_ranks_) +
+            static_cast<std::size_t>(dst)) *
+               kMaxFlows +
+           static_cast<std::size_t>(flow);
 }
 
 Mailbox&
@@ -24,37 +42,39 @@ Communicator::mailbox(int src, int dst, FlowId flow)
     CCUBE_CHECK(src >= 0 && src < num_ranks_, "bad src rank " << src);
     CCUBE_CHECK(dst >= 0 && dst < num_ranks_, "bad dst rank " << dst);
     CCUBE_CHECK(src != dst, "no self mailboxes");
-    const Key key{src, dst, flow};
-    std::lock_guard<std::mutex> guard(registry_mutex_);
-    auto it = mailboxes_.find(key);
-    if (it == mailboxes_.end()) {
-        it = mailboxes_
-                 .emplace(key, std::make_unique<Mailbox>(mailbox_slots_))
-                 .first;
-        it->second->setTraceLabel(
-            "mb " + std::to_string(src) + "->" + std::to_string(dst) +
-            "/f" + std::to_string(flow));
-    }
-    return *it->second;
+    CCUBE_CHECK(flow >= 0 && flow < kMaxFlows,
+                "flow id " << flow << " out of range (max "
+                           << kMaxFlows - 1 << ")");
+    std::atomic<Mailbox*>& entry = table_[tableIndex(src, dst, flow)];
+    // Fast path: one acquire load on an already-built channel.
+    if (Mailbox* box = entry.load(std::memory_order_acquire))
+        return *box;
+    std::lock_guard<std::mutex> guard(create_mutex_);
+    if (Mailbox* box = entry.load(std::memory_order_acquire))
+        return *box;
+    owned_.push_back(std::make_unique<Mailbox>(mailbox_slots_));
+    Mailbox* box = owned_.back().get();
+    box->setTraceLabel("mb " + std::to_string(src) + "->" +
+                       std::to_string(dst) + "/f" +
+                       std::to_string(flow));
+    entry.store(box, std::memory_order_release);
+    return *box;
+}
+
+RankExecutor&
+Communicator::executor()
+{
+    std::call_once(executor_once_, [this]() {
+        executor_ =
+            std::make_unique<RankExecutor>(num_ranks_, exec_mode_);
+    });
+    return *executor_;
 }
 
 void
 Communicator::run(const std::function<void(int rank)>& body)
 {
-    std::vector<std::thread> threads;
-    threads.reserve(static_cast<std::size_t>(num_ranks_));
-    for (int r = 0; r < num_ranks_; ++r) {
-        threads.emplace_back([&body, r]() {
-            // Tag the rank thread so spans and per-rank counters from
-            // everything it (and its helpers) runs attribute here.
-            obs::setThreadRank(r);
-            obs::labelThread(
-                ("rank" + std::to_string(r) + "/main").c_str());
-            body(r);
-        });
-    }
-    for (auto& t : threads)
-        t.join();
+    executor().run(body);
 }
 
 void

@@ -6,22 +6,28 @@
  * Communicator: the rank/"GPU" execution context of the functional
  * collective library.
  *
- * One thread per rank plays the role of one GPU running persistent
- * kernels; mailboxes play the role of NVLink P2P receive buffers.
- * Mailboxes are keyed by (src, dst, flow) because one physical link
- * may carry several logical flows (e.g. the two trees of a double
- * tree, or a detour passing through a transit GPU) with independent
- * buffer pools — exactly as NCCL allocates per-channel buffers.
+ * One persistent thread per rank plays the role of one GPU running
+ * persistent kernels (see ccl/executor.h); mailboxes play the role of
+ * NVLink P2P receive buffers. Mailboxes are keyed by (src, dst, flow)
+ * because one physical link may carry several logical flows (e.g. the
+ * two trees of a double tree, or a detour passing through a transit
+ * GPU) with independent buffer pools — exactly as NCCL allocates
+ * per-channel buffers.
+ *
+ * The mailbox registry is a dense flat table indexed by
+ * (src, dst, flow): after a mailbox's first use the per-chunk lookup
+ * is one relaxed-ish atomic load plus an index computation — no mutex,
+ * no std::map — matching the paper's statically-built channel plan.
  */
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <mutex>
-#include <tuple>
+#include <vector>
 
+#include "ccl/executor.h"
 #include "ccl/mailbox.h"
 
 namespace ccube {
@@ -45,11 +51,20 @@ enum : FlowId {
 class Communicator
 {
   public:
+    /** Flow ids must be in [0, kMaxFlows). */
+    static constexpr int kMaxFlows = 8;
+
     /**
      * Creates a communicator of @p num_ranks ranks whose mailboxes
-     * have @p mailbox_slots receive buffers each.
+     * have @p mailbox_slots receive buffers each. @p exec_mode selects
+     * the execution engine (persistent parked threads by default; the
+     * legacy spawn-per-collective mode exists for A/B benchmarking).
      */
-    explicit Communicator(int num_ranks, int mailbox_slots = 4);
+    explicit Communicator(int num_ranks, int mailbox_slots = 4,
+                          RankExecutor::Mode exec_mode =
+                              RankExecutor::defaultMode());
+
+    ~Communicator();
 
     /** Number of participating ranks. */
     int numRanks() const { return num_ranks_; }
@@ -59,14 +74,21 @@ class Communicator
 
     /**
      * The mailbox carrying flow @p flow from @p src to @p dst;
-     * created on first use (thread-safe).
+     * created on first use (thread-safe; lock-free after creation).
      */
     Mailbox& mailbox(int src, int dst, FlowId flow);
 
     /**
-     * Runs @p body concurrently on every rank (one thread each) and
-     * joins. Nested helper threads (e.g. the reduction/broadcast
-     * kernels of the overlapped tree) are the body's responsibility.
+     * The persistent execution engine (created on first use; one
+     * long-lived parked thread per rank plus the helper pool).
+     */
+    RankExecutor& executor();
+
+    /**
+     * Runs @p body concurrently on every rank — enqueued into the
+     * executor's persistent rank threads — and waits for all of them.
+     * Nested helper roles (forwarding kernels, the overlapped reducer,
+     * the second tree) go through executor().submit().
      */
     void run(const std::function<void(int rank)>& body);
 
@@ -77,13 +99,20 @@ class Communicator
     void barrier();
 
   private:
-    using Key = std::tuple<int, int, FlowId>;
+    std::size_t tableIndex(int src, int dst, FlowId flow) const;
 
     const int num_ranks_;
     const int mailbox_slots_;
+    const RankExecutor::Mode exec_mode_;
 
-    std::mutex registry_mutex_;
-    std::map<Key, std::unique_ptr<Mailbox>> mailboxes_;
+    /** Dense (src, dst, flow) → Mailbox* table; slots fill on first
+     *  use and stay valid for the communicator's lifetime. */
+    std::vector<std::atomic<Mailbox*>> table_;
+    std::mutex create_mutex_;
+    std::vector<std::unique_ptr<Mailbox>> owned_;
+
+    std::once_flag executor_once_;
+    std::unique_ptr<RankExecutor> executor_;
 
     // Barrier state.
     std::atomic<int> barrier_count_{0};

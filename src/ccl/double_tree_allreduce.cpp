@@ -2,7 +2,6 @@
 
 #include <span>
 #include <string>
-#include <thread>
 
 #include "obs/context.h"
 #include "util/logging.h"
@@ -45,18 +44,17 @@ doubleTreeAllReduce(Communicator& comm, RankBuffers& buffers,
         std::span<float> buffer(buffers[static_cast<std::size_t>(rank)]);
         std::span<float> lower = buffer.subspan(0, half);
         std::span<float> upper = buffer.subspan(half);
-        // Each tree's pipeline runs as its own persistent kernel.
-        std::thread second([&, rank]() {
-            obs::setThreadRank(rank);
-            obs::labelThread(
-                ("rank" + std::to_string(rank) + "/tree1").c_str());
+        // Each tree's pipeline runs as its own persistent kernel: the
+        // second tree on a pooled helper, the first inline.
+        RankExecutor::Group second;
+        comm.executor().submit(second, rank, "tree1", [&, rank]() {
             detail::treeRankBody(comm, rank, upper, embedding.tree1,
                                  split1, mode, flows1, trace,
                                  /*chunk_id_offset=*/chunks_per_tree);
         });
         detail::treeRankBody(comm, rank, lower, embedding.tree0, split0,
                              mode, flows0, trace, /*chunk_id_offset=*/0);
-        second.join();
+        second.wait();
     });
     return trace;
 }

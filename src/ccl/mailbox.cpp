@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "ccl/reduce_kernels.h"
 #include "obs/context.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -26,6 +27,15 @@ Mailbox::Mailbox(int slots)
       empty_(slots, slots)
 {
     CCUBE_CHECK(slots >= 1, "mailbox needs at least one slot");
+}
+
+void
+Mailbox::reserve(std::size_t elems)
+{
+    for (Slot& slot : ring_) {
+        if (slot.data.size() < elems)
+            slot.data.resize(elems);
+    }
 }
 
 void
@@ -59,7 +69,12 @@ Mailbox::send(std::span<const float> data, int tag)
         empty_.wait();
     }
     Slot& slot = ring_[head_];
-    slot.data.assign(data.begin(), data.end());
+    // Fixed-capacity fast path: the slot buffer grows at most once per
+    // high-water chunk size and is then reused verbatim.
+    if (slot.data.size() < data.size())
+        slot.data.resize(data.size());
+    kernels::copyInto(slot.data.data(), data.data(), data.size());
+    slot.size = data.size();
     slot.tag = tag;
     head_ = (head_ + 1) % ring_.size();
     full_.post(); // signal arrival (paper: post on chunk arrival)
@@ -91,18 +106,22 @@ Mailbox::consumeSlot(Fn&& consume)
 int
 Mailbox::recv(std::vector<float>& out)
 {
-    return consumeSlot([&](Slot& slot) { out = std::move(slot.data); });
+    return consumeSlot([&](Slot& slot) {
+        // Copy out, keep the slot buffer (its capacity is the whole
+        // point of the preallocated ring).
+        out.resize(slot.size);
+        kernels::copyInto(out.data(), slot.data.data(), slot.size);
+    });
 }
 
 int
 Mailbox::recvInto(std::span<float> out)
 {
     return consumeSlot([&](Slot& slot) {
-        CCUBE_CHECK(slot.data.size() == out.size(),
-                    "chunk size mismatch: " << slot.data.size() << " vs "
+        CCUBE_CHECK(slot.size == out.size(),
+                    "chunk size mismatch: " << slot.size << " vs "
                                             << out.size());
-        for (std::size_t i = 0; i < out.size(); ++i)
-            out[i] = slot.data[i];
+        kernels::copyInto(out.data(), slot.data.data(), slot.size);
     });
 }
 
@@ -110,11 +129,19 @@ int
 Mailbox::recvReduce(std::span<float> out)
 {
     return consumeSlot([&](Slot& slot) {
-        CCUBE_CHECK(slot.data.size() == out.size(),
-                    "chunk size mismatch: " << slot.data.size() << " vs "
+        CCUBE_CHECK(slot.size == out.size(),
+                    "chunk size mismatch: " << slot.size << " vs "
                                             << out.size());
-        for (std::size_t i = 0; i < out.size(); ++i)
-            out[i] += slot.data[i];
+        kernels::reduceAdd(out.data(), slot.data.data(), slot.size);
+    });
+}
+
+int
+Mailbox::consume(const Visitor& visit)
+{
+    return consumeSlot([&](Slot& slot) {
+        visit(std::span<const float>(slot.data.data(), slot.size),
+              slot.tag);
     });
 }
 

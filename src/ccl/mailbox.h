@@ -9,9 +9,17 @@
  * kernels manage with device-side semaphores: a bounded single-
  * producer / single-consumer ring of float chunks. Flow control uses
  * exactly the post/wait protocol of Fig. 11.
+ *
+ * Fast path: slots are fixed-capacity buffers that are allocated once
+ * (first use, or via reserve()) and then reused forever — a send never
+ * resizes, and every consume variant reads in place out of the slot
+ * buffer. consume() exposes the slot to the caller directly, so
+ * forwarders move chunks downstream without a staging copy, mirroring
+ * the LL-style "operate on the receive buffer" protocols of real NCCL.
  */
 
 #include <cstddef>
+#include <functional>
 #include <span>
 #include <string>
 #include <vector>
@@ -27,6 +35,10 @@ namespace ccl {
 class Mailbox
 {
   public:
+    /** In-place consumer: sees the arrived chunk and its tag. */
+    using Visitor = std::function<void(std::span<const float> data,
+                                       int tag)>;
+
     /** Creates a mailbox with @p slots receive buffers. */
     explicit Mailbox(int slots);
 
@@ -34,28 +46,46 @@ class Mailbox
     Mailbox& operator=(const Mailbox&) = delete;
 
     /**
+     * Preallocates every slot buffer to hold @p elems floats, so the
+     * steady state never allocates (slot capacity only ever grows).
+     */
+    void reserve(std::size_t elems);
+
+    /**
      * Copies @p data into the next free slot (blocking while all
-     * receive buffers are occupied) and posts its arrival.
+     * receive buffers are occupied) and posts its arrival. Reuses the
+     * slot's existing capacity; allocates only when the chunk is
+     * larger than anything the slot has carried before.
      */
     void send(std::span<const float> data, int tag = 0);
 
     /**
-     * Blocks until a chunk arrives, copies it into @p out (resized),
-     * frees the receive buffer, and returns the tag.
+     * Blocks until a chunk arrives, copies it into @p out (resized to
+     * match), frees the receive buffer, and returns the tag. The slot
+     * buffer is retained for reuse.
      */
     int recv(std::vector<float>& out);
 
     /**
-     * Receives directly into @p out by element-wise assignment;
-     * the incoming chunk must have exactly out.size() elements.
+     * Receives directly into @p out via a single vectorized copy; the
+     * incoming chunk must have exactly out.size() elements.
      */
     int recvInto(std::span<float> out);
 
     /**
      * Receives and element-wise accumulates into @p out (the reduction
-     * step of AllReduce); sizes must match. Returns the tag.
+     * step of AllReduce) via a single vectorized accumulate loop over
+     * the slot buffer; sizes must match. Returns the tag.
      */
     int recvReduce(std::span<float> out);
+
+    /**
+     * Blocks until a chunk arrives and runs @p visit on the slot
+     * buffer in place (zero staging copies), then frees the receive
+     * buffer. The span is valid only during the visit. Returns the
+     * tag.
+     */
+    int consume(const Visitor& visit);
 
     /** Number of receive buffers. */
     int slots() const { return static_cast<int>(ring_.size()); }
@@ -72,7 +102,8 @@ class Mailbox
 
   private:
     struct Slot {
-        std::vector<float> data;
+        std::vector<float> data; ///< capacity persists across reuse
+        std::size_t size = 0;    ///< valid prefix of data
         int tag = 0;
     };
 

@@ -1,7 +1,6 @@
 #include "ccl/primitives.h"
 
 #include <span>
-#include <thread>
 #include <vector>
 
 #include "ccl/double_tree_allreduce.h"
@@ -31,38 +30,40 @@ checkBuffers(const Communicator& comm, const RankBuffers& buffers)
     }
 }
 
-/** Forwarding loop shared by the one-direction tree primitives. */
+/** Forwarding loop shared by the one-direction tree primitives:
+ *  chunks hop from the upstream slot straight into the downstream
+ *  mailbox — no staging vector. */
 void
 forwardChunks(Communicator& comm, NodeId upstream, NodeId transit,
               NodeId downstream, FlowId flow, int num_chunks)
 {
     Mailbox& in = comm.mailbox(upstream, transit, flow);
     Mailbox& out = comm.mailbox(transit, downstream, flow);
-    std::vector<float> payload;
-    for (int c = 0; c < num_chunks; ++c) {
-        const int tag = in.recv(payload);
-        out.send(payload, tag);
-    }
+    const Mailbox::Visitor forward =
+        [&out](std::span<const float> data, int tag) {
+            out.send(data, tag);
+        };
+    for (int c = 0; c < num_chunks; ++c)
+        in.consume(forward);
 }
 
-/** Spawns the forwarding threads this rank owes to @p embedding for
- *  the given phase direction. */
-std::vector<std::thread>
-spawnForwarders(Communicator& comm, const topo::TreeEmbedding& embedding,
-                int rank, PhaseDirection phase, FlowId flow,
-                int num_chunks)
+/** Enqueues the forwarding tasks this rank owes to @p embedding for
+ *  the given phase direction onto the persistent helper pool. */
+void
+submitForwarders(RankExecutor::Group& group, Communicator& comm,
+                 const topo::TreeEmbedding& embedding, int rank,
+                 PhaseDirection phase, FlowId flow, int num_chunks)
 {
-    std::vector<std::thread> forwarders;
     for (const topo::ForwardingRule& rule :
-         topo::extractForwardingRules(embedding, 0)) {
+         topo::cachedForwardingRules(embedding, 0)) {
         if (rule.transit != rank || rule.phase != phase)
             continue;
-        forwarders.emplace_back([&comm, rule, flow, num_chunks]() {
-            forwardChunks(comm, rule.upstream, rule.transit,
-                          rule.downstream, flow, num_chunks);
-        });
+        comm.executor().submit(
+            group, rank, "forward", [&comm, rule, flow, num_chunks]() {
+                forwardChunks(comm, rule.upstream, rule.transit,
+                              rule.downstream, flow, num_chunks);
+            });
     }
-    return forwarders;
 }
 
 } // namespace
@@ -79,22 +80,24 @@ treeBroadcast(Communicator& comm, RankBuffers& buffers,
 
     comm.run([&](int rank) {
         std::span<float> buffer(buffers[static_cast<std::size_t>(rank)]);
-        auto forwarders = spawnForwarders(
-            comm, embedding, rank, PhaseDirection::kBroadcast, flow,
-            num_chunks);
+        RankExecutor::Group forwarders;
+        submitForwarders(forwarders, comm, embedding, rank,
+                         PhaseDirection::kBroadcast, flow, num_chunks);
 
+        // Resolve the mailbox plan once per rank — the chunk loop then
+        // touches no registry and no routes.
         const topo::BinaryTree& tree = embedding.tree;
         const std::vector<NodeId>& children = tree.children(rank);
-        std::vector<NodeId> child_hops;
+        std::vector<Mailbox*> down;
         for (NodeId child : children)
-            child_hops.push_back(embedding.routeToChild(child).hops[1]);
+            down.push_back(&comm.mailbox(
+                rank, embedding.routeToChild(child).hops[1], flow));
 
         auto send_down = [&](int chunk) {
             const std::span<const float> data =
                 split.slice(std::span<const float>(buffer), chunk);
-            for (std::size_t i = 0; i < children.size(); ++i)
-                comm.mailbox(rank, child_hops[i], flow).send(data,
-                                                             chunk);
+            for (Mailbox* box : down)
+                box->send(data, chunk);
         };
 
         if (tree.root() == rank) {
@@ -103,15 +106,15 @@ treeBroadcast(Communicator& comm, RankBuffers& buffers,
         } else {
             const Route& route = embedding.routeToChild(rank);
             const NodeId parent_hop = route.hops[route.hops.size() - 2];
+            Mailbox& from_parent = comm.mailbox(parent_hop, rank, flow);
             for (int c = 0; c < num_chunks; ++c) {
-                const int tag = comm.mailbox(parent_hop, rank, flow)
-                                    .recvInto(split.slice(buffer, c));
+                const int tag =
+                    from_parent.recvInto(split.slice(buffer, c));
                 CCUBE_CHECK(tag == c, "broadcast chunk out of order");
                 send_down(c);
             }
         }
-        for (std::thread& t : forwarders)
-            t.join();
+        forwarders.wait();
     });
 }
 
@@ -127,33 +130,36 @@ treeReduce(Communicator& comm, RankBuffers& buffers,
 
     comm.run([&](int rank) {
         std::span<float> buffer(buffers[static_cast<std::size_t>(rank)]);
-        auto forwarders = spawnForwarders(
-            comm, embedding, rank, PhaseDirection::kReduction, flow,
-            num_chunks);
+        RankExecutor::Group forwarders;
+        submitForwarders(forwarders, comm, embedding, rank,
+                         PhaseDirection::kReduction, flow, num_chunks);
 
+        // Mailbox plan resolved once per rank, outside the chunk loop.
         const topo::BinaryTree& tree = embedding.tree;
         const std::vector<NodeId>& children = tree.children(rank);
-        std::vector<NodeId> child_hops;
+        std::vector<Mailbox*> from_children;
         for (NodeId child : children)
-            child_hops.push_back(embedding.routeToChild(child).hops[1]);
+            from_children.push_back(&comm.mailbox(
+                embedding.routeToChild(child).hops[1], rank, flow));
+        Mailbox* to_parent = nullptr;
+        if (tree.root() != rank) {
+            const Route& route = embedding.routeToChild(rank);
+            to_parent = &comm.mailbox(
+                rank, route.hops[route.hops.size() - 2], flow);
+        }
 
         for (int c = 0; c < num_chunks; ++c) {
-            for (std::size_t i = 0; i < children.size(); ++i) {
-                const int tag = comm.mailbox(child_hops[i], rank, flow)
-                                    .recvReduce(split.slice(buffer, c));
+            for (Mailbox* box : from_children) {
+                const int tag =
+                    box->recvReduce(split.slice(buffer, c));
                 CCUBE_CHECK(tag == c, "reduce chunk out of order");
             }
-            if (tree.root() != rank) {
-                const Route& route = embedding.routeToChild(rank);
-                const NodeId parent_hop =
-                    route.hops[route.hops.size() - 2];
-                comm.mailbox(rank, parent_hop, flow)
-                    .send(split.slice(std::span<const float>(buffer), c),
-                          c);
+            if (to_parent) {
+                to_parent->send(
+                    split.slice(std::span<const float>(buffer), c), c);
             }
         }
-        for (std::thread& t : forwarders)
-            t.join();
+        forwarders.wait();
     });
 }
 

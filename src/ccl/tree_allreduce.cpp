@@ -1,7 +1,6 @@
 #include "ccl/tree_allreduce.h"
 
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "obs/context.h"
@@ -19,9 +18,10 @@ using topo::PhaseDirection;
 using topo::Route;
 
 /**
- * Forwarding loop of one static detour rule: receive each chunk from
- * upstream and pass it downstream unchanged — the software analog of
- * the paper's per-direction forwarding kernels.
+ * Forwarding loop of one static detour rule: each chunk is consumed in
+ * place out of the upstream receive buffer and sent downstream with no
+ * staging copy — the software analog of the paper's per-direction
+ * forwarding kernels.
  */
 void
 forwardLoop(Communicator& comm, const topo::ForwardingRule& rule,
@@ -35,11 +35,12 @@ forwardLoop(Communicator& comm, const topo::ForwardingRule& rule,
                          obs::threadTrack());
     Mailbox& in = comm.mailbox(rule.upstream, rule.transit, flow);
     Mailbox& out = comm.mailbox(rule.transit, rule.downstream, flow);
-    std::vector<float> payload;
-    for (int c = 0; c < num_chunks; ++c) {
-        const int tag = in.recv(payload);
-        out.send(payload, tag);
-    }
+    const Mailbox::Visitor forward =
+        [&out](std::span<const float> data, int tag) {
+            out.send(data, tag);
+        };
+    for (int c = 0; c < num_chunks; ++c)
+        in.consume(forward);
 }
 
 } // namespace
@@ -55,47 +56,53 @@ treeRankBody(Communicator& comm, int rank, std::span<float> buffer,
     const topo::BinaryTree& tree = embedding.tree;
     const int num_chunks = split.count();
     const bool is_root = tree.root() == rank;
+    RankExecutor& executor = comm.executor();
 
-    // Detour forwarding kernels hosted on this rank, one thread per
-    // rule; each handles exactly num_chunks chunks.
-    std::vector<std::thread> forwarders;
+    // Detour forwarding kernels hosted on this rank, one persistent
+    // helper per rule; each handles exactly num_chunks chunks. The
+    // rules come out of the embedding's cache — extracted once per
+    // embedding, not per collective per rank.
+    RankExecutor::Group helpers;
     for (const topo::ForwardingRule& rule :
-         topo::extractForwardingRules(embedding, /*tree_index=*/0)) {
+         topo::cachedForwardingRules(embedding, /*tree_index=*/0)) {
         if (rule.transit != rank)
             continue;
         const FlowId flow = rule.phase == PhaseDirection::kReduction
                                 ? flows.reduce
                                 : flows.broadcast;
-        forwarders.emplace_back(
-            [&comm, rule, flow, num_chunks]() {
-                obs::setThreadRank(rule.transit);
-                obs::labelThread(("rank" +
-                                  std::to_string(rule.transit) +
-                                  "/forward")
-                                     .c_str());
-                forwardLoop(comm, rule, flow, num_chunks);
-            });
+        executor.submit(helpers, rank, "forward",
+                        [&comm, rule, flow, num_chunks]() {
+                            forwardLoop(comm, rule, flow, num_chunks);
+                        });
     }
 
-    // Hop adjacent to this rank on the route to/from its parent.
-    NodeId parent_hop = topo::kInvalidNode;
+    // Per-rank mailbox plan, resolved once before any chunk moves
+    // (the analog of the paper compiling its data-movement plan into
+    // the persistent kernel): parent/child mailboxes for both
+    // directions, so the chunk loops do no registry lookups at all.
+    Mailbox* up_parent = nullptr;   ///< reduction: this rank → parent
+    Mailbox* down_parent = nullptr; ///< broadcast: parent → this rank
     if (!is_root) {
         const Route& route = embedding.routeToChild(rank);
-        parent_hop = route.hops[route.hops.size() - 2];
+        const NodeId parent_hop = route.hops[route.hops.size() - 2];
+        up_parent = &comm.mailbox(rank, parent_hop, flows.reduce);
+        down_parent = &comm.mailbox(parent_hop, rank, flows.broadcast);
     }
-    // Hop adjacent to this rank on the route to each child.
     const std::vector<NodeId>& children = tree.children(rank);
-    std::vector<NodeId> child_hops;
-    for (NodeId child : children)
-        child_hops.push_back(embedding.routeToChild(child).hops[1]);
+    std::vector<Mailbox*> up_children;   ///< reduction: child → here
+    std::vector<Mailbox*> down_children; ///< broadcast: here → child
+    for (NodeId child : children) {
+        const NodeId hop = embedding.routeToChild(child).hops[1];
+        up_children.push_back(&comm.mailbox(hop, rank, flows.reduce));
+        down_children.push_back(
+            &comm.mailbox(rank, hop, flows.broadcast));
+    }
 
     auto broadcast_to_children = [&](int chunk) {
         const std::span<const float> data =
             split.slice(std::span<const float>(buffer), chunk);
-        for (std::size_t i = 0; i < children.size(); ++i) {
-            comm.mailbox(rank, child_hops[i], flows.broadcast)
-                .send(data, chunk);
-        }
+        for (Mailbox* box : down_children)
+            box->send(data, chunk);
     };
 
     // Reduction role: accumulate children, pass up (or, at the root,
@@ -105,16 +112,14 @@ treeRankBody(Communicator& comm, int rank, std::span<float> buffer,
                              obs::pids::cclRank(rank),
                              obs::threadTrack());
         for (int c = 0; c < num_chunks; ++c) {
-            for (std::size_t i = 0; i < children.size(); ++i) {
+            for (Mailbox* box : up_children) {
                 const int tag =
-                    comm.mailbox(child_hops[i], rank, flows.reduce)
-                        .recvReduce(split.slice(buffer, c));
+                    box->recvReduce(split.slice(buffer, c));
                 CCUBE_CHECK(tag == c, "reduction chunk out of order");
             }
             if (!is_root) {
-                comm.mailbox(rank, parent_hop, flows.reduce)
-                    .send(split.slice(std::span<const float>(buffer), c),
-                          c);
+                up_parent->send(
+                    split.slice(std::span<const float>(buffer), c), c);
             } else {
                 trace.record(rank, chunk_id_offset + c);
                 if (mode == TreePhaseMode::kOverlapped)
@@ -131,8 +136,7 @@ treeRankBody(Communicator& comm, int rank, std::span<float> buffer,
                              obs::threadTrack());
         for (int c = 0; c < num_chunks; ++c) {
             const int tag =
-                comm.mailbox(parent_hop, rank, flows.broadcast)
-                    .recvInto(split.slice(buffer, c));
+                down_parent->recvInto(split.slice(buffer, c));
             CCUBE_CHECK(tag == c, "broadcast chunk out of order");
             trace.record(rank, chunk_id_offset + c);
             broadcast_to_children(c);
@@ -150,19 +154,14 @@ treeRankBody(Communicator& comm, int rank, std::span<float> buffer,
         broadcast_role();
     } else {
         // Overlapped: the reduction and broadcast pipelines run as
-        // concurrent "persistent kernels" on this rank.
-        std::thread reducer([&reduction_role, rank]() {
-            obs::setThreadRank(rank);
-            obs::labelThread(
-                ("rank" + std::to_string(rank) + "/reduce").c_str());
-            reduction_role();
-        });
+        // concurrent "persistent kernels" on this rank — the reducer
+        // on a pooled helper, the broadcaster inline.
+        executor.submit(helpers, rank, "reduce",
+                        [&reduction_role]() { reduction_role(); });
         broadcast_role();
-        reducer.join();
     }
 
-    for (std::thread& t : forwarders)
-        t.join();
+    helpers.wait();
 }
 
 } // namespace detail

@@ -66,6 +66,13 @@ RankCounters::current()
     return slots_[index];
 }
 
+RankCounters::Slot&
+RankCounters::slotFor(int rank)
+{
+    const int index = (rank >= 0 && rank < kMaxRanks) ? rank + 1 : 0;
+    return slots_[index];
+}
+
 const RankCounters::Slot&
 RankCounters::slot(int rank) const
 {
@@ -109,6 +116,36 @@ RankCounters::addMailboxRecv()
     current().mailbox_recvs.fetch_add(1, std::memory_order_relaxed);
 }
 
+void
+RankCounters::addExecutorTask()
+{
+    current().executor_tasks.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+RankCounters::addExecutorPark()
+{
+    current().executor_parks.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+RankCounters::addExecutorUnpark()
+{
+    current().executor_unparks.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+RankCounters::noteExecutorQueueDepth(int rank, std::uint64_t depth)
+{
+    std::atomic<std::uint64_t>& peak =
+        slotFor(rank).executor_queue_peak;
+    std::uint64_t seen = peak.load(std::memory_order_relaxed);
+    while (seen < depth &&
+           !peak.compare_exchange_weak(seen, depth,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
 std::uint64_t
 RankCounters::casRetries(int rank) const
 {
@@ -143,6 +180,31 @@ std::uint64_t
 RankCounters::mailboxRecvs(int rank) const
 {
     return slot(rank).mailbox_recvs.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+RankCounters::executorTasks(int rank) const
+{
+    return slot(rank).executor_tasks.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+RankCounters::executorParks(int rank) const
+{
+    return slot(rank).executor_parks.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+RankCounters::executorUnparks(int rank) const
+{
+    return slot(rank).executor_unparks.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+RankCounters::executorQueuePeak(int rank) const
+{
+    return slot(rank).executor_queue_peak.load(
+        std::memory_order_relaxed);
 }
 
 namespace {
@@ -197,6 +259,10 @@ RankCounters::exportTo(MetricRegistry& registry) const
         {"slot_full_stalls", &RankCounters::slotFullStalls},
         {"mailbox_sends", &RankCounters::mailboxSends},
         {"mailbox_recvs", &RankCounters::mailboxRecvs},
+        {"executor_tasks", &RankCounters::executorTasks},
+        {"executor_parks", &RankCounters::executorParks},
+        {"executor_unparks", &RankCounters::executorUnparks},
+        {"executor_queue_peak", &RankCounters::executorQueuePeak},
     };
     for (const Field& field : kFields) {
         std::uint64_t total = 0;
@@ -226,6 +292,10 @@ RankCounters::reset()
         s.slot_full_stalls.store(0, std::memory_order_relaxed);
         s.mailbox_sends.store(0, std::memory_order_relaxed);
         s.mailbox_recvs.store(0, std::memory_order_relaxed);
+        s.executor_tasks.store(0, std::memory_order_relaxed);
+        s.executor_parks.store(0, std::memory_order_relaxed);
+        s.executor_unparks.store(0, std::memory_order_relaxed);
+        s.executor_queue_peak.store(0, std::memory_order_relaxed);
     }
 }
 

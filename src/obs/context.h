@@ -21,7 +21,11 @@
  *   - slot_full_stalls — Mailbox::send() found every receive buffer
  *                        occupied (the flow-control backpressure of
  *                        the paper's bounded receive rings);
- *   - mailbox_sends / mailbox_recvs — chunk traffic per rank.
+ *   - mailbox_sends / mailbox_recvs — chunk traffic per rank;
+ *   - executor_tasks / executor_parks / executor_unparks /
+ *     executor_queue_peak — persistent-executor activity, so traces
+ *     can distinguish a parked-thread wakeup from the old per-
+ *     collective spawn cost.
  */
 
 #include <atomic>
@@ -86,6 +90,21 @@ class RankCounters
     /** Records one mailbox receive. */
     void addMailboxRecv();
 
+    /** Records one task executed by the rank executor. */
+    void addExecutorTask();
+
+    /** Records one executor thread parking (no task pending). */
+    void addExecutorPark();
+
+    /** Records one executor thread waking with a task. */
+    void addExecutorUnpark();
+
+    /**
+     * Records @p depth concurrently-busy executor helpers for
+     * @p rank; the per-rank peak is kept (monotonic max).
+     */
+    void noteExecutorQueueDepth(int rank, std::uint64_t depth);
+
     /** Per-rank reads; @p rank -1 reads the unknown-rank slot. */
     std::uint64_t casRetries(int rank) const;
     std::uint64_t postStalls(int rank) const;
@@ -93,6 +112,10 @@ class RankCounters
     std::uint64_t slotFullStalls(int rank) const;
     std::uint64_t mailboxSends(int rank) const;
     std::uint64_t mailboxRecvs(int rank) const;
+    std::uint64_t executorTasks(int rank) const;
+    std::uint64_t executorParks(int rank) const;
+    std::uint64_t executorUnparks(int rank) const;
+    std::uint64_t executorQueuePeak(int rank) const;
 
     /** Sums across all rank slots (including unknown). */
     std::uint64_t totalCasRetries() const;
@@ -117,10 +140,15 @@ class RankCounters
         std::atomic<std::uint64_t> slot_full_stalls{0};
         std::atomic<std::uint64_t> mailbox_sends{0};
         std::atomic<std::uint64_t> mailbox_recvs{0};
+        std::atomic<std::uint64_t> executor_tasks{0};
+        std::atomic<std::uint64_t> executor_parks{0};
+        std::atomic<std::uint64_t> executor_unparks{0};
+        std::atomic<std::uint64_t> executor_queue_peak{0};
     };
 
     /** Slot for the calling thread (0 = unknown rank). */
     Slot& current();
+    Slot& slotFor(int rank);
     const Slot& slot(int rank) const;
 
     Slot slots_[kMaxRanks + 1];

@@ -4,6 +4,7 @@
 #include <deque>
 #include <functional>
 
+#include "topo/detour_router.h"
 #include "util/logging.h"
 
 namespace ccube {
@@ -201,6 +202,12 @@ Route::reversed() const
     Route out = *this;
     std::reverse(out.hops.begin(), out.hops.end());
     return out;
+}
+
+TreeEmbedding::TreeEmbedding(BinaryTree t)
+    : tree(std::move(t)),
+      forwarding_cache(std::make_shared<ForwardingRuleCache>())
+{
 }
 
 const Route&

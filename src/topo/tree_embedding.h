@@ -12,6 +12,7 @@
  * §IV-A).
  */
 
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -117,6 +118,9 @@ struct Route {
     Route reversed() const;
 };
 
+/** Lazily-built forwarding-rule cache (defined in detour_router.h). */
+struct ForwardingRuleCache;
+
 /**
  * A logical tree plus the physical route for each edge.
  */
@@ -125,7 +129,16 @@ struct TreeEmbedding {
     /** routes[i] corresponds to tree.edges()[i], parent → child. */
     std::vector<Route> routes;
 
-    explicit TreeEmbedding(BinaryTree t) : tree(std::move(t)) {}
+    /**
+     * Shared cache of the embedding's detour forwarding rules, filled
+     * lazily by topo::cachedForwardingRules(). Copies of an embedding
+     * share the cache; routes are expected to be immutable once the
+     * embedding is in use (they are — embeddings are built once and
+     * then only read by the collectives).
+     */
+    std::shared_ptr<ForwardingRuleCache> forwarding_cache;
+
+    explicit TreeEmbedding(BinaryTree t);
 
     /** Route for the edge to @p child from its parent. */
     const Route& routeToChild(NodeId child) const;

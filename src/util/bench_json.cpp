@@ -1,0 +1,110 @@
+#include "util/bench_json.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace ccube {
+namespace util {
+
+namespace {
+
+const char kPrefix[] = "{\"schema\":\"bench_ccl/v1\",\"records\":[";
+const char kSuffix[] = "\n]}\n";
+
+std::string
+escapeJson(const std::string& in)
+{
+    std::string out;
+    out.reserve(in.size());
+    for (char c : in) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+std::string
+formatRecord(const BenchRecord& record)
+{
+    std::ostringstream out;
+    out << "\n{\"source\":\"" << escapeJson(record.source)
+        << "\",\"kind\":\"" << escapeJson(record.kind)
+        << "\",\"name\":\"" << escapeJson(record.name)
+        << "\",\"mode\":\"" << escapeJson(record.mode)
+        << "\",\"bytes\":" << record.bytes
+        << ",\"ns_per_op\":" << record.ns_per_op;
+    if (!record.extra.empty()) {
+        out << ",\"extra\":{";
+        bool first = true;
+        for (const auto& [key, value] : record.extra) {
+            if (!first)
+                out << ",";
+            first = false;
+            out << "\"" << escapeJson(key) << "\":" << value;
+        }
+        out << "}";
+    }
+    out << "}";
+    return out.str();
+}
+
+/** Existing record-array body (between prefix and suffix), or empty. */
+std::string
+existingBody(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return {};
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string content = buffer.str();
+    const std::string prefix(kPrefix);
+    const std::string suffix(kSuffix);
+    if (content.size() < prefix.size() + suffix.size() ||
+        content.compare(0, prefix.size(), prefix) != 0 ||
+        content.compare(content.size() - suffix.size(), suffix.size(),
+                        suffix) != 0) {
+        logWarn("bench",
+                "existing " + path +
+                    " is not bench_ccl/v1 — replacing it");
+        return {};
+    }
+    return content.substr(prefix.size(), content.size() -
+                                             prefix.size() -
+                                             suffix.size());
+}
+
+} // namespace
+
+void
+writeBenchRecords(const std::string& path,
+                  const std::vector<BenchRecord>& records, bool append)
+{
+    std::string body = append ? existingBody(path) : std::string();
+    for (const BenchRecord& record : records) {
+        if (!body.empty())
+            body += ",";
+        body += formatRecord(record);
+    }
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        logWarn("bench", "cannot write " + path);
+        return;
+    }
+    out << kPrefix << body << kSuffix;
+}
+
+std::string
+benchOutputPath()
+{
+    const char* env = std::getenv("CCUBE_BENCH_OUT");
+    return env && *env ? std::string(env)
+                       : std::string("BENCH_ccl.json");
+}
+
+} // namespace util
+} // namespace ccube
