@@ -13,14 +13,18 @@
 
 #include "core/ccube_engine.h"
 #include "model/tree_model.h"
+#include "obs/session.h"
 #include "simnet/channel.h"
 #include "simnet/double_tree_schedule.h"
+#include "util/flags.h"
 #include "util/table.h"
 #include "util/units.h"
 
 int
-main()
+main(int argc, char** argv)
 {
+    const ccube::util::Flags flags(argc, argv);
+    ccube::obs::ObsSession obs_session(flags);
     using namespace ccube;
 
     std::cout << "=== Ablation: chunk count vs AllReduce time "

@@ -12,11 +12,13 @@
 
 #include <iostream>
 
+#include "obs/session.h"
 #include "simnet/channel.h"
 #include "simnet/double_tree_schedule.h"
 #include "topo/detour_router.h"
 #include "topo/dgx1.h"
 #include "topo/embedding_search.h"
+#include "util/flags.h"
 #include "util/table.h"
 #include "util/units.h"
 
@@ -51,8 +53,10 @@ addRow(util::Table& table, const std::string& name,
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    const ccube::util::Flags flags(argc, argv);
+    ccube::obs::ObsSession obs_session(flags);
     std::cout << "=== Ablation: hand-crafted vs auto-searched "
                  "double-tree embeddings (DGX-1, 64 MiB, "
                  "overlapped) ===\n\n";

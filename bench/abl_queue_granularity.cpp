@@ -17,11 +17,15 @@
 #include "core/ccube_engine.h"
 #include "core/chunk_mapper.h"
 #include "dnn/compute_model.h"
+#include "obs/session.h"
+#include "util/flags.h"
 #include "util/table.h"
 
 int
-main()
+main(int argc, char** argv)
 {
+    const ccube::util::Flags flags(argc, argv);
+    ccube::obs::ObsSession obs_session(flags);
     using namespace ccube;
 
     std::cout << "=== Ablation: gradient-queue granularity "

@@ -10,18 +10,22 @@
 
 #include <iostream>
 
+#include "obs/session.h"
 #include "simnet/channel.h"
 #include "simnet/double_tree_schedule.h"
 #include "simnet/multi_ring_schedule.h"
 #include "topo/dgx1.h"
 #include "topo/double_tree.h"
 #include "topo/ring_embedding.h"
+#include "util/flags.h"
 #include "util/table.h"
 #include "util/units.h"
 
 int
-main()
+main(int argc, char** argv)
 {
+    const ccube::util::Flags flags(argc, argv);
+    ccube::obs::ObsSession obs_session(flags);
     using namespace ccube;
 
     std::cout << "=== Ablation: ring striping count vs overlapped "

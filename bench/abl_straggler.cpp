@@ -11,12 +11,14 @@
 
 #include <iostream>
 
+#include "obs/session.h"
 #include "simnet/channel.h"
 #include "simnet/double_tree_schedule.h"
 #include "simnet/multi_ring_schedule.h"
 #include "topo/dgx1.h"
 #include "topo/double_tree.h"
 #include "topo/ring_embedding.h"
+#include "util/flags.h"
 #include "util/table.h"
 #include "util/units.h"
 
@@ -54,8 +56,10 @@ measure(const topo::Graph& graph, double bytes)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    const ccube::util::Flags flags(argc, argv);
+    ccube::obs::ObsSession obs_session(flags);
     std::cout << "=== Ablation: straggler link sensitivity "
                  "(DGX-1, 64 MiB, pair (2,3) degraded) ===\n\n";
 

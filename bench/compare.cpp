@@ -1,0 +1,231 @@
+/**
+ * @file
+ * bench_compare — the perf-regression gate.
+ *
+ * Diffs a current bench_ccl/v1 file against a checked-in baseline:
+ *
+ *   bench_compare --baseline=bench/baselines/BENCH_baseline.json \
+ *                 --current=BENCH_ccl.json [--threshold=0.25]     \
+ *                 [--warn-only] [--report-out=FILE] [--html-out=FILE]
+ *
+ * Records are keyed by (source, kind, name, mode, bytes); duplicate
+ * keys keep the *minimum* ns_per_op on each side (best observed run,
+ * the standard noise filter for latency benches). A record regresses
+ * when current exceeds baseline by more than --threshold (relative).
+ * Exit status is 1 when any record regressed, unless --warn-only.
+ * Keys present on only one side are reported but never fail the gate
+ * (benches come and go as figures are added).
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "util/bench_json.h"
+#include "util/flags.h"
+
+namespace {
+
+using ccube::util::BenchRecord;
+
+using Key = std::tuple<std::string, std::string, std::string,
+                       std::string, std::int64_t>;
+
+std::string
+keyLabel(const Key& key)
+{
+    std::ostringstream out;
+    out << std::get<0>(key) << "/" << std::get<1>(key) << "/"
+        << std::get<2>(key) << "/" << std::get<3>(key);
+    if (std::get<4>(key) != 0)
+        out << "/" << std::get<4>(key) << "B";
+    return out.str();
+}
+
+/** Best (minimum ns_per_op) record per key. */
+std::map<Key, double>
+index(const std::vector<BenchRecord>& records)
+{
+    std::map<Key, double> best;
+    for (const BenchRecord& record : records) {
+        const Key key{record.source, record.kind, record.name,
+                      record.mode, record.bytes};
+        const auto it = best.find(key);
+        if (it == best.end() || record.ns_per_op < it->second)
+            best[key] = record.ns_per_op;
+    }
+    return best;
+}
+
+struct Row {
+    std::string label;
+    double baseline_ns = 0.0;
+    double current_ns = 0.0;
+    double delta = 0.0; ///< (current - baseline) / baseline
+    bool regressed = false;
+};
+
+std::string
+fmtNs(double ns)
+{
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.1f", ns);
+    return buffer;
+}
+
+std::string
+fmtDelta(double delta)
+{
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%+.1f%%", delta * 100.0);
+    return buffer;
+}
+
+void
+writeTextReport(std::ostream& out, const std::vector<Row>& rows,
+                const std::vector<std::string>& baseline_only,
+                const std::vector<std::string>& current_only,
+                double threshold, int regressions)
+{
+    out << "=== bench_compare (threshold "
+        << fmtDelta(threshold).substr(1) << ") ===\n";
+    for (const Row& row : rows) {
+        out << (row.regressed ? "REGRESSION " : "ok         ")
+            << row.label << "  " << fmtNs(row.baseline_ns) << " -> "
+            << fmtNs(row.current_ns) << " ns/op  ("
+            << fmtDelta(row.delta) << ")\n";
+    }
+    for (const std::string& label : current_only)
+        out << "new        " << label << "  (no baseline)\n";
+    for (const std::string& label : baseline_only)
+        out << "missing    " << label << "  (in baseline only)\n";
+    out << regressions << " regression(s) across " << rows.size()
+        << " compared record(s)\n";
+}
+
+void
+writeHtmlReport(std::ostream& out, const std::vector<Row>& rows,
+                double threshold, int regressions)
+{
+    out << "<!doctype html><html><head><meta charset=\"utf-8\">"
+        << "<title>bench_compare</title><style>"
+        << "body{font-family:monospace}"
+        << "table{border-collapse:collapse}"
+        << "td,th{border:1px solid #999;padding:4px 8px;"
+        << "text-align:right}"
+        << "td:first-child{text-align:left}"
+        << ".bad{background:#fdd}.ok{background:#dfd}"
+        << "</style></head><body>"
+        << "<h1>bench_compare</h1><p>threshold "
+        << threshold * 100.0 << "% &mdash; " << regressions
+        << " regression(s) / " << rows.size() << " record(s)</p>"
+        << "<table><tr><th>benchmark</th><th>baseline ns/op</th>"
+        << "<th>current ns/op</th><th>delta</th></tr>";
+    for (const Row& row : rows) {
+        out << "<tr class=\"" << (row.regressed ? "bad" : "ok")
+            << "\"><td>" << row.label << "</td><td>"
+            << fmtNs(row.baseline_ns) << "</td><td>"
+            << fmtNs(row.current_ns) << "</td><td>"
+            << fmtDelta(row.delta) << "</td></tr>";
+    }
+    out << "</table></body></html>\n";
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const ccube::util::Flags flags(argc, argv);
+    const std::string baseline_path = flags.get("baseline");
+    const std::string current_path = flags.get("current");
+    const double threshold = flags.getDouble("threshold", 0.25);
+    const bool warn_only = flags.has("warn-only");
+
+    if (baseline_path.empty() || current_path.empty()) {
+        std::cerr << "usage: bench_compare --baseline=FILE "
+                     "--current=FILE [--threshold=0.25] [--warn-only] "
+                     "[--report-out=FILE] [--html-out=FILE]\n";
+        return 2;
+    }
+
+    const auto baseline =
+        index(ccube::util::readBenchRecords(baseline_path));
+    const auto current =
+        index(ccube::util::readBenchRecords(current_path));
+    if (baseline.empty()) {
+        std::cerr << "bench_compare: empty/unreadable baseline "
+                  << baseline_path << "\n";
+        return 2;
+    }
+    if (current.empty()) {
+        std::cerr << "bench_compare: empty/unreadable current "
+                  << current_path << "\n";
+        return 2;
+    }
+
+    std::vector<Row> rows;
+    std::vector<std::string> baseline_only;
+    std::vector<std::string> current_only;
+    int regressions = 0;
+    for (const auto& [key, baseline_ns] : baseline) {
+        const auto it = current.find(key);
+        if (it == current.end()) {
+            baseline_only.push_back(keyLabel(key));
+            continue;
+        }
+        Row row;
+        row.label = keyLabel(key);
+        row.baseline_ns = baseline_ns;
+        row.current_ns = it->second;
+        row.delta = baseline_ns > 0.0
+                        ? (it->second - baseline_ns) / baseline_ns
+                        : 0.0;
+        row.regressed = row.delta > threshold;
+        if (row.regressed)
+            ++regressions;
+        rows.push_back(std::move(row));
+    }
+    for (const auto& [key, ns] : current) {
+        if (!baseline.count(key))
+            current_only.push_back(keyLabel(key));
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const Row& a, const Row& b) {
+                  return a.delta > b.delta; // worst first
+              });
+
+    writeTextReport(std::cout, rows, baseline_only, current_only,
+                    threshold, regressions);
+
+    const std::string report_path = flags.get("report-out");
+    if (!report_path.empty()) {
+        std::ofstream out(report_path);
+        if (out)
+            writeTextReport(out, rows, baseline_only, current_only,
+                            threshold, regressions);
+        else
+            std::cerr << "bench_compare: cannot write " << report_path
+                      << "\n";
+    }
+    const std::string html_path = flags.get("html-out");
+    if (!html_path.empty()) {
+        std::ofstream out(html_path);
+        if (out)
+            writeHtmlReport(out, rows, threshold, regressions);
+        else
+            std::cerr << "bench_compare: cannot write " << html_path
+                      << "\n";
+    }
+
+    if (regressions > 0 && !warn_only)
+        return 1;
+    return 0;
+}

@@ -5,15 +5,24 @@
  * phase the tree's "downlinks" sit idle (and vice versa during
  * broadcast), so no channel can exceed ~50% utilization; the
  * overlapped algorithm drives both directions at once.
+ *
+ * This harness always enables the global trace recorder and runs the
+ * obs::TraceAnalyzer over each schedule's spans, printing the
+ * per-direction channel-class idle fractions and the critical-path
+ * cost breakdown next to the raw DES utilization counters.
  */
 
 #include <algorithm>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "core/report.h"
+#include "obs/analyze.h"
 #include "obs/metrics.h"
 #include "obs/session.h"
+#include "obs/trace.h"
 #include "simnet/channel.h"
 #include "simnet/double_tree_schedule.h"
 #include "topo/dgx1.h"
@@ -28,14 +37,18 @@ namespace {
 using namespace ccube;
 
 struct Utilization {
-    double completion;
+    double completion = 0.0;
     util::RunningStats used_channels; ///< utilization of busy channels
-    double max_utilization;
+    double max_utilization = 0.0;
+    std::vector<obs::TraceEvent> events; ///< this run's spans only
 };
 
 Utilization
 measure(simnet::PhaseMode mode, const std::string& metric_prefix)
 {
+    obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+    const std::size_t events_before = recorder.eventCount();
+
     const topo::Graph graph = topo::makeDgx1();
     const auto dt = topo::makeDgx1DoubleTree(graph);
     sim::Simulation sim;
@@ -43,7 +56,8 @@ measure(simnet::PhaseMode mode, const std::string& metric_prefix)
     const auto result = simnet::runDoubleTreeSchedule(
         sim, net, dt, util::mib(64), mode, 32);
 
-    Utilization u{result.completion_time, {}, 0.0};
+    Utilization u;
+    u.completion = result.completion_time;
     for (int id = 0; id < graph.channelCount(); ++id) {
         const double busy = net.channelBusyTime(id);
         if (busy <= 0.0)
@@ -57,7 +71,34 @@ measure(simnet::PhaseMode mode, const std::string& metric_prefix)
     if (registry.enabled())
         net.exportMetrics(registry, result.completion_time,
                           metric_prefix);
+
+    std::vector<obs::TraceEvent> all = recorder.snapshot();
+    u.events.assign(
+        all.begin() + static_cast<std::ptrdiff_t>(events_before),
+        all.end());
     return u;
+}
+
+/** One channel-class row per (tree, direction) of the double tree. */
+void
+addTreeClassRows(util::Table& table, const std::string& schedule,
+                 const obs::TraceAnalyzer& analyzer)
+{
+    const topo::Graph graph = topo::makeDgx1();
+    const auto dt = topo::makeDgx1DoubleTree(graph);
+    // kPointToPoint lane policy: tree i keeps lane i both ways.
+    core::addChannelClassRow(
+        table, schedule, "tree0 up", analyzer,
+        simnet::treeChannelIds(graph, dt.tree0, 0, false));
+    core::addChannelClassRow(
+        table, schedule, "tree0 down", analyzer,
+        simnet::treeChannelIds(graph, dt.tree0, 0, true));
+    core::addChannelClassRow(
+        table, schedule, "tree1 up", analyzer,
+        simnet::treeChannelIds(graph, dt.tree1, 1, false));
+    core::addChannelClassRow(
+        table, schedule, "tree1 down", analyzer,
+        simnet::treeChannelIds(graph, dt.tree1, 1, true));
 }
 
 } // namespace
@@ -67,7 +108,9 @@ main(int argc, char** argv)
 {
     const util::Flags flags(argc, argv);
     obs::ObsSession obs_session(flags);
-
+    // The analysis below always needs spans, with or without
+    // --trace-out / --report-out.
+    obs::TraceRecorder::global().enable();
 
     std::cout << "=== Extension: NVLink channel utilization, "
                  "baseline vs overlapped double tree "
@@ -92,6 +135,24 @@ main(int argc, char** argv)
          util::formatDouble(over.used_channels.mean(), 3),
          util::formatDouble(over.max_utilization, 3)});
     table.print(std::cout);
+
+    const obs::TraceAnalyzer base_analysis(base.events);
+    const obs::TraceAnalyzer over_analysis(over.events);
+
+    std::cout << "\nPer-direction channel classes "
+                 "(trace-derived):\n";
+    util::Table classes = core::makeChannelClassTable();
+    addTreeClassRows(classes, "B", base_analysis);
+    addTreeClassRows(classes, "C1", over_analysis);
+    classes.print(std::cout);
+
+    std::cout << "\nCritical-path attribution:\n";
+    util::Table costs = core::makeCostBreakdownTable();
+    core::addCostBreakdownRow(costs, "B (two-phase)",
+                              base_analysis.criticalPath());
+    core::addCostBreakdownRow(costs, "C1 (overlapped)",
+                              over_analysis.criticalPath());
+    costs.print(std::cout);
 
     std::cout
         << "\nObservation #2 made visible: in the two-phase baseline "

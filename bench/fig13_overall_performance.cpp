@@ -16,11 +16,15 @@
 
 #include "core/ccube_engine.h"
 #include "core/report.h"
+#include "obs/session.h"
+#include "util/flags.h"
 #include "util/stats.h"
 
 int
-main()
+main(int argc, char** argv)
 {
+    const ccube::util::Flags flags(argc, argv);
+    ccube::obs::ObsSession obs_session(flags);
     using namespace ccube;
     using core::Mode;
 

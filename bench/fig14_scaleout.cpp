@@ -18,6 +18,7 @@
 
 #include "model/alpha_beta.h"
 #include "model/tree_model.h"
+#include "obs/session.h"
 #include "simnet/channel.h"
 #include "simnet/double_tree_schedule.h"
 #include "simnet/ring_schedule.h"
@@ -25,6 +26,7 @@
 #include "topo/double_tree.h"
 #include "topo/ring_embedding.h"
 #include "topo/switch_fabric.h"
+#include "util/flags.h"
 #include "util/stats.h"
 #include "util/table.h"
 #include "util/units.h"
@@ -59,8 +61,10 @@ makeFabric(int nodes)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    const ccube::util::Flags flags(argc, argv);
+    ccube::obs::ObsSession obs_session(flags);
     std::cout << "=== Fig. 14: scale-out simulation on a switched "
                  "fabric ===\n\n";
 

@@ -11,12 +11,16 @@
 #include <iostream>
 
 #include "core/ccube_engine.h"
+#include "obs/session.h"
 #include "topo/detour_router.h"
+#include "util/flags.h"
 #include "util/table.h"
 
 int
-main()
+main(int argc, char** argv)
 {
+    const ccube::util::Flags flags(argc, argv);
+    ccube::obs::ObsSession obs_session(flags);
     using namespace ccube;
 
     std::cout << "=== Fig. 15: per-GPU normalized performance "

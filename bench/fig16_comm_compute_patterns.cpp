@@ -16,6 +16,8 @@
 #include <iostream>
 
 #include "core/ccube_engine.h"
+#include "obs/session.h"
+#include "util/flags.h"
 #include "util/table.h"
 
 namespace {
@@ -47,8 +49,10 @@ makeCase(const std::string& name,
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    const ccube::util::Flags flags(argc, argv);
+    ccube::obs::ObsSession obs_session(flags);
     std::cout << "=== Fig. 16: communication/computation patterns and "
                  "chaining efficiency ===\n\n";
 

@@ -12,11 +12,15 @@
 
 #include "dnn/catalog.h"
 #include "dnn/compute_model.h"
+#include "obs/session.h"
+#include "util/flags.h"
 #include "util/table.h"
 
 int
-main()
+main(int argc, char** argv)
 {
+    const ccube::util::Flags flags(argc, argv);
+    ccube::obs::ObsSession obs_session(flags);
     using namespace ccube;
 
     std::cout << "=== Fig. 17: ResNet-50 per-layer parameters vs "

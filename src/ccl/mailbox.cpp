@@ -56,6 +56,7 @@ Mailbox::send(std::span<const float> data, int tag)
     if (stalled)
         counters.addSlotFullStall();
 
+    const std::int64_t seq = post_seq_++;
     obs::TraceRecorder& recorder = obs::TraceRecorder::global();
     if (recorder.enabled()) {
         obs::ScopedSpan span(recorder, "post " + trace_label_,
@@ -64,6 +65,7 @@ Mailbox::send(std::span<const float> data, int tag)
         span.arg("bytes", static_cast<double>(data.size() *
                                               sizeof(float)));
         span.arg("stalled", stalled ? 1.0 : 0.0);
+        span.arg("seq", static_cast<double>(seq));
         empty_.wait(); // block while all receive buffers are occupied
     } else {
         empty_.wait();
@@ -85,11 +87,13 @@ int
 Mailbox::consumeSlot(Fn&& consume)
 {
     obs::RankCounters::global().addMailboxRecv();
+    const std::int64_t seq = wait_seq_++;
     obs::TraceRecorder& recorder = obs::TraceRecorder::global();
     if (recorder.enabled()) {
         obs::ScopedSpan span(recorder, "wait " + trace_label_,
                              "ccl.mailbox", spanPid(),
                              obs::threadTrack());
+        span.arg("seq", static_cast<double>(seq));
         full_.wait();
     } else {
         full_.wait();

@@ -19,6 +19,7 @@
  */
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <span>
 #include <string>
@@ -116,6 +117,13 @@ class Mailbox
     BoundedSemaphore empty_;
     std::size_t head_ = 0; ///< producer cursor (producer thread only)
     std::size_t tail_ = 0; ///< consumer cursor (consumer thread only)
+    // Delivery sequence numbers stamped on post/wait trace spans so the
+    // analyzer can pair them into cross-rank dependency edges. SPSC
+    // FIFO order means wait #n always consumes post #n. Incremented
+    // unconditionally (one add per op) so the pairing stays aligned
+    // even when tracing is toggled mid-stream.
+    std::int64_t post_seq_ = 0; ///< producer thread only
+    std::int64_t wait_seq_ = 0; ///< consumer thread only
     CheckableCounter delivered_;
     std::string trace_label_ = "mb ?";
 };

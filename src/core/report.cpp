@@ -1,5 +1,6 @@
 #include "core/report.h"
 
+#include "obs/analyze.h"
 #include "util/units.h"
 
 namespace ccube {
@@ -46,6 +47,62 @@ addCommRow(util::Table& table, const std::string& algorithm,
          util::formatDouble(schedule.turnaroundTime() * 1e3, 3),
          util::formatDouble(
              schedule.effectiveBandwidth(bytes) / 1e9, 2)});
+}
+
+util::Table
+makeChannelClassTable()
+{
+    return util::Table({"schedule", "channel_class", "channels",
+                        "busy_ms", "util_frac", "idle_frac"});
+}
+
+void
+addChannelClassRow(util::Table& table, const std::string& schedule,
+                   const std::string& channel_class,
+                   const obs::TraceAnalyzer& analyzer,
+                   const std::vector<int>& channel_ids)
+{
+    const obs::TimeInterval window = analyzer.channelWindow();
+    int active = 0;
+    double busy_us = 0.0;
+    for (int id : channel_ids) {
+        const obs::ChannelTimeline* timeline = analyzer.channelById(id);
+        if (!timeline)
+            continue;
+        ++active;
+        busy_us += timeline->busyWithinUs(window);
+    }
+    const double capacity_us = window.durationUs() * active;
+    const double util =
+        capacity_us > 0.0 ? busy_us / capacity_us : 0.0;
+    table.addRow({schedule, channel_class, std::to_string(active),
+                  util::formatDouble(busy_us * 1e-3, 3),
+                  util::formatDouble(util, 3),
+                  util::formatDouble(1.0 - util, 3)});
+}
+
+util::Table
+makeCostBreakdownTable()
+{
+    return util::Table({"label", "steps", "span_ms", "startup_ms",
+                        "serial_ms", "stall_ms", "reduce_ms",
+                        "other_ms"});
+}
+
+void
+addCostBreakdownRow(util::Table& table, const std::string& label,
+                    const obs::CriticalPath& path)
+{
+    table.addRow({label, std::to_string(path.steps.size()),
+                  util::formatDouble(path.spanUs() * 1e-3, 3),
+                  util::formatDouble(path.breakdown.startup_us * 1e-3, 3),
+                  util::formatDouble(
+                      path.breakdown.serialization_us * 1e-3, 3),
+                  util::formatDouble(
+                      path.breakdown.sync_stall_us * 1e-3, 3),
+                  util::formatDouble(
+                      path.breakdown.reduction_us * 1e-3, 3),
+                  util::formatDouble(path.breakdown.other_us * 1e-3, 3)});
 }
 
 } // namespace core

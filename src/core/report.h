@@ -8,11 +8,18 @@
  */
 
 #include <string>
+#include <vector>
 
 #include "core/iteration_scheduler.h"
 #include "util/table.h"
 
 namespace ccube {
+
+namespace obs {
+class TraceAnalyzer;
+struct CriticalPath;
+}
+
 namespace core {
 
 /** Column headers for iteration-result tables. */
@@ -29,6 +36,31 @@ util::Table makeCommTable();
 /** Appends one communication result as a row. */
 void addCommRow(util::Table& table, const std::string& algorithm,
                 double bytes, const simnet::ScheduleResult& schedule);
+
+/**
+ * Column headers for channel-class utilization tables (one row per
+ * direction class of a schedule — e.g. the up- and down-channels of a
+ * tree — from a trace analysis).
+ */
+util::Table makeChannelClassTable();
+
+/**
+ * Appends the aggregate utilization of @p channel_ids (a direction
+ * class of @p schedule) over the analyzer's channel window. Channels
+ * that carried no traffic are skipped, matching
+ * obs::TraceAnalyzer::idleFraction.
+ */
+void addChannelClassRow(util::Table& table, const std::string& schedule,
+                        const std::string& channel_class,
+                        const obs::TraceAnalyzer& analyzer,
+                        const std::vector<int>& channel_ids);
+
+/** Column headers for critical-path cost-breakdown tables. */
+util::Table makeCostBreakdownTable();
+
+/** Appends one extracted critical path's attribution as a row. */
+void addCostBreakdownRow(util::Table& table, const std::string& label,
+                         const obs::CriticalPath& path);
 
 } // namespace core
 } // namespace ccube

@@ -1,0 +1,73 @@
+#include "obs/flight_recorder.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace ccube {
+namespace obs {
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity)
+{
+    CCUBE_CHECK(capacity >= 1, "flight recorder needs capacity >= 1");
+    ring_.reserve(capacity < 4096 ? capacity : 4096);
+}
+
+void
+FlightRecorder::record(TraceEvent event)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    ++recorded_;
+    if (ring_.size() < capacity_) {
+        ring_.push_back(std::move(event));
+        return;
+    }
+    ring_[next_] = std::move(event);
+    next_ = (next_ + 1) % capacity_;
+}
+
+std::size_t
+FlightRecorder::size() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return ring_.size();
+}
+
+std::uint64_t
+FlightRecorder::recorded() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return recorded_;
+}
+
+std::uint64_t
+FlightRecorder::dropped() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return recorded_ - ring_.size();
+}
+
+std::vector<TraceEvent>
+FlightRecorder::snapshot() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    std::vector<TraceEvent> out;
+    out.reserve(ring_.size());
+    // Oldest first: once wrapped, next_ points at the oldest entry.
+    for (std::size_t i = 0; i < ring_.size(); ++i)
+        out.push_back(ring_[(next_ + i) % ring_.size()]);
+    return out;
+}
+
+void
+FlightRecorder::clear()
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    ring_.clear();
+    next_ = 0;
+    recorded_ = 0;
+}
+
+} // namespace obs
+} // namespace ccube

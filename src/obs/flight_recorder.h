@@ -1,0 +1,75 @@
+#ifndef CCUBE_OBS_FLIGHT_RECORDER_H_
+#define CCUBE_OBS_FLIGHT_RECORDER_H_
+
+/**
+ * @file
+ * Bounded trace-event ring buffer — always-on capture that cannot OOM.
+ *
+ * A FlightRecorder keeps the most recent `capacity` events and evicts
+ * the oldest when full (aircraft flight-recorder semantics), so
+ * tracing can stay enabled across arbitrarily long sweeps and the tail
+ * of the run — usually the part that explains a hang or a regression —
+ * is always available for post-hoc analysis. Contrast with the
+ * TraceRecorder's default capped vector, which keeps the *head* of the
+ * run and drops the tail (see TraceRecorder::setCapacity).
+ *
+ * The TraceRecorder can adopt a FlightRecorder as its storage backend
+ * (`TraceRecorder::setFlightCapacity`); it is also usable standalone
+ * as a sink for any TraceEvent stream.
+ */
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace ccube {
+namespace obs {
+
+/**
+ * Fixed-capacity, thread-safe ring of TraceEvents with drop-oldest
+ * eviction.
+ */
+class FlightRecorder
+{
+  public:
+    /** Creates a ring holding at most @p capacity events (≥ 1). */
+    explicit FlightRecorder(std::size_t capacity);
+
+    FlightRecorder(const FlightRecorder&) = delete;
+    FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+    /** Appends @p event, evicting the oldest event when full. */
+    void record(TraceEvent event);
+
+    /** Maximum number of retained events. */
+    std::size_t capacity() const { return capacity_; }
+
+    /** Events currently retained (≤ capacity). */
+    std::size_t size() const;
+
+    /** Total events ever recorded (retained + evicted). */
+    std::uint64_t recorded() const;
+
+    /** Events evicted to make room (recorded − size). */
+    std::uint64_t dropped() const;
+
+    /** Retained events, oldest first. */
+    std::vector<TraceEvent> snapshot() const;
+
+    /** Drops every retained event and resets the counters. */
+    void clear();
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::vector<TraceEvent> ring_; ///< grows to capacity_, then wraps
+    std::size_t next_ = 0;         ///< write position once wrapped
+    std::uint64_t recorded_ = 0;
+};
+
+} // namespace obs
+} // namespace ccube
+
+#endif // CCUBE_OBS_FLIGHT_RECORDER_H_

@@ -3,8 +3,10 @@
 #include <fstream>
 #include <utility>
 
+#include "obs/analyze.h"
 #include "obs/context.h"
 #include "obs/metrics.h"
+#include "obs/report.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 
@@ -22,16 +24,38 @@ endsWithJson(const std::string& path)
                         suffix) == 0;
 }
 
+/** Applies --trace-capacity / --trace-mode before capture starts. */
+void
+applyRetentionFlags(const util::Flags& flags)
+{
+    const int capacity = flags.getInt("trace-capacity", 0);
+    const std::string mode = flags.get("trace-mode");
+    if (mode == "flight") {
+        TraceRecorder::global().setFlightCapacity(
+            capacity > 0 ? static_cast<std::size_t>(capacity)
+                         : TraceRecorder::global().capacity());
+    } else if (capacity > 0) {
+        TraceRecorder::global().setCapacity(
+            static_cast<std::size_t>(capacity));
+    }
+}
+
 } // namespace
 
 ObsSession::ObsSession(const util::Flags& flags)
-    : ObsSession(flags.get("trace-out"), flags.get("metrics-out"))
+    : trace_path_(flags.get("trace-out")),
+      metrics_path_(flags.get("metrics-out")),
+      report_path_(flags.get("report-out"))
 {
+    applyRetentionFlags(flags);
+    start();
 }
 
-ObsSession::ObsSession(std::string trace_path, std::string metrics_path)
+ObsSession::ObsSession(std::string trace_path, std::string metrics_path,
+                       std::string report_path)
     : trace_path_(std::move(trace_path)),
-      metrics_path_(std::move(metrics_path))
+      metrics_path_(std::move(metrics_path)),
+      report_path_(std::move(report_path))
 {
     start();
 }
@@ -44,7 +68,7 @@ ObsSession::~ObsSession()
 void
 ObsSession::start()
 {
-    if (tracing())
+    if (tracing() || reporting())
         TraceRecorder::global().enable();
     if (metrics())
         MetricRegistry::global().enable();
@@ -57,8 +81,16 @@ ObsSession::finish()
         return;
     finished_ = true;
 
+    TraceRecorder& recorder = TraceRecorder::global();
+    MetricRegistry& registry = MetricRegistry::global();
+
+    if (metrics()) {
+        RankCounters::global().exportTo(registry);
+        if (tracing() || reporting())
+            recorder.exportTo(registry);
+    }
+
     if (tracing()) {
-        TraceRecorder& recorder = TraceRecorder::global();
         std::ofstream out(trace_path_);
         if (!out) {
             util::logWarn("obs", "cannot open trace file " + trace_path_);
@@ -68,12 +100,27 @@ ObsSession::finish()
                           "wrote " + std::to_string(recorder.eventCount()) +
                               " trace events to " + trace_path_);
         }
-        recorder.disable();
     }
 
+    if (reporting()) {
+        std::ofstream out(report_path_);
+        if (!out) {
+            util::logWarn("obs",
+                          "cannot open report file " + report_path_);
+        } else {
+            const TraceAnalyzer analyzer =
+                TraceAnalyzer::fromRecorder(recorder);
+            writeAnalysisReport(out, analyzer,
+                                metrics() ? &registry : nullptr);
+            util::logInfo("obs", "wrote analysis report to " +
+                                     report_path_);
+        }
+    }
+
+    if (tracing() || reporting())
+        recorder.disable();
+
     if (metrics()) {
-        MetricRegistry& registry = MetricRegistry::global();
-        RankCounters::global().exportTo(registry);
         std::ofstream out(metrics_path_);
         if (!out) {
             util::logWarn("obs",

@@ -9,9 +9,13 @@
  * `--trace-out=FILE` enables the global TraceRecorder and writes a
  * Chrome/Perfetto trace at the end of the run, `--metrics-out=FILE`
  * enables the global MetricRegistry and writes CSV (or JSON when the
- * path ends in `.json`). With neither flag present the session is
- * inert and the instrumented code paths stay on their disabled
- * fast path.
+ * path ends in `.json`), and `--report-out=FILE` enables the recorder
+ * and writes the obs::TraceAnalyzer text report (channel utilization,
+ * idle gaps, α-β fit, critical path). Two auxiliary flags shape
+ * retention: `--trace-capacity=N` caps retained events and
+ * `--trace-mode=flight` switches to the drop-oldest FlightRecorder
+ * ring. With no flag present the session is inert and the
+ * instrumented code paths stay on their disabled fast path.
  */
 
 #include <string>
@@ -29,11 +33,13 @@ namespace obs {
 class ObsSession
 {
   public:
-    /** Reads `--trace-out` / `--metrics-out` from @p flags. */
+    /** Reads `--trace-out` / `--metrics-out` / `--report-out` /
+     *  `--trace-capacity` / `--trace-mode` from @p flags. */
     explicit ObsSession(const util::Flags& flags);
 
     /** Direct construction (empty path = facility off). */
-    ObsSession(std::string trace_path, std::string metrics_path);
+    ObsSession(std::string trace_path, std::string metrics_path,
+               std::string report_path = "");
 
     /** Flushes on scope exit when finish() was not called. */
     ~ObsSession();
@@ -47,9 +53,13 @@ class ObsSession
     /** True when a metrics file was requested. */
     bool metrics() const { return !metrics_path_.empty(); }
 
+    /** True when an analysis report was requested. */
+    bool reporting() const { return !report_path_.empty(); }
+
     /**
-     * Writes the trace JSON and metrics files, folding the per-rank
-     * RankCounters into the registry first. Idempotent.
+     * Writes the trace JSON, metrics, and analysis-report files,
+     * folding the per-rank RankCounters and the recorder's drop
+     * accounting into the registry first. Idempotent.
      */
     void finish();
 
@@ -58,6 +68,7 @@ class ObsSession
 
     std::string trace_path_;
     std::string metrics_path_;
+    std::string report_path_;
     bool finished_ = false;
 };
 

@@ -1,7 +1,11 @@
 #include "obs/trace.h"
 
+#include <cstdlib>
 #include <iomanip>
 #include <ostream>
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 
 namespace ccube {
 namespace obs {
@@ -46,7 +50,25 @@ writeEventCommon(std::ostream& out, std::string_view name,
         << ",\"tid\":" << tid << ",\"ts\":" << ts_us;
 }
 
+/** CCUBE_TRACE_CAPACITY, or the compiled-in default when unset. */
+std::size_t
+envCapacity()
+{
+    const char* env = std::getenv("CCUBE_TRACE_CAPACITY");
+    if (!env || !*env)
+        return TraceRecorder::kDefaultCapacity;
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(env, &end, 10);
+    if (end == env || value == 0)
+        return TraceRecorder::kDefaultCapacity;
+    return static_cast<std::size_t>(value);
+}
+
 } // namespace
+
+TraceRecorder::TraceRecorder() : capacity_(envCapacity()) {}
+
+TraceRecorder::~TraceRecorder() = default;
 
 TraceRecorder&
 TraceRecorder::global()
@@ -96,8 +118,7 @@ TraceRecorder::completeEvent(
     event.args.reserve(args.size());
     for (const auto& [key, value] : args)
         event.args.emplace_back(std::string(key), value);
-    std::lock_guard<std::mutex> guard(mutex_);
-    events_.push_back(std::move(event));
+    push(std::move(event));
 }
 
 void
@@ -105,7 +126,21 @@ TraceRecorder::record(TraceEvent event)
 {
     if (!enabled())
         return;
+    push(std::move(event));
+}
+
+void
+TraceRecorder::push(TraceEvent&& event)
+{
     std::lock_guard<std::mutex> guard(mutex_);
+    if (flight_) {
+        flight_->record(std::move(event));
+        return;
+    }
+    if (events_.size() >= capacity_) {
+        ++dropped_;
+        return;
+    }
     events_.push_back(std::move(event));
 }
 
@@ -122,8 +157,7 @@ TraceRecorder::instantEvent(std::string_view name, std::string_view cat,
     event.pid = pid;
     event.tid = tid;
     event.ts_us = ts_us;
-    std::lock_guard<std::mutex> guard(mutex_);
-    events_.push_back(std::move(event));
+    push(std::move(event));
 }
 
 void
@@ -165,14 +199,14 @@ std::size_t
 TraceRecorder::eventCount() const
 {
     std::lock_guard<std::mutex> guard(mutex_);
-    return events_.size();
+    return flight_ ? flight_->size() : events_.size();
 }
 
 std::vector<TraceEvent>
 TraceRecorder::snapshot() const
 {
     std::lock_guard<std::mutex> guard(mutex_);
-    return events_;
+    return flight_ ? flight_->snapshot() : events_;
 }
 
 void
@@ -180,15 +214,90 @@ TraceRecorder::clear()
 {
     std::lock_guard<std::mutex> guard(mutex_);
     events_.clear();
+    if (flight_)
+        flight_->clear();
+    dropped_ = 0;
     process_names_.clear();
     thread_names_.clear();
     sim_offset_us_ = 0.0;
 }
 
 void
+TraceRecorder::setCapacity(std::size_t capacity)
+{
+    if (capacity == 0)
+        capacity = 1;
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (flight_) {
+        // Carry ring contents back into the capped vector.
+        std::vector<TraceEvent> kept = flight_->snapshot();
+        dropped_ += flight_->dropped();
+        flight_.reset();
+        events_ = std::move(kept);
+    }
+    capacity_ = capacity;
+    while (events_.size() > capacity_) {
+        events_.pop_back();
+        ++dropped_;
+    }
+}
+
+std::size_t
+TraceRecorder::capacity() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return flight_ ? flight_->capacity() : capacity_;
+}
+
+void
+TraceRecorder::setFlightCapacity(std::size_t capacity)
+{
+    if (capacity == 0)
+        capacity = 1;
+    std::lock_guard<std::mutex> guard(mutex_);
+    std::uint64_t prior_dropped = 0;
+    std::vector<TraceEvent> pending = std::move(events_);
+    events_.clear();
+    if (flight_) {
+        pending = flight_->snapshot();
+        prior_dropped = flight_->dropped();
+    }
+    flight_ = std::make_unique<FlightRecorder>(capacity);
+    dropped_ += prior_dropped;
+    for (TraceEvent& event : pending)
+        flight_->record(std::move(event));
+}
+
+bool
+TraceRecorder::flightMode() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return flight_ != nullptr;
+}
+
+std::uint64_t
+TraceRecorder::droppedEvents() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return dropped_ + (flight_ ? flight_->dropped() : 0);
+}
+
+void
+TraceRecorder::exportTo(MetricRegistry& registry) const
+{
+    registry.addCounter("trace.events",
+                        static_cast<double>(eventCount()));
+    registry.addCounter("trace.dropped_events",
+                        static_cast<double>(droppedEvents()));
+}
+
+void
 TraceRecorder::writeJson(std::ostream& out) const
 {
     std::lock_guard<std::mutex> guard(mutex_);
+    const std::vector<TraceEvent> ring =
+        flight_ ? flight_->snapshot() : std::vector<TraceEvent>{};
+    const std::vector<TraceEvent>& events = flight_ ? ring : events_;
     out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
     bool first = true;
     auto sep = [&]() {
@@ -212,7 +321,7 @@ TraceRecorder::writeJson(std::ostream& out) const
         writeJsonString(out, name);
         out << "}}";
     }
-    for (const TraceEvent& event : events_) {
+    for (const TraceEvent& event : events) {
         sep();
         writeEventCommon(out, event.name, event.cat, event.phase,
                          event.pid, event.tid, event.ts_us);

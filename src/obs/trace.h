@@ -25,6 +25,15 @@
  * Overhead discipline: every producer checks `enabled()` (one relaxed
  * atomic load) before building an event; a disabled recorder costs one
  * branch per call site and records nothing.
+ *
+ * Memory discipline: retention is bounded. By default events land in a
+ * vector capped at `capacity()` (overridable with setCapacity() or the
+ * CCUBE_TRACE_CAPACITY environment variable); events beyond the cap
+ * are counted in droppedEvents() instead of accumulating without
+ * limit, so long sweeps with tracing left on cannot OOM. Alternatively
+ * setFlightCapacity() swaps the backend for an obs::FlightRecorder
+ * ring that keeps the most recent events (drop-oldest) — the
+ * always-on "flight recorder" capture mode.
  */
 
 #include <atomic>
@@ -33,6 +42,7 @@
 #include <initializer_list>
 #include <iosfwd>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -41,6 +51,9 @@
 
 namespace ccube {
 namespace obs {
+
+class FlightRecorder;
+class MetricRegistry;
 
 /** Pid namespaces separating the three producer layers in the UI. */
 namespace pids {
@@ -78,7 +91,11 @@ struct TraceEvent {
 class TraceRecorder
 {
   public:
-    TraceRecorder() = default;
+    /** Default event cap when CCUBE_TRACE_CAPACITY is not set. */
+    static constexpr std::size_t kDefaultCapacity = 1u << 20;
+
+    TraceRecorder();
+    ~TraceRecorder();
     TraceRecorder(const TraceRecorder&) = delete;
     TraceRecorder& operator=(const TraceRecorder&) = delete;
 
@@ -136,21 +153,58 @@ class TraceRecorder
     /** Number of recorded events (metadata excluded). */
     std::size_t eventCount() const;
 
-    /** Snapshot of all recorded events (metadata excluded). */
+    /** Snapshot of all recorded events (metadata excluded); oldest
+     *  first in flight mode. */
     std::vector<TraceEvent> snapshot() const;
 
-    /** Drops all events, metadata, and the sim epoch. */
+    /** Drops all events, metadata, the sim epoch, and the dropped-
+     *  event counter (capacity and backend mode are kept). */
     void clear();
 
     /** Writes `{"traceEvents": [...]}` Chrome trace JSON. */
     void writeJson(std::ostream& out) const;
 
+    /**
+     * Caps retained events at @p capacity (≥ 1). Events recorded past
+     * the cap are dropped (newest-dropped) and counted. Leaves flight
+     * mode if it was active.
+     */
+    void setCapacity(std::size_t capacity);
+
+    /** Current retention cap (vector or ring, whichever is active). */
+    std::size_t capacity() const;
+
+    /**
+     * Switches the backend to a FlightRecorder ring of @p capacity
+     * events: recording never stops, the *oldest* events are evicted
+     * when full. Existing events are migrated into the ring.
+     */
+    void setFlightCapacity(std::size_t capacity);
+
+    /** True while the flight-ring backend is active. */
+    bool flightMode() const;
+
+    /**
+     * Events lost to the retention bound: drop-newest rejections in
+     * the default mode plus ring evictions in flight mode.
+     */
+    std::uint64_t droppedEvents() const;
+
+    /** Exports `trace.events`, `trace.dropped_events` counters into
+     *  @p registry (unconditionally — callers gate on their own). */
+    void exportTo(MetricRegistry& registry) const;
+
   private:
+    void push(TraceEvent&& event);
+
     std::atomic<bool> enabled_{false};
     std::chrono::steady_clock::time_point epoch_{};
 
     mutable std::mutex mutex_;
     std::vector<TraceEvent> events_;
+    std::size_t capacity_ = kDefaultCapacity;
+    std::uint64_t dropped_ = 0; ///< drop-newest count (default mode)
+    std::unique_ptr<FlightRecorder> flight_; ///< non-null in flight mode
     std::map<int, std::string> process_names_;
     std::map<std::pair<int, int>, std::string> thread_names_;
     double sim_offset_us_ = 0.0;

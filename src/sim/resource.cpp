@@ -48,6 +48,11 @@ FifoResource::grant(Pending pending)
         total_payload_ += pending.payload;
         const Time queue_wait = sim_.now() - pending.requested_at;
         queue_wait_.add(queue_wait);
+        if (busy_intervals_.size() < kMaxBusyIntervals)
+            busy_intervals_.emplace_back(sim_.now(),
+                                         sim_.now() + duration);
+        else
+            ++busy_intervals_dropped_;
         if (trace_pid_ >= 0 && recorder_.enabled()) {
             const double offset = recorder_.simOffsetUs();
             recorder_.completeEvent(

@@ -14,6 +14,8 @@
 #include <deque>
 #include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "sim/simulation.h"
 #include "util/stats.h"
@@ -89,6 +91,29 @@ class FifoResource
         return queue_wait_;
     }
 
+    /** Cap on retained busy intervals; later grants only add to
+     *  busyTime(), so utilization stays exact while memory stays
+     *  bounded. */
+    static constexpr std::size_t kMaxBusyIntervals = 1u << 16;
+
+    /**
+     * Per-grant busy intervals [start, end] in simulated seconds,
+     * grant order. Captured only while tracing or a metrics capture
+     * is enabled, and capped at kMaxBusyIntervals (the overflow is
+     * counted in busyIntervalsDropped()). This is the ground truth the
+     * trace-derived obs::ChannelTimeline is cross-checked against.
+     */
+    const std::vector<std::pair<Time, Time>>& busyIntervals() const
+    {
+        return busy_intervals_;
+    }
+
+    /** Busy intervals lost to the kMaxBusyIntervals cap. */
+    std::uint64_t busyIntervalsDropped() const
+    {
+        return busy_intervals_dropped_;
+    }
+
     /** Debug name. */
     const std::string& name() const { return name_; }
 
@@ -111,6 +136,8 @@ class FifoResource
     std::uint64_t grants_ = 0;
     double total_payload_ = 0.0;
     util::RunningStats queue_wait_;
+    std::vector<std::pair<Time, Time>> busy_intervals_;
+    std::uint64_t busy_intervals_dropped_ = 0;
     obs::TraceRecorder& recorder_; ///< cached globals: the per-grant
     obs::MetricRegistry& registry_; ///< cost is two relaxed loads
     int trace_pid_ = -1;

@@ -116,6 +116,16 @@ Network::channelQueueWait(int channel_id) const
         ->queueWaitStats();
 }
 
+const std::vector<std::pair<double, double>>&
+Network::channelBusyIntervals(int channel_id) const
+{
+    CCUBE_CHECK(channel_id >= 0 &&
+                    channel_id < static_cast<int>(resources_.size()),
+                "bad channel id " << channel_id);
+    return resources_[static_cast<std::size_t>(channel_id)]
+        ->busyIntervals();
+}
+
 void
 Network::exportMetrics(obs::MetricRegistry& registry, double horizon,
                        const std::string& prefix) const

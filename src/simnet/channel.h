@@ -13,6 +13,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -77,6 +78,16 @@ class Network
     /** Queue-wait statistics of a channel (time requests spent
      *  serialized behind earlier transfers). */
     const util::RunningStats& channelQueueWait(int channel_id) const;
+
+    /**
+     * Per-grant busy intervals [start, end] of a channel in simulated
+     * seconds (grant order). Captured only while tracing or a metrics
+     * capture is enabled and bounded by
+     * sim::FifoResource::kMaxBusyIntervals; the DES-side ground truth
+     * for trace-derived channel timelines (obs::TraceAnalyzer).
+     */
+    const std::vector<std::pair<double, double>>&
+    channelBusyIntervals(int channel_id) const;
 
     /** Time one transfer of @p bytes occupies channel @p channel_id. */
     double occupancy(int channel_id, double bytes) const;

@@ -163,6 +163,33 @@ TreeSchedule::result() const
     return out;
 }
 
+std::vector<int>
+treeChannelIds(const topo::Graph& graph,
+               const topo::TreeEmbedding& embedding, int lane,
+               bool down)
+{
+    std::vector<int> out;
+    const int p = embedding.tree.numNodes();
+    for (NodeId n = 0; n < p; ++n) {
+        if (n == embedding.tree.root())
+            continue;
+        topo::Route route = embedding.routeToChild(n);
+        if (!down)
+            route = route.reversed();
+        for (std::size_t h = 0; h + 1 < route.hops.size(); ++h) {
+            const std::vector<int> ids =
+                graph.channelIds(route.hops[h], route.hops[h + 1]);
+            CCUBE_CHECK(!ids.empty(), "broken route in embedding");
+            const int pick = std::clamp(
+                lane, 0, static_cast<int>(ids.size()) - 1);
+            out.push_back(ids[static_cast<std::size_t>(pick)]);
+        }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
 ScheduleResult
 runTreeSchedule(sim::Simulation& simulation, Network& network,
                 const topo::TreeEmbedding& embedding, double total_bytes,

@@ -99,6 +99,20 @@ ScheduleResult runTreeSchedule(sim::Simulation& simulation,
                                int num_chunks, int up_lane = 0,
                                int down_lane = -1);
 
+/**
+ * The physical channel ids a TreeSchedule on @p embedding occupies in
+ * one direction, replicating the engine's lane selection exactly
+ * (channelIds(a, b) indexed by @p lane clamped to the parallel-channel
+ * count). @p down selects broadcast-direction (parent → child) routes;
+ * false selects reduction-direction (child → parent). Sorted, deduped.
+ * Channels inside switch cut-through runs are included even though the
+ * engine models them as pure delay; analyzers that skip traffic-less
+ * channels are unaffected.
+ */
+std::vector<int> treeChannelIds(const topo::Graph& graph,
+                                const topo::TreeEmbedding& embedding,
+                                int lane, bool down);
+
 } // namespace simnet
 } // namespace ccube
 

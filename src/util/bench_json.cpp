@@ -78,6 +78,182 @@ existingBody(const std::string& path)
                                              suffix.size());
 }
 
+/**
+ * Minimal JSON scanner for the bench_ccl/v1 subset this writer emits:
+ * objects, string keys, string/number values, one level of nested
+ * object ("extra"). No arrays inside records, no booleans, no nulls.
+ */
+class BenchScanner
+{
+  public:
+    explicit BenchScanner(const std::string& text) : text_(text) {}
+
+    bool parse(std::vector<BenchRecord>& out)
+    {
+        skipWs();
+        if (!consume('{'))
+            return false;
+        // Scan top-level keys until "records".
+        while (true) {
+            skipWs();
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (!consume(':'))
+                return false;
+            skipWs();
+            if (key == "records")
+                break;
+            std::string ignored;
+            if (!parseString(ignored))
+                return false;
+            skipWs();
+            if (!consume(','))
+                return false;
+        }
+        if (!consume('['))
+            return false;
+        skipWs();
+        if (consume(']'))
+            return true;
+        while (true) {
+            BenchRecord record;
+            if (!parseRecord(record))
+                return false;
+            out.push_back(std::move(record));
+            skipWs();
+            if (consume(','))
+                continue;
+            return consume(']');
+        }
+    }
+
+  private:
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+                text_[pos_] == '\t' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool parseString(std::string& out)
+    {
+        if (!consume('"'))
+            return false;
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c == '\\' && pos_ < text_.size()) {
+                out.push_back(text_[pos_++]);
+                continue;
+            }
+            out.push_back(c);
+        }
+        return false;
+    }
+
+    bool parseNumber(double& out)
+    {
+        const char* begin = text_.c_str() + pos_;
+        char* end = nullptr;
+        out = std::strtod(begin, &end);
+        if (end == begin)
+            return false;
+        pos_ += static_cast<std::size_t>(end - begin);
+        return true;
+    }
+
+    bool parseExtra(std::map<std::string, double>& out)
+    {
+        if (!consume('{'))
+            return false;
+        skipWs();
+        if (consume('}'))
+            return true;
+        while (true) {
+            skipWs();
+            std::string key;
+            double value = 0.0;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (!consume(':'))
+                return false;
+            skipWs();
+            if (!parseNumber(value))
+                return false;
+            out[key] = value;
+            skipWs();
+            if (consume(','))
+                continue;
+            return consume('}');
+        }
+    }
+
+    bool parseRecord(BenchRecord& record)
+    {
+        skipWs();
+        if (!consume('{'))
+            return false;
+        while (true) {
+            skipWs();
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (!consume(':'))
+                return false;
+            skipWs();
+            if (key == "source" || key == "kind" || key == "name" ||
+                key == "mode") {
+                std::string value;
+                if (!parseString(value))
+                    return false;
+                if (key == "source")
+                    record.source = std::move(value);
+                else if (key == "kind")
+                    record.kind = std::move(value);
+                else if (key == "name")
+                    record.name = std::move(value);
+                else
+                    record.mode = std::move(value);
+            } else if (key == "extra") {
+                if (!parseExtra(record.extra))
+                    return false;
+            } else {
+                double value = 0.0;
+                if (!parseNumber(value))
+                    return false;
+                if (key == "bytes")
+                    record.bytes = static_cast<std::int64_t>(value);
+                else if (key == "ns_per_op")
+                    record.ns_per_op = value;
+                // Unknown numeric keys: parsed and dropped.
+            }
+            skipWs();
+            if (consume(','))
+                continue;
+            return consume('}');
+        }
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
 } // namespace
 
 void
@@ -96,6 +272,26 @@ writeBenchRecords(const std::string& path,
         return;
     }
     out << kPrefix << body << kSuffix;
+}
+
+std::vector<BenchRecord>
+readBenchRecords(const std::string& path)
+{
+    std::vector<BenchRecord> records;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        logWarn("bench", "cannot read " + path);
+        return records;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string content = buffer.str();
+    BenchScanner scanner(content);
+    if (!scanner.parse(records)) {
+        logWarn("bench", path + " is not bench_ccl/v1");
+        records.clear();
+    }
+    return records;
 }
 
 std::string

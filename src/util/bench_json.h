@@ -48,6 +48,14 @@ void writeBenchRecords(const std::string& path,
                        const std::vector<BenchRecord>& records,
                        bool append);
 
+/**
+ * Reads a bench_ccl/v1 file back into records. Tolerates whitespace
+ * variations but expects this writer's schema; unknown keys are
+ * ignored. Returns an empty vector (with a warning) when @p path is
+ * missing or not bench_ccl/v1.
+ */
+std::vector<BenchRecord> readBenchRecords(const std::string& path);
+
 /** Resolves the output path: $CCUBE_BENCH_OUT or "BENCH_ccl.json". */
 std::string benchOutputPath();
 
