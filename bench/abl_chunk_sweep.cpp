@@ -10,12 +10,14 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "core/ccube_engine.h"
 #include "model/tree_model.h"
 #include "obs/session.h"
 #include "simnet/channel.h"
 #include "simnet/double_tree_schedule.h"
+#include "sweep/sweep.h"
 #include "util/flags.h"
 #include "util/table.h"
 #include "util/units.h"
@@ -37,14 +39,28 @@ main(int argc, char** argv)
 
     util::Table table({"K_per_tree", "completion_ms", "bandwidth_GBps",
                        "note"});
+    std::vector<int> chunk_counts;
+    for (int k = 1; k <= 1024; k *= 2)
+        chunk_counts.push_back(k);
+
+    // One simulation per K through the sweep pool, each filling its
+    // own slot; the winner scan and the table stay in K order.
+    std::vector<simnet::ScheduleResult> results(chunk_counts.size());
+    sweep::runIndexed(
+        sweep::Options::fromFlags(flags), chunk_counts.size(),
+        [&](std::size_t i) {
+            sim::Simulation sim;
+            simnet::Network net(sim, engine.graph());
+            results[i] = simnet::runDoubleTreeSchedule(
+                sim, net, engine.doubleTree(), bytes,
+                simnet::PhaseMode::kOverlapped, chunk_counts[i]);
+        });
+
     double best_time = 1e99;
     int best_k = 0;
-    for (int k = 1; k <= 1024; k *= 2) {
-        sim::Simulation sim;
-        simnet::Network net(sim, engine.graph());
-        const auto result = simnet::runDoubleTreeSchedule(
-            sim, net, engine.doubleTree(), bytes,
-            simnet::PhaseMode::kOverlapped, k);
+    for (std::size_t i = 0; i < chunk_counts.size(); ++i) {
+        const int k = chunk_counts[i];
+        const auto& result = results[i];
         if (result.completion_time < best_time) {
             best_time = result.completion_time;
             best_k = k;

@@ -9,10 +9,12 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "obs/session.h"
 #include "simnet/channel.h"
 #include "simnet/tree_schedule.h"
+#include "sweep/sweep.h"
 #include "topo/dgx1.h"
 #include "topo/double_tree.h"
 #include "util/flags.h"
@@ -44,32 +46,39 @@ main(int argc, char** argv)
 
     util::Table table(
         {"size", "detour_ms", "pcie_ms", "detour_advantage_%"});
-    for (double mb : {8.0, 32.0, 128.0}) {
-        const double bytes = util::mib(mb);
-        const int chunks = 32;
+    const std::vector<double> sizes_mb{8.0, 32.0, 128.0};
+    // One task per message size, each filling a pre-assigned row.
+    std::vector<std::vector<std::string>> rows(sizes_mb.size());
+    sweep::runIndexed(
+        sweep::Options::fromFlags(flags), sizes_mb.size(),
+        [&](std::size_t i) {
+            const double bytes = util::mib(sizes_mb[i]);
+            const int chunks = 32;
 
-        sim::Simulation sim_a;
-        simnet::Network net_a(sim_a, graph);
-        const double detour =
-            simnet::runTreeSchedule(sim_a, net_a, dt.tree0, bytes,
-                                    simnet::PhaseMode::kOverlapped,
-                                    chunks)
-                .completion_time;
+            sim::Simulation sim_a;
+            simnet::Network net_a(sim_a, graph);
+            const double detour =
+                simnet::runTreeSchedule(sim_a, net_a, dt.tree0, bytes,
+                                        simnet::PhaseMode::kOverlapped,
+                                        chunks)
+                    .completion_time;
 
-        sim::Simulation sim_b;
-        simnet::Network net_b(sim_b, graph);
-        const double pcie =
-            simnet::runTreeSchedule(sim_b, net_b, pcie_tree, bytes,
-                                    simnet::PhaseMode::kOverlapped,
-                                    chunks)
-                .completion_time;
+            sim::Simulation sim_b;
+            simnet::Network net_b(sim_b, graph);
+            const double pcie =
+                simnet::runTreeSchedule(sim_b, net_b, pcie_tree, bytes,
+                                        simnet::PhaseMode::kOverlapped,
+                                        chunks)
+                    .completion_time;
 
-        table.addRow({util::formatBytes(bytes),
-                      util::formatDouble(detour * 1e3, 3),
-                      util::formatDouble(pcie * 1e3, 3),
-                      util::formatDouble((pcie / detour - 1.0) * 100,
-                                         1)});
-    }
+            rows[i] = {util::formatBytes(bytes),
+                       util::formatDouble(detour * 1e3, 3),
+                       util::formatDouble(pcie * 1e3, 3),
+                       util::formatDouble((pcie / detour - 1.0) * 100,
+                                          1)};
+        });
+    for (std::vector<std::string>& row : rows)
+        table.addRow(std::move(row));
     table.print(std::cout);
     std::cout << "\nThe PCIe route throttles the whole pipeline to "
                  "host-link bandwidth; the GPU detour keeps the tree "

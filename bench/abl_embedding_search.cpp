@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "obs/session.h"
+#include "sweep/sweep.h"
 #include "simnet/channel.h"
 #include "simnet/double_tree_schedule.h"
 #include "topo/detour_router.h"
@@ -68,9 +69,13 @@ main(int argc, char** argv)
                        "completion_ms", "turnaround_ms"});
     addRow(table, "hand-crafted (paper Fig. 10)", dgx1,
            topo::makeDgx1DoubleTree(dgx1), bytes);
+    const sweep::Options pool = sweep::Options::fromFlags(flags);
     for (std::uint64_t seed : {1ull, 7ull, 42ull, 99ull}) {
         topo::EmbeddingSearchOptions options;
         options.seed = seed;
+        // Restart attempts fan across the sweep pool; the result is
+        // identical for every --jobs value.
+        options.jobs = pool.jobs;
         const auto found =
             topo::findConflictFreeDoubleTree(dgx1, options);
         if (!found) {

@@ -9,11 +9,13 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "obs/session.h"
 #include "simnet/channel.h"
 #include "simnet/double_tree_schedule.h"
 #include "simnet/multi_ring_schedule.h"
+#include "sweep/sweep.h"
 #include "topo/dgx1.h"
 #include "topo/double_tree.h"
 #include "topo/ring_embedding.h"
@@ -46,16 +48,24 @@ main(int argc, char** argv)
     util::Table table({"rings", "ring_ms", "ring_GBps",
                        "ring_vs_C1_%"});
     const auto all_rings = topo::findDisjointRings(dgx1, 8, 6);
-    for (std::size_t count = 1; count <= all_rings.size(); ++count) {
-        const std::vector<topo::RingEmbedding> rings(
-            all_rings.begin(),
-            all_rings.begin() + static_cast<std::ptrdiff_t>(count));
-        sim::Simulation sim;
-        simnet::Network net(sim, dgx1);
-        const auto result =
-            simnet::runMultiRingSchedule(sim, net, rings, bytes);
+    // One simulation per striping count through the sweep pool; rows
+    // fill pre-assigned slots and print in count order.
+    std::vector<simnet::ScheduleResult> results(all_rings.size());
+    sweep::runIndexed(
+        sweep::Options::fromFlags(flags), all_rings.size(),
+        [&](std::size_t i) {
+            const std::vector<topo::RingEmbedding> rings(
+                all_rings.begin(),
+                all_rings.begin() + static_cast<std::ptrdiff_t>(i + 1));
+            sim::Simulation sim;
+            simnet::Network net(sim, dgx1);
+            results[i] =
+                simnet::runMultiRingSchedule(sim, net, rings, bytes);
+        });
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto& result = results[i];
         table.addRow(
-            {std::to_string(count),
+            {std::to_string(i + 1),
              util::formatDouble(result.completion_time * 1e3, 3),
              util::formatDouble(
                  result.effectiveBandwidth(bytes) / 1e9, 2),

@@ -10,8 +10,10 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "obs/session.h"
+#include "sweep/sweep.h"
 #include "simnet/channel.h"
 #include "simnet/double_tree_schedule.h"
 #include "simnet/multi_ring_schedule.h"
@@ -64,22 +66,34 @@ main(int argc, char** argv)
                  "(DGX-1, 64 MiB, pair (2,3) degraded) ===\n\n";
 
     const double bytes = util::mib(64);
-    const Timing healthy = measure(topo::makeDgx1(), bytes);
 
+    // Slowdown factors including healthy; each cell simulates its own
+    // degraded graph, so the grid fans over the sweep pool.
+    const std::vector<double> factors{1.0, 0.5, 0.25, 0.1};
+    std::vector<Timing> timings(factors.size());
+    sweep::runIndexed(
+        sweep::Options::fromFlags(flags), factors.size(),
+        [&](std::size_t i) {
+            topo::Graph graph = topo::makeDgx1();
+            if (factors[i] < 1.0) {
+                for (int id : graph.channelIds(2, 3))
+                    graph.scaleChannelBandwidth(id, factors[i]);
+                for (int id : graph.channelIds(3, 2))
+                    graph.scaleChannelBandwidth(id, factors[i]);
+            }
+            timings[i] = measure(graph, bytes);
+        });
+
+    const Timing healthy = timings.front();
     util::Table table({"link_slowdown", "ring_ms", "ring_loss_%",
                        "tree_C1_ms", "tree_loss_%"});
     table.addRow({"1.0 (healthy)",
                   util::formatDouble(healthy.ring * 1e3, 3), "0.0",
                   util::formatDouble(healthy.tree_c1 * 1e3, 3), "0.0"});
-    for (double factor : {0.5, 0.25, 0.1}) {
-        topo::Graph degraded = topo::makeDgx1();
-        for (int id : degraded.channelIds(2, 3))
-            degraded.scaleChannelBandwidth(id, factor);
-        for (int id : degraded.channelIds(3, 2))
-            degraded.scaleChannelBandwidth(id, factor);
-        const Timing t = measure(degraded, bytes);
+    for (std::size_t i = 1; i < factors.size(); ++i) {
+        const Timing& t = timings[i];
         table.addRow(
-            {util::formatDouble(factor, 2),
+            {util::formatDouble(factors[i], 2),
              util::formatDouble(t.ring * 1e3, 3),
              util::formatDouble((t.ring / healthy.ring - 1.0) * 100, 1),
              util::formatDouble(t.tree_c1 * 1e3, 3),

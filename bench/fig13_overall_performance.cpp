@@ -12,11 +12,13 @@
  */
 
 #include <iostream>
+#include <memory>
 #include <vector>
 
 #include "core/ccube_engine.h"
 #include "core/report.h"
 #include "obs/session.h"
+#include "sweep/sweep.h"
 #include "util/flags.h"
 #include "util/stats.h"
 
@@ -51,26 +53,42 @@ main(int argc, char** argv)
 
     util::Table table({"workload", "bw", "batch", "B", "C1", "C2", "R",
                        "CC"});
-    for (const auto& [name, build] : workloads) {
-        core::CCubeEngine engine(build());
-        for (const auto& [bw_name, bw_scale] : bandwidths) {
-            for (int batch : batches) {
-                core::IterationConfig config;
-                config.batch = batch;
-                config.bandwidth_scale = bw_scale;
-                Entry entry{name, bw_name, batch, {}};
-                std::vector<std::string> row{name, bw_name,
-                                             std::to_string(batch)};
-                for (std::size_t m = 0; m < modes.size(); ++m) {
-                    entry.perf[m] =
-                        engine.evaluate(modes[m], config)
-                            .normalized_perf;
-                    row.push_back(util::formatDouble(entry.perf[m], 3));
-                }
-                entries.push_back(entry);
-                table.addRow(std::move(row));
+    // The engines are shared read-only across tasks; one task per
+    // (workload, bandwidth, batch) cell writes its pre-assigned
+    // entry, so the table is identical for every --jobs value.
+    std::vector<std::unique_ptr<core::CCubeEngine>> engines;
+    for (const auto& [name, build] : workloads)
+        engines.push_back(
+            std::make_unique<core::CCubeEngine>(build()));
+
+    const std::size_t cells =
+        workloads.size() * bandwidths.size() * batches.size();
+    entries.resize(cells);
+    sweep::runIndexed(
+        sweep::Options::fromFlags(flags), cells, [&](std::size_t i) {
+            const std::size_t w =
+                i / (bandwidths.size() * batches.size());
+            const std::size_t b =
+                (i / batches.size()) % bandwidths.size();
+            const int batch = batches[i % batches.size()];
+            core::IterationConfig config;
+            config.batch = batch;
+            config.bandwidth_scale = bandwidths[b].second;
+            Entry entry{workloads[w].first, bandwidths[b].first, batch,
+                        {}};
+            for (std::size_t m = 0; m < modes.size(); ++m) {
+                entry.perf[m] =
+                    engines[w]->evaluate(modes[m], config)
+                        .normalized_perf;
             }
-        }
+            entries[i] = std::move(entry);
+        });
+    for (const Entry& entry : entries) {
+        std::vector<std::string> row{entry.workload, entry.bw,
+                                     std::to_string(entry.batch)};
+        for (double perf : entry.perf)
+            row.push_back(util::formatDouble(perf, 3));
+        table.addRow(std::move(row));
     }
     table.print(std::cout);
 

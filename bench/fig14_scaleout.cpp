@@ -13,6 +13,8 @@
  */
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <iostream>
 #include <vector>
 
@@ -23,9 +25,11 @@
 #include "simnet/double_tree_schedule.h"
 #include "simnet/ring_schedule.h"
 #include "simnet/tree_schedule.h"
+#include "sweep/sweep.h"
 #include "topo/double_tree.h"
 #include "topo/ring_embedding.h"
 #include "topo/switch_fabric.h"
+#include "util/bench_json.h"
 #include "util/flags.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -89,54 +93,93 @@ main(int argc, char** argv)
     util::RunningStats turnaround_stats;
     util::RunningStats analytic_stats;
 
-    for (const auto& [label, bytes] : sizes) {
-        std::vector<std::string> ratio_row{label};
-        std::vector<std::string> ta_row{label};
-        std::vector<std::string> an_row{label};
-        for (int p : node_counts) {
-            Fabric fabric = makeFabric(p);
-            // Paper granularity: 64 MB AllReduce ⇒ 256 chunks, i.e.
-            // 256 KB chunks; each tree carries half the payload.
-            const int chunks = std::max(
-                1, static_cast<int>(bytes / 2.0 / (256.0 * 1024.0)));
+    // One task per (size, P) grid cell, fanned across the sweep pool;
+    // each task fills its own slot, rows are assembled in grid order
+    // afterwards, so the output is identical for every --jobs value.
+    struct Cell {
+        double ratio = 0.0;
+        double ta_speedup = 0.0;
+        double analytic = 0.0;
+    };
+    std::vector<Cell> cells(sizes.size() * node_counts.size());
+    const sweep::Options pool = sweep::Options::fromFlags(flags);
 
-            sim::Simulation sim_r;
-            simnet::Network net_r(sim_r, fabric.graph);
-            const auto ring = simnet::runRingSchedule(
-                sim_r, net_r, fabric.ring, bytes);
+    const auto sweep_start = std::chrono::steady_clock::now();
+    sweep::runIndexed(pool, cells.size(), [&](std::size_t i) {
+        const double bytes = sizes[i / node_counts.size()].second;
+        const int p = node_counts[i % node_counts.size()];
+        Fabric fabric = makeFabric(p);
+        // Paper granularity: 64 MB AllReduce ⇒ 256 chunks, i.e.
+        // 256 KB chunks; each tree carries half the payload.
+        const int chunks = std::max(
+            1, static_cast<int>(bytes / 2.0 / (256.0 * 1024.0)));
 
-            sim::Simulation sim_c;
-            simnet::Network net_c(sim_c, fabric.graph);
-            const auto c1 = simnet::runDoubleTreeSchedule(
-                sim_c, net_c, fabric.double_tree, bytes,
-                simnet::PhaseMode::kOverlapped, chunks,
-                simnet::LanePolicy::kPointToPoint);
+        sim::Simulation sim_r;
+        simnet::Network net_r(sim_r, fabric.graph);
+        const auto ring = simnet::runRingSchedule(
+            sim_r, net_r, fabric.ring, bytes);
 
-            sim::Simulation sim_b;
-            simnet::Network net_b(sim_b, fabric.graph);
-            const auto base = simnet::runDoubleTreeSchedule(
-                sim_b, net_b, fabric.double_tree, bytes,
-                simnet::PhaseMode::kTwoPhase, chunks,
-                simnet::LanePolicy::kPointToPoint);
+        sim::Simulation sim_c;
+        simnet::Network net_c(sim_c, fabric.graph);
+        const auto c1 = simnet::runDoubleTreeSchedule(
+            sim_c, net_c, fabric.double_tree, bytes,
+            simnet::PhaseMode::kOverlapped, chunks,
+            simnet::LanePolicy::kPointToPoint);
 
-            ratio_row.push_back(util::formatDouble(
-                ring.completion_time / c1.completion_time, 2));
-            const double ta_speedup =
-                base.turnaroundTime() / c1.turnaroundTime();
-            turnaround_stats.add(ta_speedup);
-            ta_row.push_back(util::formatDouble(ta_speedup, 1));
+        sim::Simulation sim_b;
+        simnet::Network net_b(sim_b, fabric.graph);
+        const auto base = simnet::runDoubleTreeSchedule(
+            sim_b, net_b, fabric.double_tree, bytes,
+            simnet::PhaseMode::kTwoPhase, chunks,
+            simnet::LanePolicy::kPointToPoint);
 
-            // Contention-free per-edge model (the paper's ASTRA-sim
-            // abstraction): (2logP + K) / (2logP + 1).
-            const double logp = model::log2Nodes(p);
-            const double analytic =
-                (2.0 * logp + chunks) / (2.0 * logp + 1.0);
-            analytic_stats.add(analytic);
-            an_row.push_back(util::formatDouble(analytic, 1));
+        // Contention-free per-edge model (the paper's ASTRA-sim
+        // abstraction): (2logP + K) / (2logP + 1).
+        const double logp = model::log2Nodes(p);
+        cells[i] = Cell{
+            ring.completion_time / c1.completion_time,
+            base.turnaroundTime() / c1.turnaroundTime(),
+            (2.0 * logp + chunks) / (2.0 * logp + 1.0)};
+    });
+    const double sweep_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      sweep_start)
+            .count();
+
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+        std::vector<std::string> ratio_row{sizes[s].first};
+        std::vector<std::string> ta_row{sizes[s].first};
+        std::vector<std::string> an_row{sizes[s].first};
+        for (std::size_t n = 0; n < node_counts.size(); ++n) {
+            const Cell& cell = cells[s * node_counts.size() + n];
+            ratio_row.push_back(util::formatDouble(cell.ratio, 2));
+            turnaround_stats.add(cell.ta_speedup);
+            ta_row.push_back(util::formatDouble(cell.ta_speedup, 1));
+            analytic_stats.add(cell.analytic);
+            an_row.push_back(util::formatDouble(cell.analytic, 1));
         }
         ratio_table.addRow(std::move(ratio_row));
         turnaround_table.addRow(std::move(ta_row));
         analytic_table.addRow(std::move(an_row));
+    }
+
+    // Wall-clock record for the perf gate; only when a bench output
+    // is requested (wall times are inherently non-deterministic, so
+    // the default run stays byte-reproducible).
+    if (std::getenv("CCUBE_BENCH_OUT")) {
+        util::BenchRecord record;
+        record.source = "fig14_scaleout";
+        record.kind = "sweep_wall_clock";
+        record.name = "size_x_nodes_grid";
+        record.mode = "jobs" + std::to_string(
+                                   pool.effectiveJobs(cells.size()));
+        record.ns_per_op = sweep_seconds * 1e9 /
+                           static_cast<double>(cells.size());
+        record.extra["jobs"] = pool.effectiveJobs(cells.size());
+        record.extra["tasks"] = static_cast<double>(cells.size());
+        record.extra["wall_seconds"] = sweep_seconds;
+        util::writeBenchRecords(util::benchOutputPath(), {record},
+                                /*append=*/true);
     }
 
     std::cout << "(a) C1 communication speedup over ring "

@@ -14,9 +14,11 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "core/ccube_engine.h"
 #include "obs/session.h"
+#include "sweep/sweep.h"
 #include "util/flags.h"
 #include "util/table.h"
 
@@ -72,21 +74,29 @@ main(int argc, char** argv)
     util::Table table({"pattern", "comm_ms", "iter_CC_ms",
                        "iter_unchained_ms", "exposed_comm_ms",
                        "chain_efficiency"});
-    for (const auto& [label, profile] : cases) {
-        core::CCubeEngine engine(makeCase(label, profile));
-        core::IterationConfig config;
-        config.batch = 32;
-        config.bandwidth_scale = 0.25;
-        const auto cc = engine.evaluate(core::Mode::kCCube, config);
-        const auto c1 =
-            engine.evaluate(core::Mode::kOverlappedTree, config);
-        table.addRow(
-            {label, util::formatDouble(cc.comm_time * 1e3, 2),
-             util::formatDouble(cc.iteration_time * 1e3, 2),
-             util::formatDouble(c1.iteration_time * 1e3, 2),
-             util::formatDouble(cc.exposed_comm * 1e3, 2),
-             util::formatDouble(cc.chain_efficiency, 3)});
-    }
+    // One task per case, each building its own engine and writing a
+    // pre-assigned row slot; rows print in case order regardless of
+    // the --jobs value.
+    std::vector<std::vector<std::string>> rows(cases.size());
+    sweep::runIndexed(
+        sweep::Options::fromFlags(flags), cases.size(),
+        [&](std::size_t i) {
+            const auto& [label, profile] = cases[i];
+            core::CCubeEngine engine(makeCase(label, profile));
+            core::IterationConfig config;
+            config.batch = 32;
+            config.bandwidth_scale = 0.25;
+            const auto cc = engine.evaluate(core::Mode::kCCube, config);
+            const auto c1 =
+                engine.evaluate(core::Mode::kOverlappedTree, config);
+            rows[i] = {label, util::formatDouble(cc.comm_time * 1e3, 2),
+                       util::formatDouble(cc.iteration_time * 1e3, 2),
+                       util::formatDouble(c1.iteration_time * 1e3, 2),
+                       util::formatDouble(cc.exposed_comm * 1e3, 2),
+                       util::formatDouble(cc.chain_efficiency, 3)};
+        });
+    for (std::vector<std::string>& row : rows)
+        table.addRow(std::move(row));
     table.print(std::cout);
     std::cout << "\nCase 1 hides the most communication (highest "
                  "chain efficiency); Case 2 stalls on late-layer "

@@ -9,10 +9,12 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "dnn/catalog.h"
 #include "dnn/compute_model.h"
 #include "obs/session.h"
+#include "sweep/sweep.h"
 #include "util/flags.h"
 #include "util/table.h"
 
@@ -31,16 +33,24 @@ main(int argc, char** argv)
 
     util::Table table(
         {"idx", "layer", "params_KB", "fwd_compute_ms"});
-    int index = 0;
-    for (const dnn::Layer& layer : net.layers()) {
-        ++index;
-        if (layer.param_count == 0)
-            continue; // pools carry no gradients
-        table.addRow(
-            {std::to_string(index), layer.name,
-             util::formatDouble(layer.paramBytes() / 1024.0, 1),
-             util::formatDouble(compute.forwardTime(layer, 64) * 1e3,
-                                3)});
+    // Per-layer rows are independent: fill slots through the sweep
+    // pool and print them in layer order afterwards.
+    std::vector<std::vector<std::string>> rows(net.layers().size());
+    sweep::runIndexed(
+        sweep::Options::fromFlags(flags), rows.size(),
+        [&](std::size_t i) {
+            const dnn::Layer& layer = net.layers()[i];
+            if (layer.param_count == 0)
+                return; // pools carry no gradients
+            rows[i] = {
+                std::to_string(i + 1), layer.name,
+                util::formatDouble(layer.paramBytes() / 1024.0, 1),
+                util::formatDouble(compute.forwardTime(layer, 64) * 1e3,
+                                   3)};
+        });
+    for (std::vector<std::string>& row : rows) {
+        if (!row.empty())
+            table.addRow(std::move(row));
     }
     table.print(std::cout);
 

@@ -69,6 +69,15 @@ CCubeEngine::perGpuNormalizedPerf(Mode mode,
         mode, config, config_.detour_tax_per_kernel);
 }
 
+std::vector<double>
+CCubeEngine::perGpuNormalizedPerf(Mode mode,
+                                  const IterationConfig& config,
+                                  const sweep::Options& pool) const
+{
+    return scheduler_->perGpuNormalizedPerf(
+        mode, config, config_.detour_tax_per_kernel, pool);
+}
+
 simnet::ScheduleResult
 CCubeEngine::commOnly(Mode mode, double bytes,
                       double bandwidth_scale) const

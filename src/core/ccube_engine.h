@@ -77,6 +77,11 @@ class CCubeEngine
     std::vector<double>
     perGpuNormalizedPerf(Mode mode, const IterationConfig& config) const;
 
+    /** Same, evaluating the GPUs through the sweep pool. */
+    std::vector<double>
+    perGpuNormalizedPerf(Mode mode, const IterationConfig& config,
+                         const sweep::Options& pool) const;
+
     /** Communication-only schedule for @p bytes (Fig. 12). */
     simnet::ScheduleResult commOnly(Mode mode, double bytes,
                                     double bandwidth_scale = 1.0) const;

@@ -10,6 +10,7 @@
 #include "simnet/channel.h"
 #include "simnet/double_tree_schedule.h"
 #include "simnet/multi_ring_schedule.h"
+#include "sweep/sweep.h"
 #include "topo/detour_router.h"
 #include "util/logging.h"
 
@@ -181,7 +182,8 @@ IterationScheduler::evaluate(Mode mode, const IterationConfig& config,
 std::vector<double>
 IterationScheduler::perGpuNormalizedPerf(Mode mode,
                                          const IterationConfig& config,
-                                         double tax_per_kernel) const
+                                         double tax_per_kernel,
+                                         const sweep::Options& pool) const
 {
     // Count forwarding kernels per GPU from the detour rules.
     // Switch transits (NVSwitch planes, fabric switches) forward in
@@ -197,18 +199,27 @@ IterationScheduler::perGpuNormalizedPerf(Mode mode,
     const IterationResult nominal =
         evaluate(mode, config, /*compute_slowdown=*/1.0);
 
-    std::vector<double> perf;
-    perf.reserve(kernels.size());
-    for (int g = 0; g < num_gpus; ++g) {
-        const double tax =
-            tax_per_kernel * kernels[static_cast<std::size_t>(g)];
-        CCUBE_CHECK(tax < 1.0, "forwarding tax too large");
-        const IterationResult taxed =
-            evaluate(mode, config, 1.0 / (1.0 - tax));
-        // Per-GPU throughput normalized to an untaxed GPU.
-        perf.push_back(nominal.iteration_time / taxed.iteration_time);
-    }
+    std::vector<double> perf(static_cast<std::size_t>(num_gpus), 0.0);
+    sweep::runIndexed(
+        pool, static_cast<std::size_t>(num_gpus),
+        [&](std::size_t g) {
+            const double tax = tax_per_kernel * kernels[g];
+            CCUBE_CHECK(tax < 1.0, "forwarding tax too large");
+            const IterationResult taxed =
+                evaluate(mode, config, 1.0 / (1.0 - tax));
+            // Per-GPU throughput normalized to an untaxed GPU.
+            perf[g] = nominal.iteration_time / taxed.iteration_time;
+        });
     return perf;
+}
+
+std::vector<double>
+IterationScheduler::perGpuNormalizedPerf(
+    Mode mode, const IterationConfig& config,
+    double tax_per_kernel) const
+{
+    return perGpuNormalizedPerf(mode, config, tax_per_kernel,
+                                sweep::Options{});
 }
 
 } // namespace core

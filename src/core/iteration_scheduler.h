@@ -28,6 +28,11 @@
 #include "topo/ring_embedding.h"
 
 namespace ccube {
+
+namespace sweep {
+struct Options;
+}
+
 namespace core {
 
 /** Evaluation configurations of §V-B. */
@@ -124,6 +129,15 @@ class IterationScheduler
     std::vector<double> perGpuNormalizedPerf(
         Mode mode, const IterationConfig& config,
         double tax_per_kernel) const;
+
+    /**
+     * Same, with the per-GPU evaluations fanned across the sweep
+     * pool (each GPU's taxed run is independent). Identical output
+     * for every job count.
+     */
+    std::vector<double> perGpuNormalizedPerf(
+        Mode mode, const IterationConfig& config,
+        double tax_per_kernel, const sweep::Options& pool) const;
 
   private:
     /**

@@ -22,11 +22,53 @@ writeJsonKey(std::ostream& out, const std::string& s)
 
 } // namespace
 
+namespace {
+
+/** Per-thread redirect target installed by ScopedMetricsRedirect. */
+thread_local MetricRegistry* t_redirect = nullptr;
+
+} // namespace
+
 MetricRegistry&
 MetricRegistry::global()
 {
+    return t_redirect ? *t_redirect : process();
+}
+
+MetricRegistry&
+MetricRegistry::process()
+{
     static MetricRegistry registry;
     return registry;
+}
+
+void
+MetricRegistry::absorb(const MetricRegistry& other)
+{
+    if (&other == this)
+        return;
+    std::scoped_lock guard(mutex_, other.mutex_);
+    for (const auto& [name, value] : other.counters_)
+        counters_[name] += value;
+    for (const auto& [name, value] : other.gauges_)
+        gauges_[name] = value;
+    for (const auto& [name, stats] : other.histograms_)
+        histograms_[name].merge(stats);
+}
+
+ScopedMetricsRedirect::ScopedMetricsRedirect(MetricRegistry* registry)
+{
+    if (!registry)
+        return;
+    previous_ = t_redirect;
+    t_redirect = registry;
+    active_ = true;
+}
+
+ScopedMetricsRedirect::~ScopedMetricsRedirect()
+{
+    if (active_)
+        t_redirect = previous_;
 }
 
 void

@@ -39,8 +39,23 @@ class MetricRegistry
     MetricRegistry(const MetricRegistry&) = delete;
     MetricRegistry& operator=(const MetricRegistry&) = delete;
 
-    /** The process-wide registry `--metrics-out=` exports. */
+    /**
+     * The registry instrumentation writes through: the process-wide
+     * instance, unless the calling thread has an active
+     * ScopedMetricsRedirect (per-task capture in sweep::run()).
+     */
     static MetricRegistry& global();
+
+    /** The process-wide instance, ignoring any thread redirect. */
+    static MetricRegistry& process();
+
+    /**
+     * Merges @p other into this registry as if its writes had happened
+     * here: counters add, gauges overwrite (last writer wins, matching
+     * sequential-run semantics), histograms merge. Ignores the
+     * enabled() gate. @p other is left unchanged.
+     */
+    void absorb(const MetricRegistry& other);
 
     /** Opens the gate for instrumentation that writes through here. */
     void enable() { enabled_.store(true, std::memory_order_release); }
@@ -101,6 +116,26 @@ class MetricRegistry
     std::map<std::string, double> counters_;
     std::map<std::string, double> gauges_;
     std::map<std::string, util::RunningStats> histograms_;
+};
+
+/**
+ * RAII thread-local redirect: while alive, MetricRegistry::global()
+ * on this thread returns @p registry instead of the process instance.
+ * Nests; a null registry is a no-op.
+ */
+class ScopedMetricsRedirect
+{
+  public:
+    explicit ScopedMetricsRedirect(MetricRegistry* registry);
+    ~ScopedMetricsRedirect();
+
+    ScopedMetricsRedirect(const ScopedMetricsRedirect&) = delete;
+    ScopedMetricsRedirect&
+    operator=(const ScopedMetricsRedirect&) = delete;
+
+  private:
+    MetricRegistry* previous_ = nullptr;
+    bool active_ = false;
 };
 
 } // namespace obs

@@ -12,6 +12,9 @@ namespace obs {
 
 namespace {
 
+/** Per-thread redirect target installed by ScopedTraceRedirect. */
+thread_local TraceRecorder* t_redirect = nullptr;
+
 /** Escapes a string for embedding in a JSON string literal. */
 void
 writeJsonString(std::ostream& out, std::string_view s)
@@ -73,8 +76,61 @@ TraceRecorder::~TraceRecorder() = default;
 TraceRecorder&
 TraceRecorder::global()
 {
+    return t_redirect ? *t_redirect : process();
+}
+
+TraceRecorder&
+TraceRecorder::process()
+{
     static TraceRecorder recorder;
     return recorder;
+}
+
+void
+TraceRecorder::absorb(const TraceRecorder& other)
+{
+    if (&other == this)
+        return;
+    std::scoped_lock guard(mutex_, other.mutex_);
+    const double shift = sim_offset_us_;
+    const std::vector<TraceEvent> incoming_ring =
+        other.flight_ ? other.flight_->snapshot()
+                      : std::vector<TraceEvent>{};
+    const std::vector<TraceEvent>& incoming =
+        other.flight_ ? incoming_ring : other.events_;
+    for (const TraceEvent& source : incoming) {
+        TraceEvent event = source;
+        event.ts_us += shift;
+        if (flight_) {
+            flight_->record(std::move(event));
+        } else if (events_.size() < capacity_) {
+            events_.push_back(std::move(event));
+        } else {
+            ++dropped_;
+        }
+    }
+    dropped_ +=
+        other.dropped_ + (other.flight_ ? other.flight_->dropped() : 0);
+    for (const auto& [pid, name] : other.process_names_)
+        process_names_[pid] = name;
+    for (const auto& [key, name] : other.thread_names_)
+        thread_names_[key] = name;
+    sim_offset_us_ += other.sim_offset_us_;
+}
+
+ScopedTraceRedirect::ScopedTraceRedirect(TraceRecorder* recorder)
+{
+    if (!recorder)
+        return;
+    previous_ = t_redirect;
+    t_redirect = recorder;
+    active_ = true;
+}
+
+ScopedTraceRedirect::~ScopedTraceRedirect()
+{
+    if (active_)
+        t_redirect = previous_;
 }
 
 void

@@ -1,18 +1,74 @@
 #include "sim/event_queue.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/logging.h"
 
 namespace ccube {
 namespace sim {
 
+namespace {
+
+constexpr std::size_t kArity = 4;
+
+} // namespace
+
 void
 EventQueue::schedule(Time when, EventFn fn, int priority)
 {
     CCUBE_CHECK(when >= now_, "cannot schedule event in the past: "
                                   << when << " < " << now_);
-    heap_.push(Entry{when, priority, next_seq_++, std::move(fn)});
+    CCUBE_CHECK(fn, "null event callback");
+    std::uint32_t slot;
+    if (free_slots_.empty()) {
+        slot = static_cast<std::uint32_t>(pool_.size());
+        pool_.push_back(std::move(fn));
+    } else {
+        slot = free_slots_.back();
+        free_slots_.pop_back();
+        pool_[slot] = std::move(fn);
+    }
+    heap_.push_back(Node{when, priority, slot, next_seq_++});
+    siftUp(heap_.size() - 1);
+}
+
+void
+EventQueue::siftUp(std::size_t index)
+{
+    Node node = heap_[index];
+    while (index > 0) {
+        const std::size_t parent = (index - 1) / kArity;
+        if (!earlier(node, heap_[parent]))
+            break;
+        heap_[index] = heap_[parent];
+        index = parent;
+    }
+    heap_[index] = node;
+}
+
+void
+EventQueue::siftDown(std::size_t index)
+{
+    const std::size_t count = heap_.size();
+    Node node = heap_[index];
+    while (true) {
+        const std::size_t first_child = index * kArity + 1;
+        if (first_child >= count)
+            break;
+        const std::size_t last_child =
+            std::min(first_child + kArity, count);
+        std::size_t best = first_child;
+        for (std::size_t c = first_child + 1; c < last_child; ++c) {
+            if (earlier(heap_[c], heap_[best]))
+                best = c;
+        }
+        if (!earlier(heap_[best], node))
+            break;
+        heap_[index] = heap_[best];
+        index = best;
+    }
+    heap_[index] = node;
 }
 
 bool
@@ -20,14 +76,18 @@ EventQueue::step()
 {
     if (heap_.empty())
         return false;
-    // priority_queue::top() returns const&; the callback must be moved
-    // out before pop, so copy the entry (std::function copy is cheap
-    // relative to event work).
-    Entry entry = heap_.top();
-    heap_.pop();
-    now_ = entry.when;
+    const Node top = heap_.front();
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty())
+        siftDown(0);
+    now_ = top.when;
     ++executed_;
-    entry.fn();
+    // Move the callback out of its slot and recycle the slot *before*
+    // invoking: the callback may schedule new events reentrantly.
+    EventFn fn = std::move(pool_[top.slot]);
+    free_slots_.push_back(top.slot);
+    fn();
     return true;
 }
 
@@ -42,7 +102,7 @@ EventQueue::run()
 Time
 EventQueue::runUntil(Time deadline)
 {
-    while (!heap_.empty() && heap_.top().when <= deadline)
+    while (!heap_.empty() && heap_.front().when <= deadline)
         step();
     now_ = std::max(now_, deadline);
     return now_;
@@ -51,7 +111,9 @@ EventQueue::runUntil(Time deadline)
 void
 EventQueue::reset()
 {
-    heap_ = {};
+    heap_.clear();
+    pool_.clear();
+    free_slots_.clear();
     now_ = 0.0;
     next_seq_ = 0;
     executed_ = 0;

@@ -8,12 +8,22 @@
  * Events are (time, priority, sequence) ordered; the sequence number
  * makes simultaneous events deterministic (FIFO among equal keys),
  * which the collective schedules rely on for reproducible timelines.
+ *
+ * Layout is split for the hot path: the ordering keys live in a 4-ary
+ * implicit heap of 24-byte nodes (three nodes per cache line, and a
+ * 4-ary heap does ~half the levels of a binary one), while the
+ * callbacks live in a slab pool of sim::EventFn slots addressed by
+ * index and recycled through a free list. Callbacks are small-buffer
+ * inline callables (util::InlineFunction), so the common schedule →
+ * fire cycle allocates nothing and nothing is ever copied — pop moves
+ * the callback out of its slot, which fixes the old
+ * priority_queue::top() copy-on-pop.
  */
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
+
+#include "util/inline_function.h"
 
 namespace ccube {
 namespace sim {
@@ -21,8 +31,13 @@ namespace sim {
 /** Simulated time in seconds. */
 using Time = double;
 
-/** Callback executed when an event fires. */
-using EventFn = std::function<void()>;
+/**
+ * Callback executed when an event fires. Move-only, with 48 bytes of
+ * in-place storage — enough for every capture the schedules make
+ * (`this` plus a few scalars, or `this` plus one nested EventFn slot
+ * reference); bigger captures transparently heap-allocate.
+ */
+using EventFn = util::InlineFunction<void(), 48>;
 
 /**
  * Priority queue of timestamped events with deterministic tie-breaking.
@@ -64,26 +79,32 @@ class EventQueue
     void reset();
 
   private:
-    struct Entry {
+    /** Heap node: ordering key plus the pool slot of the callback. */
+    struct Node {
         Time when;
         int priority;
+        std::uint32_t slot;
         std::uint64_t seq;
-        EventFn fn;
     };
 
-    struct Later {
-        bool
-        operator()(const Entry& a, const Entry& b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            if (a.priority != b.priority)
-                return a.priority > b.priority;
-            return a.seq > b.seq;
-        }
-    };
+    /** Strict (when, priority, seq) order; seq is unique, so this is a
+     *  total order and heap shape cannot affect pop order. */
+    static bool
+    earlier(const Node& a, const Node& b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        if (a.priority != b.priority)
+            return a.priority < b.priority;
+        return a.seq < b.seq;
+    }
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    void siftUp(std::size_t index);
+    void siftDown(std::size_t index);
+
+    std::vector<Node> heap_;        ///< 4-ary implicit min-heap
+    std::vector<EventFn> pool_;     ///< callback slab, slot-addressed
+    std::vector<std::uint32_t> free_slots_;
     Time now_ = 0.0;
     std::uint64_t next_seq_ = 0;
     std::uint64_t executed_ = 0;

@@ -63,8 +63,13 @@ FifoResource::grant(Pending pending)
         }
     }
 
-    DoneFn done = std::move(pending.done);
-    sim_.after(duration, [this, done = std::move(done)]() {
+    // The release event captures only `this`: the completion callback
+    // is stashed in active_done_ (moved out before release() so a
+    // back-to-back grant can install its own), keeping the scheduled
+    // lambda within EventFn's inline buffer — no allocation per grant.
+    active_done_ = std::move(pending.done);
+    sim_.after(duration, [this]() {
+        DoneFn done = std::move(active_done_);
         release();
         if (done)
             done();

@@ -12,12 +12,12 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "sim/simulation.h"
+#include "util/inline_function.h"
 #include "util/stats.h"
 
 namespace ccube {
@@ -39,11 +39,12 @@ namespace sim {
 class FifoResource
 {
   public:
-    /** Computes the occupancy duration, called at grant time. */
-    using HoldFn = std::function<Time()>;
+    /** Computes the occupancy duration, called at grant time.
+     *  Move-only small-buffer callable (see sim::EventFn). */
+    using HoldFn = util::InlineFunction<Time()>;
 
     /** Invoked when the occupancy ends (resource freed). */
-    using DoneFn = std::function<void()>;
+    using DoneFn = EventFn;
 
     /** Creates a resource bound to @p simulation with a debug name. */
     FifoResource(Simulation& simulation, std::string name);
@@ -131,6 +132,9 @@ class FifoResource
     Simulation& sim_;
     std::string name_;
     bool busy_ = false;
+    DoneFn active_done_; ///< completion callback of the current grant;
+                         ///< stashed here so the scheduled release
+                         ///< event captures only `this` (inline-sized)
     std::deque<Pending> waiting_;
     Time busy_time_ = 0.0;
     std::uint64_t grants_ = 0;

@@ -1,7 +1,32 @@
 #include "sim/simulation.h"
 
+#include <chrono>
+
+#include "obs/metrics.h"
+
 namespace ccube {
 namespace sim {
+
+Time
+Simulation::run()
+{
+    obs::MetricRegistry& registry = obs::MetricRegistry::global();
+    if (!registry.enabled())
+        return queue_.run();
+
+    const std::uint64_t before = queue_.executedCount();
+    const auto start = std::chrono::steady_clock::now();
+    const Time end = queue_.run();
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    const double events =
+        static_cast<double>(queue_.executedCount() - before);
+    registry.addCounter("sim.events", events);
+    if (elapsed.count() > 0.0 && events > 0.0)
+        registry.observe("sim.events_per_sec",
+                         events / elapsed.count());
+    return end;
+}
 
 void
 Simulation::after(Time delay, EventFn fn, int priority)

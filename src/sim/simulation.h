@@ -45,8 +45,13 @@ class Simulation
     /** Schedules @p fn at absolute time @p when. */
     void at(Time when, EventFn fn, int priority = 0);
 
-    /** Runs to completion and returns the final simulated time. */
-    Time run() { return queue_.run(); }
+    /**
+     * Runs to completion and returns the final simulated time. While a
+     * metrics capture is enabled, also observes the wall-clock DES
+     * throughput of the run as the `sim.events_per_sec` histogram and
+     * counts executed events in `sim.events` (see obs::MetricRegistry).
+     */
+    Time run();
 
     /** Adds @p delta to the named statistic counter. */
     void addStat(const std::string& name, double delta);

@@ -23,8 +23,25 @@ Network::Network(sim::Simulation& simulation, const topo::Graph& graph,
                             std::to_string(id)));
         resources_.back()->setTraceIdentity(
             obs::pids::simNode(desc.src), id);
+        pair_channels_[(static_cast<std::uint64_t>(
+                            static_cast<std::uint32_t>(desc.src))
+                        << 32) |
+                       static_cast<std::uint32_t>(desc.dst)]
+            .push_back(id);
     }
     announceTraceTopology();
+}
+
+const std::vector<int>&
+Network::pairChannels(topo::NodeId src, topo::NodeId dst) const
+{
+    const auto it = pair_channels_.find(
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+         << 32) |
+        static_cast<std::uint32_t>(dst));
+    CCUBE_CHECK(it != pair_channels_.end(),
+                "no channel " << src << " → " << dst);
+    return it->second;
 }
 
 void
@@ -60,8 +77,8 @@ Network::transferOnChannel(int channel_id, double bytes, DoneFn done)
                 "bad channel id " << channel_id);
     CCUBE_CHECK(bytes > 0.0, "non-positive transfer size");
     const double hold = occupancy(channel_id, bytes);
-    sim_.addStat("net.bytes", bytes);
-    sim_.addStat("net.transfers", 1.0);
+    net_bytes_ += bytes;
+    ++net_transfers_;
     resources_[static_cast<std::size_t>(channel_id)]->request(
         [hold]() { return hold; }, std::move(done), bytes);
 }
@@ -70,9 +87,7 @@ void
 Network::transfer(topo::NodeId src, topo::NodeId dst, double bytes,
                   DoneFn done, int lane)
 {
-    const std::vector<int> ids = graph_.channelIds(src, dst);
-    CCUBE_CHECK(!ids.empty(),
-                "no channel " << src << " → " << dst);
+    const std::vector<int>& ids = pairChannels(src, dst);
     const int pick = std::clamp(lane, 0, static_cast<int>(ids.size()) - 1);
     transferOnChannel(ids[static_cast<std::size_t>(pick)], bytes,
                       std::move(done));

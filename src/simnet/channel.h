@@ -10,9 +10,10 @@
  * share a physical channel.
  */
 
-#include <functional>
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -24,8 +25,9 @@
 namespace ccube {
 namespace simnet {
 
-/** Completion callback of a transfer. */
-using DoneFn = std::function<void()>;
+/** Completion callback of a transfer (move-only, inline small-buffer
+ *  storage — see sim::EventFn). */
+using DoneFn = sim::EventFn;
 
 /**
  * The simulated network fabric.
@@ -92,6 +94,12 @@ class Network
     /** Time one transfer of @p bytes occupies channel @p channel_id. */
     double occupancy(int channel_id, double bytes) const;
 
+    /** Total bytes pushed through the fabric (every channel). */
+    double totalBytes() const { return net_bytes_; }
+
+    /** Total transfers issued on the fabric. */
+    std::uint64_t totalTransfers() const { return net_transfers_; }
+
     /**
      * Exports per-channel telemetry into @p registry under @p prefix:
      * gauges `<prefix>.channel.<id>.{bytes,busy_s,grants,utilization}`
@@ -117,10 +125,19 @@ class Network
     void closeTraceEpoch(double run_end) const;
 
   private:
+    /** Channel ids src → dst in graph order, cached at construction so
+     *  the per-transfer lane pick is one hash probe instead of a
+     *  heap-allocated Graph::channelIds() vector. */
+    const std::vector<int>& pairChannels(topo::NodeId src,
+                                         topo::NodeId dst) const;
+
     sim::Simulation& sim_;
     const topo::Graph& graph_;
     double bandwidth_scale_;
     std::vector<std::unique_ptr<sim::FifoResource>> resources_;
+    std::unordered_map<std::uint64_t, std::vector<int>> pair_channels_;
+    double net_bytes_ = 0.0;
+    std::uint64_t net_transfers_ = 0;
 };
 
 } // namespace simnet

@@ -11,6 +11,7 @@
  * skew on non-uniform routes (e.g. switch fabrics).
  */
 
+#include <functional>
 #include <vector>
 
 #include "simnet/collective_schedule.h"

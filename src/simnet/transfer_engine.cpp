@@ -28,7 +28,7 @@ TransferEngine::sendAlongRoute(const topo::Route& route, double bytes,
         const double offset = recorder.simOffsetUs();
         const int hops = static_cast<int>(route.hops.size() - 1);
         done = [this, src, dst, start, offset, bytes, hops, lane,
-                inner = std::move(done), &recorder]() {
+                inner = std::move(done), &recorder]() mutable {
             const double end = net_.simulation().now();
             recorder.completeEvent(
                 "flow " + net_.graph().nodeLabel(src) + "->" +
@@ -53,6 +53,15 @@ TransferEngine::runStage(const topo::Route& route, std::size_t index,
     std::size_t end = index + 1;
     while (end + 1 < route.hops.size() && graph.isSwitch(route.hops[end]))
         ++end;
+
+    if (end == index + 1 && end + 1 == route.hops.size()) {
+        // Final single-channel stage: the channel invokes done
+        // directly — no continuation wrapper (and no callback heap
+        // fallback) for the common single-hop send.
+        net_.transfer(route.hops[index], route.hops[index + 1], bytes,
+                      std::move(done), lane);
+        return;
+    }
 
     auto continuation = [this, route, end, bytes,
                          done = std::move(done), lane]() mutable {

@@ -1,0 +1,174 @@
+#include "sweep/sweep.h"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/flags.h"
+#include "util/logging.h"
+
+namespace ccube {
+namespace sweep {
+
+namespace {
+
+int
+hardwareJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+/** Everything one worker needs; shared by all workers of one run(). */
+struct PoolState {
+    explicit PoolState(std::vector<Task>& all_tasks)
+        : tasks(all_tasks)
+    {
+    }
+
+    std::vector<Task>& tasks;
+    std::atomic<std::size_t> next{0};
+    bool capture_trace = false;
+    bool capture_metrics = false;
+    std::size_t trace_capacity = 0;
+    bool trace_flight = false;
+    /** Per-task captures, filled by workers, merged by the caller. */
+    std::vector<std::unique_ptr<obs::TraceRecorder>> recorders;
+    std::vector<std::unique_ptr<obs::MetricRegistry>> registries;
+    /** First (by task index) exception thrown by a task. */
+    std::vector<std::exception_ptr> errors;
+};
+
+void
+workerLoop(PoolState& state)
+{
+    const std::size_t count = state.tasks.size();
+    for (;;) {
+        const std::size_t index =
+            state.next.fetch_add(1, std::memory_order_relaxed);
+        if (index >= count)
+            return;
+
+        std::unique_ptr<obs::TraceRecorder> recorder;
+        std::unique_ptr<obs::MetricRegistry> registry;
+        if (state.capture_trace) {
+            recorder = std::make_unique<obs::TraceRecorder>();
+            if (state.trace_flight)
+                recorder->setFlightCapacity(state.trace_capacity);
+            else
+                recorder->setCapacity(state.trace_capacity);
+            recorder->enable();
+        }
+        if (state.capture_metrics) {
+            registry = std::make_unique<obs::MetricRegistry>();
+            registry->enable();
+        }
+        {
+            obs::ScopedTraceRedirect trace_redirect(recorder.get());
+            obs::ScopedMetricsRedirect metrics_redirect(registry.get());
+            try {
+                state.tasks[index]();
+            } catch (...) {
+                state.errors[index] = std::current_exception();
+            }
+        }
+        if (recorder) {
+            recorder->disable();
+            state.recorders[index] = std::move(recorder);
+        }
+        if (registry) {
+            registry->disable();
+            state.registries[index] = std::move(registry);
+        }
+    }
+}
+
+} // namespace
+
+Options
+Options::fromFlags(const util::Flags& flags)
+{
+    Options options;
+    options.jobs = flags.getInt("jobs", 0);
+    return options;
+}
+
+int
+Options::effectiveJobs(std::size_t task_count) const
+{
+    int count = jobs > 0 ? jobs : hardwareJobs();
+    if (task_count > 0 &&
+        static_cast<std::size_t>(count) > task_count)
+        count = static_cast<int>(task_count);
+    return count < 1 ? 1 : count;
+}
+
+void
+run(const Options& options, std::vector<Task> tasks)
+{
+    if (tasks.empty())
+        return;
+
+    // The parent capture targets: whatever global() resolves to on the
+    // calling thread, so nested sweeps compose (a task running its own
+    // sweep merges grandchild captures into its private recorder).
+    obs::TraceRecorder& parent_recorder = obs::TraceRecorder::global();
+    obs::MetricRegistry& parent_registry = obs::MetricRegistry::global();
+
+    PoolState state(tasks);
+    state.capture_trace =
+        options.capture_obs && parent_recorder.enabled();
+    state.capture_metrics =
+        options.capture_obs && parent_registry.enabled();
+    if (state.capture_trace) {
+        state.trace_capacity = parent_recorder.capacity();
+        state.trace_flight = parent_recorder.flightMode();
+    }
+    state.recorders.resize(tasks.size());
+    state.registries.resize(tasks.size());
+    state.errors.resize(tasks.size());
+
+    const int jobs = options.effectiveJobs(tasks.size());
+    if (jobs <= 1) {
+        workerLoop(state);
+    } else {
+        std::vector<std::thread> workers;
+        workers.reserve(static_cast<std::size_t>(jobs));
+        for (int w = 0; w < jobs; ++w)
+            workers.emplace_back([&state]() { workerLoop(state); });
+        for (std::thread& worker : workers)
+            worker.join();
+    }
+
+    // Deterministic merge: task-index order regardless of completion
+    // order, so the combined trace/metrics are independent of jobs.
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        if (state.recorders[i])
+            parent_recorder.absorb(*state.recorders[i]);
+        if (state.registries[i])
+            parent_registry.absorb(*state.registries[i]);
+    }
+
+    for (const std::exception_ptr& error : state.errors) {
+        if (error)
+            std::rethrow_exception(error);
+    }
+}
+
+void
+runIndexed(const Options& options, std::size_t count,
+           const std::function<void(std::size_t)>& task)
+{
+    std::vector<Task> tasks;
+    tasks.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        tasks.push_back([&task, i]() { task(i); });
+    run(options, std::move(tasks));
+}
+
+} // namespace sweep
+} // namespace ccube

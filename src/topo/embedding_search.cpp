@@ -1,10 +1,13 @@
 #include "topo/embedding_search.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <map>
 #include <utility>
 #include <vector>
 
+#include "sweep/sweep.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -13,18 +16,89 @@ namespace topo {
 
 namespace {
 
+/**
+ * Immutable per-graph lookup shared by all attempts: a representative
+ * channel id per directed pair (flattened src*N+dst), the link-count
+ * capacity stored against that id, and per-node neighbor lists. Built
+ * once so the per-attempt Budget is a plain flat array.
+ */
+class ChannelIndex
+{
+  public:
+    explicit ChannelIndex(const Graph& graph)
+        : nodes_(graph.nodeCount()),
+          rep_(static_cast<std::size_t>(nodes_) * nodes_, -1),
+          cap_(static_cast<std::size_t>(graph.channelCount()), 0),
+          neighbors_(static_cast<std::size_t>(nodes_))
+    {
+        for (NodeId src = 0; src < nodes_; ++src) {
+            for (int id : graph.outChannels(src)) {
+                const ChannelDesc& ch = graph.channel(id);
+                int& slot = rep_[pairSlot(src, ch.dst)];
+                if (slot < 0) {
+                    slot = id;
+                    cap_[static_cast<std::size_t>(id)] =
+                        graph.linkCount(src, ch.dst);
+                }
+            }
+            neighbors_[static_cast<std::size_t>(src)] =
+                graph.neighbors(src);
+        }
+    }
+
+    /** Representative channel id for src → dst, or -1 when absent. */
+    int
+    repChannel(NodeId src, NodeId dst) const
+    {
+        return rep_[pairSlot(src, dst)];
+    }
+
+    int
+    capacity(int rep) const
+    {
+        return cap_[static_cast<std::size_t>(rep)];
+    }
+
+    int channelCount() const { return static_cast<int>(cap_.size()); }
+
+    const std::vector<NodeId>&
+    neighbors(NodeId node) const
+    {
+        return neighbors_[static_cast<std::size_t>(node)];
+    }
+
+  private:
+    std::size_t
+    pairSlot(NodeId src, NodeId dst) const
+    {
+        return static_cast<std::size_t>(src) * nodes_ +
+               static_cast<std::size_t>(dst);
+    }
+
+    int nodes_;
+    std::vector<int> rep_; ///< directed pair → representative channel
+    std::vector<int> cap_; ///< by channel id: linkCount of its pair
+    std::vector<std::vector<NodeId>> neighbors_;
+};
+
 /** Remaining per-direction channel budget during construction. */
 class Budget
 {
   public:
-    explicit Budget(const Graph& graph) : graph_(graph) {}
+    explicit Budget(const ChannelIndex& index)
+        : index_(index),
+          used_(static_cast<std::size_t>(index.channelCount()), 0)
+    {
+    }
 
     int
     remaining(NodeId src, NodeId dst) const
     {
-        const auto it = used_.find({src, dst});
-        const int used = it == used_.end() ? 0 : it->second;
-        return graph_.linkCount(src, dst) - used;
+        const int rep = index_.repChannel(src, dst);
+        if (rep < 0)
+            return 0;
+        return index_.capacity(rep) -
+               used_[static_cast<std::size_t>(rep)];
     }
 
     /** A logical edge on route r consumes both directions of every
@@ -45,14 +119,16 @@ class Budget
     take(const Route& route)
     {
         for (std::size_t i = 0; i + 1 < route.hops.size(); ++i) {
-            ++used_[{route.hops[i], route.hops[i + 1]}];
-            ++used_[{route.hops[i + 1], route.hops[i]}];
+            ++used_[static_cast<std::size_t>(
+                index_.repChannel(route.hops[i], route.hops[i + 1]))];
+            ++used_[static_cast<std::size_t>(
+                index_.repChannel(route.hops[i + 1], route.hops[i]))];
         }
     }
 
   private:
-    const Graph& graph_;
-    std::map<std::pair<NodeId, NodeId>, int> used_;
+    const ChannelIndex& index_;
+    std::vector<int> used_; ///< flat, indexed by channel id
 };
 
 /**
@@ -61,16 +137,16 @@ class Budget
  * GPU detours with available capacity.
  */
 std::vector<Route>
-candidateRoutes(const Graph& graph, const Budget& budget, NodeId from,
-                NodeId to, int max_hops)
+candidateRoutes(const ChannelIndex& index, const Budget& budget,
+                NodeId from, NodeId to, int max_hops)
 {
     std::vector<Route> routes;
     Route direct{{from, to}};
-    if (graph.hasChannel(from, to) && budget.canTake(direct))
+    if (budget.canTake(direct))
         routes.push_back(std::move(direct));
     if (max_hops >= 2) {
-        for (NodeId mid : graph.neighbors(from)) {
-            if (mid == to || !graph.hasChannel(mid, to))
+        for (NodeId mid : index.neighbors(from)) {
+            if (mid == to)
                 continue;
             Route detour{{from, mid, to}};
             if (budget.canTake(detour))
@@ -82,12 +158,17 @@ candidateRoutes(const Graph& graph, const Budget& budget, NodeId from,
 
 /**
  * Grows one spanning binary tree from @p root, preferring direct
- * edges, consuming @p budget. Returns nullopt when the tree cannot
- * span all ranks within the budget.
+ * edges, consuming @p budget. @p cost is advanced by the hop count of
+ * every accepted route; growth aborts (nullopt) as soon as the
+ * optimistic completion bound — current cost plus one hop for each
+ * still-unplaced rank — exceeds @p cost_cap, so attempts that cannot
+ * beat an already-found embedding stop early. Returns nullopt when
+ * the tree cannot span all ranks within the budget.
  */
 std::optional<TreeEmbedding>
-growTree(const Graph& graph, Budget& budget, int num_ranks, NodeId root,
-         util::Rng& rng, int max_hops)
+growTree(const ChannelIndex& index, Budget& budget, int num_ranks,
+         NodeId root, util::Rng& rng, int max_hops, int cost_cap,
+         int& cost)
 {
     BinaryTree tree(num_ranks);
     tree.setRoot(root);
@@ -101,6 +182,8 @@ growTree(const Graph& graph, Budget& budget, int num_ranks, NodeId root,
     int placed = 1;
 
     while (placed < num_ranks) {
+        if (cost + (num_ranks - placed) > cost_cap)
+            return std::nullopt; // cannot beat the incumbent
         // Collect all feasible (parent, child, route) extensions.
         struct Extension {
             NodeId parent;
@@ -114,7 +197,7 @@ growTree(const Graph& graph, Budget& budget, int num_ranks, NodeId root,
             for (NodeId child = 0; child < num_ranks; ++child) {
                 if (in_tree[static_cast<std::size_t>(child)])
                     continue;
-                for (Route& route : candidateRoutes(graph, budget,
+                for (Route& route : candidateRoutes(index, budget,
                                                     parent, child,
                                                     max_hops)) {
                     extensions.push_back(
@@ -140,6 +223,7 @@ growTree(const Graph& graph, Budget& budget, int num_ranks, NodeId root,
             rng.uniformInt(0, static_cast<std::int64_t>(pool) - 1))];
 
         budget.take(pick.route);
+        cost += pick.route.hopCount();
         embedding.tree.addEdge(pick.parent, pick.child);
         embedding.routes.push_back(std::move(pick.route));
         in_tree[static_cast<std::size_t>(pick.child)] = true;
@@ -152,13 +236,8 @@ growTree(const Graph& graph, Budget& budget, int num_ranks, NodeId root,
     std::map<std::pair<NodeId, NodeId>, Route> by_edge;
     {
         const auto edges = embedding.tree.edges();
-        // Insertion order of addEdge matches the order routes were
-        // pushed; reconstruct the mapping via parent/child endpoints.
-        std::size_t i = 0;
-        for (const Route& route : embedding.routes) {
+        for (const Route& route : embedding.routes)
             by_edge[{route.hops.front(), route.hops.back()}] = route;
-            ++i;
-        }
         std::vector<Route> ordered;
         for (const auto& [parent, child] : edges)
             ordered.push_back(by_edge.at({parent, child}));
@@ -166,6 +245,62 @@ growTree(const Graph& graph, Budget& budget, int num_ranks, NodeId root,
     }
     return embedding;
 }
+
+/** One restart: outcome and its total route-hop cost. */
+struct AttemptResult {
+    std::optional<DoubleTreeEmbedding> embedding;
+    int cost = 0;
+};
+
+/** RNG stream for one attempt, independent of all other attempts. */
+util::Rng
+attemptRng(std::uint64_t seed, int attempt)
+{
+    return util::Rng(
+        seed ^ (0x9E3779B97F4A7C15ull *
+                (static_cast<std::uint64_t>(attempt) + 1)));
+}
+
+AttemptResult
+runAttempt(const Graph& graph, const ChannelIndex& index,
+           int num_ranks, const EmbeddingSearchOptions& options,
+           int attempt, int cost_cap)
+{
+    AttemptResult result;
+    util::Rng rng = attemptRng(options.seed, attempt);
+    Budget budget(index);
+    const NodeId root0 =
+        static_cast<NodeId>(rng.uniformInt(0, num_ranks - 1));
+    NodeId root1 =
+        static_cast<NodeId>(rng.uniformInt(0, num_ranks - 1));
+    if (root1 == root0)
+        root1 = (root1 + 1) % num_ranks;
+
+    int cost = 0;
+    auto tree0 = growTree(index, budget, num_ranks, root0, rng,
+                          options.max_detour_hops, cost_cap, cost);
+    if (!tree0)
+        return result;
+    // The second tree adds at least one hop per non-root rank.
+    if (cost + (num_ranks - 1) > cost_cap)
+        return result;
+    auto tree1 = growTree(index, budget, num_ranks, root1, rng,
+                          options.max_detour_hops, cost_cap, cost);
+    if (!tree1)
+        return result;
+
+    DoubleTreeEmbedding candidate(std::move(*tree0),
+                                  std::move(*tree1));
+    if (!isConflictFree(graph, candidate))
+        return result;
+    result.embedding = std::move(candidate);
+    result.cost = cost;
+    return result;
+}
+
+/** Attempts per parallel batch; fixed so results never depend on the
+ *  worker count (the prune bound only advances between batches). */
+constexpr int kAttemptBatch = 32;
 
 } // namespace
 
@@ -179,31 +314,44 @@ findConflictFreeDoubleTree(const Graph& graph,
     CCUBE_CHECK(num_ranks <= graph.nodeCount(),
                 "more ranks than graph nodes");
 
-    util::Rng rng(options.seed);
-    for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
-        Budget budget(graph);
-        const NodeId root0 = static_cast<NodeId>(
-            rng.uniformInt(0, num_ranks - 1));
-        NodeId root1 = static_cast<NodeId>(
-            rng.uniformInt(0, num_ranks - 1));
-        if (root1 == root0)
-            root1 = (root1 + 1) % num_ranks;
+    const ChannelIndex index(graph);
+    sweep::Options pool;
+    pool.jobs = options.jobs;
+    pool.capture_obs = false; // compute-only; nothing records
 
-        auto tree0 = growTree(graph, budget, num_ranks, root0, rng,
-                              options.max_detour_hops);
-        if (!tree0)
-            continue;
-        auto tree1 = growTree(graph, budget, num_ranks, root1, rng,
-                              options.max_detour_hops);
-        if (!tree1)
-            continue;
-
-        DoubleTreeEmbedding candidate(std::move(*tree0),
-                                      std::move(*tree1));
-        if (isConflictFree(graph, candidate))
-            return candidate;
+    std::optional<DoubleTreeEmbedding> best;
+    int best_cost = std::numeric_limits<int>::max();
+    for (int base = 0; base < options.max_attempts;
+         base += kAttemptBatch) {
+        const int batch =
+            std::min(kAttemptBatch, options.max_attempts - base);
+        // Prune against the best of *previous* batches only: the bound
+        // is fixed before the batch starts, so concurrent attempts
+        // cannot observe each other and the outcome is independent of
+        // scheduling order.
+        const int cost_cap = best ? best_cost - 1
+                                  : std::numeric_limits<int>::max();
+        std::vector<AttemptResult> results(
+            static_cast<std::size_t>(batch));
+        sweep::runIndexed(
+            pool, static_cast<std::size_t>(batch),
+            [&](std::size_t i) {
+                results[i] = runAttempt(graph, index, num_ranks,
+                                        options,
+                                        base + static_cast<int>(i),
+                                        cost_cap);
+            });
+        // Merge in attempt order: cheapest cost, earliest index wins.
+        for (AttemptResult& result : results) {
+            if (result.embedding && result.cost < best_cost) {
+                best_cost = result.cost;
+                best = std::move(result.embedding);
+            }
+        }
+        if (best && !options.exhaustive)
+            return best;
     }
-    return std::nullopt;
+    return best;
 }
 
 } // namespace topo

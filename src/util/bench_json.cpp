@@ -297,9 +297,14 @@ readBenchRecords(const std::string& path)
 std::string
 benchOutputPath()
 {
+    return benchOutputPath("BENCH_ccl.json");
+}
+
+std::string
+benchOutputPath(const std::string& fallback)
+{
     const char* env = std::getenv("CCUBE_BENCH_OUT");
-    return env && *env ? std::string(env)
-                       : std::string("BENCH_ccl.json");
+    return env && *env ? std::string(env) : fallback;
 }
 
 } // namespace util

@@ -59,6 +59,9 @@ std::vector<BenchRecord> readBenchRecords(const std::string& path);
 /** Resolves the output path: $CCUBE_BENCH_OUT or "BENCH_ccl.json". */
 std::string benchOutputPath();
 
+/** Resolves the output path: $CCUBE_BENCH_OUT or @p fallback. */
+std::string benchOutputPath(const std::string& fallback);
+
 } // namespace util
 } // namespace ccube
 

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Randomized stress test of the slab-pool event queue against a
+ * reference model (a plain std::priority_queue with the documented
+ * (when, priority, seq) ordering). Both sides execute the same
+ * scripted workload — including events that schedule more events from
+ * inside their callbacks, duplicate timestamps, priority ties, resets,
+ * and runUntil windows — and must agree on the exact execution order,
+ * firing times, and final clock. This pins down the orderings the
+ * collective schedules rely on while exercising slot reuse and pool
+ * reallocation under reentrancy.
+ */
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.h"
+#include "util/rng.h"
+
+namespace ccube {
+namespace {
+
+/** Execution log entry: which scripted event fired and when. */
+struct Firing {
+    int id;
+    sim::Time when;
+    std::uint64_t order;
+
+    bool
+    operator==(const Firing& other) const
+    {
+        return id == other.id && when == other.when &&
+               order == other.order;
+    }
+};
+
+/**
+ * Reference queue: the documented semantics with none of the slab,
+ * inline-callback, or 4-ary-heap machinery. Events carry only the
+ * scripted id; the driver interprets it.
+ */
+class ModelQueue
+{
+  public:
+    void
+    schedule(sim::Time when, int id, int priority)
+    {
+        heap_.push(Entry{when, priority, next_seq_++, id});
+    }
+
+    bool
+    step(int& id)
+    {
+        if (heap_.empty())
+            return false;
+        const Entry entry = heap_.top();
+        heap_.pop();
+        now_ = entry.when;
+        id = entry.id;
+        return true;
+    }
+
+    bool
+    peekWithin(sim::Time deadline) const
+    {
+        return !heap_.empty() && heap_.top().when <= deadline;
+    }
+
+    sim::Time now() const { return now_; }
+    void setNow(sim::Time now) { now_ = now; }
+    bool empty() const { return heap_.empty(); }
+
+    void
+    reset()
+    {
+        heap_ = {};
+        now_ = 0.0;
+        next_seq_ = 0;
+    }
+
+  private:
+    struct Entry {
+        sim::Time when;
+        int priority;
+        std::uint64_t seq;
+        int id;
+    };
+
+    struct Later {
+        bool
+        operator()(const Entry& a, const Entry& b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    sim::Time now_ = 0.0;
+    std::uint64_t next_seq_ = 0;
+};
+
+/**
+ * A scripted event: fires, and may schedule a batch of children at
+ * deterministic offsets. Child parameters are derived from the parent
+ * id with a per-run RNG stream, so the real queue and the model see
+ * exactly the same workload without sharing state.
+ */
+struct ScriptedEvent {
+    sim::Time delay;      ///< offset from the scheduling event
+    int priority;
+    int children;         ///< events scheduled from inside the callback
+};
+
+/** Deterministic event parameters for scripted event @p id. */
+ScriptedEvent
+scriptedEvent(std::uint64_t seed, int id)
+{
+    util::Rng rng(seed ^
+                  (0x9E3779B97F4A7C15ull * static_cast<unsigned>(id + 1)));
+    ScriptedEvent event;
+    // Coarse grid on purpose: collisions in `when` are the interesting
+    // case (they exercise the priority and seq tie-breakers).
+    event.delay = static_cast<double>(rng.uniformInt(0, 8)) * 0.25;
+    event.priority = static_cast<int>(rng.uniformInt(-2, 2));
+    // Geometric-ish fan-out, bounded so a run always terminates.
+    const std::int64_t roll = rng.uniformInt(0, 9);
+    event.children = roll < 6 ? 0 : static_cast<int>(roll - 6);
+    return event;
+}
+
+/** Drives the real queue through one scripted run. */
+std::vector<Firing>
+runReal(sim::EventQueue& queue, std::uint64_t seed, int roots,
+        int max_events)
+{
+    std::vector<Firing> log;
+    int next_id = 0;
+    std::uint64_t order = 0;
+
+    // Recursive scheduling helper: event `id` fires, logs itself, and
+    // schedules its children with ids handed out in firing order.
+    struct Driver {
+        sim::EventQueue& queue;
+        std::uint64_t seed;
+        std::vector<Firing>& log;
+        int& next_id;
+        std::uint64_t& order;
+        int max_events;
+
+        void
+        schedule(int id)
+        {
+            const ScriptedEvent event = scriptedEvent(seed, id);
+            queue.schedule(queue.now() + event.delay, [this, id]() {
+                fire(id);
+            }, event.priority);
+        }
+
+        void
+        fire(int id)
+        {
+            log.push_back(Firing{id, queue.now(), order++});
+            const ScriptedEvent event = scriptedEvent(seed, id);
+            for (int c = 0; c < event.children; ++c) {
+                if (next_id >= max_events)
+                    return;
+                schedule(next_id++);
+            }
+        }
+    } driver{queue, seed, log, next_id, order, max_events};
+
+    for (int r = 0; r < roots; ++r)
+        driver.schedule(next_id++);
+    queue.run();
+    return log;
+}
+
+/** Drives the reference model through the same scripted run. */
+std::vector<Firing>
+runModel(std::uint64_t seed, int roots, int max_events)
+{
+    ModelQueue queue;
+    std::vector<Firing> log;
+    int next_id = 0;
+    std::uint64_t order = 0;
+
+    auto schedule = [&](int id) {
+        const ScriptedEvent event = scriptedEvent(seed, id);
+        queue.schedule(queue.now() + event.delay, id, event.priority);
+    };
+
+    for (int r = 0; r < roots; ++r)
+        schedule(next_id++);
+    int id = -1;
+    while (queue.step(id)) {
+        log.push_back(Firing{id, queue.now(), order++});
+        const ScriptedEvent event = scriptedEvent(seed, id);
+        for (int c = 0; c < event.children && next_id < max_events;
+             ++c)
+            schedule(next_id++);
+    }
+    return log;
+}
+
+TEST(EventQueueStress, MatchesReferenceModelAcrossSeeds)
+{
+    for (std::uint64_t seed :
+         {1ull, 2ull, 3ull, 17ull, 42ull, 99ull, 12345ull, 777777ull}) {
+        sim::EventQueue queue;
+        const std::vector<Firing> real =
+            runReal(queue, seed, /*roots=*/16, /*max_events=*/2000);
+        const std::vector<Firing> model =
+            runModel(seed, /*roots=*/16, /*max_events=*/2000);
+        ASSERT_EQ(real.size(), model.size()) << "seed " << seed;
+        for (std::size_t i = 0; i < real.size(); ++i)
+            ASSERT_TRUE(real[i] == model[i])
+                << "seed " << seed << " firing " << i << ": real (id "
+                << real[i].id << ", t " << real[i].when
+                << ") vs model (id " << model[i].id << ", t "
+                << model[i].when << ")";
+        EXPECT_TRUE(queue.empty()) << "seed " << seed;
+        EXPECT_EQ(queue.executedCount(), real.size());
+    }
+}
+
+TEST(EventQueueStress, ReusedQueueStaysConsistent)
+{
+    // One queue, many runs: slot recycling and pool growth from a
+    // previous run must not leak into the next one's ordering.
+    sim::EventQueue queue;
+    for (std::uint64_t seed : {5ull, 6ull, 7ull, 8ull}) {
+        queue.reset();
+        EXPECT_DOUBLE_EQ(queue.now(), 0.0);
+        const std::vector<Firing> real =
+            runReal(queue, seed, /*roots=*/8, /*max_events=*/500);
+        const std::vector<Firing> model =
+            runModel(seed, /*roots=*/8, /*max_events=*/500);
+        ASSERT_EQ(real, model) << "seed " << seed;
+    }
+}
+
+TEST(EventQueueStress, RunUntilHonorsDeadlineLikeTheModel)
+{
+    for (std::uint64_t seed : {11ull, 23ull, 31ull}) {
+        sim::EventQueue queue;
+        std::vector<int> fired;
+        util::Rng rng(seed);
+        const int events = 400;
+        for (int i = 0; i < events; ++i) {
+            const double when = rng.uniform(0.0, 10.0);
+            const int priority = static_cast<int>(rng.uniformInt(-1, 1));
+            queue.schedule(when, [&fired, i]() { fired.push_back(i); },
+                           priority);
+        }
+
+        ModelQueue model;
+        util::Rng model_rng(seed);
+        for (int i = 0; i < events; ++i) {
+            const double when = model_rng.uniform(0.0, 10.0);
+            const int priority =
+                static_cast<int>(model_rng.uniformInt(-1, 1));
+            model.schedule(when, i, priority);
+        }
+
+        // Drain in windows; events at exactly the deadline run.
+        for (double deadline : {2.5, 5.0, 5.0, 7.75, 11.0}) {
+            fired.clear();
+            const double end = queue.runUntil(deadline);
+            std::vector<int> expected;
+            int id = -1;
+            while (model.peekWithin(deadline) && model.step(id))
+                expected.push_back(id);
+            model.setNow(std::max(model.now(), deadline));
+            EXPECT_EQ(fired, expected)
+                << "seed " << seed << " deadline " << deadline;
+            EXPECT_DOUBLE_EQ(end, model.now())
+                << "seed " << seed << " deadline " << deadline;
+        }
+        EXPECT_TRUE(queue.empty());
+    }
+}
+
+} // namespace
+} // namespace ccube

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Tests for the sweep:: parallel runner. The load-bearing property is
+ * determinism: a grid executed with --jobs=8 must produce the same
+ * numeric results and the same absorbed obs capture, byte for byte,
+ * as --jobs=1 — that is what licenses the figure benches to fan out.
+ * Also covers task coverage, job clamping, exception propagation, and
+ * jobs-invariance of the parallel embedding search.
+ */
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/simulation.h"
+#include "simnet/channel.h"
+#include "simnet/double_tree_schedule.h"
+#include "sweep/sweep.h"
+#include "topo/dgx1.h"
+#include "topo/double_tree.h"
+#include "topo/embedding_search.h"
+#include "util/units.h"
+
+namespace ccube {
+namespace {
+
+sweep::Options
+withJobs(int jobs)
+{
+    sweep::Options options;
+    options.jobs = jobs;
+    return options;
+}
+
+TEST(SweepRun, RunsEveryTaskExactlyOnce)
+{
+    for (int jobs : {1, 2, 8}) {
+        for (std::size_t count : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{3}, std::size_t{64}}) {
+            std::vector<std::atomic<int>> hits(count);
+            sweep::runIndexed(withJobs(jobs), count,
+                              [&](std::size_t i) { ++hits[i]; });
+            for (std::size_t i = 0; i < count; ++i)
+                EXPECT_EQ(hits[i].load(), 1)
+                    << "jobs=" << jobs << " task " << i;
+        }
+    }
+}
+
+TEST(SweepRun, EffectiveJobsClampsToTaskCount)
+{
+    EXPECT_EQ(withJobs(8).effectiveJobs(3), 3);
+    EXPECT_EQ(withJobs(1).effectiveJobs(100), 1);
+    EXPECT_EQ(withJobs(4).effectiveJobs(100), 4);
+    EXPECT_GE(withJobs(0).effectiveJobs(100), 1); // hardware pick
+    EXPECT_EQ(withJobs(8).effectiveJobs(0), 8);
+}
+
+TEST(SweepRun, RethrowsFirstExceptionByTaskIndex)
+{
+    for (int jobs : {1, 8}) {
+        std::atomic<int> completed{0};
+        try {
+            sweep::runIndexed(withJobs(jobs), 64, [&](std::size_t i) {
+                if (i == 50)
+                    throw std::runtime_error("late failure");
+                if (i == 10)
+                    throw std::runtime_error("early failure");
+                ++completed;
+            });
+            FAIL() << "expected a rethrown task exception";
+        } catch (const std::runtime_error& error) {
+            // First by task index, not by completion order.
+            EXPECT_STREQ(error.what(), "early failure");
+        }
+        // The pool drains before rethrowing: every non-throwing task
+        // still ran.
+        EXPECT_EQ(completed.load(), 62);
+    }
+}
+
+// --- Byte-identical parallel grid ------------------------------------
+
+struct Cell {
+    double completion = 0.0;
+    double turnaround = 0.0;
+
+    bool
+    operator==(const Cell& other) const
+    {
+        // Exact equality on purpose: the parallel run executes the
+        // same serial simulations, so there is no tolerance to grant.
+        return completion == other.completion &&
+               turnaround == other.turnaround;
+    }
+};
+
+/**
+ * Runs a small fig14-style grid (message size × chunk count on the
+ * DGX-1 double tree) under an enabled trace capture and returns the
+ * trace JSON; per-cell results land in @p cells. Only simulated-time
+ * spans are recorded here, so the JSON is a pure function of the grid.
+ */
+std::string
+runGrid(int jobs, std::vector<Cell>& cells)
+{
+    const topo::Graph graph = topo::makeDgx1();
+    const topo::DoubleTreeEmbedding embedding =
+        topo::makeDgx1DoubleTree(graph);
+    const std::vector<double> sizes{util::mib(1), util::mib(4)};
+    const std::vector<int> chunk_counts{8, 32};
+
+    obs::TraceRecorder recorder;
+    recorder.enable();
+    std::string json;
+    {
+        // Make the local recorder the absorb target of the sweep, so
+        // the test neither touches nor depends on process-global obs
+        // state.
+        obs::ScopedTraceRedirect redirect(&recorder);
+        cells.assign(sizes.size() * chunk_counts.size(), Cell{});
+        sweep::runIndexed(
+            withJobs(jobs), cells.size(), [&](std::size_t i) {
+                const double bytes = sizes[i / chunk_counts.size()];
+                const int chunks =
+                    chunk_counts[i % chunk_counts.size()];
+                sim::Simulation sim;
+                simnet::Network net(sim, graph);
+                const auto result = simnet::runDoubleTreeSchedule(
+                    sim, net, embedding, bytes,
+                    simnet::PhaseMode::kOverlapped, chunks);
+                net.closeTraceEpoch(result.completion_time);
+                cells[i] =
+                    Cell{result.completion_time,
+                         result.turnaroundTime()};
+            });
+    }
+    std::ostringstream out;
+    recorder.writeJson(out);
+    return out.str();
+}
+
+TEST(SweepRun, ParallelGridMatchesSerialByteForByte)
+{
+    std::vector<Cell> serial_cells;
+    const std::string serial = runGrid(1, serial_cells);
+    ASSERT_FALSE(serial_cells.empty());
+    EXPECT_NE(serial.find("\"traceEvents\""), std::string::npos);
+    // The grid actually recorded channel spans, so the comparison
+    // below is not vacuous.
+    EXPECT_NE(serial.find("simnet"), std::string::npos);
+
+    for (int jobs : {2, 8}) {
+        std::vector<Cell> parallel_cells;
+        const std::string parallel = runGrid(jobs, parallel_cells);
+        EXPECT_EQ(serial_cells, parallel_cells) << "jobs=" << jobs;
+        EXPECT_EQ(serial, parallel) << "jobs=" << jobs;
+    }
+}
+
+TEST(SweepRun, MetricsMergeIsJobsInvariant)
+{
+    // Counters/histograms absorbed from per-task registries must not
+    // depend on the job count. (Gauges carrying wall-clock rates are
+    // excluded by construction: the tasks here record none.)
+    auto run = [](int jobs) {
+        obs::MetricRegistry registry;
+        registry.enable();
+        std::string json;
+        {
+            obs::ScopedMetricsRedirect redirect(&registry);
+            sweep::runIndexed(
+                withJobs(jobs), 8, [&](std::size_t i) {
+                    obs::MetricRegistry& sink =
+                        obs::MetricRegistry::global();
+                    sink.addCounter("sweep.test.tasks", 1.0);
+                    sink.observe("sweep.test.index",
+                                 static_cast<double>(i));
+                });
+        }
+        std::ostringstream out;
+        registry.writeJson(out);
+        return out.str();
+    };
+    const std::string serial = run(1);
+    EXPECT_NE(serial.find("sweep.test.tasks"), std::string::npos);
+    EXPECT_EQ(serial, run(8));
+}
+
+TEST(SweepRun, EmbeddingSearchIsJobsInvariant)
+{
+    const topo::Graph dgx1 = topo::makeDgx1();
+    for (std::uint64_t seed : {7ull, 42ull}) {
+        topo::EmbeddingSearchOptions serial_options;
+        serial_options.seed = seed;
+        serial_options.jobs = 1;
+        topo::EmbeddingSearchOptions parallel_options = serial_options;
+        parallel_options.jobs = 8;
+        const auto a =
+            topo::findConflictFreeDoubleTree(dgx1, serial_options);
+        const auto b =
+            topo::findConflictFreeDoubleTree(dgx1, parallel_options);
+        ASSERT_TRUE(a.has_value()) << "seed " << seed;
+        ASSERT_TRUE(b.has_value()) << "seed " << seed;
+        EXPECT_EQ(a->tree0.tree.edges(), b->tree0.tree.edges());
+        EXPECT_EQ(a->tree1.tree.edges(), b->tree1.tree.edges());
+        for (const auto& trees :
+             {std::make_pair(&a->tree0, &b->tree0),
+              std::make_pair(&a->tree1, &b->tree1)}) {
+            ASSERT_EQ(trees.first->routes.size(),
+                      trees.second->routes.size());
+            for (std::size_t r = 0; r < trees.first->routes.size();
+                 ++r)
+                EXPECT_EQ(trees.first->routes[r].hops,
+                          trees.second->routes[r].hops);
+        }
+    }
+}
+
+} // namespace
+} // namespace ccube
