@@ -1,9 +1,13 @@
 #include "ccl/communicator.h"
 
+#include <cstdlib>
+#include <exception>
+#include <sstream>
 #include <string>
 #include <thread>
 
 #include "obs/context.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 
@@ -16,7 +20,8 @@ Communicator::Communicator(int num_ranks, int mailbox_slots,
       mailbox_slots_(mailbox_slots),
       exec_mode_(exec_mode),
       table_(static_cast<std::size_t>(num_ranks) *
-             static_cast<std::size_t>(num_ranks) * kMaxFlows)
+             static_cast<std::size_t>(num_ranks) * kMaxFlows),
+      fault_(num_ranks)
 {
     CCUBE_CHECK(num_ranks >= 1, "need at least one rank");
     CCUBE_CHECK(mailbox_slots >= 1, "need at least one mailbox slot");
@@ -57,6 +62,7 @@ Communicator::mailbox(int src, int dst, FlowId flow)
     box->setTraceLabel("mb " + std::to_string(src) + "->" +
                        std::to_string(dst) + "/f" +
                        std::to_string(flow));
+    box->setFlowId(flow);
     entry.store(box, std::memory_order_release);
     return *box;
 }
@@ -71,10 +77,119 @@ Communicator::executor()
     return *executor_;
 }
 
-void
-Communicator::run(const std::function<void(int rank)>& body)
+std::chrono::nanoseconds
+Communicator::defaultDeadline()
 {
-    executor().run(body);
+    static const std::chrono::nanoseconds deadline = []() {
+        const char* env = std::getenv("CCUBE_CCL_DEADLINE_MS");
+        if (env == nullptr)
+            return std::chrono::nanoseconds{0};
+        const long ms = std::strtol(env, nullptr, 10);
+        if (ms <= 0)
+            return std::chrono::nanoseconds{0};
+        return std::chrono::nanoseconds{
+            std::chrono::milliseconds{ms}};
+    }();
+    return deadline;
+}
+
+void
+Communicator::setDeadline(std::chrono::nanoseconds deadline)
+{
+    deadline_ = deadline;
+}
+
+void
+Communicator::setFaultInjector(FaultInjector* injector)
+{
+    fault_.setInjector(injector);
+}
+
+void
+Communicator::abort(CollectiveError::Info info)
+{
+    if (info.op.empty())
+        info.op = fault_.currentOp();
+    if (!fault_.abortState().trip(std::move(info)))
+        return; // already aborted this generation
+    const CollectiveError::Info& stored = fault_.abortState().info();
+    obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+    if (recorder.enabled())
+        recorder.instantEvent("ccl.abort", "ccl.fault",
+                              obs::pids::cclRank(stored.failed_rank),
+                              0, recorder.wallNowUs());
+    obs::MetricRegistry::global().addCounter("ccl.aborts", 1.0);
+    std::ostringstream msg;
+    msg << "aborting collective: " << CollectiveError(stored).what();
+    util::logWarn("ccl", msg.str());
+}
+
+void
+Communicator::clearAbort()
+{
+    // By the time an abort surfaces, run() has joined every rank and
+    // helper, so the mailboxes are quiescent — but they may still hold
+    // chunks the dead collective posted and never consumed. Flush them
+    // so the next collective starts from a clean channel state.
+    {
+        std::lock_guard<std::mutex> guard(create_mutex_);
+        for (const std::unique_ptr<Mailbox>& box : owned_)
+            box->reset();
+    }
+    fault_.abortState().clear();
+}
+
+void
+Communicator::run(const std::function<void(int rank)>& body,
+                  const char* op)
+{
+    // A tripped epoch poisons the communicator until clearAbort(),
+    // mirroring NCCL's post-abort semantics.
+    if (fault_.abortState().aborted())
+        throw CollectiveError(fault_.abortState().info());
+
+    fault_.beginCollective(op);
+
+    CommWatchdog* watchdog = nullptr;
+    const std::chrono::nanoseconds deadline = deadline_;
+    if (deadline.count() > 0) {
+        std::call_once(watchdog_once_, [this]() {
+            watchdog_ = std::make_unique<CommWatchdog>();
+        });
+        watchdog = watchdog_.get();
+        const double deadline_s =
+            std::chrono::duration<double>(deadline).count();
+        watchdog->arm(deadline, [this, deadline_s]() {
+            // Watchdog thread: snapshot progress, blame the slowest
+            // (or injector-killed) rank, trip the epoch so every
+            // bounded spin unblocks.
+            abort(fault_.deadlineInfo(deadline_s));
+        });
+    }
+
+    std::exception_ptr err;
+    try {
+        executor().run([this, &body](int rank) {
+            // Rank bodies (and, transitively, the helpers they submit)
+            // observe this communicator's abort epoch.
+            ScopedFaultContext fault_scope(&fault_);
+            body(rank);
+        });
+    } catch (...) {
+        err = std::current_exception();
+    }
+
+    if (watchdog != nullptr)
+        watchdog->disarm(); // blocks out an in-flight expiry callback
+    fault_.endCollective();
+
+    // Abort wins over the underlying exception (which is typically the
+    // AbortedWait/RankKilled that the abort itself provoked): callers
+    // get one structured error with the blame attached.
+    if (fault_.abortState().aborted())
+        throw CollectiveError(fault_.abortState().info());
+    if (err)
+        std::rethrow_exception(err);
 }
 
 void
@@ -89,8 +204,11 @@ Communicator::barrier()
         barrier_count_.store(0, std::memory_order_relaxed);
         barrier_sense_.store(1 - sense, std::memory_order_release);
     } else {
-        while (barrier_sense_.load(std::memory_order_acquire) == sense)
+        while (barrier_sense_.load(std::memory_order_acquire) ==
+               sense) {
+            abortPoll(); // a dead peer must not wedge the barrier
             std::this_thread::yield();
+        }
     }
 }
 

@@ -21,6 +21,7 @@
  */
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -28,6 +29,7 @@
 #include <vector>
 
 #include "ccl/executor.h"
+#include "ccl/fault.h"
 #include "ccl/mailbox.h"
 
 namespace ccube {
@@ -89,14 +91,58 @@ class Communicator
      * executor's persistent rank threads — and waits for all of them.
      * Nested helper roles (forwarding kernels, the overlapped reducer,
      * the second tree) go through executor().submit().
+     *
+     * @p op names the collective for watchdog/abort attribution (a
+     * string literal; stored by pointer). When a deadline is set (see
+     * setDeadline) a CommWatchdog watches the whole run: if any rank
+     * wedges past the deadline the abort epoch trips, every bounded
+     * spin unblocks, and run() throws a structured CollectiveError
+     * naming the failed rank, op, and blocked mailbox — instead of
+     * hanging. An abort poisons the communicator (like NCCL after
+     * ncclCommAbort): further run() calls rethrow until clearAbort().
      */
-    void run(const std::function<void(int rank)>& body);
+    void run(const std::function<void(int rank)>& body,
+             const char* op = "collective");
 
     /**
      * Sense-reversing barrier across all ranks; callable only from
      * inside run().
      */
     void barrier();
+
+    // ---- fault tolerance ----
+
+    /**
+     * Sets the per-collective watchdog deadline; zero disables the
+     * watchdog (the default unless CCUBE_CCL_DEADLINE_MS is set).
+     */
+    void setDeadline(std::chrono::nanoseconds deadline);
+
+    /** Current watchdog deadline (zero = disabled). */
+    std::chrono::nanoseconds deadline() const { return deadline_; }
+
+    /** Process default: CCUBE_CCL_DEADLINE_MS, else zero (disabled). */
+    static std::chrono::nanoseconds defaultDeadline();
+
+    /** Attaches a fault injector (borrowed; null detaches). */
+    void setFaultInjector(FaultInjector* injector);
+
+    /**
+     * Trips the abort epoch with @p info: every rank blocked in a
+     * bounded spin throws AbortedWait, the in-flight (or next) run()
+     * surfaces a CollectiveError. Callable from any thread — this is
+     * the ncclCommAbort analog the watchdog also uses.
+     */
+    void abort(CollectiveError::Info info);
+
+    /** Whether the abort epoch is tripped. */
+    bool aborted() const { return fault_.abortState().aborted(); }
+
+    /** Re-arms an aborted communicator for further collectives. */
+    void clearAbort();
+
+    /** The fault runtime shared with the sync primitives. */
+    CommFaultContext& faultContext() { return fault_; }
 
   private:
     std::size_t tableIndex(int src, int dst, FlowId flow) const;
@@ -113,6 +159,13 @@ class Communicator
 
     std::once_flag executor_once_;
     std::unique_ptr<RankExecutor> executor_;
+
+    // Fault tolerance: abort epoch + per-rank progress table, the
+    // watchdog (created on first deadline-armed run), the deadline.
+    CommFaultContext fault_;
+    std::chrono::nanoseconds deadline_ = defaultDeadline();
+    std::once_flag watchdog_once_;
+    std::unique_ptr<CommWatchdog> watchdog_;
 
     // Barrier state.
     std::atomic<int> barrier_count_{0};

@@ -55,7 +55,7 @@ doubleTreeAllReduce(Communicator& comm, RankBuffers& buffers,
         detail::treeRankBody(comm, rank, lower, embedding.tree0, split0,
                              mode, flows0, trace, /*chunk_id_offset=*/0);
         second.wait();
-    });
+    }, "double_tree_allreduce");
     return trace;
 }
 

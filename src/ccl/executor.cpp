@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "ccl/fault.h"
 #include "obs/context.h"
 #include "util/logging.h"
 
@@ -262,6 +263,11 @@ RankExecutor::submit(Group& group, int rank, const char* role,
     CCUBE_CHECK(rank >= 0 && rank < num_ranks_,
                 "bad helper rank " << rank);
     CCUBE_CHECK(fn, "executor submit() needs a task");
+    // Helpers inherit the submitting thread's fault context so their
+    // spins observe the same abort epoch as the rank body that spawned
+    // them (otherwise an abort would unpark the mains but leave
+    // forwarding helpers wedged).
+    CommFaultContext* fault_ctx = CommFaultContext::current();
     {
         std::lock_guard<std::mutex> lock(group.mutex_);
         ++group.pending_;
@@ -278,8 +284,9 @@ RankExecutor::submit(Group& group, int rank, const char* role,
     if (mode_ == Mode::kPersistent) {
         Worker& worker = acquireHelper(rank);
         dispatch(worker, [this, &worker, rank, role, fn = std::move(fn),
-                          finish]() {
+                          finish, fault_ctx]() {
             obs::setThreadRank(rank);
+            ScopedFaultContext fault_scope(fault_ctx);
             char label[32];
             formatRole(label, sizeof(label), rank, role);
             obs::labelThread(label);
@@ -296,8 +303,10 @@ RankExecutor::submit(Group& group, int rank, const char* role,
             finish(err);
         });
     } else {
-        std::thread([rank, role, fn = std::move(fn), finish]() {
+        std::thread([rank, role, fn = std::move(fn), finish,
+                     fault_ctx]() {
             obs::setThreadRank(rank);
+            ScopedFaultContext fault_scope(fault_ctx);
             char label[32];
             formatRole(label, sizeof(label), rank, role);
             obs::labelThread(label);
@@ -331,6 +340,92 @@ std::int64_t
 RankExecutor::tasksExecuted() const
 {
     return tasks_executed_.load(std::memory_order_relaxed);
+}
+
+CommWatchdog::CommWatchdog()
+{
+    thread_ = std::thread([this]() { loop(); });
+}
+
+CommWatchdog::~CommWatchdog()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        armed_ = false;
+        stop_ = true;
+        ++generation_;
+    }
+    cv_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+}
+
+void
+CommWatchdog::arm(std::chrono::nanoseconds deadline,
+                  std::function<void()> on_expire)
+{
+    CCUBE_CHECK(on_expire, "watchdog needs an expiry callback");
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        CCUBE_CHECK(!armed_, "watchdog already armed");
+        armed_ = true;
+        fired_ = false;
+        ++generation_;
+        deadline_ = std::chrono::steady_clock::now() + deadline;
+        on_expire_ = std::move(on_expire);
+    }
+    cv_.notify_all();
+}
+
+void
+CommWatchdog::disarm()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    armed_ = false;
+    ++generation_;
+    cv_.notify_all();
+    // An expiry callback that already started keeps running without
+    // the lock; wait it out so the caller can rely on fired() and on
+    // the callback's side effects being complete.
+    cv_.wait(lock, [&]() { return !callback_running_; });
+}
+
+bool
+CommWatchdog::fired() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return fired_;
+}
+
+void
+CommWatchdog::loop()
+{
+    obs::labelThread("watchdog");
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        cv_.wait(lock, [&]() { return armed_ || stop_; });
+        if (stop_)
+            return;
+        const std::uint64_t generation = generation_;
+        const auto deadline = deadline_;
+        const bool expired = !cv_.wait_until(lock, deadline, [&]() {
+            return generation_ != generation || stop_;
+        });
+        if (!expired)
+            continue; // disarmed (or stopping) before the deadline
+        // Deadline passed while still armed: run the callback without
+        // the lock so it may take other locks (abort state, tracing).
+        std::function<void()> callback = std::move(on_expire_);
+        on_expire_ = nullptr;
+        armed_ = false;
+        fired_ = true;
+        callback_running_ = true;
+        lock.unlock();
+        callback();
+        lock.lock();
+        callback_running_ = false;
+        cv_.notify_all();
+    }
 }
 
 } // namespace ccl

@@ -22,11 +22,13 @@
  */
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 namespace ccube {
@@ -159,6 +161,63 @@ class RankExecutor
 
     std::atomic<int> helper_count_{0};
     std::atomic<std::int64_t> tasks_executed_{0};
+};
+
+/**
+ * Deadline watchdog for collectives: one lazy long-lived timer thread
+ * that, once armed, invokes a caller-supplied expiry callback if the
+ * deadline passes before disarm(). The Communicator arms it around
+ * every run() with a callback that trips the abort epoch — the
+ * host-side analog of NCCL's async error watchdog thread.
+ *
+ * arm()/disarm() pair per collective; disarm() blocks until any
+ * in-flight expiry callback has returned, so the caller can safely
+ * inspect fired() and tear down afterwards. Lives in the executor
+ * header because executor.cpp is the only translation unit in
+ * src/ccl/ allowed to construct std::thread.
+ */
+class CommWatchdog
+{
+  public:
+    CommWatchdog();
+
+    /** Stops and joins the timer thread (disarms first). */
+    ~CommWatchdog();
+
+    CommWatchdog(const CommWatchdog&) = delete;
+    CommWatchdog& operator=(const CommWatchdog&) = delete;
+
+    /**
+     * Starts a watch: if @p deadline elapses before disarm(),
+     * @p on_expire runs once on the watchdog thread. Must not be
+     * called while already armed.
+     */
+    void arm(std::chrono::nanoseconds deadline,
+             std::function<void()> on_expire);
+
+    /**
+     * Cancels the watch. Blocks until an expiry callback that already
+     * started has returned, so after disarm() the callback is either
+     * fully done (fired() == true) or will never run.
+     */
+    void disarm();
+
+    /** Whether the most recent watch expired (callback ran). */
+    bool fired() const;
+
+  private:
+    void loop();
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::thread thread_;
+    std::uint64_t generation_ = 0; ///< bumped by arm/disarm
+    bool armed_ = false;
+    bool stop_ = false;
+    bool callback_running_ = false;
+    bool fired_ = false;
+    std::chrono::steady_clock::time_point deadline_{};
+    std::function<void()> on_expire_;
 };
 
 } // namespace ccl

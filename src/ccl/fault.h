@@ -1,0 +1,331 @@
+#ifndef CCUBE_CCL_FAULT_H_
+#define CCUBE_CCL_FAULT_H_
+
+/**
+ * @file
+ * Fault tolerance for the functional collective runtime.
+ *
+ * The paper's persistent-kernel protocol (Fig. 11 lock/unlock/post/
+ * wait/check) assumes every peer eventually arrives: a hung or dead
+ * rank turns every collective into a silent spin-deadlock. Production
+ * stacks (NCCL's async error propagation + ncclCommAbort) pair the
+ * spin protocol with an abort channel; this header is that channel.
+ *
+ * The pieces:
+ *
+ *   - AbortState     — a per-communicator *abort epoch*. Even values
+ *                      mean "running"; tripping an abort flips the
+ *                      epoch odd and stores a structured description.
+ *                      Every bounded spin in ccl:: polls the epoch of
+ *                      the thread's installed CommFaultContext and
+ *                      bails with AbortedWait instead of spinning
+ *                      forever.
+ *   - CollectiveError— the structured, user-facing error a failed
+ *                      collective surfaces (failed rank, op, mailbox,
+ *                      flow, last posted sequence number) instead of a
+ *                      hang.
+ *   - CommFaultContext — per-communicator runtime state: the abort
+ *                      epoch, a per-rank progress table (mailbox ops,
+ *                      last posted seq, current blocking wait site)
+ *                      that the watchdog snapshots to attribute a
+ *                      deadline overrun to the slowest rank, and the
+ *                      optional FaultInjector.
+ *   - FaultInjector  — test hook that kills, stalls, or delays a
+ *                      chosen rank at a chosen mailbox operation, so
+ *                      every abort path is actually exercised.
+ *
+ * Threading: rank bodies and their helpers install the communicator's
+ * context via ScopedFaultContext (the Communicator and RankExecutor do
+ * this automatically); the watchdog thread only reads atomics and
+ * trips the epoch.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ccube {
+namespace ccl {
+
+/**
+ * Structured description of an aborted collective — what NCCL would
+ * report through ncclCommGetAsyncError, with C-Cube-level detail.
+ */
+class CollectiveError : public std::runtime_error
+{
+  public:
+    struct Info {
+        int failed_rank = -1;       ///< rank blamed for the abort
+        std::string op;             ///< collective op ("tree_allreduce")
+        std::string mailbox;        ///< wait-site mailbox label ("" unknown)
+        int flow = -1;              ///< flow id of that mailbox
+        std::int64_t last_posted_seq = -1; ///< failed rank's last post
+        std::int64_t ops_completed = -1;   ///< failed rank's mailbox ops
+        double deadline_s = 0.0;    ///< configured deadline (0 = manual)
+        std::string reason;         ///< human-readable cause
+    };
+
+    explicit CollectiveError(Info info);
+
+    /** The structured fields (the what() string is derived from them). */
+    const Info& info() const { return info_; }
+
+  private:
+    Info info_;
+};
+
+/**
+ * Thrown out of a bounded spin (semaphore wait, lock, barrier, check)
+ * when the communicator's abort epoch flips. Internal control flow:
+ * Communicator::run converts it into the communicator's structured
+ * CollectiveError before returning to the caller.
+ */
+class AbortedWait : public std::runtime_error
+{
+  public:
+    AbortedWait();
+};
+
+/** Thrown by the FaultInjector to simulate a rank dying mid-collective. */
+class RankKilled : public std::runtime_error
+{
+  public:
+    explicit RankKilled(int rank);
+
+    int rank() const { return rank_; }
+
+  private:
+    int rank_;
+};
+
+/**
+ * The per-communicator abort epoch plus the first-abort-wins error
+ * record. Epoch parity is the wire protocol: even = running, odd =
+ * aborted; clear() re-arms by advancing to the next even value, so a
+ * generation count is carried for free.
+ */
+class AbortState
+{
+  public:
+    AbortState() = default;
+    AbortState(const AbortState&) = delete;
+    AbortState& operator=(const AbortState&) = delete;
+
+    /** True while tripped (epoch odd). One relaxed load — this is the
+     *  poll every bounded spin performs. */
+    bool aborted() const
+    {
+        return (epoch_.load(std::memory_order_acquire) & 1) != 0;
+    }
+
+    /** Current epoch value (parity = abort flag). */
+    std::uint64_t epoch() const
+    {
+        return epoch_.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Trips the abort: stores @p info and flips the epoch odd. Only
+     * the first trip per generation wins; returns whether this call
+     * was it.
+     */
+    bool trip(CollectiveError::Info info);
+
+    /** Re-arms after an abort was consumed (epoch odd → next even). */
+    void clear();
+
+    /** The stored description; meaningful while aborted(). */
+    CollectiveError::Info info() const;
+
+  private:
+    std::atomic<std::uint64_t> epoch_{0};
+    mutable std::mutex mutex_;
+    CollectiveError::Info info_;
+};
+
+/**
+ * Deterministic fault injection for abort-path testing: kill (throw
+ * RankKilled), stall (spin until the abort epoch flips), or delay a
+ * chosen rank when it reaches a chosen mailbox operation. Arm any
+ * number of faults; each fires at most once per arm().
+ */
+class FaultInjector
+{
+  public:
+    enum class Action {
+        kKill,  ///< rank dies: throws RankKilled out of the mailbox op
+        kStall, ///< rank wedges: spins until aborted, then AbortedWait
+        kDelay, ///< rank hiccups: sleeps delay_s, then proceeds
+    };
+
+    struct Fault {
+        int rank = -1;            ///< rank to fault
+        Action action = Action::kKill;
+        std::int64_t at_op = 0;   ///< fire before the rank's at_op-th
+                                  ///< mailbox operation (0 = pre-post)
+        double delay_s = 0.0;     ///< sleep length for kDelay
+    };
+
+    FaultInjector() = default;
+    FaultInjector(const FaultInjector&) = delete;
+    FaultInjector& operator=(const FaultInjector&) = delete;
+
+    /** Adds @p fault to the plan. */
+    void arm(const Fault& fault);
+
+    /** Clears the plan and the per-rank op counters. */
+    void reset();
+
+    /** Mailbox operations observed for @p rank so far. */
+    std::int64_t opsSeen(int rank) const;
+
+    /**
+     * Runtime side: counts one mailbox operation for @p rank and
+     * checks the plan. Returns true (filling @p out) when an armed
+     * fault fires at this operation; each armed fault fires once.
+     */
+    bool onOp(int rank, Fault* out);
+
+  private:
+    static constexpr int kMaxRanks = 64;
+
+    struct alignas(64) Slot {
+        std::atomic<std::int64_t> ops{0};
+    };
+
+    Slot slots_[kMaxRanks];
+    mutable std::mutex mutex_;
+    std::vector<Fault> plan_;
+    std::vector<bool> fired_;
+};
+
+/**
+ * Per-communicator fault runtime: abort epoch, per-rank progress
+ * table, optional injector. Installed thread-locally on every rank
+ * (and helper) thread of a running collective so the sync primitives
+ * can poll the abort epoch without any signature plumbing — the
+ * host-side analog of the abort flag the paper's persistent kernels
+ * would poll in their spin loops.
+ */
+class CommFaultContext
+{
+  public:
+    explicit CommFaultContext(int num_ranks);
+    CommFaultContext(const CommFaultContext&) = delete;
+    CommFaultContext& operator=(const CommFaultContext&) = delete;
+
+    int numRanks() const { return num_ranks_; }
+
+    AbortState& abortState() { return abort_; }
+    const AbortState& abortState() const { return abort_; }
+
+    /** Attaches @p injector (borrowed; null detaches). */
+    void setInjector(FaultInjector* injector);
+
+    FaultInjector* injector() const
+    {
+        return injector_.load(std::memory_order_acquire);
+    }
+
+    /** Marks the start of a collective named @p op (a string literal —
+     *  the pointer is stored, not the contents). */
+    void beginCollective(const char* op);
+
+    /** Marks the end of the collective (progress table kept for
+     *  post-mortem reads until the next beginCollective). */
+    void endCollective();
+
+    /** Name of the running (or last) collective. */
+    const char* currentOp() const;
+
+    // ---- hooks called by Mailbox on the acting rank's thread ----
+
+    /**
+     * Called at the top of every mailbox send/recv. Runs the injector
+     * (may throw RankKilled, stall until abort, or sleep) and counts
+     * the op against the calling thread's rank.
+     */
+    void onMailboxOp(const std::string& label, int flow);
+
+    /** Declares the calling rank blocked on @p label / @p flow. */
+    void noteWaitBegin(const char* label, int flow);
+
+    /** Clears the calling rank's blocked-on record. */
+    void noteWaitEnd();
+
+    /** Records the calling rank's last posted mailbox sequence. */
+    void notePosted(std::int64_t seq);
+
+    // ---- watchdog side ----
+
+    /**
+     * Attribution snapshot for a deadline overrun: blames the first
+     * rank marked dead by the injector, else the running rank with the
+     * fewest completed mailbox ops, and reports that rank's blocked
+     * wait site and last posted sequence number.
+     */
+    CollectiveError::Info deadlineInfo(double deadline_s) const;
+
+    /** Marks @p rank dead (killed or wedged by the injector). */
+    void markDead(int rank);
+
+    /** The context installed on the calling thread (null outside a
+     *  running collective). */
+    static CommFaultContext* current();
+
+  private:
+    friend class ScopedFaultContext;
+
+    struct alignas(64) RankSlot {
+        std::atomic<std::int64_t> ops{0};
+        std::atomic<std::int64_t> posted_seq{-1};
+        std::atomic<const char*> wait_label{nullptr};
+        std::atomic<int> wait_flow{-1};
+        std::atomic<bool> dead{false};
+    };
+
+    RankSlot& slotForCurrentThread();
+
+    const int num_ranks_;
+    std::vector<RankSlot> slots_;
+    AbortState abort_;
+    std::atomic<const char*> op_{nullptr};
+    std::atomic<FaultInjector*> injector_{nullptr};
+};
+
+/**
+ * RAII thread-local install of a communicator's fault context; nests
+ * (restores the previous context on destruction). A null context is a
+ * no-op installation.
+ */
+class ScopedFaultContext
+{
+  public:
+    explicit ScopedFaultContext(CommFaultContext* context);
+    ~ScopedFaultContext();
+
+    ScopedFaultContext(const ScopedFaultContext&) = delete;
+    ScopedFaultContext& operator=(const ScopedFaultContext&) = delete;
+
+  private:
+    CommFaultContext* previous_;
+};
+
+/**
+ * Poll point for bounded spins: throws AbortedWait when the calling
+ * thread's installed context has tripped its abort epoch. A thread
+ * with no context (plain tests, non-collective use) never throws —
+ * the cost is one thread-local load.
+ */
+void abortPoll();
+
+/** Non-throwing form of abortPoll(). */
+bool abortPending();
+
+} // namespace ccl
+} // namespace ccube
+
+#endif // CCUBE_CCL_FAULT_H_

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "ccl/fault.h"
 #include "ccl/reduce_kernels.h"
 #include "obs/context.h"
 #include "obs/trace.h"
@@ -45,8 +46,34 @@ Mailbox::setTraceLabel(std::string label)
 }
 
 void
+Mailbox::reset()
+{
+    for (Slot& slot : ring_) {
+        slot.size = 0;
+        slot.tag = 0;
+    }
+    full_.reset(0);
+    empty_.reset(slots());
+    head_ = 0;
+    tail_ = 0;
+    post_seq_ = 0;
+    wait_seq_ = 0;
+    delivered_.reset();
+}
+
+void
+Mailbox::setFlowId(int flow)
+{
+    flow_ = flow;
+}
+
+void
 Mailbox::send(std::span<const float> data, int tag)
 {
+    CommFaultContext* fault = CommFaultContext::current();
+    if (fault != nullptr)
+        fault->onMailboxOp(trace_label_, flow_); // may throw (injector)
+
     obs::RankCounters& counters = obs::RankCounters::global();
     counters.addMailboxSend();
     // Flow control (paper Fig. 11): all receive buffers occupied means
@@ -57,6 +84,8 @@ Mailbox::send(std::span<const float> data, int tag)
         counters.addSlotFullStall();
 
     const std::int64_t seq = post_seq_++;
+    if (fault != nullptr)
+        fault->noteWaitBegin(trace_label_.c_str(), flow_);
     obs::TraceRecorder& recorder = obs::TraceRecorder::global();
     if (recorder.enabled()) {
         obs::ScopedSpan span(recorder, "post " + trace_label_,
@@ -69,6 +98,10 @@ Mailbox::send(std::span<const float> data, int tag)
         empty_.wait(); // block while all receive buffers are occupied
     } else {
         empty_.wait();
+    }
+    if (fault != nullptr) {
+        fault->noteWaitEnd();
+        fault->notePosted(seq);
     }
     Slot& slot = ring_[head_];
     // Fixed-capacity fast path: the slot buffer grows at most once per
@@ -86,8 +119,14 @@ template <typename Fn>
 int
 Mailbox::consumeSlot(Fn&& consume)
 {
+    CommFaultContext* fault = CommFaultContext::current();
+    if (fault != nullptr)
+        fault->onMailboxOp(trace_label_, flow_); // may throw (injector)
+
     obs::RankCounters::global().addMailboxRecv();
     const std::int64_t seq = wait_seq_++;
+    if (fault != nullptr)
+        fault->noteWaitBegin(trace_label_.c_str(), flow_);
     obs::TraceRecorder& recorder = obs::TraceRecorder::global();
     if (recorder.enabled()) {
         obs::ScopedSpan span(recorder, "wait " + trace_label_,
@@ -98,6 +137,8 @@ Mailbox::consumeSlot(Fn&& consume)
     } else {
         full_.wait();
     }
+    if (fault != nullptr)
+        fault->noteWaitEnd();
     Slot& slot = ring_[tail_];
     const int tag = slot.tag;
     consume(slot);

@@ -101,6 +101,25 @@ class Mailbox
      */
     void setTraceLabel(std::string label);
 
+    /**
+     * Flow id this mailbox carries (Communicator::Flow), reported in
+     * CollectiveError when a rank is caught blocked here. -1 when the
+     * mailbox lives outside a communicator.
+     */
+    void setFlowId(int flow);
+
+    int flowId() const { return flow_; }
+
+    /**
+     * Discards any undelivered chunks and reinitializes the flow-
+     * control state, as if freshly constructed (slot capacity is
+     * kept). Only valid while no thread is using the mailbox — the
+     * Communicator calls this from clearAbort(), after an aborted
+     * collective has fully unwound, so the next collective does not
+     * consume stale in-flight messages.
+     */
+    void reset();
+
   private:
     struct Slot {
         std::vector<float> data; ///< capacity persists across reuse
@@ -126,6 +145,7 @@ class Mailbox
     std::int64_t wait_seq_ = 0; ///< consumer thread only
     CheckableCounter delivered_;
     std::string trace_label_ = "mb ?";
+    int flow_ = -1;
 };
 
 } // namespace ccl

@@ -115,7 +115,7 @@ treeBroadcast(Communicator& comm, RankBuffers& buffers,
             }
         }
         forwarders.wait();
-    });
+    }, "tree_broadcast");
 }
 
 void
@@ -160,7 +160,7 @@ treeReduce(Communicator& comm, RankBuffers& buffers,
             }
         }
         forwarders.wait();
-    });
+    }, "tree_reduce");
 }
 
 void
@@ -197,7 +197,7 @@ ringReduceScatter(Communicator& comm, RankBuffers& buffers,
             CCUBE_CHECK(tag == recv_chunk,
                         "reduce-scatter chunk out of sequence");
         }
-    });
+    }, "ring_reduce_scatter");
 }
 
 void
@@ -234,7 +234,7 @@ ringAllGather(Communicator& comm, RankBuffers& buffers,
             CCUBE_CHECK(tag == recv_chunk,
                         "allgather chunk out of sequence");
         }
-    });
+    }, "ring_all_gather");
 }
 
 AllReduceTrace

@@ -86,7 +86,7 @@ ringAllReduce(Communicator& comm, RankBuffers& buffers,
                 trace.record(rank, recv_chunk);
             }
         }
-    });
+    }, "ring_allreduce");
     return trace;
 }
 

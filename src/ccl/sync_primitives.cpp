@@ -3,18 +3,68 @@
 #include <cstdint>
 #include <thread>
 
+#include "ccl/fault.h"
 #include "obs/context.h"
 #include "util/logging.h"
 
 namespace ccube {
 namespace ccl {
 
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+/**
+ * Stall-time bookkeeping for the semaphore slow paths: the first
+ * blocked iteration timestamps; destruction reports elapsed wall time
+ * to the per-rank counters. One steady_clock read per end, only ever
+ * on an already-slow path.
+ */
+class StallTimer
+{
+  public:
+    enum class Kind { kPost, kWait };
+
+    explicit StallTimer(Kind kind)
+        : kind_(kind), start_(SteadyClock::now())
+    {
+    }
+
+    ~StallTimer()
+    {
+        const std::uint64_t ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                SteadyClock::now() - start_)
+                .count());
+        if (ns == 0)
+            return;
+        obs::RankCounters& counters = obs::RankCounters::global();
+        if (kind_ == Kind::kPost)
+            counters.addPostStallNs(ns);
+        else
+            counters.addWaitStallNs(ns);
+    }
+
+    bool expired(std::chrono::nanoseconds timeout) const
+    {
+        return SteadyClock::now() - start_ >= timeout;
+    }
+
+  private:
+    const Kind kind_;
+    const SteadyClock::time_point start_;
+};
+
+} // namespace
+
 void
 SpinLock::lock()
 {
     // Paper: while atomicCAS(lock,0,1) != 0 {} followed by a fence.
     // acquire ordering plays the role of the threadfence; yield keeps
-    // the protocol live on oversubscribed CPU cores.
+    // the protocol live on oversubscribed CPU cores. The periodic
+    // abortPoll bounds the spin: it throws while the lock is NOT held,
+    // so an abort can never leak a locked SpinLock.
     int expected = 0;
     std::uint64_t retries = 0;
     while (!flag_.compare_exchange_weak(expected, 1,
@@ -22,12 +72,44 @@ SpinLock::lock()
                                         std::memory_order_relaxed)) {
         expected = 0;
         ++retries;
+        if (retries % kAbortPollInterval == 0)
+            abortPoll();
         std::this_thread::yield();
     }
     // Contention telemetry, attributed to the current rank; the fast
     // path (CAS succeeds first try) records nothing.
     if (retries > 0)
         obs::RankCounters::global().addCasRetries(retries);
+}
+
+bool
+SpinLock::lockFor(std::chrono::nanoseconds timeout)
+{
+    int expected = 0;
+    std::uint64_t retries = 0;
+    SteadyClock::time_point deadline{};
+    bool deadline_set = false;
+    while (!flag_.compare_exchange_weak(expected, 1,
+                                        std::memory_order_acquire,
+                                        std::memory_order_relaxed)) {
+        expected = 0;
+        ++retries;
+        if (retries % kAbortPollInterval == 0)
+            abortPoll();
+        // The deadline clock starts on the first failed attempt so the
+        // uncontended path never reads the clock at all.
+        if (!deadline_set) {
+            deadline = SteadyClock::now() + timeout;
+            deadline_set = true;
+        } else if (SteadyClock::now() >= deadline) {
+            obs::RankCounters::global().addCasRetries(retries);
+            return false;
+        }
+        std::this_thread::yield();
+    }
+    if (retries > 0)
+        obs::RankCounters::global().addCasRetries(retries);
+    return true;
 }
 
 void
@@ -41,9 +123,14 @@ bool
 SpinLock::tryLock()
 {
     int expected = 0;
-    return flag_.compare_exchange_strong(expected, 1,
-                                         std::memory_order_acquire,
-                                         std::memory_order_relaxed);
+    if (flag_.compare_exchange_strong(expected, 1,
+                                      std::memory_order_acquire,
+                                      std::memory_order_relaxed))
+        return true;
+    // A failed tryLock is one failed CAS — same contention signal as a
+    // retry inside lock(), so it lands in the same counter.
+    obs::RankCounters::global().addCasRetries(1);
+    return false;
 }
 
 BoundedSemaphore::BoundedSemaphore(int capacity, int initial)
@@ -58,14 +145,17 @@ void
 BoundedSemaphore::post()
 {
     // Paper's post(): lock; while cnt == capacity { unlock; lock; }
-    // ++cnt; unlock.
+    // ++cnt; unlock. The abort poll runs while the lock is dropped.
     lock_.lock();
-    if (count_ == capacity_)
+    if (count_ == capacity_) {
         obs::RankCounters::global().addPostStall();
-    while (count_ == capacity_) {
-        lock_.unlock();
-        std::this_thread::yield();
-        lock_.lock();
+        StallTimer timer(StallTimer::Kind::kPost);
+        while (count_ == capacity_) {
+            lock_.unlock();
+            abortPoll();
+            std::this_thread::yield();
+            lock_.lock();
+        }
     }
     ++count_;
     lock_.unlock();
@@ -77,15 +167,60 @@ BoundedSemaphore::wait()
     // Paper's wait(): lock; while cnt == 0 { unlock; lock; } --cnt;
     // unlock.
     lock_.lock();
-    if (count_ == 0)
+    if (count_ == 0) {
         obs::RankCounters::global().addWaitStall();
-    while (count_ == 0) {
-        lock_.unlock();
-        std::this_thread::yield();
-        lock_.lock();
+        StallTimer timer(StallTimer::Kind::kWait);
+        while (count_ == 0) {
+            lock_.unlock();
+            abortPoll();
+            std::this_thread::yield();
+            lock_.lock();
+        }
     }
     --count_;
     lock_.unlock();
+}
+
+bool
+BoundedSemaphore::postFor(std::chrono::nanoseconds timeout)
+{
+    lock_.lock();
+    if (count_ == capacity_) {
+        obs::RankCounters::global().addPostStall();
+        StallTimer timer(StallTimer::Kind::kPost);
+        while (count_ == capacity_) {
+            lock_.unlock();
+            abortPoll();
+            if (timer.expired(timeout))
+                return false;
+            std::this_thread::yield();
+            lock_.lock();
+        }
+    }
+    ++count_;
+    lock_.unlock();
+    return true;
+}
+
+bool
+BoundedSemaphore::waitFor(std::chrono::nanoseconds timeout)
+{
+    lock_.lock();
+    if (count_ == 0) {
+        obs::RankCounters::global().addWaitStall();
+        StallTimer timer(StallTimer::Kind::kWait);
+        while (count_ == 0) {
+            lock_.unlock();
+            abortPoll();
+            if (timer.expired(timeout))
+                return false;
+            std::this_thread::yield();
+            lock_.lock();
+        }
+    }
+    --count_;
+    lock_.unlock();
+    return true;
 }
 
 int
@@ -93,6 +228,15 @@ BoundedSemaphore::value() const
 {
     SpinLockGuard guard(lock_);
     return count_;
+}
+
+void
+BoundedSemaphore::reset(int value)
+{
+    CCUBE_CHECK(value >= 0 && value <= capacity_,
+                "semaphore reset value " << value << " out of range");
+    SpinLockGuard guard(lock_);
+    count_ = value;
 }
 
 void
@@ -110,10 +254,30 @@ CheckableCounter::check(std::int64_t value) const
     lock_.lock();
     while (count_ < value) {
         lock_.unlock();
+        abortPoll();
         std::this_thread::yield();
         lock_.lock();
     }
     lock_.unlock();
+}
+
+bool
+CheckableCounter::checkFor(std::int64_t value,
+                           std::chrono::nanoseconds timeout) const
+{
+    const SteadyClock::time_point deadline =
+        SteadyClock::now() + timeout;
+    lock_.lock();
+    while (count_ < value) {
+        lock_.unlock();
+        abortPoll();
+        if (SteadyClock::now() >= deadline)
+            return false;
+        std::this_thread::yield();
+        lock_.lock();
+    }
+    lock_.unlock();
+    return true;
 }
 
 bool

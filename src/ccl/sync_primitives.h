@@ -12,9 +12,18 @@
  * the faithful host-side analog over std::atomic: the same protocol,
  * with the single concession that spin loops yield to the OS scheduler
  * (a persistent GPU kernel never needs to yield; a CPU thread does).
+ *
+ * Every blocking spin is *bounded*: each iteration polls the abort
+ * epoch of the calling thread's installed ccl::CommFaultContext (see
+ * fault.h) and throws AbortedWait when a watchdog or explicit
+ * Communicator::abort() has tripped it, so a dead peer can never
+ * wedge a waiter forever. Threads with no installed context pay one
+ * thread-local load per iteration and never throw. The *For variants
+ * additionally give up after a caller-supplied timeout.
  */
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 
 namespace ccube {
@@ -31,14 +40,25 @@ class SpinLock
     SpinLock(const SpinLock&) = delete;
     SpinLock& operator=(const SpinLock&) = delete;
 
-    /** Spins (yielding) until the CAS 0→1 succeeds. */
+    /** Spins (yielding) until the CAS 0→1 succeeds. Polls the abort
+     *  epoch every kAbortPollInterval retries. */
     void lock();
+
+    /**
+     * Deadline-aware lock(): returns false if the lock could not be
+     * acquired within @p timeout. Throws AbortedWait on abort.
+     */
+    bool lockFor(std::chrono::nanoseconds timeout);
 
     /** Releases: fence then store 0 (atomicExch in the paper). */
     void unlock();
 
-    /** Non-blocking acquisition attempt. */
+    /** Non-blocking acquisition attempt (failures count toward the
+     *  CAS-retry telemetry, like contended lock() spins). */
     bool tryLock();
+
+    /** Abort-epoch poll cadence inside lock()'s CAS loop. */
+    static constexpr std::uint64_t kAbortPollInterval = 64;
 
   private:
     std::atomic<int> flag_{0};
@@ -78,11 +98,29 @@ class BoundedSemaphore
     /** Decrements the count; blocks while count == 0. */
     void wait();
 
+    /**
+     * Deadline-aware post(): returns false if the count stayed at
+     * capacity for @p timeout. Throws AbortedWait on abort.
+     */
+    bool postFor(std::chrono::nanoseconds timeout);
+
+    /**
+     * Deadline-aware wait(): returns false if the count stayed zero
+     * for @p timeout. Throws AbortedWait on abort.
+     */
+    bool waitFor(std::chrono::nanoseconds timeout);
+
     /** Current count (racy snapshot, for tests/telemetry). */
     int value() const;
 
     /** Capacity. */
     int capacity() const { return capacity_; }
+
+    /**
+     * Forces the count back to @p value. Only valid while no thread is
+     * blocked on this semaphore (post-abort reinitialization).
+     */
+    void reset(int value);
 
   private:
     mutable SpinLock lock_;
@@ -110,6 +148,13 @@ class CheckableCounter
 
     /** Blocks until the counter is ≥ @p value (paper's check()). */
     void check(std::int64_t value) const;
+
+    /**
+     * Deadline-aware check(): returns false if the counter stayed
+     * below @p value for @p timeout. Throws AbortedWait on abort.
+     */
+    bool checkFor(std::int64_t value,
+                  std::chrono::nanoseconds timeout) const;
 
     /** Non-blocking form of check(). */
     bool checkNow(std::int64_t value) const;

@@ -155,10 +155,16 @@ treeRankBody(Communicator& comm, int rank, std::span<float> buffer,
     } else {
         // Overlapped: the reduction and broadcast pipelines run as
         // concurrent "persistent kernels" on this rank — the reducer
-        // on a pooled helper, the broadcaster inline.
-        executor.submit(helpers, rank, "reduce",
+        // on a pooled helper, the broadcaster inline. The reducer
+        // references this frame's locals, so it gets its own group
+        // declared *after* them: if broadcast_role throws (abort), the
+        // group's destructor joins the reducer before the unwind can
+        // free anything it still touches.
+        RankExecutor::Group reducer;
+        executor.submit(reducer, rank, "reduce",
                         [&reduction_role]() { reduction_role(); });
         broadcast_role();
+        reducer.wait();
     }
 
     helpers.wait();
@@ -190,7 +196,7 @@ treeAllReduce(Communicator& comm, RankBuffers& buffers,
             comm, rank,
             std::span<float>(buffers[static_cast<std::size_t>(rank)]),
             embedding, split, mode, flows, trace, /*chunk_id_offset=*/0);
-    });
+    }, "tree_allreduce");
     return trace;
 }
 

@@ -99,6 +99,18 @@ RankCounters::addWaitStall()
 }
 
 void
+RankCounters::addPostStallNs(std::uint64_t ns)
+{
+    current().post_stall_ns.fetch_add(ns, std::memory_order_relaxed);
+}
+
+void
+RankCounters::addWaitStallNs(std::uint64_t ns)
+{
+    current().wait_stall_ns.fetch_add(ns, std::memory_order_relaxed);
+}
+
+void
 RankCounters::addSlotFullStall()
 {
     current().slot_full_stalls.fetch_add(1, std::memory_order_relaxed);
@@ -162,6 +174,18 @@ std::uint64_t
 RankCounters::waitStalls(int rank) const
 {
     return slot(rank).wait_stalls.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+RankCounters::postStallNs(int rank) const
+{
+    return slot(rank).post_stall_ns.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+RankCounters::waitStallNs(int rank) const
+{
+    return slot(rank).wait_stall_ns.load(std::memory_order_relaxed);
 }
 
 std::uint64_t
@@ -256,6 +280,8 @@ RankCounters::exportTo(MetricRegistry& registry) const
         {"cas_retries", &RankCounters::casRetries},
         {"post_stalls", &RankCounters::postStalls},
         {"wait_stalls", &RankCounters::waitStalls},
+        {"post_stall_ns", &RankCounters::postStallNs},
+        {"wait_stall_ns", &RankCounters::waitStallNs},
         {"slot_full_stalls", &RankCounters::slotFullStalls},
         {"mailbox_sends", &RankCounters::mailboxSends},
         {"mailbox_recvs", &RankCounters::mailboxRecvs},
@@ -289,6 +315,8 @@ RankCounters::reset()
         s.cas_retries.store(0, std::memory_order_relaxed);
         s.post_stalls.store(0, std::memory_order_relaxed);
         s.wait_stalls.store(0, std::memory_order_relaxed);
+        s.post_stall_ns.store(0, std::memory_order_relaxed);
+        s.wait_stall_ns.store(0, std::memory_order_relaxed);
         s.slot_full_stalls.store(0, std::memory_order_relaxed);
         s.mailbox_sends.store(0, std::memory_order_relaxed);
         s.mailbox_recvs.store(0, std::memory_order_relaxed);

@@ -18,6 +18,11 @@
  *   - cas_retries      — failed CAS attempts inside SpinLock::lock();
  *   - post_stalls      — BoundedSemaphore::post() found count==capacity;
  *   - wait_stalls      — BoundedSemaphore::wait() found count==0;
+ *   - post_stall_ns / wait_stall_ns — wall time spent inside those
+ *                        stalls, so a watchdog report can name the
+ *                        slowest rank (a retry count alone can't
+ *                        distinguish one long wedge from many short
+ *                        ones);
  *   - slot_full_stalls — Mailbox::send() found every receive buffer
  *                        occupied (the flow-control backpressure of
  *                        the paper's bounded receive rings);
@@ -81,6 +86,12 @@ class RankCounters
     /** Records one wait() stall (count at zero). */
     void addWaitStall();
 
+    /** Adds @p ns of wall time spent stalled inside post(). */
+    void addPostStallNs(std::uint64_t ns);
+
+    /** Adds @p ns of wall time spent stalled inside wait(). */
+    void addWaitStallNs(std::uint64_t ns);
+
     /** Records one send() that found all receive buffers full. */
     void addSlotFullStall();
 
@@ -109,6 +120,8 @@ class RankCounters
     std::uint64_t casRetries(int rank) const;
     std::uint64_t postStalls(int rank) const;
     std::uint64_t waitStalls(int rank) const;
+    std::uint64_t postStallNs(int rank) const;
+    std::uint64_t waitStallNs(int rank) const;
     std::uint64_t slotFullStalls(int rank) const;
     std::uint64_t mailboxSends(int rank) const;
     std::uint64_t mailboxRecvs(int rank) const;
@@ -137,6 +150,8 @@ class RankCounters
         std::atomic<std::uint64_t> cas_retries{0};
         std::atomic<std::uint64_t> post_stalls{0};
         std::atomic<std::uint64_t> wait_stalls{0};
+        std::atomic<std::uint64_t> post_stall_ns{0};
+        std::atomic<std::uint64_t> wait_stall_ns{0};
         std::atomic<std::uint64_t> slot_full_stalls{0};
         std::atomic<std::uint64_t> mailbox_sends{0};
         std::atomic<std::uint64_t> mailbox_recvs{0};

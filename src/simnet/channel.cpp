@@ -14,6 +14,7 @@ Network::Network(sim::Simulation& simulation, const topo::Graph& graph,
     : sim_(simulation), graph_(graph), bandwidth_scale_(bandwidth_scale)
 {
     CCUBE_CHECK(bandwidth_scale > 0.0, "bandwidth scale must be positive");
+    channel_state_.resize(static_cast<std::size_t>(graph.channelCount()));
     resources_.reserve(static_cast<std::size_t>(graph.channelCount()));
     for (int id = 0; id < graph.channelCount(); ++id) {
         const topo::ChannelDesc& desc = graph.channel(id);
@@ -76,6 +77,25 @@ Network::transferOnChannel(int channel_id, double bytes, DoneFn done)
                     channel_id < static_cast<int>(resources_.size()),
                 "bad channel id " << channel_id);
     CCUBE_CHECK(bytes > 0.0, "non-positive transfer size");
+    if (channel_state_[static_cast<std::size_t>(channel_id)].failed) {
+        // Dead link: the transfer is lost and its completion callback
+        // never fires, so everything downstream of it stalls — the
+        // DES analog of traffic into a failed NVLink. The schedule
+        // ends with pending arrivals; see partialResult().
+        ++dropped_transfers_;
+        dropped_bytes_ += bytes;
+        obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+        if (recorder.enabled()) {
+            const topo::ChannelDesc& desc = graph_.channel(channel_id);
+            recorder.instantEvent("fault.transfer_dropped",
+                                  "simnet.fault",
+                                  obs::pids::simNode(desc.src),
+                                  channel_id,
+                                  recorder.simOffsetUs() +
+                                      sim_.now() * 1e6);
+        }
+        return;
+    }
     const double hold = occupancy(channel_id, bytes);
     net_bytes_ += bytes;
     ++net_transfers_;
@@ -164,13 +184,96 @@ Network::exportMetrics(obs::MetricRegistry& registry, double horizon,
         registry.observe(prefix + ".channel_utilization", utilization);
     }
     registry.setGauge(prefix + ".horizon_s", horizon);
+    if (dropped_transfers_ > 0) {
+        registry.setGauge(prefix + ".dropped_transfers",
+                          static_cast<double>(dropped_transfers_));
+        registry.setGauge(prefix + ".dropped_bytes", dropped_bytes_);
+    }
 }
 
 double
 Network::occupancy(int channel_id, double bytes) const
 {
     const topo::ChannelDesc& desc = graph_.channel(channel_id);
-    return desc.latency + bytes / (desc.bandwidth * bandwidth_scale_);
+    const double factor =
+        channel_state_[static_cast<std::size_t>(channel_id)].factor;
+    return desc.latency +
+           bytes / (desc.bandwidth * bandwidth_scale_ * factor);
+}
+
+void
+Network::failChannel(int channel_id)
+{
+    CCUBE_CHECK(channel_id >= 0 &&
+                    channel_id < static_cast<int>(resources_.size()),
+                "bad channel id " << channel_id);
+    channel_state_[static_cast<std::size_t>(channel_id)].failed = true;
+    obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+    if (recorder.enabled()) {
+        const topo::ChannelDesc& desc = graph_.channel(channel_id);
+        recorder.instantEvent("fault.channel_fail", "simnet.fault",
+                              obs::pids::simNode(desc.src), channel_id,
+                              recorder.simOffsetUs() +
+                                  sim_.now() * 1e6);
+    }
+}
+
+void
+Network::restoreChannel(int channel_id)
+{
+    CCUBE_CHECK(channel_id >= 0 &&
+                    channel_id < static_cast<int>(resources_.size()),
+                "bad channel id " << channel_id);
+    channel_state_[static_cast<std::size_t>(channel_id)].failed = false;
+    obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+    if (recorder.enabled()) {
+        const topo::ChannelDesc& desc = graph_.channel(channel_id);
+        recorder.instantEvent("fault.channel_restore", "simnet.fault",
+                              obs::pids::simNode(desc.src), channel_id,
+                              recorder.simOffsetUs() +
+                                  sim_.now() * 1e6);
+    }
+}
+
+void
+Network::setChannelBandwidthFactor(int channel_id, double factor)
+{
+    CCUBE_CHECK(channel_id >= 0 &&
+                    channel_id < static_cast<int>(resources_.size()),
+                "bad channel id " << channel_id);
+    CCUBE_CHECK(factor > 0.0, "bandwidth factor must be positive");
+    channel_state_[static_cast<std::size_t>(channel_id)].factor *=
+        factor;
+}
+
+void
+Network::slowNode(topo::NodeId node, double factor)
+{
+    CCUBE_CHECK(factor > 0.0, "bandwidth factor must be positive");
+    for (int id = 0; id < graph_.channelCount(); ++id) {
+        const topo::ChannelDesc& desc = graph_.channel(id);
+        if (desc.src == node || desc.dst == node)
+            channel_state_[static_cast<std::size_t>(id)].factor *=
+                factor;
+    }
+}
+
+bool
+Network::channelFailed(int channel_id) const
+{
+    CCUBE_CHECK(channel_id >= 0 &&
+                    channel_id < static_cast<int>(resources_.size()),
+                "bad channel id " << channel_id);
+    return channel_state_[static_cast<std::size_t>(channel_id)].failed;
+}
+
+double
+Network::channelBandwidthFactor(int channel_id) const
+{
+    CCUBE_CHECK(channel_id >= 0 &&
+                    channel_id < static_cast<int>(resources_.size()),
+                "bad channel id " << channel_id);
+    return channel_state_[static_cast<std::size_t>(channel_id)].factor;
 }
 
 } // namespace simnet

@@ -94,6 +94,45 @@ class Network
     /** Time one transfer of @p bytes occupies channel @p channel_id. */
     double occupancy(int channel_id, double bytes) const;
 
+    // ---- live fault state (driven by simnet::FaultPlan) ----
+
+    /**
+     * Marks @p channel_id failed: new transfer requests on it are
+     * dropped — the done callback never fires, so dependent flows
+     * stall exactly like traffic into a dead NVLink. Transfers already
+     * holding or queued on the channel complete normally (they were on
+     * the wire).
+     */
+    void failChannel(int channel_id);
+
+    /** Clears a failure; subsequent transfers proceed normally. */
+    void restoreChannel(int channel_id);
+
+    /**
+     * Scales @p channel_id's effective bandwidth by @p factor (> 0;
+     * multiplies onto any previous factor, so repeated degradations
+     * compound). Affects transfers requested after the call.
+     */
+    void setChannelBandwidthFactor(int channel_id, double factor);
+
+    /**
+     * Degrades every channel into or out of @p node by @p factor — a
+     * straggling GPU slows all of its links, not one of them.
+     */
+    void slowNode(topo::NodeId node, double factor);
+
+    /** Whether @p channel_id is currently failed. */
+    bool channelFailed(int channel_id) const;
+
+    /** Current bandwidth factor of @p channel_id (1.0 = healthy). */
+    double channelBandwidthFactor(int channel_id) const;
+
+    /** Transfers dropped on failed channels. */
+    std::uint64_t droppedTransfers() const { return dropped_transfers_; }
+
+    /** Bytes dropped on failed channels. */
+    double droppedBytes() const { return dropped_bytes_; }
+
     /** Total bytes pushed through the fabric (every channel). */
     double totalBytes() const { return net_bytes_; }
 
@@ -131,13 +170,22 @@ class Network
     const std::vector<int>& pairChannels(topo::NodeId src,
                                          topo::NodeId dst) const;
 
+    /** Per-channel mutable fault state (indexed by channel id). */
+    struct ChannelState {
+        bool failed = false;
+        double factor = 1.0; ///< live bandwidth multiplier
+    };
+
     sim::Simulation& sim_;
     const topo::Graph& graph_;
     double bandwidth_scale_;
     std::vector<std::unique_ptr<sim::FifoResource>> resources_;
     std::unordered_map<std::uint64_t, std::vector<int>> pair_channels_;
+    std::vector<ChannelState> channel_state_;
     double net_bytes_ = 0.0;
     std::uint64_t net_transfers_ = 0;
+    std::uint64_t dropped_transfers_ = 0;
+    double dropped_bytes_ = 0.0;
 };
 
 } // namespace simnet

@@ -1,0 +1,128 @@
+#include "simnet/fault_plan.h"
+
+#include "util/logging.h"
+
+namespace ccube {
+namespace simnet {
+
+FaultPlan&
+FaultPlan::failChannel(double at, int channel_id)
+{
+    FaultEvent event;
+    event.at = at;
+    event.kind = FaultEvent::Kind::kChannelFail;
+    event.channel_id = channel_id;
+    events_.push_back(event);
+    return *this;
+}
+
+FaultPlan&
+FaultPlan::restoreChannel(double at, int channel_id)
+{
+    FaultEvent event;
+    event.at = at;
+    event.kind = FaultEvent::Kind::kChannelRestore;
+    event.channel_id = channel_id;
+    events_.push_back(event);
+    return *this;
+}
+
+FaultPlan&
+FaultPlan::degradeChannel(double at, int channel_id, double factor)
+{
+    FaultEvent event;
+    event.at = at;
+    event.kind = FaultEvent::Kind::kChannelDegrade;
+    event.channel_id = channel_id;
+    event.factor = factor;
+    events_.push_back(event);
+    return *this;
+}
+
+FaultPlan&
+FaultPlan::slowNode(double at, topo::NodeId node, double factor)
+{
+    FaultEvent event;
+    event.at = at;
+    event.kind = FaultEvent::Kind::kNodeSlowdown;
+    event.node = node;
+    event.factor = factor;
+    events_.push_back(event);
+    return *this;
+}
+
+void
+applyFaultPlan(Network& network, const FaultPlan& plan)
+{
+    sim::Simulation& simulation = network.simulation();
+    for (const FaultEvent& event : plan.events()) {
+        CCUBE_CHECK(event.at >= simulation.now(),
+                    "fault event in the past: t=" << event.at);
+        // High priority so a fault scheduled at time t applies before
+        // any transfer requested at the same instant.
+        simulation.at(
+            event.at,
+            [&network, event]() {
+                switch (event.kind) {
+                case FaultEvent::Kind::kChannelFail:
+                    network.failChannel(event.channel_id);
+                    break;
+                case FaultEvent::Kind::kChannelRestore:
+                    network.restoreChannel(event.channel_id);
+                    break;
+                case FaultEvent::Kind::kChannelDegrade:
+                    network.setChannelBandwidthFactor(event.channel_id,
+                                                      event.factor);
+                    break;
+                case FaultEvent::Kind::kNodeSlowdown:
+                    network.slowNode(event.node, event.factor);
+                    break;
+                }
+            },
+            /*priority=*/-1);
+    }
+}
+
+FaultedRunResult
+runDoubleTreeWithFaults(sim::Simulation& simulation, Network& network,
+                        const topo::DoubleTreeEmbedding& embedding,
+                        double total_bytes, PhaseMode mode,
+                        int chunks_per_tree, const FaultPlan& plan,
+                        LanePolicy lanes)
+{
+    CCUBE_CHECK(total_bytes > 0.0, "non-positive payload");
+    CCUBE_CHECK(chunks_per_tree >= 1,
+                "need at least one chunk per tree");
+
+    const bool p2p = lanes == LanePolicy::kPointToPoint;
+    const int t0_up = 0;
+    const int t0_down = p2p ? 0 : 1;
+    const int t1_up = p2p ? 1 : 0;
+    const int t1_down = 1;
+    TreeSchedule first(network, embedding.tree0, total_bytes / 2.0,
+                       mode, chunks_per_tree, t0_up, t0_down);
+    TreeSchedule second(network, embedding.tree1, total_bytes / 2.0,
+                        mode, chunks_per_tree, t1_up, t1_down);
+    const std::uint64_t dropped_before = network.droppedTransfers();
+    const double at = simulation.now();
+    first.start(at);
+    second.start(at);
+    applyFaultPlan(network, plan);
+    // With a lethal plan the event queue simply drains (dropped
+    // transfers never complete, so no further events are scheduled)
+    // and run() returns with arrivals still pending — the DES analog
+    // of the hang the ccl watchdog exists to catch.
+    const double end = simulation.run();
+
+    FaultedRunResult out;
+    out.completed = first.finished() && second.finished();
+    out.end_time = end;
+    out.dropped_transfers =
+        network.droppedTransfers() - dropped_before;
+    out.result = first.partialResult(end);
+    out.result.merge(second.partialResult(end));
+    return out;
+}
+
+} // namespace simnet
+} // namespace ccube

@@ -163,6 +163,31 @@ TreeSchedule::result() const
     return out;
 }
 
+ScheduleResult
+TreeSchedule::partialResult(double stalled_at) const
+{
+    ScheduleResult out;
+    out.num_chunks = num_chunks_;
+    out.completion_time = finished() ? completion_time_ : stalled_at;
+    out.chunk_at_rank = available_at_;
+    out.chunk_ready.assign(static_cast<std::size_t>(num_chunks_), -1.0);
+    for (int c = 0; c < num_chunks_; ++c) {
+        double latest = 0.0;
+        bool complete = true;
+        for (const auto& per_rank : available_at_) {
+            const double at = per_rank[static_cast<std::size_t>(c)];
+            if (at < 0.0) {
+                complete = false;
+                break;
+            }
+            latest = std::max(latest, at);
+        }
+        if (complete)
+            out.chunk_ready[static_cast<std::size_t>(c)] = latest;
+    }
+    return out;
+}
+
 std::vector<int>
 treeChannelIds(const topo::Graph& graph,
                const topo::TreeEmbedding& embedding, int lane,

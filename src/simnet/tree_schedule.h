@@ -56,9 +56,22 @@ class TreeSchedule
     /** True once every rank has every chunk. */
     bool finished() const { return pending_arrivals_ == 0; }
 
+    /** Chunk arrivals still outstanding (nonzero after a run whose
+     *  traffic died on a failed channel). */
+    int pendingArrivals() const { return pending_arrivals_; }
+
     /** Result (tree-local chunk ids); valid after the simulation has
      *  drained. */
     ScheduleResult result() const;
+
+    /**
+     * Like result() but tolerates an unfinished schedule (a faulted
+     * run whose transfers died on a failed channel): chunks that never
+     * arrived keep the -1.0 sentinel in chunk_at_rank / chunk_ready,
+     * and completion_time is @p stalled_at (the time the simulation
+     * drained with the schedule still incomplete).
+     */
+    ScheduleResult partialResult(double stalled_at) const;
 
   private:
     void onReduceArrival(topo::NodeId node, int chunk);

@@ -168,5 +168,29 @@ Graph::checkNode(NodeId node) const
     CCUBE_CHECK(node >= 0 && node < nodeCount(), "bad node id " << node);
 }
 
+Graph
+withoutChannels(const Graph& graph, const std::vector<int>& channel_ids)
+{
+    std::vector<bool> removed(
+        static_cast<std::size_t>(graph.channelCount()), false);
+    for (int id : channel_ids) {
+        if (id >= 0 && id < graph.channelCount())
+            removed[static_cast<std::size_t>(id)] = true;
+    }
+    Graph survivor(graph.name() + " (degraded)");
+    for (NodeId n = 0; n < graph.nodeCount(); ++n) {
+        survivor.addNode(graph.nodeLabel(n));
+        if (graph.isSwitch(n))
+            survivor.markSwitch(n);
+    }
+    for (const ChannelDesc& ch : graph.channels()) {
+        if (removed[static_cast<std::size_t>(ch.id)])
+            continue;
+        survivor.addChannel(ch.src, ch.dst, ch.bandwidth, ch.latency,
+                            ch.kind);
+    }
+    return survivor;
+}
+
 } // namespace topo
 } // namespace ccube

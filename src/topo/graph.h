@@ -138,6 +138,17 @@ class Graph
     std::vector<std::vector<int>> out_; ///< per-node outgoing channel ids
 };
 
+/**
+ * The surviving topology after removing @p channel_ids: a copy of
+ * @p graph with the same nodes, labels, and switch marks whose
+ * remaining channels are re-added in original order (channel ids are
+ * re-densified, so they do NOT correspond to @p graph's ids). A
+ * bidirectional link failure is expressed by listing both directed
+ * channel ids. Ids not present in @p graph are ignored.
+ */
+Graph withoutChannels(const Graph& graph,
+                      const std::vector<int>& channel_ids);
+
 } // namespace topo
 } // namespace ccube
 

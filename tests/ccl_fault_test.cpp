@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Abort-path tests for the fault-tolerant collective runtime: a rank
+ * killed or wedged by the FaultInjector must never hang the suite —
+ * every scenario has to surface a CollectiveError naming that rank
+ * within the watchdog deadline, on both executor modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "ccl/double_tree_allreduce.h"
+#include "ccl/executor.h"
+#include "ccl/fault.h"
+#include "ccl/sync_primitives.h"
+#include "topo/dgx1.h"
+#include "topo/double_tree.h"
+
+namespace ccube {
+namespace ccl {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ------------------------------------------------- timed primitives
+
+TEST(TimedWait, WaitForTimesOutOnEmptySemaphore)
+{
+    BoundedSemaphore sem(2, 0);
+    EXPECT_FALSE(sem.waitFor(5ms));
+    sem.post();
+    EXPECT_TRUE(sem.waitFor(5ms));
+}
+
+TEST(TimedWait, PostForTimesOutAtCapacity)
+{
+    BoundedSemaphore sem(1, 1);
+    EXPECT_FALSE(sem.postFor(5ms));
+    sem.wait();
+    EXPECT_TRUE(sem.postFor(5ms));
+}
+
+TEST(TimedWait, LockForTimesOutOnHeldLock)
+{
+    SpinLock lock;
+    lock.lock();
+    EXPECT_FALSE(lock.lockFor(5ms));
+    lock.unlock();
+    EXPECT_TRUE(lock.lockFor(5ms));
+    lock.unlock();
+}
+
+TEST(TimedWait, CheckForTimesOutBelowTarget)
+{
+    CheckableCounter counter;
+    counter.post();
+    EXPECT_FALSE(counter.checkFor(2, 5ms));
+    counter.post();
+    EXPECT_TRUE(counter.checkFor(2, 5ms));
+}
+
+// ------------------------------------------------------ abort epoch
+
+TEST(AbortState, EpochParityAndFirstTripWins)
+{
+    AbortState state;
+    EXPECT_FALSE(state.aborted());
+    EXPECT_EQ(state.epoch() % 2, 0u);
+
+    CollectiveError::Info first;
+    first.failed_rank = 3;
+    EXPECT_TRUE(state.trip(first));
+    EXPECT_TRUE(state.aborted());
+    EXPECT_EQ(state.epoch() % 2, 1u);
+
+    CollectiveError::Info second;
+    second.failed_rank = 5;
+    EXPECT_FALSE(state.trip(second)); // first trip wins
+    EXPECT_EQ(state.info().failed_rank, 3);
+
+    state.clear();
+    EXPECT_FALSE(state.aborted());
+    EXPECT_EQ(state.epoch() % 2, 0u); // next generation, re-armed
+    EXPECT_TRUE(state.trip(second));
+    EXPECT_EQ(state.info().failed_rank, 5);
+}
+
+TEST(AbortState, AbortUnblocksASpinningWaiter)
+{
+    CommFaultContext context(2);
+    BoundedSemaphore sem(1, 0);
+    std::atomic<bool> threw{false};
+
+    std::thread waiter([&]() {
+        ScopedFaultContext scope(&context);
+        try {
+            sem.wait(); // would spin forever without the abort
+        } catch (const AbortedWait&) {
+            threw.store(true);
+        }
+    });
+    std::this_thread::sleep_for(20ms);
+    CollectiveError::Info info;
+    info.failed_rank = 1;
+    context.abortState().trip(info);
+    waiter.join();
+    EXPECT_TRUE(threw.load());
+}
+
+TEST(FaultInjector, FiresOnceAtTheArmedOperation)
+{
+    FaultInjector injector;
+    FaultInjector::Fault armed;
+    armed.rank = 2;
+    armed.action = FaultInjector::Action::kKill;
+    armed.at_op = 1;
+    injector.arm(armed);
+
+    FaultInjector::Fault fired;
+    EXPECT_FALSE(injector.onOp(2, &fired)); // op 0: not yet
+    EXPECT_TRUE(injector.onOp(2, &fired));  // op 1: fires
+    EXPECT_EQ(fired.rank, 2);
+    EXPECT_FALSE(injector.onOp(2, &fired)); // fires at most once
+    EXPECT_EQ(injector.opsSeen(2), 3);
+    EXPECT_EQ(injector.opsSeen(5), 0);
+}
+
+TEST(CommWatchdog, FiresAfterDeadlineAndDisarmBlocksCallback)
+{
+    CommWatchdog watchdog;
+    std::atomic<int> fired{0};
+    watchdog.arm(10ms, [&]() { fired.fetch_add(1); });
+    std::this_thread::sleep_for(50ms);
+    watchdog.disarm();
+    EXPECT_EQ(fired.load(), 1);
+    EXPECT_TRUE(watchdog.fired());
+
+    // A disarm before the deadline suppresses the callback.
+    watchdog.arm(10s, [&]() { fired.fetch_add(1); });
+    watchdog.disarm();
+    EXPECT_EQ(fired.load(), 1);
+    EXPECT_FALSE(watchdog.fired());
+}
+
+// ------------------------------------------- collective abort paths
+
+class FaultedCollective
+    : public ::testing::TestWithParam<RankExecutor::Mode>
+{
+  protected:
+    static constexpr int kRanks = 8;
+    static constexpr auto kDeadline = 300ms;
+
+    RankBuffers makeBuffers(std::size_t elems) const
+    {
+        RankBuffers buffers(kRanks);
+        for (std::size_t r = 0; r < buffers.size(); ++r)
+            buffers[r].assign(elems, static_cast<float>(r + 1));
+        return buffers;
+    }
+
+    /**
+     * Runs a double-tree AllReduce with @p fault armed and requires
+     * the structured error to blame the faulted rank within (a
+     * generous multiple of) the deadline instead of hanging.
+     */
+    void expectAbort(const FaultInjector::Fault& fault)
+    {
+        const topo::Graph graph = topo::makeDgx1();
+        const topo::DoubleTreeEmbedding dt =
+            topo::makeDgx1DoubleTree(graph);
+        Communicator comm(kRanks, 4, GetParam());
+        comm.setDeadline(kDeadline);
+        FaultInjector injector;
+        injector.arm(fault);
+        comm.setFaultInjector(&injector);
+
+        RankBuffers buffers = makeBuffers(32);
+        bool caught = false;
+        try {
+            doubleTreeAllReduce(comm, buffers, dt, 2,
+                                TreePhaseMode::kOverlapped);
+        } catch (const CollectiveError& error) {
+            caught = true;
+            EXPECT_EQ(error.info().failed_rank, fault.rank);
+            EXPECT_EQ(error.info().op, "double_tree_allreduce");
+            EXPECT_GT(error.info().deadline_s, 0.0);
+        }
+        EXPECT_TRUE(caught) << "collective completed despite fault";
+
+        // The abort poisons the communicator until cleared ...
+        EXPECT_THROW(comm.run([](int) {}, "noop"), CollectiveError);
+        // ... and clearAbort() re-arms it for the next collective.
+        comm.clearAbort();
+        comm.setFaultInjector(nullptr);
+        RankBuffers retry = makeBuffers(32);
+        doubleTreeAllReduce(comm, retry, dt, 2,
+                            TreePhaseMode::kOverlapped);
+        for (std::size_t r = 0; r < retry.size(); ++r)
+            EXPECT_FLOAT_EQ(retry[r][0], 36.0f); // 1+2+...+8
+    }
+};
+
+TEST_P(FaultedCollective, RankKilledBeforeFirstPost)
+{
+    FaultInjector::Fault fault;
+    fault.rank = 3;
+    fault.action = FaultInjector::Action::kKill;
+    fault.at_op = 0;
+    expectAbort(fault);
+}
+
+TEST_P(FaultedCollective, RankKilledMidChunk)
+{
+    FaultInjector::Fault fault;
+    fault.rank = 3;
+    fault.action = FaultInjector::Action::kKill;
+    fault.at_op = 3;
+    expectAbort(fault);
+}
+
+TEST_P(FaultedCollective, RankStalledDuringDoubleTreeReduce)
+{
+    FaultInjector::Fault fault;
+    fault.rank = 5;
+    fault.action = FaultInjector::Action::kStall;
+    fault.at_op = 2;
+    expectAbort(fault);
+}
+
+TEST_P(FaultedCollective, DelayedRankStillCompletes)
+{
+    const topo::Graph graph = topo::makeDgx1();
+    const topo::DoubleTreeEmbedding dt =
+        topo::makeDgx1DoubleTree(graph);
+    Communicator comm(kRanks, 4, GetParam());
+    comm.setDeadline(kDeadline);
+    FaultInjector injector;
+    FaultInjector::Fault fault;
+    fault.rank = 2;
+    fault.action = FaultInjector::Action::kDelay;
+    fault.at_op = 1;
+    fault.delay_s = 0.01; // well inside the deadline
+    injector.arm(fault);
+    comm.setFaultInjector(&injector);
+
+    RankBuffers buffers = makeBuffers(32);
+    doubleTreeAllReduce(comm, buffers, dt, 2,
+                        TreePhaseMode::kOverlapped);
+    for (std::size_t r = 0; r < buffers.size(); ++r)
+        EXPECT_FLOAT_EQ(buffers[r][0], 36.0f);
+}
+
+TEST_P(FaultedCollective, ManualAbortSurfacesStructuredError)
+{
+    Communicator comm(kRanks, 4, GetParam());
+    CollectiveError::Info info;
+    info.failed_rank = 6;
+    info.reason = "operator-initiated abort";
+    comm.abort(info);
+    bool caught = false;
+    try {
+        comm.run([](int) {}, "tree_broadcast");
+    } catch (const CollectiveError& error) {
+        caught = true;
+        EXPECT_EQ(error.info().failed_rank, 6);
+    }
+    EXPECT_TRUE(caught);
+    comm.clearAbort();
+    comm.run([](int) {}, "tree_broadcast"); // usable again
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, FaultedCollective,
+    ::testing::Values(RankExecutor::Mode::kPersistent,
+                      RankExecutor::Mode::kSpawnPerCall),
+    [](const ::testing::TestParamInfo<RankExecutor::Mode>& info) {
+        return info.param == RankExecutor::Mode::kPersistent
+                   ? "persistent"
+                   : "spawn";
+    });
+
+} // namespace
+} // namespace ccl
+} // namespace ccube

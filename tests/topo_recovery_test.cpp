@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Degraded-topology recovery: removing any single NVLink channel (or
+ * any full bidirectional pair) from the DGX-1 must leave
+ * core::recoverSchedule with a valid schedule — a conflict-free
+ * double tree, a routable contended one, or a ring fallback — and
+ * never an unroutable panic. Property-style over all channel ids.
+ */
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "core/recovery.h"
+#include "topo/dgx1.h"
+#include "topo/double_tree.h"
+#include "topo/graph.h"
+#include "topo/ring_embedding.h"
+
+namespace ccube {
+namespace core {
+namespace {
+
+/** Small deterministic search budget to keep the sweep fast. */
+RecoveryOptions
+testOptions(const topo::Graph& graph)
+{
+    RecoveryOptions options;
+    options.search.num_ranks = graph.nodeCount();
+    options.search.max_attempts = 500;
+    options.search.seed = 7;
+    return options;
+}
+
+void
+expectUsable(const topo::Graph& graph, const RecoveryResult& result)
+{
+    ASSERT_TRUE(result.usable())
+        << "surviving graph reported unroutable";
+    switch (result.kind) {
+    case RecoveryKind::kCCube:
+        ASSERT_TRUE(result.double_tree.has_value());
+        EXPECT_TRUE(
+            topo::isConflictFree(result.graph, *result.double_tree));
+        break;
+    case RecoveryKind::kDoubleTree:
+        ASSERT_TRUE(result.double_tree.has_value());
+        // Contended by construction (rung 1 failed), but routable.
+        break;
+    case RecoveryKind::kRing:
+        ASSERT_FALSE(result.rings.empty());
+        for (const topo::RingEmbedding& ring : result.rings)
+            EXPECT_TRUE(topo::ringIsPhysical(result.graph, ring));
+        break;
+    case RecoveryKind::kNone:
+        FAIL() << "unreachable";
+    }
+    (void)graph;
+}
+
+TEST(WithoutChannels, RemovesExactlyTheNamedChannels)
+{
+    const topo::Graph graph = topo::makeDgx1();
+    const topo::Graph degraded = topo::withoutChannels(graph, {0, 5});
+    EXPECT_EQ(degraded.nodeCount(), graph.nodeCount());
+    EXPECT_EQ(degraded.channelCount(), graph.channelCount() - 2);
+
+    // Out-of-range ids are ignored, not fatal.
+    const topo::Graph same =
+        topo::withoutChannels(graph, {-1, graph.channelCount() + 3});
+    EXPECT_EQ(same.channelCount(), graph.channelCount());
+}
+
+TEST(RecoverSchedule, EverySingleChannelRemovalStaysRoutable)
+{
+    const topo::Graph graph = topo::makeDgx1();
+    for (int id = 0; id < graph.channelCount(); ++id) {
+        SCOPED_TRACE("removed channel " + std::to_string(id));
+        const RecoveryResult result =
+            recoverSchedule(graph, {id}, testOptions(graph));
+        expectUsable(graph, result);
+        EXPECT_EQ(result.graph.channelCount(),
+                  graph.channelCount() - 1);
+    }
+}
+
+TEST(RecoverSchedule, EveryNvlinkPairRemovalStaysRoutable)
+{
+    const topo::Graph graph = topo::makeDgx1();
+    std::vector<std::pair<topo::NodeId, topo::NodeId>> pairs;
+    for (int id = 0; id < graph.channelCount(); ++id) {
+        const topo::ChannelDesc& desc = graph.channel(id);
+        const auto pair = desc.src < desc.dst
+                              ? std::make_pair(desc.src, desc.dst)
+                              : std::make_pair(desc.dst, desc.src);
+        bool seen = false;
+        for (const auto& existing : pairs)
+            seen = seen || existing == pair;
+        if (!seen)
+            pairs.push_back(pair);
+    }
+    ASSERT_FALSE(pairs.empty());
+    for (const auto& pair : pairs) {
+        SCOPED_TRACE("removed pair (" + std::to_string(pair.first) +
+                     "," + std::to_string(pair.second) + ")");
+        std::vector<int> failed =
+            graph.channelIds(pair.first, pair.second);
+        for (int id : graph.channelIds(pair.second, pair.first))
+            failed.push_back(id);
+        const RecoveryResult result =
+            recoverSchedule(graph, failed, testOptions(graph));
+        expectUsable(graph, result);
+    }
+}
+
+TEST(RecoverSchedule, HealthyGraphRecoversAtFullPerformance)
+{
+    const topo::Graph graph = topo::makeDgx1();
+    const RecoveryResult result =
+        recoverSchedule(graph, {}, testOptions(graph));
+    EXPECT_EQ(result.kind, RecoveryKind::kCCube);
+    EXPECT_GE(result.search_seconds, 0.0);
+}
+
+TEST(RecoverSchedule, UnroutableSurvivorReportsNoneWithoutPanicking)
+{
+    const topo::Graph graph = topo::makeDgx1();
+    std::vector<int> all;
+    for (int id = 0; id < graph.channelCount(); ++id)
+        all.push_back(id);
+    const RecoveryResult result =
+        recoverSchedule(graph, all, testOptions(graph));
+    EXPECT_EQ(result.kind, RecoveryKind::kNone);
+    EXPECT_FALSE(result.usable());
+}
+
+} // namespace
+} // namespace core
+} // namespace ccube
