@@ -21,13 +21,19 @@
  * bench_ccl/v1 records.
  */
 
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/recovery.h"
+#include "core/report.h"
+#include "obs/analyze.h"
+#include "obs/diff.h"
 #include "obs/session.h"
+#include "obs/trace.h"
 #include "simnet/channel.h"
 #include "simnet/double_tree_schedule.h"
 #include "simnet/fault_plan.h"
@@ -122,9 +128,14 @@ main(int argc, char** argv)
     const topo::DoubleTreeEmbedding healthy_tree =
         topo::makeDgx1DoubleTree(graph);
 
-    // Healthy baseline: what the fabric delivers with no faults.
+    // Healthy baseline: what the fabric delivers with no faults. The
+    // trace is kept (local recorder, redirected) as the obs::diff
+    // baseline for every fault scenario.
     double healthy_time = 0.0;
+    obs::TraceRecorder healthy_recorder;
+    healthy_recorder.enable();
     {
+        obs::ScopedTraceRedirect redirect(&healthy_recorder);
         sim::Simulation sim;
         simnet::Network net(sim, graph);
         healthy_time =
@@ -133,6 +144,9 @@ main(int argc, char** argv)
                 simnet::PhaseMode::kOverlapped, 32)
                 .completion_time;
     }
+    healthy_recorder.disable();
+    const obs::TraceAnalyzer healthy_analysis(
+        healthy_recorder.snapshot());
     const double healthy_bw = bytes / healthy_time;
     const double t_fail = 0.3 * healthy_time;
     std::cout << "healthy completion: "
@@ -145,30 +159,68 @@ main(int argc, char** argv)
 
     util::Table table({"failed_pair", "dropped", "rung", "detect_ms",
                        "search_ms", "rerun_ms", "recover_ms",
-                       "post_bw_GB/s", "bw_retained_%"});
+                       "post_bw_GB/s", "bw_retained_%", "blamed",
+                       "diff_attr_%"});
     std::vector<util::BenchRecord> records;
+    std::ostringstream scenario_reports;
+    std::vector<double> recover_ms_samples;
+    int blamed_channel_ok = 0;
+    int blamed_rank_ok = 0;
+    int diff_ok = 0;
+    int scenarios = 0;
 
     // Serial scenario loop: recoverSchedule fans its own embedding
     // attempts across workers, so the sweep stays single-stream here.
     for (const auto& pair : nvlinkPairs(graph)) {
         const std::vector<int> failed = pairChannelIds(graph, pair);
 
-        // Fault injection: both directions die mid-collective.
-        sim::Simulation sim;
-        simnet::Network net(sim, graph);
-        simnet::FaultPlan plan;
-        for (int id : failed)
-            plan.failChannel(t_fail, id);
-        const simnet::FaultedRunResult faulted =
-            simnet::runDoubleTreeWithFaults(
+        // Fault injection: both directions die mid-collective. The
+        // faulted trace goes to a local recorder so each scenario gets
+        // its own root-cause analysis and healthy-vs-faulted diff.
+        obs::TraceRecorder faulted_recorder;
+        faulted_recorder.enable();
+        simnet::FaultedRunResult faulted;
+        {
+            obs::ScopedTraceRedirect redirect(&faulted_recorder);
+            sim::Simulation sim;
+            simnet::Network net(sim, graph);
+            simnet::FaultPlan plan;
+            for (int id : failed)
+                plan.failChannel(t_fail, id);
+            faulted = simnet::runDoubleTreeWithFaults(
                 sim, net, healthy_tree, bytes,
                 simnet::PhaseMode::kOverlapped, 32, plan);
+        }
+        faulted_recorder.disable();
 
         // Detection: the flow dies at t_fail, the watchdog fires one
         // deadline later. A pair the schedule never routed over still
         // completes — recovery is then purely precautionary re-plan.
         const double detect_s =
             faulted.completed ? 0.0 : watchdog_s;
+
+        // Root cause: the ranked report must name one of the two
+        // injected channel ids and blame one of the pair's endpoints.
+        const obs::TraceAnalyzer faulted_analysis(
+            faulted_recorder.snapshot());
+        const obs::RootCauseReport root_cause =
+            obs::analyzeRootCause(faulted_analysis);
+        bool channel_named = false;
+        for (int id : failed)
+            channel_named =
+                channel_named || root_cause.blamed_channel == id;
+        const bool rank_named =
+            root_cause.blamed_rank == pair.first ||
+            root_cause.blamed_rank == pair.second;
+        blamed_channel_ok += channel_named ? 1 : 0;
+        blamed_rank_ok += rank_named ? 1 : 0;
+
+        // Differential analysis: where did healthy-vs-faulted time go?
+        const obs::TraceDiff diff =
+            obs::diffTraces(healthy_analysis, faulted_analysis);
+        const double attr = diff.attributedFraction();
+        diff_ok += attr >= 0.8 ? 1 : 0;
+        ++scenarios;
 
         core::RecoveryOptions options;
         options.search.num_ranks = graph.nodeCount();
@@ -194,7 +246,22 @@ main(int argc, char** argv)
              util::formatDouble(rerun_time * 1e3, 3),
              util::formatDouble(recover_s * 1e3, 3),
              util::formatDouble(post_bw / 1e9, 2),
-             util::formatDouble(post_bw / healthy_bw * 100.0, 1)});
+             util::formatDouble(post_bw / healthy_bw * 100.0, 1),
+             "ch" + std::to_string(root_cause.blamed_channel) + ":r" +
+                 std::to_string(root_cause.blamed_rank) +
+                 (channel_named && rank_named ? "" : " ?"),
+             util::formatDouble(attr * 100.0, 1)});
+        recover_ms_samples.push_back(recover_s * 1e3);
+
+        scenario_reports << "### scenario pair (" << pair.first << ","
+                         << pair.second << "), failed channels";
+        for (int id : failed)
+            scenario_reports << " " << id;
+        scenario_reports << "\n";
+        obs::writeRootCauseReport(scenario_reports, root_cause);
+        obs::writeDiffReport(scenario_reports, diff,
+                             /*max_segments=*/8);
+        scenario_reports << "\n";
 
         util::BenchRecord record;
         record.source = "abl_fault_recovery";
@@ -213,10 +280,28 @@ main(int argc, char** argv)
             static_cast<double>(faulted.dropped_transfers);
         record.extra["rung"] =
             static_cast<double>(static_cast<int>(recovery.kind));
+        record.extra["blamed_channel"] =
+            static_cast<double>(root_cause.blamed_channel);
+        record.extra["blamed_rank"] =
+            static_cast<double>(root_cause.blamed_rank);
+        record.extra["diff_attributed_frac"] = attr;
         records.push_back(std::move(record));
     }
 
     table.print(std::cout);
+    std::cout << "\nroot-cause named an injected failed channel in "
+              << blamed_channel_ok << "/" << scenarios
+              << " scenarios and blamed a pair endpoint in "
+              << blamed_rank_ok << "/" << scenarios
+              << "; obs::diff attributed >=80% of the delta in "
+              << diff_ok << "/" << scenarios << ".\n";
+    {
+        util::Table quantiles = core::makeQuantileTable();
+        core::addQuantileRow(quantiles, "time_to_recover",
+                             recover_ms_samples);
+        std::cout << "\n";
+        quantiles.print(std::cout);
+    }
     std::cout << "\nEvery single-link failure on the DGX-1 leaves a "
                  "usable schedule: most survivor graphs still embed a "
                  "conflict-free double tree (full C-Cube bandwidth), "
@@ -227,5 +312,17 @@ main(int argc, char** argv)
     util::writeBenchRecords(path, records, /*append=*/true);
     std::cout << "\nwrote " << records.size() << " records to " << path
               << "\n";
+
+    obs_session.finish();
+    // Per-scenario root-cause + diff reports replace the session's
+    // whole-process report: the per-scenario captures are what name
+    // each injected failure.
+    const std::string rootcause_path = flags.get("rootcause-out", "");
+    if (!rootcause_path.empty()) {
+        std::ofstream out(rootcause_path);
+        out << scenario_reports.str();
+        std::cout << "wrote per-scenario root-cause reports to "
+                  << rootcause_path << "\n";
+    }
     return 0;
 }

@@ -13,19 +13,24 @@
 
 #include <iostream>
 
+#include "obs/session.h"
 #include "simnet/channel.h"
 #include "simnet/double_tree_schedule.h"
 #include "simnet/ring_schedule.h"
 #include "topo/detour_router.h"
 #include "topo/dgx2.h"
 #include "topo/ring_embedding.h"
+#include "util/flags.h"
 #include "util/table.h"
 #include "util/units.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace ccube;
+
+    const util::Flags flags(argc, argv);
+    obs::ObsSession obs_session(flags);
 
     std::cout << "=== Extension: C-Cube on the DGX-2 (NVSwitch, "
                  "16 GPUs) ===\n\n";
@@ -93,5 +98,6 @@ main()
            "scale; edge-coloring each tree across three planes uses "
            "all six NVSwitch planes — the NVSwitch analog of the "
            "paper's double-link trick.\n";
+    obs_session.finish();
     return 0;
 }

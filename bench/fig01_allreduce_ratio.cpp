@@ -23,13 +23,18 @@
 #include "core/ccube_engine.h"
 #include "dnn/catalog.h"
 #include "dnn/compute_model.h"
+#include "obs/session.h"
+#include "util/flags.h"
 #include "util/table.h"
 #include "util/units.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace ccube;
+
+    const util::Flags flags(argc, argv);
+    obs::ObsSession obs_session(flags);
 
     std::cout << "=== Fig. 1: AllReduce ratio of execution time "
                  "(8-GPU DGX-1, NCCL-style ring) ===\n\n";
@@ -78,5 +83,6 @@ main()
     std::cout << "\nPaper reference: SSD ≈ 60% (highest), NCF ≈ 10% "
                  "(lowest); AllReduce is a significant fraction for "
                  "every workload.\n";
+    obs_session.finish();
     return 0;
 }

@@ -14,13 +14,18 @@
 
 #include "model/ring_model.h"
 #include "model/tree_model.h"
+#include "obs/session.h"
+#include "util/flags.h"
 #include "util/table.h"
 #include "util/units.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace ccube;
+
+    const util::Flags flags(argc, argv);
+    obs::ObsSession obs_session(flags);
 
     std::cout << "=== Fig. 4: T_ring / T_tree model ratio (>1 means "
                  "tree faster) ===\n\n";
@@ -68,5 +73,6 @@ main()
     std::cout << "Tree wins everywhere messages are small or node "
                  "counts are large — the scalability argument for the "
                  "tree algorithm.\n";
+    obs_session.finish();
     return 0;
 }

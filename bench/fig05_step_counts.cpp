@@ -12,17 +12,22 @@
 
 #include <iostream>
 
+#include "obs/session.h"
 #include "simnet/channel.h"
 #include "simnet/ring_schedule.h"
 #include "simnet/tree_schedule.h"
 #include "topo/ring_embedding.h"
 #include "topo/tree_embedding.h"
+#include "util/flags.h"
 #include "util/table.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace ccube;
+
+    const util::Flags flags(argc, argv);
+    obs::ObsSession obs_session(flags);
 
     std::cout << "=== Fig. 5: AllReduce step counts (P=4, K=4) ===\n\n";
 
@@ -84,5 +89,6 @@ main()
            "steps (the paper's 7 counts the initial local chunk "
            "placement). The overlapped tree also turns the first "
            "chunk around in 4 steps instead of 7.\n";
+    obs_session.finish();
     return 0;
 }

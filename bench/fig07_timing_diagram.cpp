@@ -8,15 +8,20 @@
 
 #include <iostream>
 
+#include "obs/session.h"
 #include "simnet/channel.h"
 #include "simnet/tree_schedule.h"
 #include "topo/tree_embedding.h"
+#include "util/flags.h"
 #include "util/table.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace ccube;
+
+    const util::Flags flags(argc, argv);
+    obs::ObsSession obs_session(flags);
 
     std::cout << "=== Fig. 7: baseline vs overlapped tree timing "
                  "(P=4, 6 chunks) ===\n\n";
@@ -86,5 +91,6 @@ main()
     std::cout << "\nIn the baseline every chunk's broadcast waits for "
                  "the full reduction; overlapped chunks turn around "
                  "as soon as they reach the root (Observation #1).\n";
+    obs_session.finish();
     return 0;
 }

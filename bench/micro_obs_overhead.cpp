@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Monitoring-overhead microbenchmark for the perf gate.
+ *
+ * Two workloads are each timed with observability fully off and with
+ * the live obs::Monitor enabled:
+ *
+ *  - "functional": the micro_primitives AllReduce (double tree on the
+ *    persistent rank executor). Monitoring here is the SLO collective
+ *    edge — one snapshot per collective — which is the overhead a
+ *    real training loop pays. This is the gated ratio.
+ *  - "des": the simulated double-tree schedule, where monitoring also
+ *    records per-grant busy intervals and heartbeat gauge snapshots.
+ *    Telemetry density per unit of wall time is orders of magnitude
+ *    higher than any real deployment (the DES collapses milliseconds
+ *    of simulated transfer into microseconds of wall time), so this
+ *    ratio is recorded for trend-watching, not gated at 5%.
+ *
+ * Measurement is paired: off and on blocks alternate round-robin so
+ * slow machine drift (frequency scaling, noisy neighbours) hits both
+ * sides equally, and the reported ratio is the median of per-round
+ * ratios, which shrugs off one-off scheduling spikes.
+ *
+ * Results land in BENCH_obs.json (schema bench_ccl/v1; set
+ * CCUBE_BENCH_OUT to override): ns/op per workload and side, plus a
+ * dimensionless "monitor_overhead_ratio" record (on/off, so 1.05 =
+ * 5% overhead) that bench_compare diffs against
+ * bench/baselines/BENCH_obs_baseline.json with --threshold=0.05.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "ccl/communicator.h"
+#include "ccl/double_tree_allreduce.h"
+#include "obs/monitor.h"
+#include "sim/simulation.h"
+#include "simnet/channel.h"
+#include "simnet/double_tree_schedule.h"
+#include "topo/dgx1.h"
+#include "topo/double_tree.h"
+#include "util/bench_json.h"
+#include "util/flags.h"
+#include "util/stats.h"
+#include "util/units.h"
+
+namespace {
+
+using namespace ccube;
+
+double sink_ = 0.0; ///< defeats over-eager dead-code elimination
+
+/** Wall ns/op over @p reps back-to-back calls of @p op. */
+double
+timeBlock(int reps, const std::function<double()>& op)
+{
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < reps; ++i)
+        sink_ += op();
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    return std::chrono::duration<double, std::nano>(elapsed).count() /
+           reps;
+}
+
+struct PairedResult {
+    double off_ns = 0.0; ///< median of per-round off blocks
+    double on_ns = 0.0;  ///< median of per-round on blocks
+    double ratio = 1.0;  ///< median of per-round on/off ratios
+};
+
+/**
+ * Runs @p rounds alternating off/on blocks of @p reps calls each; the
+ * monitor redirect is installed only around the on blocks.
+ */
+PairedResult
+measurePaired(obs::Monitor& monitor, int rounds, int reps, int warmup,
+              const std::function<double()>& op)
+{
+    for (int i = 0; i < warmup; ++i) {
+        timeBlock(reps, op);
+        obs::ScopedMonitorRedirect redirect(&monitor);
+        timeBlock(reps, op);
+    }
+    std::vector<double> off_rounds, on_rounds, ratios;
+    for (int round = 0; round < rounds; ++round) {
+        const double off = timeBlock(reps, op);
+        double on = 0.0;
+        {
+            obs::ScopedMonitorRedirect redirect(&monitor);
+            on = timeBlock(reps, op);
+        }
+        off_rounds.push_back(off);
+        on_rounds.push_back(on);
+        ratios.push_back(off > 0.0 ? on / off : 0.0);
+    }
+    PairedResult result;
+    result.off_ns = util::quantileInPlace(off_rounds, 0.5);
+    result.on_ns = util::quantileInPlace(on_rounds, 0.5);
+    result.ratio = util::quantileInPlace(ratios, 0.5);
+    return result;
+}
+
+void
+report(const char* label, const PairedResult& r)
+{
+    std::cout << label << ": off " << r.off_ns / 1e6 << " ms/op, on "
+              << r.on_ns / 1e6 << " ms/op, overhead "
+              << (r.ratio - 1.0) * 100.0 << "% (median paired ratio)\n";
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const util::Flags flags(argc, argv);
+    const int rounds = flags.getInt("rounds", 24);
+    const int reps = flags.getInt("reps", 8); // per block, per round
+    const int warmup = flags.getInt("warmup", 2);
+    const auto elems =
+        static_cast<std::size_t>(flags.getInt("elems", 16384));
+    const double des_bytes = flags.getDouble("des-bytes", util::mib(8));
+    const int des_chunks = flags.getInt("des-chunks", 32);
+    // Heartbeat cadence in simulated seconds (DES side only; the
+    // functional side snapshots on collective completion).
+    const double interval = flags.getDouble("interval", 5e-4);
+
+    const topo::Graph graph = topo::makeDgx1();
+    const topo::DoubleTreeEmbedding embedding =
+        topo::makeDgx1DoubleTree(graph);
+
+    obs::Monitor monitor; // local: the bench leaves no global state
+    monitor.setInterval(interval);
+    obs::SloSpec slo;
+    slo.collective_deadline_s = 1.0;
+    monitor.setSlo(slo);
+    monitor.enable();
+
+    // --- gated: functional AllReduce (the micro_primitives path) ----
+    ccl::Communicator comm(8, 4, ccl::RankExecutor::Mode::kPersistent);
+    ccl::RankBuffers buffers(8, std::vector<float>(elems, 0.0f));
+    const PairedResult functional = measurePaired(
+        monitor, rounds, reps, warmup, [&]() {
+            ccl::doubleTreeAllReduce(comm, buffers, embedding,
+                                     /*num_chunks=*/4,
+                                     ccl::TreePhaseMode::kOverlapped);
+            return 1.0;
+        });
+    const std::uint64_t functional_collectives =
+        monitor.collectivesTotal();
+
+    // --- informational: DES schedule (per-grant + heartbeat path) ---
+    const PairedResult des = measurePaired(
+        monitor, rounds, reps, warmup, [&]() {
+            sim::Simulation sim;
+            simnet::Network net(sim, graph);
+            return simnet::runDoubleTreeSchedule(
+                       sim, net, embedding, des_bytes,
+                       simnet::PhaseMode::kOverlapped, des_chunks)
+                .completion_time;
+        });
+    monitor.disable();
+    if (sink_ < 0.0)
+        std::cerr << "";
+
+    report("functional", functional);
+    report("des       ", des);
+    std::cout << monitor.snapshotCount() << " snapshots, "
+              << monitor.collectivesTotal() << " collectives ("
+              << functional_collectives << " functional)\n";
+
+    std::vector<util::BenchRecord> records;
+    {
+        util::BenchRecord record;
+        record.source = "micro_obs_overhead";
+        record.kind = "latency";
+        record.mode = "functional";
+        record.bytes = static_cast<std::int64_t>(elems * sizeof(float));
+        record.name = "allreduce_monitor_off";
+        record.ns_per_op = functional.off_ns;
+        records.push_back(record);
+        record.name = "allreduce_monitor_on";
+        record.ns_per_op = functional.on_ns;
+        records.push_back(record);
+        record.mode = "des";
+        record.bytes = static_cast<std::int64_t>(des_bytes);
+        record.name = "allreduce_monitor_off";
+        record.ns_per_op = des.off_ns;
+        records.push_back(record);
+        record.name = "allreduce_monitor_on";
+        record.ns_per_op = des.on_ns;
+        records.push_back(record);
+
+        // Dimensionless on/off ratios: stable across machines, so the
+        // perf gate can hold the functional one to a tight threshold
+        // (1.05 = 5% overhead).
+        util::BenchRecord gate;
+        gate.source = "micro_obs_overhead";
+        gate.kind = "overhead";
+        gate.name = "monitor_overhead_ratio";
+        gate.mode = "functional";
+        gate.bytes = 0;
+        gate.ns_per_op = functional.ratio;
+        gate.extra["off_ns"] = functional.off_ns;
+        gate.extra["on_ns"] = functional.on_ns;
+        records.push_back(gate);
+        gate.name = "monitor_overhead_ratio_des";
+        gate.mode = "des";
+        gate.ns_per_op = des.ratio;
+        gate.extra["off_ns"] = des.off_ns;
+        gate.extra["on_ns"] = des.on_ns;
+        gate.extra["snapshots"] =
+            static_cast<double>(monitor.snapshotCount());
+        records.push_back(gate);
+    }
+    const std::string path = util::benchOutputPath("BENCH_obs.json");
+    util::writeBenchRecords(path, records, /*append=*/true);
+    std::cout << "wrote " << records.size() << " records to " << path
+              << "\n";
+    return 0;
+}

@@ -8,6 +8,7 @@
 
 #include "obs/context.h"
 #include "obs/metrics.h"
+#include "obs/monitor.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 
@@ -119,6 +120,9 @@ Communicator::abort(CollectiveError::Info info)
                               obs::pids::cclRank(stored.failed_rank),
                               0, recorder.wallNowUs());
     obs::MetricRegistry::global().addCounter("ccl.aborts", 1.0);
+    obs::Monitor& monitor = obs::Monitor::global();
+    if (monitor.enabled())
+        monitor.noteWatchdogTrip(stored.failed_rank);
     std::ostringstream msg;
     msg << "aborting collective: " << CollectiveError(stored).what();
     util::logWarn("ccl", msg.str());
@@ -149,6 +153,13 @@ Communicator::run(const std::function<void(int rank)>& body,
         throw CollectiveError(fault_.abortState().info());
 
     fault_.beginCollective(op);
+
+    // Live-monitor collective edge: wall-clock latency of the whole
+    // collective (all ranks), fed to the SLO engine. Run ordinal 0
+    // marks wall-clock (non-deterministic) series entries.
+    obs::Monitor& monitor = obs::Monitor::global();
+    const bool monitored = monitor.enabled();
+    const auto wall_start = std::chrono::steady_clock::now();
 
     CommWatchdog* watchdog = nullptr;
     const std::chrono::nanoseconds deadline = deadline_;
@@ -182,6 +193,15 @@ Communicator::run(const std::function<void(int rank)>& body,
     if (watchdog != nullptr)
         watchdog->disarm(); // blocks out an in-flight expiry callback
     fault_.endCollective();
+
+    if (monitored) {
+        const std::chrono::duration<double> wall =
+            std::chrono::steady_clock::now() - wall_start;
+        const bool completed =
+            !fault_.abortState().aborted() && err == nullptr;
+        monitor.collectiveComplete(op, 0.0, wall.count(), 0.0,
+                                   completed);
+    }
 
     // Abort wins over the underlying exception (which is typically the
     // AbortedWait/RankKilled that the abort itself provoked): callers

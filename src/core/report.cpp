@@ -1,6 +1,9 @@
 #include "core/report.h"
 
+#include <algorithm>
+
 #include "obs/analyze.h"
+#include "util/stats.h"
 #include "util/units.h"
 
 namespace ccube {
@@ -79,6 +82,31 @@ addChannelClassRow(util::Table& table, const std::string& schedule,
                   util::formatDouble(busy_us * 1e-3, 3),
                   util::formatDouble(util, 3),
                   util::formatDouble(1.0 - util, 3)});
+}
+
+util::Table
+makeQuantileTable()
+{
+    return util::Table({"label", "count", "min_ms", "p50_ms", "p90_ms",
+                        "p99_ms", "max_ms"});
+}
+
+void
+addQuantileRow(util::Table& table, const std::string& label,
+               std::vector<double>& samples_ms)
+{
+    if (samples_ms.empty()) {
+        table.addRow({label, "0", "-", "-", "-", "-", "-"});
+        return;
+    }
+    std::sort(samples_ms.begin(), samples_ms.end());
+    const std::vector<double>& sorted = samples_ms;
+    table.addRow({label, std::to_string(sorted.size()),
+                  util::formatDouble(sorted.front(), 3),
+                  util::formatDouble(util::quantileSorted(sorted, 0.5), 3),
+                  util::formatDouble(util::quantileSorted(sorted, 0.9), 3),
+                  util::formatDouble(util::quantileSorted(sorted, 0.99), 3),
+                  util::formatDouble(sorted.back(), 3)});
 }
 
 util::Table

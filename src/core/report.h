@@ -55,6 +55,20 @@ void addChannelClassRow(util::Table& table, const std::string& schedule,
                         const obs::TraceAnalyzer& analyzer,
                         const std::vector<int>& channel_ids);
 
+/**
+ * Column headers for latency-quantile tables (one row per labeled
+ * sample set — e.g. recovery times across fault scenarios).
+ */
+util::Table makeQuantileTable();
+
+/**
+ * Appends count/min/p50/p90/p99/max of @p samples_ms as a row.
+ * Sorts @p samples_ms in place (one sort serves every quantile —
+ * no per-quantile copies).
+ */
+void addQuantileRow(util::Table& table, const std::string& label,
+                    std::vector<double>& samples_ms);
+
 /** Column headers for critical-path cost-breakdown tables. */
 util::Table makeCostBreakdownTable();
 

@@ -1,0 +1,549 @@
+#include "obs/diff.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <iomanip>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <tuple>
+
+#include "obs/metrics.h"
+#include "util/stats.h"
+
+namespace ccube {
+namespace obs {
+
+namespace {
+
+const char*
+causeKindName(RootCause::Kind kind)
+{
+    switch (kind) {
+    case RootCause::Kind::kChannelFail:
+        return "channel-fail";
+    case RootCause::Kind::kChannelDegrade:
+        return "channel-degrade";
+    case RootCause::Kind::kRankFault:
+        return "rank-fault";
+    case RootCause::Kind::kWatchdog:
+        return "watchdog";
+    case RootCause::Kind::kStraggler:
+        return "straggler";
+    }
+    return "?";
+}
+
+/** "GPU3->GPU4#10" → src 3, dst 4; false when unparsable. */
+bool
+parseChannelEndpoints(const std::string& name, int* src, int* dst)
+{
+    const std::size_t arrow = name.find("->");
+    if (arrow == std::string::npos)
+        return false;
+    std::size_t hash = name.find('#', arrow);
+    if (hash == std::string::npos)
+        hash = name.size();
+    // Trailing digits of each endpoint label ("GPU12" → 12).
+    auto trailing = [](const std::string& label) {
+        std::size_t digits = 0;
+        while (digits < label.size() &&
+               std::isdigit(static_cast<unsigned char>(
+                   label[label.size() - 1 - digits])) != 0)
+            ++digits;
+        if (digits == 0)
+            return -1;
+        return std::atoi(label.c_str() + (label.size() - digits));
+    };
+    const int a = trailing(name.substr(0, arrow));
+    const int b = trailing(name.substr(arrow + 2, hash - arrow - 2));
+    if (a < 0 || b < 0)
+        return false;
+    *src = a;
+    *dst = b;
+    return true;
+}
+
+/** Pretty label for a channel: endpoints when known, id otherwise. */
+std::string
+channelLabel(const TraceAnalyzer& analyzer, int channel, int fallback_pid)
+{
+    if (const ChannelTimeline* timeline = analyzer.channelById(channel))
+        return timeline->name;
+    std::ostringstream out;
+    if (fallback_pid >= 100 && fallback_pid < 1000)
+        out << "GPU" << fallback_pid - 100 << "->?";
+    out << "#" << channel;
+    return out.str();
+}
+
+double
+eventArg(const TraceEvent& event, const std::string& key,
+         double fallback)
+{
+    for (const auto& arg : event.args) {
+        if (arg.first == key)
+            return arg.second;
+    }
+    return fallback;
+}
+
+std::string
+formatMs(double t_us)
+{
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(3) << t_us / 1000.0 << "ms";
+    return out.str();
+}
+
+/** pid → human name ("node 3", "rank 2", "core"). */
+std::string
+pidLabel(int pid)
+{
+    std::ostringstream out;
+    if (pid >= 1000)
+        out << "rank " << pid - 1000;
+    else if (pid >= 100)
+        out << "node " << pid - 100;
+    else
+        out << "pid " << pid;
+    return out.str();
+}
+
+} // namespace
+
+RootCauseReport
+analyzeRootCause(const TraceAnalyzer& analyzer,
+                 const MetricRegistry* registry)
+{
+    RootCauseReport report;
+
+    // --- Fault-instant scan -------------------------------------------
+    struct ChannelFaults {
+        int pid = -1;
+        int src = -1; ///< from fault.channel_fail args, when present
+        int dst = -1;
+        double fail_us = -1.0;
+        double restore_us = -1.0;
+        double degrade_us = -1.0;
+        double degrade_factor = 1.0;
+        int drops = 0;
+        double first_drop_us = -1.0;
+    };
+    std::map<int, ChannelFaults> channel_faults;
+    struct RankFault {
+        std::string name;
+        int rank = -1;
+        double t_us = 0.0;
+    };
+    std::vector<RankFault> rank_faults;
+    std::vector<RankFault> aborts;
+
+    for (const TraceEvent& event : analyzer.events()) {
+        if (event.phase != 'i')
+            continue;
+        if (event.cat == "simnet.fault") {
+            ChannelFaults& faults = channel_faults[event.tid];
+            faults.pid = event.pid;
+            if (event.name == "fault.channel_fail") {
+                if (faults.fail_us < 0.0)
+                    faults.fail_us = event.ts_us;
+                faults.src = static_cast<int>(
+                    eventArg(event, "src", faults.src));
+                faults.dst = static_cast<int>(
+                    eventArg(event, "dst", faults.dst));
+            } else if (event.name == "fault.channel_restore") {
+                faults.restore_us = event.ts_us;
+            } else if (event.name == "fault.channel_degrade") {
+                faults.degrade_us = event.ts_us;
+                faults.degrade_factor =
+                    eventArg(event, "factor", faults.degrade_factor);
+            } else if (event.name == "fault.transfer_dropped") {
+                ++faults.drops;
+                if (faults.first_drop_us < 0.0)
+                    faults.first_drop_us = event.ts_us;
+            }
+        } else if (event.cat == "ccl.fault") {
+            RankFault fault;
+            fault.name = event.name;
+            fault.rank = event.pid >= 1000 ? event.pid - 1000 : -1;
+            fault.t_us = event.ts_us;
+            if (event.name == "ccl.abort")
+                aborts.push_back(fault);
+            else
+                rank_faults.push_back(fault);
+        }
+    }
+
+    // --- Critical-path straggler shares -------------------------------
+    const CriticalPath path = analyzer.criticalPath();
+    report.critical_span_us = path.spanUs();
+    report.critical_stall_us = path.breakdown.sync_stall_us;
+    std::map<int, double> stall_by_pid;
+    for (const PathStep& step : path.steps)
+        stall_by_pid[step.span.pid] += step.stall_before_us;
+
+    // --- Channel causes ------------------------------------------------
+    for (const auto& entry : channel_faults) {
+        const int channel = entry.first;
+        const ChannelFaults& faults = entry.second;
+        const std::string label =
+            channelLabel(analyzer, channel, faults.pid);
+        const int src_node =
+            faults.pid >= 100 && faults.pid < 1000 ? faults.pid - 100
+                                                   : -1;
+        int parsed_src = faults.src;
+        int parsed_dst = faults.dst;
+        if (parsed_src < 0 || parsed_dst < 0)
+            parseChannelEndpoints(label, &parsed_src, &parsed_dst);
+        const bool endpoints = parsed_src >= 0 && parsed_dst >= 0;
+
+        if (faults.fail_us >= 0.0 || faults.drops > 0) {
+            RootCause cause;
+            cause.kind = RootCause::Kind::kChannelFail;
+            cause.channel = channel;
+            cause.node = src_node >= 0 ? src_node : parsed_src;
+            cause.rank = endpoints ? parsed_dst : -1;
+            cause.t_us = faults.fail_us >= 0.0 ? faults.fail_us
+                                               : faults.first_drop_us;
+            cause.score = 1000.0 + faults.drops;
+            std::ostringstream desc;
+            desc << "channel " << label;
+            if (faults.fail_us >= 0.0)
+                desc << " failed at t=" << formatMs(faults.fail_us);
+            else
+                desc << " dropping transfers from t="
+                     << formatMs(faults.first_drop_us);
+            if (faults.drops > 0)
+                desc << "; " << faults.drops << " transfer"
+                     << (faults.drops == 1 ? "" : "s") << " dropped";
+            if (endpoints)
+                desc << "; receiver rank " << parsed_dst << " starved";
+            if (faults.restore_us > faults.fail_us &&
+                faults.restore_us >= 0.0)
+                desc << " (restored at t=" << formatMs(faults.restore_us)
+                     << ")";
+            cause.description = desc.str();
+            report.causes.push_back(std::move(cause));
+        }
+        if (faults.degrade_us >= 0.0 && faults.degrade_factor != 1.0) {
+            RootCause cause;
+            cause.kind = RootCause::Kind::kChannelDegrade;
+            cause.channel = channel;
+            cause.node = src_node >= 0 ? src_node : parsed_src;
+            cause.rank = endpoints ? parsed_dst : -1;
+            cause.t_us = faults.degrade_us;
+            const double slowdown =
+                faults.degrade_factor > 0.0 &&
+                        faults.degrade_factor < 1.0
+                    ? 1.0 / faults.degrade_factor
+                    : faults.degrade_factor;
+            cause.score = 100.0 * std::max(1.0, slowdown);
+            std::ostringstream desc;
+            desc << "channel " << label << " degraded x"
+                 << std::fixed << std::setprecision(2) << slowdown
+                 << " at t=" << formatMs(faults.degrade_us);
+            cause.description = desc.str();
+            report.causes.push_back(std::move(cause));
+        }
+    }
+
+    // --- Rank faults and watchdog trips --------------------------------
+    for (const RankFault& fault : rank_faults) {
+        RootCause cause;
+        cause.kind = RootCause::Kind::kRankFault;
+        cause.rank = fault.rank;
+        cause.t_us = fault.t_us;
+        cause.score = 900.0;
+        std::ostringstream desc;
+        desc << fault.name << " injected on rank " << fault.rank
+             << " at t=" << formatMs(fault.t_us);
+        cause.description = desc.str();
+        report.causes.push_back(std::move(cause));
+    }
+    for (const RankFault& fault : aborts) {
+        RootCause cause;
+        cause.kind = RootCause::Kind::kWatchdog;
+        cause.rank = fault.rank;
+        cause.t_us = fault.t_us;
+        cause.score = 800.0;
+        std::ostringstream desc;
+        desc << "watchdog tripped; blamed rank " << fault.rank;
+        cause.description = desc.str();
+        report.causes.push_back(std::move(cause));
+    }
+    if (aborts.empty() && registry != nullptr &&
+        registry->counter("ccl.aborts") > 0.0) {
+        RootCause cause;
+        cause.kind = RootCause::Kind::kWatchdog;
+        cause.score = 800.0;
+        std::ostringstream desc;
+        desc << "watchdog tripped "
+             << static_cast<long>(registry->counter("ccl.aborts"))
+             << "x (no abort instant in trace)";
+        cause.description = desc.str();
+        report.causes.push_back(std::move(cause));
+    }
+
+    // --- Stragglers ----------------------------------------------------
+    if (report.critical_span_us > 0.0) {
+        int worst_pid = -1;
+        double worst_stall = 0.0;
+        for (const auto& entry : stall_by_pid) {
+            if (entry.second > worst_stall) {
+                worst_pid = entry.first;
+                worst_stall = entry.second;
+            }
+        }
+        const double share = worst_stall / report.critical_span_us;
+        if (worst_pid >= 0 && share > 0.05) {
+            RootCause cause;
+            cause.kind = RootCause::Kind::kStraggler;
+            if (worst_pid >= 1000)
+                cause.rank = worst_pid - 1000;
+            else if (worst_pid >= 100)
+                cause.node = worst_pid - 100;
+            cause.score = 200.0 * share;
+            std::ostringstream desc;
+            desc << pidLabel(worst_pid) << " stalled "
+                 << std::fixed << std::setprecision(0) << share * 100.0
+                 << "% of critical path (" << formatMs(worst_stall)
+                 << " of " << formatMs(report.critical_span_us) << ")";
+            cause.description = desc.str();
+            report.causes.push_back(std::move(cause));
+        }
+    }
+
+    // Per-rank wall-clock straggler counters (functional ccl runs).
+    if (registry != nullptr) {
+        int worst_rank = -1;
+        double worst_ns = 0.0;
+        for (const auto& name_kind : registry->names()) {
+            const std::string& name = name_kind.first;
+            if (name.rfind("ccl.rank", 0) != 0)
+                continue;
+            const std::size_t suffix = name.find(".wait_stall_ns");
+            if (suffix == std::string::npos)
+                continue;
+            const double ns = registry->counter(name);
+            if (ns > worst_ns) {
+                worst_ns = ns;
+                worst_rank = std::atoi(name.c_str() + 8);
+            }
+        }
+        if (worst_rank >= 0 && worst_ns > 0.0) {
+            RootCause cause;
+            cause.kind = RootCause::Kind::kStraggler;
+            cause.rank = worst_rank;
+            cause.score = 150.0;
+            std::ostringstream desc;
+            desc << "rank " << worst_rank
+                 << " accumulated the most wait-stall ("
+                 << formatMs(worst_ns / 1000.0) << ")";
+            cause.description = desc.str();
+            report.causes.push_back(std::move(cause));
+        }
+        report.dropped_trace_events = static_cast<std::uint64_t>(
+            registry->counter("trace.dropped_events"));
+    }
+
+    std::stable_sort(report.causes.begin(), report.causes.end(),
+                     [](const RootCause& a, const RootCause& b) {
+                         return a.score > b.score;
+                     });
+
+    // --- Blame ---------------------------------------------------------
+    for (const RootCause& cause : report.causes) {
+        if (cause.channel >= 0) {
+            report.blamed_channel = cause.channel;
+            break;
+        }
+    }
+    // Rank blame priority: explicit rank faults > watchdog blame >
+    // failed-channel receiver > straggler.
+    auto firstRankOf = [&report](RootCause::Kind kind) {
+        for (const RootCause& cause : report.causes) {
+            if (cause.kind == kind && cause.rank >= 0)
+                return cause.rank;
+        }
+        return -1;
+    };
+    report.blamed_rank = firstRankOf(RootCause::Kind::kRankFault);
+    if (report.blamed_rank < 0)
+        report.blamed_rank = firstRankOf(RootCause::Kind::kWatchdog);
+    if (report.blamed_rank < 0)
+        report.blamed_rank = firstRankOf(RootCause::Kind::kChannelFail);
+    if (report.blamed_rank < 0)
+        report.blamed_rank = firstRankOf(RootCause::Kind::kStraggler);
+
+    return report;
+}
+
+void
+writeRootCauseReport(std::ostream& out, const RootCauseReport& report)
+{
+    out << "=== root-cause analysis ===\n";
+    if (report.truncated())
+        out << "WARNING: trace truncated (" << report.dropped_trace_events
+            << " events dropped), analysis may be partial\n";
+    if (report.empty()) {
+        out << "no anomalies detected\n";
+        return;
+    }
+    out << "blamed channel: ";
+    if (report.blamed_channel >= 0)
+        out << report.blamed_channel;
+    else
+        out << "-";
+    out << "  blamed rank: ";
+    if (report.blamed_rank >= 0)
+        out << report.blamed_rank;
+    else
+        out << "-";
+    out << "\n";
+    if (report.critical_span_us > 0.0) {
+        out << "critical path: " << formatMs(report.critical_span_us)
+            << " (" << formatMs(report.critical_stall_us)
+            << " sync stall)\n";
+    }
+    int index = 1;
+    for (const RootCause& cause : report.causes) {
+        out << "  " << index++ << ". [" << causeKindName(cause.kind)
+            << " score=" << std::fixed << std::setprecision(1)
+            << cause.score << "] " << cause.description << "\n";
+    }
+}
+
+double
+TraceDiff::attributedFraction() const
+{
+    const double delta = deltaUs();
+    if (std::fabs(delta) < 1e-9)
+        return 1.0;
+    return attributed_us / delta;
+}
+
+TraceDiff
+diffTraces(const TraceAnalyzer& baseline, const TraceAnalyzer& current)
+{
+    TraceDiff diff;
+    const CriticalPath base_path = baseline.criticalPath();
+    const CriticalPath cur_path = current.criticalPath();
+    diff.baseline_span_us = base_path.spanUs();
+    diff.current_span_us = cur_path.spanUs();
+
+    // Span identity along a critical path: (name, pid, tid, n-th
+    // occurrence). Ring step k of channel c aligns with ring step k of
+    // the same channel in the other capture.
+    using Key = std::tuple<std::string, int, int, int>;
+    struct BaseEntry {
+        double cost_us = 0.0;
+        CostKind kind = CostKind::kOther;
+        bool matched = false;
+    };
+    std::map<Key, BaseEntry> base_costs;
+    std::map<std::tuple<std::string, int, int>, int> occurrence;
+    for (const PathStep& step : base_path.steps) {
+        const auto id = std::make_tuple(step.span.name, step.span.pid,
+                                        step.span.tid);
+        const int n = occurrence[id]++;
+        BaseEntry& entry = base_costs[std::make_tuple(
+            step.span.name, step.span.pid, step.span.tid, n)];
+        entry.cost_us += step.span.dur_us + step.stall_before_us;
+        entry.kind = step.kind;
+    }
+
+    occurrence.clear();
+    for (const PathStep& step : cur_path.steps) {
+        const auto id = std::make_tuple(step.span.name, step.span.pid,
+                                        step.span.tid);
+        const int n = occurrence[id]++;
+        const Key key = std::make_tuple(step.span.name, step.span.pid,
+                                        step.span.tid, n);
+        DiffSegment segment;
+        segment.name = step.span.name;
+        segment.pid = step.span.pid;
+        segment.tid = step.span.tid;
+        segment.occurrence = n;
+        segment.kind = step.kind;
+        segment.current_us = step.span.dur_us + step.stall_before_us;
+        const auto it = base_costs.find(key);
+        if (it != base_costs.end()) {
+            segment.baseline_us = it->second.cost_us;
+            segment.matched = true;
+            it->second.matched = true;
+        }
+        segment.delta_us = segment.current_us - segment.baseline_us;
+        diff.segments.push_back(std::move(segment));
+    }
+    // Baseline-only segments: work the current path no longer does.
+    for (const auto& entry : base_costs) {
+        if (entry.second.matched)
+            continue;
+        DiffSegment segment;
+        segment.name = std::get<0>(entry.first);
+        segment.pid = std::get<1>(entry.first);
+        segment.tid = std::get<2>(entry.first);
+        segment.occurrence = std::get<3>(entry.first);
+        segment.kind = entry.second.kind;
+        segment.baseline_us = entry.second.cost_us;
+        segment.delta_us = -entry.second.cost_us;
+        diff.segments.push_back(std::move(segment));
+    }
+
+    diff.attributed_us = 0.0;
+    std::vector<double> abs_deltas;
+    abs_deltas.reserve(diff.segments.size());
+    for (const DiffSegment& segment : diff.segments) {
+        diff.attributed_us += segment.delta_us;
+        abs_deltas.push_back(std::fabs(segment.delta_us));
+    }
+    if (!abs_deltas.empty())
+        diff.median_abs_delta_us =
+            util::quantileInPlace(abs_deltas, 0.5);
+
+    std::stable_sort(diff.segments.begin(), diff.segments.end(),
+                     [](const DiffSegment& a, const DiffSegment& b) {
+                         return std::fabs(a.delta_us) >
+                                std::fabs(b.delta_us);
+                     });
+    return diff;
+}
+
+void
+writeDiffReport(std::ostream& out, const TraceDiff& diff,
+                std::size_t max_segments)
+{
+    out << "=== trace diff ===\n";
+    out << std::fixed << std::setprecision(3);
+    out << "baseline span: " << formatMs(diff.baseline_span_us)
+        << "  current span: " << formatMs(diff.current_span_us)
+        << "  delta: " << formatMs(diff.deltaUs()) << "\n";
+    out << "attributed to critical-path segments: "
+        << formatMs(diff.attributed_us) << " ("
+        << std::setprecision(1) << diff.attributedFraction() * 100.0
+        << "% of delta)\n";
+    const std::size_t shown =
+        std::min(max_segments, diff.segments.size());
+    for (std::size_t i = 0; i < shown; ++i) {
+        const DiffSegment& segment = diff.segments[i];
+        out << "  " << std::setw(2) << i + 1 << ". "
+            << (segment.delta_us >= 0.0 ? "+" : "")
+            << formatMs(segment.delta_us) << "  " << segment.name
+            << " [" << pidLabel(segment.pid) << " tid "
+            << segment.tid << " #" << segment.occurrence << ", "
+            << costKindName(segment.kind) << "] "
+            << formatMs(segment.baseline_us) << " -> "
+            << formatMs(segment.current_us)
+            << (segment.matched ? "" : " (unmatched)") << "\n";
+    }
+    if (diff.segments.size() > shown)
+        out << "  ... " << diff.segments.size() - shown
+            << " more segments (median |delta| "
+            << formatMs(diff.median_abs_delta_us) << ")\n";
+}
+
+} // namespace obs
+} // namespace ccube

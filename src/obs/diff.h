@@ -1,0 +1,137 @@
+#ifndef CCUBE_OBS_DIFF_H_
+#define CCUBE_OBS_DIFF_H_
+
+/**
+ * @file
+ * Automated "why was this run slow?" analysis on top of
+ * obs::TraceAnalyzer:
+ *
+ *  - **Root cause.** An anomaly pass correlates `fault.*` instants
+ *    (channel fail/restore/degrade, dropped transfers, rank
+ *    kill/stall/delay), watchdog aborts, and straggler counters
+ *    against the span DAG's critical path and emits a ranked cause
+ *    list — "channel GPU2->GPU6 failed at t=1.2ms, 37 transfers
+ *    dropped, receiver rank 6 starved; rank 3 stalled 42% of the
+ *    critical path".
+ *
+ *  - **Differential trace analysis.** Two captures (baseline vs
+ *    current, healthy vs faulted) are aligned by span identity
+ *    (name, pid, tid, occurrence) along their critical paths and the
+ *    end-to-end delta is attributed segment by segment: each
+ *    critical-path span's cost (duration + stall lead-in) is compared
+ *    against its baseline counterpart, so the report names the
+ *    concrete channels/spans that absorbed the regression.
+ *
+ * Both reports surface the recorder's drop counter: a truncated trace
+ * gets an explicit "analysis may be partial" warning instead of
+ * silently analyzing a prefix.
+ */
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/analyze.h"
+
+namespace ccube {
+namespace obs {
+
+class MetricRegistry;
+
+/** One ranked anomaly. */
+struct RootCause {
+    enum class Kind {
+        kChannelFail,
+        kChannelDegrade,
+        kRankFault, ///< injected kill / stall / delay
+        kWatchdog,  ///< ccl abort (deadline trip)
+        kStraggler, ///< dominant critical-path staller
+    };
+
+    Kind kind = Kind::kStraggler;
+    int channel = -1; ///< channel id, when channel-scoped
+    int node = -1;    ///< sim node (channel src / straggler)
+    int rank = -1;    ///< blamed rank (receiver / ccl rank)
+    double t_us = 0.0;
+    double score = 0.0; ///< ranking weight (higher = more causal)
+    std::string description;
+};
+
+/** Ranked root-cause analysis of one capture. */
+struct RootCauseReport {
+    std::vector<RootCause> causes; ///< score-descending
+    int blamed_channel = -1; ///< top channel-scoped cause, if any
+    int blamed_rank = -1;    ///< most likely victim/culprit rank
+    double critical_span_us = 0.0;
+    double critical_stall_us = 0.0;
+    std::uint64_t dropped_trace_events = 0;
+
+    bool truncated() const { return dropped_trace_events > 0; }
+    bool empty() const { return causes.empty(); }
+};
+
+/**
+ * Correlates fault instants, watchdog trips, and straggler counters
+ * in @p analyzer's capture against its critical path. @p registry
+ * (optional) contributes `ccl.aborts`, `trace.dropped_events`, and
+ * per-rank `ccl.rank<r>.wait_stall_ns` straggler counters.
+ */
+RootCauseReport analyzeRootCause(const TraceAnalyzer& analyzer,
+                                 const MetricRegistry* registry
+                                 = nullptr);
+
+/** Text report: blame summary, ranked causes, truncation warning. */
+void writeRootCauseReport(std::ostream& out,
+                          const RootCauseReport& report);
+
+/** One aligned critical-path segment of a trace diff. */
+struct DiffSegment {
+    std::string name; ///< span name (channel / mailbox / reduce)
+    int pid = 0;
+    int tid = 0;
+    int occurrence = 0;   ///< n-th (name,pid,tid) span on the path
+    CostKind kind = CostKind::kOther;
+    double current_us = 0.0;  ///< duration + stall lead-in
+    double baseline_us = 0.0; ///< matched baseline cost (0 if none)
+    double delta_us = 0.0;
+    bool matched = false; ///< present on both critical paths
+};
+
+/** Differential analysis of two captures. */
+struct TraceDiff {
+    double baseline_span_us = 0.0; ///< baseline critical-path span
+    double current_span_us = 0.0;  ///< current critical-path span
+    double attributed_us = 0.0;    ///< signed sum of segment deltas
+    double median_abs_delta_us = 0.0;
+    std::vector<DiffSegment> segments; ///< |delta| descending
+
+    double deltaUs() const
+    {
+        return current_span_us - baseline_span_us;
+    }
+
+    /**
+     * Fraction of the end-to-end delta attributed to concrete
+     * critical-path segments; 1 when there is no delta to explain.
+     */
+    double attributedFraction() const;
+};
+
+/**
+ * Aligns @p baseline and @p current by span identity along their
+ * critical paths and attributes the end-to-end delta per segment.
+ * Segments only on the current path contribute their full cost;
+ * segments only on the baseline path contribute negatively.
+ */
+TraceDiff diffTraces(const TraceAnalyzer& baseline,
+                     const TraceAnalyzer& current);
+
+/** Text report of the top @p max_segments segments by |delta|. */
+void writeDiffReport(std::ostream& out, const TraceDiff& diff,
+                     std::size_t max_segments = 24);
+
+} // namespace obs
+} // namespace ccube
+
+#endif // CCUBE_OBS_DIFF_H_

@@ -1,0 +1,179 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "util/logging.h"
+
+namespace ccube {
+namespace obs {
+
+namespace {
+
+// Decade d covers samples in [2^d, 2^(d+1)).
+constexpr int kMinDecade = -LogHistogram::kSubUnityDecades;
+constexpr int kMaxDecade = LogHistogram::kDecades - 1;
+
+} // namespace
+
+void
+LogHistogram::add(double sample)
+{
+    addCount(sample, 1);
+}
+
+void
+LogHistogram::addCount(double sample, std::uint64_t count)
+{
+    if (count == 0)
+        return;
+    if (!(sample > 0.0))
+        sample = 0.0;
+    if (count_ == 0) {
+        min_ = sample;
+        max_ = sample;
+    } else {
+        min_ = std::min(min_, sample);
+        max_ = std::max(max_, sample);
+    }
+    count_ += count;
+    sum_ += sample * static_cast<double>(count);
+
+    const int index = bucketIndex(sample);
+    if (index < 0) {
+        underflow_ += count;
+        return;
+    }
+    Decade& decade = decadeFor(index / kSubBuckets + kMinDecade);
+    decade.counts[index % kSubBuckets] += count;
+}
+
+void
+LogHistogram::merge(const LogHistogram& other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    underflow_ += other.underflow_;
+    sum_ += other.sum_;
+    for (const Decade& theirs : other.decades_) {
+        Decade& ours = decadeFor(theirs.index);
+        for (int i = 0; i < kSubBuckets; ++i)
+            ours.counts[i] += theirs.counts[i];
+    }
+}
+
+double
+LogHistogram::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+LogHistogram::quantile(double q) const
+{
+    CCUBE_CHECK(q >= 0.0 && q <= 1.0, "quantile out of range");
+    if (count_ == 0)
+        return 0.0;
+    if (q <= 0.0)
+        return min_;
+    if (q >= 1.0)
+        return max_;
+    const double target = q * static_cast<double>(count_);
+    std::uint64_t rank = static_cast<std::uint64_t>(std::ceil(target));
+    rank = std::max<std::uint64_t>(1, std::min(rank, count_));
+
+    std::uint64_t seen = underflow_;
+    if (rank <= seen)
+        return min_; // zero / sub-normal samples
+    for (const Decade& decade : decades_) {
+        for (int i = 0; i < kSubBuckets; ++i) {
+            seen += decade.counts[i];
+            if (rank <= seen) {
+                const int index =
+                    (decade.index - kMinDecade) * kSubBuckets + i;
+                return std::min(bucketUpperBound(index), max_);
+            }
+        }
+    }
+    return max_;
+}
+
+void
+LogHistogram::clear()
+{
+    decades_.clear();
+    count_ = 0;
+    underflow_ = 0;
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+}
+
+std::string
+LogHistogram::fingerprint() const
+{
+    std::ostringstream out;
+    out << "n=" << count_ << ";u=" << underflow_;
+    for (const Decade& decade : decades_)
+        for (int i = 0; i < kSubBuckets; ++i)
+            if (decade.counts[i] != 0)
+                out << ';'
+                    << (decade.index - kMinDecade) * kSubBuckets + i
+                    << ':' << decade.counts[i];
+    return out.str();
+}
+
+int
+LogHistogram::bucketIndex(double sample)
+{
+    if (!(sample > 0.0))
+        return -1; // underflow bucket
+    int exponent = 0;
+    const double mantissa = std::frexp(sample, &exponent);
+    // sample = mantissa * 2^exponent with mantissa in [0.5, 1), so the
+    // value sits in decade (exponent - 1) and 2*mantissa - 1 in [0, 1)
+    // picks the linear sub-bucket inside it.
+    int decade = exponent - 1;
+    if (decade < kMinDecade)
+        return -1;
+    if (decade > kMaxDecade)
+        return (kMaxDecade - kMinDecade + 1) * kSubBuckets - 1;
+    int sub = static_cast<int>((2.0 * mantissa - 1.0) * kSubBuckets);
+    sub = std::min(sub, kSubBuckets - 1);
+    return (decade - kMinDecade) * kSubBuckets + sub;
+}
+
+double
+LogHistogram::bucketUpperBound(int index)
+{
+    const int decade = index / kSubBuckets + kMinDecade;
+    const int sub = index % kSubBuckets;
+    return std::ldexp(1.0 + static_cast<double>(sub + 1) / kSubBuckets,
+                      decade);
+}
+
+LogHistogram::Decade&
+LogHistogram::decadeFor(int decade_index)
+{
+    auto it = std::lower_bound(
+        decades_.begin(), decades_.end(), decade_index,
+        [](const Decade& d, int index) { return d.index < index; });
+    if (it != decades_.end() && it->index == decade_index)
+        return *it;
+    Decade fresh;
+    fresh.index = decade_index;
+    return *decades_.insert(it, fresh);
+}
+
+} // namespace obs
+} // namespace ccube

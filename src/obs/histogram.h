@@ -1,0 +1,120 @@
+#ifndef CCUBE_OBS_HISTOGRAM_H_
+#define CCUBE_OBS_HISTOGRAM_H_
+
+/**
+ * @file
+ * LogHistogram — a bounded-memory, HDR-style latency histogram.
+ *
+ * Samples land in log-spaced buckets: the exponent of the value picks
+ * a power-of-two decade and kSubBuckets linear sub-buckets refine it,
+ * giving a fixed relative error of at most 1/kSubBuckets (~1.6%) per
+ * recorded quantile while the whole structure stays a flat array of
+ * integer counts. That integer representation is the point: merging
+ * two histograms is a commutative, associative element-wise add, so an
+ * absorbed sweep capture is byte-identical no matter how tasks were
+ * scheduled across workers — the same determinism contract the trace
+ * recorder and metric registry already honor (quantiles read from
+ * bucket boundaries are exact functions of the counts; only the
+ * diagnostic sum() is order-sensitive, and sweep::run() absorbs in
+ * task-index order, keeping even that deterministic).
+ *
+ * Quantiles are reported as the upper bound of the bucket holding the
+ * requested rank, so p50/p99/p999 never under-report a deadline miss.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccube {
+namespace obs {
+
+/**
+ * Log-bucketed histogram of non-negative samples with deterministic
+ * merge. Memory is O(number of non-empty decades), bounded by
+ * kDecades * kSubBuckets counters regardless of sample count.
+ */
+class LogHistogram
+{
+  public:
+    /// Linear sub-buckets per power-of-two decade (relative
+    /// resolution of recorded quantiles).
+    static constexpr int kSubBuckets = 64;
+    /// Power-of-two decades covered above 1.0; values larger than
+    /// 2^kDecades saturate into the last bucket.
+    static constexpr int kDecades = 64;
+    /// Decades below 1.0 (down to 2^-32); smaller positive values
+    /// collapse into the underflow bucket together with zero.
+    static constexpr int kSubUnityDecades = 32;
+
+    /** Records one sample. Negative samples count as zero. */
+    void add(double sample);
+
+    /** Records @p count occurrences of @p sample. */
+    void addCount(double sample, std::uint64_t count);
+
+    /** Element-wise adds @p other's buckets into this histogram. */
+    void merge(const LogHistogram& other);
+
+    /** Total number of recorded samples. */
+    std::uint64_t count() const { return count_; }
+
+    /** Sum of all recorded samples (diagnostic; see file comment). */
+    double sum() const { return sum_; }
+
+    /** Smallest recorded sample; 0 when empty. */
+    double min() const { return count_ ? min_ : 0.0; }
+
+    /** Largest recorded sample; 0 when empty. */
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Mean of recorded samples; 0 when empty. */
+    double mean() const;
+
+    /**
+     * Value at quantile @p q in [0, 1]: the upper bound of the bucket
+     * containing the sample of rank ceil(q * count). Exact for the
+     * extremes (returns min()/max() at q=0 / q=1); 0 when empty.
+     */
+    double quantile(double q) const;
+
+    /** True when no samples were recorded. */
+    bool empty() const { return count_ == 0; }
+
+    /** Drops all samples. */
+    void clear();
+
+    /**
+     * Byte-stable textual fingerprint of the bucket contents
+     * ("index:count,..." plus count/min/max), used by determinism
+     * tests and the snapshot serializer.
+     */
+    std::string fingerprint() const;
+
+  private:
+    static int bucketIndex(double sample);
+    static double bucketUpperBound(int index);
+
+    // Sparse decade map: decade index -> kSubBuckets counters. Kept
+    // sorted by decade so iteration (quantile, fingerprint, merge) is
+    // deterministic.
+    struct Decade {
+        int index = 0;
+        std::uint64_t counts[kSubBuckets] = {};
+    };
+
+    Decade& decadeFor(int decade_index);
+
+    std::vector<Decade> decades_;
+    std::uint64_t count_ = 0;
+    std::uint64_t underflow_ = 0; ///< zero / denormal-small samples
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace obs
+} // namespace ccube
+
+#endif // CCUBE_OBS_HISTOGRAM_H_

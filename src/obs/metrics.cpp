@@ -54,6 +54,8 @@ MetricRegistry::absorb(const MetricRegistry& other)
         gauges_[name] = value;
     for (const auto& [name, stats] : other.histograms_)
         histograms_[name].merge(stats);
+    for (const auto& [name, histogram] : other.quantile_histograms_)
+        quantile_histograms_[name].merge(histogram);
 }
 
 ScopedMetricsRedirect::ScopedMetricsRedirect(MetricRegistry* registry)
@@ -131,18 +133,45 @@ MetricRegistry::histogram(const std::string& name) const
     return it == histograms_.end() ? util::RunningStats{} : it->second;
 }
 
+void
+MetricRegistry::observeQuantile(const std::string& name, double sample)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    quantile_histograms_[name].add(sample);
+}
+
+void
+MetricRegistry::mergeQuantileHistogram(const std::string& name,
+                                       const LogHistogram& histogram)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    quantile_histograms_[name].merge(histogram);
+}
+
+LogHistogram
+MetricRegistry::quantileHistogram(const std::string& name) const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto it = quantile_histograms_.find(name);
+    return it == quantile_histograms_.end() ? LogHistogram{}
+                                            : it->second;
+}
+
 std::vector<std::pair<std::string, std::string>>
 MetricRegistry::names() const
 {
     std::lock_guard<std::mutex> guard(mutex_);
     std::vector<std::pair<std::string, std::string>> out;
-    out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+    out.reserve(counters_.size() + gauges_.size() +
+                histograms_.size() + quantile_histograms_.size());
     for (const auto& [name, value] : counters_)
         out.emplace_back(name, "counter");
     for (const auto& [name, value] : gauges_)
         out.emplace_back(name, "gauge");
     for (const auto& [name, stats] : histograms_)
         out.emplace_back(name, "histogram");
+    for (const auto& [name, histogram] : quantile_histograms_)
+        out.emplace_back(name, "qhist");
     std::sort(out.begin(), out.end());
     return out;
 }
@@ -154,6 +183,7 @@ MetricRegistry::clear()
     counters_.clear();
     gauges_.clear();
     histograms_.clear();
+    quantile_histograms_.clear();
 }
 
 void
@@ -173,6 +203,18 @@ MetricRegistry::writeCsv(std::ostream& out) const
         else
             out << ",";
         out << "," << stats.stddev() << "\n";
+    }
+    // Quantile histograms reuse the fixed columns: `value` carries
+    // p99 (the SLO-relevant figure); p50/p999 live in the JSON export.
+    for (const auto& [name, histogram] : quantile_histograms_) {
+        out << name << ",qhist," << histogram.count() << ","
+            << histogram.quantile(0.99) << "," << histogram.mean()
+            << ",";
+        if (!histogram.empty())
+            out << histogram.min() << "," << histogram.max();
+        else
+            out << ",";
+        out << ",\n";
     }
 }
 
@@ -208,6 +250,21 @@ MetricRegistry::writeJson(std::ostream& out) const
                 << ", \"max\": " << stats.max();
         }
         out << ", \"stddev\": " << stats.stddev() << "}";
+    }
+    for (const auto& [name, histogram] : quantile_histograms_) {
+        sep();
+        writeJsonKey(out, name);
+        out << ": {\"kind\": \"qhist\", \"count\": "
+            << histogram.count() << ", \"sum\": " << histogram.sum()
+            << ", \"mean\": " << histogram.mean();
+        if (!histogram.empty()) {
+            out << ", \"min\": " << histogram.min()
+                << ", \"max\": " << histogram.max()
+                << ", \"p50\": " << histogram.quantile(0.50)
+                << ", \"p99\": " << histogram.quantile(0.99)
+                << ", \"p999\": " << histogram.quantile(0.999);
+        }
+        out << "}";
     }
     out << "\n}\n";
 }

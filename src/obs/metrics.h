@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/histogram.h"
 #include "util/stats.h"
 
 namespace ccube {
@@ -94,6 +95,20 @@ class MetricRegistry
     /** Histogram accumulator; empty stats when never observed. */
     util::RunningStats histogram(const std::string& name) const;
 
+    /**
+     * Adds one sample to quantile histogram @p name — the
+     * LogHistogram-backed kind for hot counters whose p50/p99/p999
+     * matter. Bounded memory, deterministic under sweep:: absorb.
+     */
+    void observeQuantile(const std::string& name, double sample);
+
+    /** Merges @p histogram into quantile histogram @p name. */
+    void mergeQuantileHistogram(const std::string& name,
+                                const LogHistogram& histogram);
+
+    /** Quantile histogram; empty histogram when never observed. */
+    LogHistogram quantileHistogram(const std::string& name) const;
+
     /** All metric names, sorted, with their kind. */
     std::vector<std::pair<std::string, std::string>> names() const;
 
@@ -116,6 +131,7 @@ class MetricRegistry
     std::map<std::string, double> counters_;
     std::map<std::string, double> gauges_;
     std::map<std::string, util::RunningStats> histograms_;
+    std::map<std::string, LogHistogram> quantile_histograms_;
 };
 
 /**

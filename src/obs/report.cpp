@@ -65,6 +65,13 @@ writeAnalysisReport(std::ostream& out, const TraceAnalyzer& analyzer,
     const TimeInterval window = analyzer.channelWindow();
 
     out << "=== ccube trace analysis ===\n";
+    if (registry != nullptr &&
+        registry->counter("trace.dropped_events") > 0.0) {
+        out << "WARNING: trace truncated ("
+            << static_cast<long>(
+                   registry->counter("trace.dropped_events"))
+            << " events dropped), analysis may be partial\n";
+    }
     out << "events: " << analyzer.events().size()
         << "  channels: " << analyzer.channels().size()
         << "  transfers: " << analyzer.transfers().size() << "\n";

@@ -5,7 +5,9 @@
 
 #include "obs/analyze.h"
 #include "obs/context.h"
+#include "obs/diff.h"
 #include "obs/metrics.h"
+#include "obs/monitor.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -45,9 +47,20 @@ applyRetentionFlags(const util::Flags& flags)
 ObsSession::ObsSession(const util::Flags& flags)
     : trace_path_(flags.get("trace-out")),
       metrics_path_(flags.get("metrics-out")),
-      report_path_(flags.get("report-out"))
+      report_path_(flags.get("report-out")),
+      monitor_path_(flags.get("monitor-out")),
+      openmetrics_path_(flags.get("monitor-openmetrics")),
+      rootcause_path_(flags.get("rootcause-out")),
+      monitor_interval_s_(flags.getDouble("monitor-interval", 0.0))
 {
     applyRetentionFlags(flags);
+    if (monitoring()) {
+        if (openmetrics_path_.empty())
+            openmetrics_path_ = monitor_path_ + ".om";
+        Monitor& monitor = Monitor::global();
+        monitor.setInterval(monitor_interval_s_);
+        monitor.setSlo(SloSpec::fromFlags(flags));
+    }
     start();
 }
 
@@ -68,10 +81,12 @@ ObsSession::~ObsSession()
 void
 ObsSession::start()
 {
-    if (tracing() || reporting())
+    if (tracing() || reporting() || rootCause())
         TraceRecorder::global().enable();
     if (metrics())
         MetricRegistry::global().enable();
+    if (monitoring())
+        Monitor::global().enable();
 }
 
 void
@@ -83,11 +98,29 @@ ObsSession::finish()
 
     TraceRecorder& recorder = TraceRecorder::global();
     MetricRegistry& registry = MetricRegistry::global();
+    Monitor& monitor = Monitor::global();
 
     if (metrics()) {
         RankCounters::global().exportTo(registry);
-        if (tracing() || reporting())
+        if (tracing() || reporting() || rootCause())
             recorder.exportTo(registry);
+        if (monitoring()) {
+            registry.addCounter(
+                "monitor.snapshots",
+                static_cast<double>(monitor.snapshotCount()));
+            registry.addCounter(
+                "slo.collective.total",
+                static_cast<double>(monitor.collectivesTotal()));
+            registry.addCounter(
+                "slo.collective.violations",
+                static_cast<double>(monitor.collectiveViolations()));
+            registry.addCounter(
+                "slo.iteration.violations",
+                static_cast<double>(monitor.iterationViolations()));
+            registry.mergeQuantileHistogram(
+                "slo.collective.latency_s",
+                monitor.collectiveLatency());
+        }
     }
 
     if (tracing()) {
@@ -117,7 +150,44 @@ ObsSession::finish()
         }
     }
 
-    if (tracing() || reporting())
+    if (rootCause()) {
+        std::ofstream out(rootcause_path_);
+        if (!out) {
+            util::logWarn("obs", "cannot open root-cause file " +
+                                     rootcause_path_);
+        } else {
+            const TraceAnalyzer analyzer =
+                TraceAnalyzer::fromRecorder(recorder);
+            const RootCauseReport report = analyzeRootCause(
+                analyzer, metrics() ? &registry : nullptr);
+            writeRootCauseReport(out, report);
+            util::logInfo("obs", "wrote root-cause report to " +
+                                     rootcause_path_);
+        }
+    }
+
+    if (monitoring()) {
+        std::ofstream out(monitor_path_);
+        if (!out) {
+            util::logWarn("obs", "cannot open monitor file " +
+                                     monitor_path_);
+        } else {
+            monitor.writeJsonl(out);
+            util::logInfo(
+                "obs",
+                "wrote " + std::to_string(monitor.snapshotCount()) +
+                    " monitor snapshots to " + monitor_path_);
+        }
+        std::ofstream om(openmetrics_path_);
+        if (!om)
+            util::logWarn("obs", "cannot open OpenMetrics file " +
+                                     openmetrics_path_);
+        else
+            monitor.writeOpenMetrics(om);
+        monitor.disable();
+    }
+
+    if (tracing() || reporting() || rootCause())
         recorder.disable();
 
     if (metrics()) {

@@ -14,8 +14,20 @@
  * idle gaps, α-β fit, critical path). Two auxiliary flags shape
  * retention: `--trace-capacity=N` caps retained events and
  * `--trace-mode=flight` switches to the drop-oldest FlightRecorder
- * ring. With no flag present the session is inert and the
- * instrumented code paths stay on their disabled fast path.
+ * ring.
+ *
+ * Live monitoring: `--monitor-out=FILE` enables the global
+ * obs::Monitor and writes its JSONL snapshot series plus an
+ * OpenMetrics-style text endpoint (`FILE.om`, overridable with
+ * `--monitor-openmetrics=FILE`); `--monitor-interval=SECONDS` sets the
+ * DES heartbeat period (simulated seconds; 0 = collective edges only);
+ * `--slo-collective-ms` / `--slo-iteration-ms` arm the SLO budgets
+ * (env fallbacks $CCUBE_SLO_COLLECTIVE_MS / $CCUBE_SLO_ITERATION_MS).
+ * `--rootcause-out=FILE` enables the recorder and writes the ranked
+ * obs::diff root-cause report at the end of the run.
+ *
+ * With no flag present the session is inert and the instrumented code
+ * paths stay on their disabled fast path.
  */
 
 #include <string>
@@ -34,7 +46,10 @@ class ObsSession
 {
   public:
     /** Reads `--trace-out` / `--metrics-out` / `--report-out` /
-     *  `--trace-capacity` / `--trace-mode` from @p flags. */
+     *  `--monitor-out` / `--monitor-interval` / `--monitor-openmetrics`
+     *  / `--rootcause-out` / `--slo-collective-ms` /
+     *  `--slo-iteration-ms` / `--trace-capacity` / `--trace-mode`
+     *  from @p flags. */
     explicit ObsSession(const util::Flags& flags);
 
     /** Direct construction (empty path = facility off). */
@@ -56,6 +71,12 @@ class ObsSession
     /** True when an analysis report was requested. */
     bool reporting() const { return !report_path_.empty(); }
 
+    /** True when live monitoring output was requested. */
+    bool monitoring() const { return !monitor_path_.empty(); }
+
+    /** True when a root-cause report was requested. */
+    bool rootCause() const { return !rootcause_path_.empty(); }
+
     /**
      * Writes the trace JSON, metrics, and analysis-report files,
      * folding the per-rank RankCounters and the recorder's drop
@@ -69,6 +90,10 @@ class ObsSession
     std::string trace_path_;
     std::string metrics_path_;
     std::string report_path_;
+    std::string monitor_path_;
+    std::string openmetrics_path_;
+    std::string rootcause_path_;
+    double monitor_interval_s_ = 0.0;
     bool finished_ = false;
 };
 

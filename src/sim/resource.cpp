@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/monitor.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 
@@ -12,7 +13,8 @@ namespace sim {
 FifoResource::FifoResource(Simulation& simulation, std::string name)
     : sim_(simulation), name_(std::move(name)),
       recorder_(obs::TraceRecorder::global()),
-      registry_(obs::MetricRegistry::global())
+      registry_(obs::MetricRegistry::global()),
+      monitor_(obs::Monitor::global())
 {
 }
 
@@ -44,15 +46,27 @@ FifoResource::grant(Pending pending)
     const Time duration = pending.hold();
     CCUBE_CHECK(duration >= 0.0, "negative hold on " << name_);
     busy_time_ += duration;
-    if (recorder_.enabled() || registry_.enabled()) {
+    const bool want_metrics =
+        recorder_.enabled() || registry_.enabled();
+    if (want_metrics || monitor_.enabled()) {
+        // Busy intervals feed both the trace/metrics reports and the
+        // monitor's busy-fraction gauges; the heavier per-grant
+        // accounting (payload totals, queue-wait histogram) is only
+        // for the report paths, so live monitoring alone stays cheap.
+        if (busy_intervals_.size() < kMaxBusyIntervals) {
+            if (busy_intervals_.capacity() == 0)
+                busy_intervals_.reserve(64); // skip the tiny-regrowth
+                                             // malloc ladder
+            busy_intervals_.emplace_back(sim_.now(),
+                                         sim_.now() + duration);
+        } else {
+            ++busy_intervals_dropped_;
+        }
+    }
+    if (want_metrics) {
         total_payload_ += pending.payload;
         const Time queue_wait = sim_.now() - pending.requested_at;
         queue_wait_.add(queue_wait);
-        if (busy_intervals_.size() < kMaxBusyIntervals)
-            busy_intervals_.emplace_back(sim_.now(),
-                                         sim_.now() + duration);
-        else
-            ++busy_intervals_dropped_;
         if (trace_pid_ >= 0 && recorder_.enabled()) {
             const double offset = recorder_.simOffsetUs();
             recorder_.completeEvent(

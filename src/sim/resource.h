@@ -24,6 +24,7 @@ namespace ccube {
 
 namespace obs {
 class MetricRegistry;
+class Monitor;
 class TraceRecorder;
 }
 
@@ -143,7 +144,8 @@ class FifoResource
     std::vector<std::pair<Time, Time>> busy_intervals_;
     std::uint64_t busy_intervals_dropped_ = 0;
     obs::TraceRecorder& recorder_; ///< cached globals: the per-grant
-    obs::MetricRegistry& registry_; ///< cost is two relaxed loads
+    obs::MetricRegistry& registry_; ///< cost is three relaxed loads
+    obs::Monitor& monitor_;
     int trace_pid_ = -1;
     int trace_tid_ = 0;
 };

@@ -50,6 +50,11 @@ class Simulation
      * metrics capture is enabled, also observes the wall-clock DES
      * throughput of the run as the `sim.events_per_sec` histogram and
      * counts executed events in `sim.events` (see obs::MetricRegistry).
+     *
+     * While the live monitor is enabled (see obs::Monitor), the run is
+     * additionally chopped into --monitor-interval simulated-time
+     * slices and a heartbeat snapshot fires between slices; a
+     * non-positive interval keeps the single-slice fast path.
      */
     Time run();
 

@@ -31,6 +31,76 @@ Network::Network(sim::Simulation& simulation, const topo::Graph& graph,
             .push_back(id);
     }
     announceTraceTopology();
+
+    obs::Monitor& monitor = obs::Monitor::global();
+    if (monitor.enabled()) {
+        monitor_ = &monitor;
+        monitor_cursor_.assign(
+            static_cast<std::size_t>(graph.channelCount()), 0);
+        monitor_token_ = monitor.addSource(
+            [this](double t_s,
+                   std::vector<std::pair<std::string, double>>& out) {
+                sampleMonitorGauges(t_s, out);
+            });
+    }
+}
+
+Network::~Network()
+{
+    if (monitor_)
+        monitor_->removeSource(monitor_token_);
+}
+
+void
+Network::sampleMonitorGauges(
+    double t_s, std::vector<std::pair<std::string, double>>& out)
+{
+    // Gauge names depend only on the channel id, so they are built
+    // once per worker thread and shared by every Network that thread
+    // simulates — the per-heartbeat path never formats strings.
+    static thread_local std::vector<std::pair<std::string, std::string>>
+        names;
+    while (names.size() <
+           static_cast<std::size_t>(graph_.channelCount())) {
+        const std::string base =
+            "chan." + std::to_string(names.size());
+        names.emplace_back(base + ".busy_frac", base + ".queue");
+    }
+
+    const double window = t_s - monitor_last_t_;
+    for (int id = 0; id < graph_.channelCount(); ++id) {
+        const sim::FifoResource& res =
+            *resources_[static_cast<std::size_t>(id)];
+        const auto& intervals = res.busyIntervals();
+        std::size_t& cursor =
+            monitor_cursor_[static_cast<std::size_t>(id)];
+        double busy = 0.0;
+        // Intervals are in grant order and non-overlapping (unit
+        // capacity), so one forward cursor per channel amortizes the
+        // walk to O(total grants) across all snapshots; an interval
+        // straddling t_s is left for the next window to finish.
+        for (std::size_t i = cursor; i < intervals.size(); ++i) {
+            const auto& [start, end] = intervals[i];
+            if (start >= t_s)
+                break;
+            busy += std::min(end, t_s) - std::max(start,
+                                                  monitor_last_t_);
+            if (end <= t_s)
+                cursor = i + 1;
+            else
+                break;
+        }
+        const std::size_t queue = res.queueLength();
+        if (busy <= 0.0 && queue == 0)
+            continue; // idle channel: keep the snapshot row sparse
+        const auto& name_pair = names[static_cast<std::size_t>(id)];
+        if (window > 0.0)
+            out.emplace_back(name_pair.first, busy / window);
+        if (queue > 0)
+            out.emplace_back(name_pair.second,
+                             static_cast<double>(queue));
+    }
+    monitor_last_t_ = t_s;
 }
 
 const std::vector<int>&
@@ -211,10 +281,19 @@ Network::failChannel(int channel_id)
     obs::TraceRecorder& recorder = obs::TraceRecorder::global();
     if (recorder.enabled()) {
         const topo::ChannelDesc& desc = graph_.channel(channel_id);
-        recorder.instantEvent("fault.channel_fail", "simnet.fault",
-                              obs::pids::simNode(desc.src), channel_id,
-                              recorder.simOffsetUs() +
-                                  sim_.now() * 1e6);
+        // Endpoints ride along as args so root-cause analysis can
+        // blame the starved receiver even when the channel never
+        // carried traffic (no timeline to parse endpoints from).
+        obs::TraceEvent event;
+        event.name = "fault.channel_fail";
+        event.cat = "simnet.fault";
+        event.phase = 'i';
+        event.pid = obs::pids::simNode(desc.src);
+        event.tid = channel_id;
+        event.ts_us = recorder.simOffsetUs() + sim_.now() * 1e6;
+        event.args.emplace_back("src", static_cast<double>(desc.src));
+        event.args.emplace_back("dst", static_cast<double>(desc.dst));
+        recorder.record(std::move(event));
     }
 }
 
@@ -244,6 +323,19 @@ Network::setChannelBandwidthFactor(int channel_id, double factor)
     CCUBE_CHECK(factor > 0.0, "bandwidth factor must be positive");
     channel_state_[static_cast<std::size_t>(channel_id)].factor *=
         factor;
+    obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+    if (recorder.enabled() && factor != 1.0) {
+        const topo::ChannelDesc& desc = graph_.channel(channel_id);
+        obs::TraceEvent event;
+        event.name = "fault.channel_degrade";
+        event.cat = "simnet.fault";
+        event.phase = 'i';
+        event.pid = obs::pids::simNode(desc.src);
+        event.tid = channel_id;
+        event.ts_us = recorder.simOffsetUs() + sim_.now() * 1e6;
+        event.args.emplace_back("factor", factor);
+        recorder.record(std::move(event));
+    }
 }
 
 void
@@ -253,8 +345,7 @@ Network::slowNode(topo::NodeId node, double factor)
     for (int id = 0; id < graph_.channelCount(); ++id) {
         const topo::ChannelDesc& desc = graph_.channel(id);
         if (desc.src == node || desc.dst == node)
-            channel_state_[static_cast<std::size_t>(id)].factor *=
-                factor;
+            setChannelBandwidthFactor(id, factor);
     }
 }
 

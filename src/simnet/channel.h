@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/monitor.h"
 #include "sim/resource.h"
 #include "sim/simulation.h"
 #include "topo/graph.h"
@@ -43,6 +44,9 @@ class Network
      */
     Network(sim::Simulation& simulation, const topo::Graph& graph,
             double bandwidth_scale = 1.0);
+
+    /** Unregisters this network's live-monitor gauge source. */
+    ~Network();
 
     Network(const Network&) = delete;
     Network& operator=(const Network&) = delete;
@@ -164,6 +168,16 @@ class Network
     void closeTraceEpoch(double run_end) const;
 
   private:
+    /**
+     * obs::Monitor gauge source: per-channel busy fraction over the
+     * window since this network's previous sample (from
+     * sim::FifoResource::busyIntervals), plus live queue depth.
+     * Registered at construction while the monitor is enabled.
+     */
+    void sampleMonitorGauges(
+        double t_s,
+        std::vector<std::pair<std::string, double>>& out);
+
     /** Channel ids src → dst in graph order, cached at construction so
      *  the per-transfer lane pick is one hash probe instead of a
      *  heap-allocated Graph::channelIds() vector. */
@@ -186,6 +200,11 @@ class Network
     std::uint64_t net_transfers_ = 0;
     std::uint64_t dropped_transfers_ = 0;
     double dropped_bytes_ = 0.0;
+    obs::Monitor* monitor_ = nullptr; ///< set while registered
+    int monitor_token_ = 0;
+    std::vector<std::size_t> monitor_cursor_; ///< per-channel interval
+                                              ///< index already sampled
+    double monitor_last_t_ = 0.0;
 };
 
 } // namespace simnet

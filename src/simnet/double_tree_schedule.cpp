@@ -1,5 +1,6 @@
 #include "simnet/double_tree_schedule.h"
 
+#include "obs/monitor.h"
 #include "util/logging.h"
 
 namespace ccube {
@@ -30,6 +31,12 @@ runDoubleTreeSchedule(sim::Simulation& simulation, Network& network,
 
     ScheduleResult merged = first.result();
     merged.merge(second.result());
+
+    obs::Monitor& monitor = obs::Monitor::global();
+    if (monitor.enabled())
+        monitor.collectiveComplete("allreduce.double_tree", at,
+                                   merged.completion_time,
+                                   total_bytes);
     return merged;
 }
 

@@ -1,5 +1,6 @@
 #include "simnet/fault_plan.h"
 
+#include "obs/monitor.h"
 #include "util/logging.h"
 
 namespace ccube {
@@ -121,6 +122,12 @@ runDoubleTreeWithFaults(sim::Simulation& simulation, Network& network,
         network.droppedTransfers() - dropped_before;
     out.result = first.partialResult(end);
     out.result.merge(second.partialResult(end));
+
+    obs::Monitor& monitor = obs::Monitor::global();
+    if (monitor.enabled())
+        monitor.collectiveComplete("allreduce.double_tree_faulted",
+                                   at, end, total_bytes,
+                                   out.completed);
     return out;
 }
 

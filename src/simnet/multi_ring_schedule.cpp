@@ -4,6 +4,7 @@
 #include <memory>
 #include <utility>
 
+#include "obs/monitor.h"
 #include "util/logging.h"
 
 namespace ccube {
@@ -50,6 +51,12 @@ runMultiRingSchedule(sim::Simulation& simulation, Network& network,
     ScheduleResult merged = schedules.front()->result();
     for (std::size_t r = 1; r < schedules.size(); ++r)
         merged.merge(schedules[r]->result());
+
+    obs::Monitor& monitor = obs::Monitor::global();
+    if (monitor.enabled())
+        monitor.collectiveComplete("allreduce.multi_ring", at,
+                                   merged.completion_time,
+                                   total_bytes);
     return merged;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/monitor.h"
 #include "util/logging.h"
 
 namespace ccube {
@@ -135,9 +136,16 @@ runRingSchedule(sim::Simulation& simulation, Network& network,
                 const topo::RingEmbedding& ring, double total_bytes)
 {
     RingSchedule schedule(network, ring, total_bytes);
-    schedule.start(simulation.now());
+    const double at = simulation.now();
+    schedule.start(at);
     simulation.run();
-    return schedule.result();
+    ScheduleResult result = schedule.result();
+    obs::Monitor& monitor = obs::Monitor::global();
+    if (monitor.enabled())
+        monitor.collectiveComplete("allreduce.ring", at,
+                                   result.completion_time,
+                                   total_bytes);
+    return result;
 }
 
 } // namespace simnet

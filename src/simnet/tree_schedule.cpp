@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/monitor.h"
 #include "util/logging.h"
 
 namespace ccube {
@@ -223,9 +224,17 @@ runTreeSchedule(sim::Simulation& simulation, Network& network,
 {
     TreeSchedule schedule(network, embedding, total_bytes, mode,
                           num_chunks, up_lane, down_lane);
-    schedule.start(simulation.now());
+    const double at = simulation.now();
+    schedule.start(at);
     simulation.run();
-    return schedule.result();
+    ScheduleResult result = schedule.result();
+    obs::Monitor& monitor = obs::Monitor::global();
+    if (monitor.enabled())
+        monitor.collectiveComplete(
+            mode == PhaseMode::kOverlapped ? "allreduce.tree_overlapped"
+                                           : "allreduce.tree",
+            at, result.completion_time, total_bytes);
+    return result;
 }
 
 } // namespace simnet

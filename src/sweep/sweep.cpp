@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/monitor.h"
 #include "obs/trace.h"
 #include "util/flags.h"
 #include "util/logging.h"
@@ -34,11 +35,15 @@ struct PoolState {
     std::atomic<std::size_t> next{0};
     bool capture_trace = false;
     bool capture_metrics = false;
+    bool capture_monitor = false;
     std::size_t trace_capacity = 0;
     bool trace_flight = false;
+    double monitor_interval = 0.0;
+    obs::SloSpec monitor_slo;
     /** Per-task captures, filled by workers, merged by the caller. */
     std::vector<std::unique_ptr<obs::TraceRecorder>> recorders;
     std::vector<std::unique_ptr<obs::MetricRegistry>> registries;
+    std::vector<std::unique_ptr<obs::Monitor>> monitors;
     /** First (by task index) exception thrown by a task. */
     std::vector<std::exception_ptr> errors;
 };
@@ -67,9 +72,17 @@ workerLoop(PoolState& state)
             registry = std::make_unique<obs::MetricRegistry>();
             registry->enable();
         }
+        std::unique_ptr<obs::Monitor> monitor;
+        if (state.capture_monitor) {
+            monitor = std::make_unique<obs::Monitor>();
+            monitor->setInterval(state.monitor_interval);
+            monitor->setSlo(state.monitor_slo);
+            monitor->enable();
+        }
         {
             obs::ScopedTraceRedirect trace_redirect(recorder.get());
             obs::ScopedMetricsRedirect metrics_redirect(registry.get());
+            obs::ScopedMonitorRedirect monitor_redirect(monitor.get());
             try {
                 state.tasks[index]();
             } catch (...) {
@@ -83,6 +96,10 @@ workerLoop(PoolState& state)
         if (registry) {
             registry->disable();
             state.registries[index] = std::move(registry);
+        }
+        if (monitor) {
+            monitor->disable();
+            state.monitors[index] = std::move(monitor);
         }
     }
 }
@@ -118,18 +135,26 @@ run(const Options& options, std::vector<Task> tasks)
     // sweep merges grandchild captures into its private recorder).
     obs::TraceRecorder& parent_recorder = obs::TraceRecorder::global();
     obs::MetricRegistry& parent_registry = obs::MetricRegistry::global();
+    obs::Monitor& parent_monitor = obs::Monitor::global();
 
     PoolState state(tasks);
     state.capture_trace =
         options.capture_obs && parent_recorder.enabled();
     state.capture_metrics =
         options.capture_obs && parent_registry.enabled();
+    state.capture_monitor =
+        options.capture_obs && parent_monitor.enabled();
     if (state.capture_trace) {
         state.trace_capacity = parent_recorder.capacity();
         state.trace_flight = parent_recorder.flightMode();
     }
+    if (state.capture_monitor) {
+        state.monitor_interval = parent_monitor.interval();
+        state.monitor_slo = parent_monitor.slo();
+    }
     state.recorders.resize(tasks.size());
     state.registries.resize(tasks.size());
+    state.monitors.resize(tasks.size());
     state.errors.resize(tasks.size());
 
     const int jobs = options.effectiveJobs(tasks.size());
@@ -151,6 +176,8 @@ run(const Options& options, std::vector<Task> tasks)
             parent_recorder.absorb(*state.recorders[i]);
         if (state.registries[i])
             parent_registry.absorb(*state.registries[i]);
+        if (state.monitors[i])
+            parent_monitor.absorb(*state.monitors[i]);
     }
 
     for (const std::exception_ptr& error : state.errors) {

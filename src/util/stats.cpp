@@ -43,18 +43,31 @@ RunningStats::stddev() const
 }
 
 double
-quantile(std::vector<double> samples, double q)
+quantileSorted(const std::vector<double>& sorted, double q)
+{
+    CCUBE_CHECK(!sorted.empty(), "quantile of empty sample set");
+    CCUBE_CHECK(q >= 0.0 && q <= 1.0, "quantile out of range");
+    if (sorted.size() == 1)
+        return sorted.front();
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double
+quantileInPlace(std::vector<double>& samples, double q)
 {
     CCUBE_CHECK(!samples.empty(), "quantile of empty sample set");
-    CCUBE_CHECK(q >= 0.0 && q <= 1.0, "quantile out of range");
     std::sort(samples.begin(), samples.end());
-    if (samples.size() == 1)
-        return samples.front();
-    const double pos = q * static_cast<double>(samples.size() - 1);
-    const std::size_t lo = static_cast<std::size_t>(pos);
-    const std::size_t hi = std::min(lo + 1, samples.size() - 1);
-    const double frac = pos - static_cast<double>(lo);
-    return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+    return quantileSorted(samples, q);
+}
+
+double
+quantile(std::vector<double> samples, double q)
+{
+    return quantileInPlace(samples, q);
 }
 
 double

@@ -68,8 +68,23 @@ class RunningStats
 };
 
 /**
+ * Computes the @p q quantile (0 <= q <= 1) of @p sorted, which must
+ * already be in ascending order, by linear interpolation. No copy.
+ */
+double quantileSorted(const std::vector<double>& sorted, double q);
+
+/**
+ * Computes the @p q quantile (0 <= q <= 1) of @p samples by linear
+ * interpolation, sorting the vector in place. The no-copy variant for
+ * hot paths that own their sample buffer; call quantileSorted() for
+ * further quantiles of the same vector.
+ */
+double quantileInPlace(std::vector<double>& samples, double q);
+
+/**
  * Computes the @p q quantile (0 <= q <= 1) of @p samples by linear
  * interpolation; the input vector is copied and sorted internally.
+ * Convenience wrapper over quantileInPlace() for cold paths.
  */
 double quantile(std::vector<double> samples, double q);
 

@@ -20,6 +20,7 @@
 #include <gtest/gtest.h>
 
 #include "obs/metrics.h"
+#include "obs/monitor.h"
 #include "obs/trace.h"
 #include "sim/simulation.h"
 #include "simnet/channel.h"
@@ -194,6 +195,43 @@ TEST(SweepRun, MetricsMergeIsJobsInvariant)
     const std::string serial = run(1);
     EXPECT_NE(serial.find("sweep.test.tasks"), std::string::npos);
     EXPECT_EQ(serial, run(8));
+}
+
+TEST(SweepRun, MonitorSnapshotsAreJobsInvariant)
+{
+    // The monitor's JSONL series (heartbeat gauges + collective
+    // edges, absorbed from per-task monitors in task-index order)
+    // must be byte-identical across job counts: snapshot timestamps
+    // are simulated time and run ordinals, never wall clock.
+    const topo::Graph graph = topo::makeDgx1();
+    const topo::DoubleTreeEmbedding embedding =
+        topo::makeDgx1DoubleTree(graph);
+    auto run = [&](int jobs) {
+        obs::Monitor monitor;
+        monitor.setInterval(1e-4);
+        monitor.enable();
+        std::string jsonl;
+        {
+            obs::ScopedMonitorRedirect redirect(&monitor);
+            sweep::runIndexed(withJobs(jobs), 4, [&](std::size_t i) {
+                sim::Simulation sim;
+                simnet::Network net(sim, graph);
+                simnet::runDoubleTreeSchedule(
+                    sim, net, embedding, util::mib(1 << i),
+                    simnet::PhaseMode::kOverlapped, 8);
+            });
+        }
+        std::ostringstream out;
+        monitor.writeJsonl(out);
+        return out.str();
+    };
+    const std::string serial = run(1);
+    EXPECT_NE(serial.find("\"trigger\": \"heartbeat\""),
+              std::string::npos);
+    EXPECT_NE(serial.find("chan."), std::string::npos);
+    EXPECT_NE(serial.find("allreduce.double_tree"), std::string::npos);
+    for (int jobs : {2, 8})
+        EXPECT_EQ(serial, run(jobs)) << "jobs=" << jobs;
 }
 
 TEST(SweepRun, EmbeddingSearchIsJobsInvariant)
