@@ -4,19 +4,33 @@
  * cost the paper's design leans on: the device-side-style sync
  * primitives (Fig. 11), the mailbox path, the event queue, the
  * gradient queue's enqueue/dequeue — and the full functional AllReduce
- * per algorithm × message size, run against both execution engines
- * (persistent rank executor vs legacy spawn-per-collective) so one run
- * yields before/after numbers.
+ * per algorithm × message size, run against all three execution
+ * engines (persistent rank executor, legacy spawn-per-collective, and
+ * the state-machine pool) so one run yields before/after numbers.
+ *
+ * The rank_scaling sweep is the headline of the state-machine
+ * runtime: double-tree AllReduce from P=8 up to P=1024 logical ranks,
+ * recording the OS threads each engine needed and the resulting
+ * ranks-per-thread density. Thread-per-rank legs are capped at P=128
+ * (beyond that they need many hundreds of threads — which is the
+ * point); the state-machine legs run to P=1024 on the shared pool.
+ * Pin CCUBE_CCL_SM_WORKERS to make the density records deterministic
+ * across machines (CI pins 4).
  *
  * AllReduce results are exported to BENCH_ccl.json (schema
  * bench_ccl/v1, see util/bench_json.h); set CCUBE_BENCH_OUT to
- * override the path.
+ * override the path. Every rank_scaling/statemachine record also
+ * emits a "ranks_per_core_gate" companion whose ns_per_op is
+ * 1e6 × threads ÷ ranks — a lower-is-better scalar bench_compare can
+ * gate, so a change that silently grows the pool (or forces the sweep
+ * back onto thread-per-rank) trips the perf gate.
  */
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -27,6 +41,7 @@
 #include "ccl/overlapped_tree_allreduce.h"
 #include "ccl/primitives.h"
 #include "ccl/ring_allreduce.h"
+#include "ccl/state_machine.h"
 #include "ccl/sync_primitives.h"
 #include "ccl/tree_allreduce.h"
 #include "core/gradient_queue.h"
@@ -184,6 +199,8 @@ struct AllReduceFixture {
                                  ccl::RankExecutor::Mode::kPersistent};
     ccl::Communicator spawn{8, 4,
                             ccl::RankExecutor::Mode::kSpawnPerCall};
+    ccl::Communicator statemachine{
+        8, 4, ccl::RankExecutor::Mode::kStateMachine};
 };
 
 AllReduceFixture&
@@ -202,7 +219,9 @@ runAllReduce(benchmark::State& state, Alg alg,
     AllReduceFixture& f = fixture();
     ccl::Communicator& comm =
         mode == ccl::RankExecutor::Mode::kPersistent ? f.persistent
-                                                     : f.spawn;
+        : mode == ccl::RankExecutor::Mode::kSpawnPerCall
+            ? f.spawn
+            : f.statemachine;
     const auto elems = static_cast<std::size_t>(state.range(0));
     ccl::RankBuffers buffers(8, std::vector<float>(elems, 0.0f));
     for (auto _ : state) {
@@ -250,6 +269,7 @@ registerAllReduceBenchmarks()
     static constexpr ModeEntry kModes[] = {
         {"persistent", ccl::RankExecutor::Mode::kPersistent},
         {"spawn", ccl::RankExecutor::Mode::kSpawnPerCall},
+        {"statemachine", ccl::RankExecutor::Mode::kStateMachine},
     };
     for (const AlgEntry& alg : kAlgs) {
         for (const ModeEntry& mode : kModes) {
@@ -266,6 +286,105 @@ registerAllReduceBenchmarks()
                 ->Unit(benchmark::kMicrosecond)
                 ->UseRealTime();
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rank scaling: double-tree AllReduce at P = 8 … 1024 logical ranks.
+//
+// Purely logical topologies (direct routes) so the protocol itself is
+// what scales; fixed 64-element buffers keep this in the small-message
+// regime where per-op engine overhead dominates. The interesting
+// outputs are the counters: how many OS threads each engine needed and
+// the resulting ranks-per-thread density — thread-per-rank is pinned
+// at one-ish rank per thread by construction, the state-machine pool
+// holds a handful of workers regardless of P.
+// ---------------------------------------------------------------------------
+
+constexpr int kScalingElems = 64;
+constexpr int kScalingChunksPerTree = 2;
+
+/** Logical double tree for @p ranks, built once per P. */
+const topo::DoubleTreeEmbedding&
+scalingDoubleTree(int ranks)
+{
+    static std::map<int, std::unique_ptr<topo::DoubleTreeEmbedding>>
+        cache;
+    auto it = cache.find(ranks);
+    if (it == cache.end()) {
+        it = cache
+                 .emplace(
+                     ranks,
+                     std::make_unique<topo::DoubleTreeEmbedding>(
+                         topo::directEmbedding(
+                             topo::BinaryTree::inorder(ranks)),
+                         topo::directEmbedding(
+                             topo::BinaryTree::inorder(ranks)
+                                 .mirrored())))
+                 .first;
+    }
+    return *it->second;
+}
+
+void
+runRankScaling(benchmark::State& state,
+               ccl::RankExecutor::Mode mode)
+{
+    const int ranks = static_cast<int>(state.range(0));
+    const topo::DoubleTreeEmbedding& dt = scalingDoubleTree(ranks);
+    ccl::Communicator comm(ranks, 4, mode);
+    ccl::RankBuffers buffers(
+        static_cast<std::size_t>(ranks),
+        std::vector<float>(kScalingElems, 0.0f));
+    for (auto _ : state)
+        ccl::doubleTreeAllReduce(comm, buffers, dt,
+                                 kScalingChunksPerTree,
+                                 ccl::TreePhaseMode::kTwoPhase);
+
+    int threads = 0;
+    if (mode == ccl::RankExecutor::Mode::kStateMachine) {
+        threads = ccl::StateMachineEngine::shared().workerCount();
+    } else {
+        threads = comm.executor().threadCount() +
+                  comm.executor().helperCount();
+    }
+    state.counters["ranks"] = static_cast<double>(ranks);
+    state.counters["threads"] = static_cast<double>(threads);
+    state.counters["ranks_per_core"] =
+        threads > 0 ? static_cast<double>(ranks) / threads : 0.0;
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kScalingElems *
+        static_cast<std::int64_t>(sizeof(float)));
+}
+
+void
+registerRankScalingBenchmarks()
+{
+    struct ModeEntry {
+        const char* name;
+        ccl::RankExecutor::Mode mode;
+        std::vector<int> ranks;
+    };
+    // Thread-per-rank legs stop at 128 ranks (256+ OS threads for the
+    // two-phase double tree already); the state-machine pool carries
+    // the sweep to 1024.
+    const ModeEntry modes[] = {
+        {"persistent", ccl::RankExecutor::Mode::kPersistent,
+         {8, 32, 128}},
+        {"statemachine", ccl::RankExecutor::Mode::kStateMachine,
+         {8, 32, 128, 256, 512, 1024}},
+    };
+    for (const ModeEntry& mode : modes) {
+        const std::string name =
+            std::string("rank_scaling/double_tree/") + mode.name;
+        auto* bench = benchmark::RegisterBenchmark(
+            name.c_str(),
+            [m = mode.mode](benchmark::State& state) {
+                runRankScaling(state, m);
+            });
+        for (const int ranks : mode.ranks)
+            bench->Arg(ranks);
+        bench->Unit(benchmark::kMicrosecond)->UseRealTime();
     }
 }
 
@@ -321,6 +440,16 @@ toRecord(const benchmark::BenchmarkReporter::Run& run)
         record.mode = parts[2];
         record.bytes = std::strtoll(parts[3].c_str(), nullptr, 10) *
                        static_cast<std::int64_t>(sizeof(float));
+    } else if (parts.size() >= 4 && parts[0] == "rank_scaling") {
+        // rank_scaling/<alg>/<mode>/<ranks>[/real_time] — the rank
+        // count goes into the name so every P is its own gate key.
+        record.kind = parts[0];
+        record.name = parts[1] + "_p" + parts[3];
+        record.mode = parts[2];
+        record.bytes = kScalingElems *
+                       static_cast<std::int64_t>(sizeof(float));
+        for (const auto& [counter, value] : run.counters)
+            record.extra[counter] = value;
     } else {
         record.kind = "micro";
         record.name = run.benchmark_name();
@@ -341,6 +470,7 @@ int
 main(int argc, char** argv)
 {
     registerAllReduceBenchmarks();
+    registerRankScalingBenchmarks();
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;
@@ -352,6 +482,25 @@ main(int argc, char** argv)
     records.reserve(reporter.runs.size());
     for (const auto& run : reporter.runs)
         records.push_back(toRecord(run));
+    // Derive the lower-is-better density gate from the state-machine
+    // scaling rows: ns_per_op = 1e6 × threads ÷ ranks ("thread cost
+    // per rank"). With CCUBE_CCL_SM_WORKERS pinned this is exact and
+    // machine-independent, so bench_compare can hold it tight.
+    const std::size_t measured = records.size();
+    for (std::size_t i = 0; i < measured; ++i) {
+        const ccube::util::BenchRecord& r = records[i];
+        if (r.kind != "rank_scaling" || r.mode != "statemachine")
+            continue;
+        const auto ranks = r.extra.find("ranks");
+        const auto threads = r.extra.find("threads");
+        if (ranks == r.extra.end() || threads == r.extra.end() ||
+            ranks->second <= 0.0)
+            continue;
+        ccube::util::BenchRecord gate = r;
+        gate.kind = "ranks_per_core_gate";
+        gate.ns_per_op = 1e6 * threads->second / ranks->second;
+        records.push_back(std::move(gate));
+    }
     if (!records.empty()) {
         const std::string path = ccube::util::benchOutputPath();
         ccube::util::writeBenchRecords(path, records, /*append=*/true);

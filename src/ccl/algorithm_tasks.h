@@ -1,0 +1,95 @@
+#ifndef CCUBE_CCL_ALGORITHM_TASKS_H_
+#define CCUBE_CCL_ALGORITHM_TASKS_H_
+
+/**
+ * @file
+ * RankTask builders for the collective algorithms — the resumable
+ * (state-machine) form of the per-rank bodies in primitives.cpp,
+ * ring_allreduce.cpp, tree_allreduce.cpp and double_tree_allreduce.cpp.
+ *
+ * Every builder constructs the complete task set of one collective up
+ * front: one task per rank role (ring body; tree reducer/broadcaster;
+ * the second tree of a double tree) plus one ForwardTask per detour
+ * forwarding rule — the state-machine analog of the helper threads
+ * thread-per-rank mode submits. Mailbox plans are resolved at build
+ * time, exactly like the thread bodies hoist them before the chunk
+ * loop.
+ *
+ * Protocol fidelity: each task performs the same mailbox operations in
+ * the same per-rank order as its blocking counterpart (same Fig. 11
+ * post/wait sequence, same reduction order over children, same chunk
+ * tags), so float results are byte-identical across engine modes and
+ * FaultInjector at-op indices keep their thread-mode meaning.
+ */
+
+#include <memory>
+#include <vector>
+
+#include "ccl/allreduce.h"
+#include "ccl/communicator.h"
+#include "ccl/state_machine.h"
+#include "ccl/tree_allreduce.h"
+#include "topo/double_tree.h"
+#include "topo/ring_embedding.h"
+#include "topo/tree_embedding.h"
+
+namespace ccube {
+namespace ccl {
+
+/** Which phases of the ring protocol the tasks execute. */
+enum class RingPhase {
+    kReduceScatter, ///< ringReduceScatter primitive
+    kAllGather,     ///< ringAllGather primitive
+    kAllReduce,     ///< full AllReduce (RS + AG, completion recorded)
+};
+
+/**
+ * One task per rank running the ring body. @p trace is recorded only
+ * for RingPhase::kAllReduce (may be null otherwise).
+ */
+std::vector<std::unique_ptr<RankTask>>
+buildRingTasks(Communicator& comm, RankBuffers& buffers,
+               const topo::RingEmbedding& ring, RingPhase phase,
+               AllReduceTrace* trace);
+
+/** Which direction(s) of the tree protocol the tasks execute. */
+enum class TreeDirection {
+    kReduce,    ///< treeReduce primitive (up only)
+    kBroadcast, ///< treeBroadcast primitive (down only)
+    kAllReduce, ///< full AllReduce (reduction chained into broadcast)
+};
+
+/**
+ * Appends the task set of one tree instance operating on the buffer
+ * region [region_offset, region_offset + region_size) of every rank:
+ * per-rank tree tasks (two per non-root rank in overlapped mode — the
+ * concurrent reducer/broadcaster pipelines) plus forwarders for the
+ * embedding's detour rules. Chunk ids recorded into @p trace (when
+ * non-null, kAllReduce only) are offset by @p chunk_id_offset;
+ * @p label names the main tree tasks in watchdog blame ("tree0",
+ * "tree1", ...; a string literal, stored by pointer). The one-
+ * direction primitives pass the same flow for both TreeFlowIds slots.
+ */
+void appendTreeTasks(std::vector<std::unique_ptr<RankTask>>& out,
+                     Communicator& comm, RankBuffers& buffers,
+                     const topo::TreeEmbedding& embedding,
+                     std::size_t region_offset,
+                     std::size_t region_size, const ChunkSplit& split,
+                     TreePhaseMode mode, TreeFlowIds flows,
+                     TreeDirection direction, AllReduceTrace* trace,
+                     int chunk_id_offset, const char* label);
+
+/**
+ * Full double-tree AllReduce task set: tree0 over the lower buffer
+ * half, tree1 over the upper, with the standard flow-id split.
+ */
+std::vector<std::unique_ptr<RankTask>>
+buildDoubleTreeTasks(Communicator& comm, RankBuffers& buffers,
+                     const topo::DoubleTreeEmbedding& embedding,
+                     int chunks_per_tree, TreePhaseMode mode,
+                     AllReduceTrace& trace);
+
+} // namespace ccl
+} // namespace ccube
+
+#endif // CCUBE_CCL_ALGORITHM_TASKS_H_

@@ -6,6 +6,7 @@
 #include <string>
 #include <thread>
 
+#include "ccl/state_machine.h"
 #include "obs/context.h"
 #include "obs/metrics.h"
 #include "obs/monitor.h"
@@ -147,6 +148,32 @@ void
 Communicator::run(const std::function<void(int rank)>& body,
                   const char* op)
 {
+    runEnvelope(op, [this, &body]() {
+        executor().run([this, &body](int rank) {
+            // Rank bodies (and, transitively, the helpers they submit)
+            // observe this communicator's abort epoch.
+            ScopedFaultContext fault_scope(&fault_);
+            body(rank);
+        });
+    });
+}
+
+void
+Communicator::runTasks(std::vector<std::unique_ptr<RankTask>> tasks,
+                       const char* op)
+{
+    // The engine installs the fault context itself around every step
+    // (tasks migrate across pool workers, so a thread-scoped guard
+    // here would cover the wrong threads).
+    runEnvelope(op, [this, &tasks]() {
+        StateMachineEngine::shared().run(std::move(tasks), &fault_);
+    });
+}
+
+void
+Communicator::runEnvelope(const char* op,
+                          const std::function<void()>& launch)
+{
     // A tripped epoch poisons the communicator until clearAbort(),
     // mirroring NCCL's post-abort semantics.
     if (fault_.abortState().aborted())
@@ -180,12 +207,7 @@ Communicator::run(const std::function<void(int rank)>& body,
 
     std::exception_ptr err;
     try {
-        executor().run([this, &body](int rank) {
-            // Rank bodies (and, transitively, the helpers they submit)
-            // observe this communicator's abort epoch.
-            ScopedFaultContext fault_scope(&fault_);
-            body(rank);
-        });
+        launch();
     } catch (...) {
         err = std::current_exception();
     }

@@ -35,6 +35,8 @@
 namespace ccube {
 namespace ccl {
 
+class RankTask;
+
 /** Identifies a logical flow multiplexed over a physical direction. */
 using FlowId = int;
 
@@ -105,6 +107,22 @@ class Communicator
              const char* op = "collective");
 
     /**
+     * Execution engine this communicator was created with. The
+     * collective algorithms branch on it: Mode::kStateMachine routes
+     * them through runTasks() instead of run().
+     */
+    RankExecutor::Mode engineMode() const { return exec_mode_; }
+
+    /**
+     * State-machine counterpart of run(): drives @p tasks to
+     * completion on the shared StateMachineEngine pool, under the same
+     * envelope as run() — poison check, watchdog arm/disarm, monitor
+     * collective edge, abort-wins error surfacing. @p op as in run().
+     */
+    void runTasks(std::vector<std::unique_ptr<RankTask>> tasks,
+                  const char* op = "collective");
+
+    /**
      * Sense-reversing barrier across all ranks; callable only from
      * inside run().
      */
@@ -146,6 +164,12 @@ class Communicator
 
   private:
     std::size_t tableIndex(int src, int dst, FlowId flow) const;
+
+    /** Shared collective envelope of run()/runTasks(): poison check,
+     *  watchdog arm/disarm, monitor edge, abort-wins surfacing around
+     *  @p launch (which blocks until the collective finishes). */
+    void runEnvelope(const char* op,
+                     const std::function<void()>& launch);
 
     const int num_ranks_;
     const int mailbox_slots_;

@@ -3,6 +3,7 @@
 #include <span>
 #include <string>
 
+#include "ccl/algorithm_tasks.h"
 #include "obs/context.h"
 #include "util/logging.h"
 
@@ -35,6 +36,15 @@ doubleTreeAllReduce(Communicator& comm, RankBuffers& buffers,
 
     AllReduceTrace trace(p);
     trace.setObserver(std::move(observer));
+
+    if (comm.engineMode() == RankExecutor::Mode::kStateMachine) {
+        comm.runTasks(buildDoubleTreeTasks(comm, buffers, embedding,
+                                           chunks_per_tree, mode,
+                                           trace),
+                      "double_tree_allreduce");
+        return trace;
+    }
+
     const ChunkSplit split0(half, chunks_per_tree);
     const ChunkSplit split1(total - half, chunks_per_tree);
     const TreeFlowIds flows0{kFlowTree0Reduce, kFlowTree0Broadcast};

@@ -72,6 +72,9 @@ RankExecutor::defaultMode()
         const char* env = std::getenv("CCUBE_CCL_EXECUTOR");
         if (env && std::strcmp(env, "spawn") == 0)
             return Mode::kSpawnPerCall;
+        if (env && (std::strcmp(env, "statemachine") == 0 ||
+                    std::strcmp(env, "sm") == 0))
+            return Mode::kStateMachine;
         return Mode::kPersistent;
     }();
     return mode;
@@ -107,7 +110,10 @@ RankExecutor::RankExecutor(int num_ranks, Mode mode)
       busy_helpers_(static_cast<std::size_t>(num_ranks), 0)
 {
     CCUBE_CHECK(num_ranks >= 1, "executor needs at least one rank");
-    if (mode_ != Mode::kPersistent)
+    // kStateMachine routes collectives through the shared task engine
+    // before they ever reach run(); legacy blocking callers that still
+    // land here get the persistent-thread treatment.
+    if (mode_ == Mode::kSpawnPerCall)
         return;
     mains_.reserve(static_cast<std::size_t>(num_ranks));
     for (int r = 0; r < num_ranks; ++r) {
@@ -207,7 +213,7 @@ RankExecutor::run(const std::function<void(int rank)>& body)
         };
     };
 
-    if (mode_ == Mode::kPersistent) {
+    if (mode_ != Mode::kSpawnPerCall) {
         for (int r = 0; r < num_ranks_; ++r)
             dispatch(*mains_[static_cast<std::size_t>(r)], makeTask(r));
     } else {
@@ -281,7 +287,7 @@ RankExecutor::submit(Group& group, int rank, const char* role,
             group.cv_.notify_all();
     };
 
-    if (mode_ == Mode::kPersistent) {
+    if (mode_ != Mode::kSpawnPerCall) {
         Worker& worker = acquireHelper(rank);
         dispatch(worker, [this, &worker, rank, role, fn = std::move(fn),
                           finish, fault_ctx]() {

@@ -17,8 +17,15 @@
  * double tree); collectives enqueue closures into the already-running
  * threads instead of spawning.
  *
- * This is the only translation unit in src/ccl/ allowed to construct
- * std::thread.
+ * A third strategy lives in ccl/state_machine.h: instead of a thread
+ * per rank, each rank body is compiled into a resumable RankTask and
+ * multiplexed onto a small shared worker pool — the mode that scales
+ * the functional runtime to P=512–1024. Selecting it here
+ * (Mode::kStateMachine) makes the collective algorithms build task
+ * sets; legacy run()/submit() callers still get persistent threads.
+ *
+ * Along with state_machine.cpp, this is one of the only two
+ * translation units in src/ccl/ allowed to construct std::thread.
  */
 
 #include <atomic>
@@ -48,11 +55,13 @@ class RankExecutor
     enum class Mode {
         kPersistent,   ///< parked threads, reused across collectives
         kSpawnPerCall, ///< legacy: construct/join threads per call
+        kStateMachine, ///< resumable rank tasks on a shared pool
     };
 
     /**
      * Default mode: kPersistent, unless the environment variable
-     * CCUBE_CCL_EXECUTOR is set to "spawn" (read once per process).
+     * CCUBE_CCL_EXECUTOR is set to "spawn" or to
+     * "statemachine"/"sm" (read once per process).
      */
     static Mode defaultMode();
 

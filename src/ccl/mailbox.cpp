@@ -56,6 +56,7 @@ Mailbox::reset()
     empty_.reset(slots());
     head_ = 0;
     tail_ = 0;
+    front_claimed_ = false;
     post_seq_ = 0;
     wait_seq_ = 0;
     delivered_.reset();
@@ -142,10 +143,140 @@ Mailbox::consumeSlot(Fn&& consume)
     Slot& slot = ring_[tail_];
     const int tag = slot.tag;
     consume(slot);
+    finishConsume();
+    return tag;
+}
+
+void
+Mailbox::noteOpBegin(OpKind kind)
+{
+    CommFaultContext* fault = CommFaultContext::current();
+    if (fault != nullptr)
+        fault->onMailboxOp(trace_label_, flow_); // may throw (injector)
+    obs::RankCounters& counters = obs::RankCounters::global();
+    if (kind == OpKind::kSend)
+        counters.addMailboxSend();
+    else
+        counters.addMailboxRecv();
+}
+
+bool
+Mailbox::trySend(std::span<const float> data, int tag)
+{
+    if (!empty_.tryWait())
+        return false;
+    // A slot is claimed — from here this is the tail of send():
+    // stamp the post sequence, trace the post span (zero wait time on
+    // this path, but the seq arg keeps post/wait edge pairing alive in
+    // the analyzer), copy, publish.
+    const std::int64_t seq = post_seq_++;
+    CommFaultContext* fault = CommFaultContext::current();
+    if (fault != nullptr)
+        fault->notePosted(seq);
+    obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+    if (recorder.enabled()) {
+        obs::ScopedSpan span(recorder, "post " + trace_label_,
+                             "ccl.mailbox", spanPid(),
+                             obs::threadTrack());
+        span.arg("bytes", static_cast<double>(data.size() *
+                                              sizeof(float)));
+        span.arg("stalled", 0.0);
+        span.arg("seq", static_cast<double>(seq));
+    }
+    Slot& slot = ring_[head_];
+    if (slot.data.size() < data.size())
+        slot.data.resize(data.size());
+    kernels::copyInto(slot.data.data(), data.data(), data.size());
+    slot.size = data.size();
+    slot.tag = tag;
+    head_ = (head_ + 1) % ring_.size();
+    full_.post();
+    return true;
+}
+
+void
+Mailbox::finishConsume()
+{
     tail_ = (tail_ + 1) % ring_.size();
     empty_.post();
     delivered_.post();
-    return tag;
+}
+
+namespace {
+
+/** Emits the consumer-side "wait" span for a non-blocking receive. */
+void
+traceTryWaitSpan(const std::string& label, std::int64_t seq)
+{
+    obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+    if (!recorder.enabled())
+        return;
+    obs::ScopedSpan span(recorder, "wait " + label, "ccl.mailbox",
+                         spanPid(), obs::threadTrack());
+    span.arg("seq", static_cast<double>(seq));
+}
+
+} // namespace
+
+bool
+Mailbox::tryRecvInto(std::span<float> out, int* tag)
+{
+    if (!full_.tryWait())
+        return false;
+    traceTryWaitSpan(trace_label_, wait_seq_++);
+    Slot& slot = ring_[tail_];
+    CCUBE_CHECK(slot.size == out.size(),
+                "chunk size mismatch: " << slot.size << " vs "
+                                        << out.size());
+    kernels::copyInto(out.data(), slot.data.data(), slot.size);
+    if (tag != nullptr)
+        *tag = slot.tag;
+    finishConsume();
+    return true;
+}
+
+bool
+Mailbox::tryRecvReduce(std::span<float> out, int* tag)
+{
+    if (!full_.tryWait())
+        return false;
+    traceTryWaitSpan(trace_label_, wait_seq_++);
+    Slot& slot = ring_[tail_];
+    CCUBE_CHECK(slot.size == out.size(),
+                "chunk size mismatch: " << slot.size << " vs "
+                                        << out.size());
+    kernels::reduceAdd(out.data(), slot.data.data(), slot.size);
+    if (tag != nullptr)
+        *tag = slot.tag;
+    finishConsume();
+    return true;
+}
+
+bool
+Mailbox::tryPeek(std::span<const float>* data, int* tag)
+{
+    // Idempotent while the front is claimed: a forwarder that parked
+    // on downstream capacity re-peeks the same chunk on resume.
+    if (!front_claimed_) {
+        if (!full_.tryWait())
+            return false;
+        traceTryWaitSpan(trace_label_, wait_seq_++);
+        front_claimed_ = true;
+    }
+    Slot& slot = ring_[tail_];
+    if (data != nullptr)
+        *data = std::span<const float>(slot.data.data(), slot.size);
+    if (tag != nullptr)
+        *tag = slot.tag;
+    return true;
+}
+
+void
+Mailbox::releaseFront()
+{
+    CCUBE_CHECK(front_claimed_, "releaseFront without tryPeek");
+    front_claimed_ = false;
+    finishConsume();
 }
 
 int

@@ -16,6 +16,19 @@
  * buffer. consume() exposes the slot to the caller directly, so
  * forwarders move chunks downstream without a staging copy, mirroring
  * the LL-style "operate on the receive buffer" protocols of real NCCL.
+ *
+ * Two calling conventions share one ring:
+ *
+ *  - Blocking (thread-per-rank): send(), the recv variants and
+ *    consume() spin in the Fig. 11 post/wait protocol, one dedicated
+ *    thread per rank.
+ *  - Non-blocking (state-machine runtime): a resumable rank task calls
+ *    noteOpBegin() once per logical op (fault injection + telemetry,
+ *    exactly like the blocking prologue), then retries trySend()/
+ *    tryRecv*() and *parks* on arrivalSemaphore()/freeSlotSemaphore()
+ *    when the ring says not-yet. tryPeek()/releaseFront() let a
+ *    forwarder hold the front slot zero-copy while it waits for
+ *    downstream capacity.
  */
 
 #include <cstddef>
@@ -88,6 +101,62 @@ class Mailbox
      */
     int consume(const Visitor& visit);
 
+    // ---- non-blocking surface (state-machine runtime) ----
+
+    /** Which side of the ring a logical op touches. */
+    enum class OpKind { kSend, kRecv };
+
+    /**
+     * The blocking prologue, split out for the non-blocking path:
+     * runs the fault injector hook (may throw RankKilled, or block a
+     * worker in an injected stall) and counts the op in the per-rank
+     * telemetry. A state-machine task calls this exactly once per
+     * *logical* op — before its first try* attempt — so injector
+     * at-op indices line up with thread-per-rank runs.
+     */
+    void noteOpBegin(OpKind kind);
+
+    /**
+     * Non-blocking send(): returns false (no side effects) while all
+     * receive buffers are occupied. On success the chunk is copied,
+     * its arrival posted, and the post sequence advanced — identical
+     * to send() minus the blocking prologue (see noteOpBegin).
+     */
+    bool trySend(std::span<const float> data, int tag = 0);
+
+    /**
+     * Non-blocking recvInto(): returns false while no chunk has
+     * arrived; on success behaves exactly like recvInto(), storing
+     * the tag in @p tag when non-null.
+     */
+    bool tryRecvInto(std::span<float> out, int* tag = nullptr);
+
+    /** Non-blocking recvReduce(); see tryRecvInto(). */
+    bool tryRecvReduce(std::span<float> out, int* tag = nullptr);
+
+    /**
+     * Non-blocking zero-copy front access for forwarders: claims the
+     * front chunk (without freeing its receive buffer) and exposes it
+     * in place. Returns false while no chunk has arrived. Repeated
+     * calls before releaseFront() return the same chunk. The span is
+     * valid until releaseFront().
+     */
+    bool tryPeek(std::span<const float>* data, int* tag = nullptr);
+
+    /** Frees the receive buffer claimed by tryPeek(). */
+    void releaseFront();
+
+    /** Arrival semaphore (consumer side parks here on empty ring). */
+    BoundedSemaphore& arrivalSemaphore() { return full_; }
+
+    /** Free-slot semaphore (producer side parks here on full ring). */
+    BoundedSemaphore& freeSlotSemaphore() { return empty_; }
+
+    /** Trace label ("mb src->dst/fN"), for park blame reporting. */
+    const std::string& traceLabel() const { return trace_label_; }
+
+    // ---- introspection ----
+
     /** Number of receive buffers. */
     int slots() const { return static_cast<int>(ring_.size()); }
 
@@ -131,11 +200,16 @@ class Mailbox
     template <typename Fn>
     int consumeSlot(Fn&& consume);
 
+    /** Shared tail of every successful receive: advance the consumer
+     *  cursor, free the slot, count the delivery. */
+    void finishConsume();
+
     std::vector<Slot> ring_;
     BoundedSemaphore full_;
     BoundedSemaphore empty_;
     std::size_t head_ = 0; ///< producer cursor (producer thread only)
     std::size_t tail_ = 0; ///< consumer cursor (consumer thread only)
+    bool front_claimed_ = false; ///< tryPeek holds the front slot
     // Delivery sequence numbers stamped on post/wait trace spans so the
     // analyzer can pair them into cross-rank dependency edges. SPSC
     // FIFO order means wait #n always consumes post #n. Incremented

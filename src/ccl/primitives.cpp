@@ -1,8 +1,10 @@
 #include "ccl/primitives.h"
 
 #include <span>
+#include <utility>
 #include <vector>
 
+#include "ccl/algorithm_tasks.h"
 #include "ccl/double_tree_allreduce.h"
 #include "ccl/ring_allreduce.h"
 #include "ccl/tree_allreduce.h"
@@ -78,6 +80,18 @@ treeBroadcast(Communicator& comm, RankBuffers& buffers,
                 "tree/communicator size mismatch");
     const ChunkSplit split(buffers[0].size(), num_chunks);
 
+    if (comm.engineMode() == RankExecutor::Mode::kStateMachine) {
+        std::vector<std::unique_ptr<RankTask>> tasks;
+        appendTreeTasks(tasks, comm, buffers, embedding,
+                        /*region_offset=*/0, buffers[0].size(), split,
+                        TreePhaseMode::kTwoPhase,
+                        TreeFlowIds{flow, flow},
+                        TreeDirection::kBroadcast, nullptr,
+                        /*chunk_id_offset=*/0, "tree");
+        comm.runTasks(std::move(tasks), "tree_broadcast");
+        return;
+    }
+
     comm.run([&](int rank) {
         std::span<float> buffer(buffers[static_cast<std::size_t>(rank)]);
         RankExecutor::Group forwarders;
@@ -128,6 +142,18 @@ treeReduce(Communicator& comm, RankBuffers& buffers,
                 "tree/communicator size mismatch");
     const ChunkSplit split(buffers[0].size(), num_chunks);
 
+    if (comm.engineMode() == RankExecutor::Mode::kStateMachine) {
+        std::vector<std::unique_ptr<RankTask>> tasks;
+        appendTreeTasks(tasks, comm, buffers, embedding,
+                        /*region_offset=*/0, buffers[0].size(), split,
+                        TreePhaseMode::kTwoPhase,
+                        TreeFlowIds{flow, flow},
+                        TreeDirection::kReduce, nullptr,
+                        /*chunk_id_offset=*/0, "tree");
+        comm.runTasks(std::move(tasks), "tree_reduce");
+        return;
+    }
+
     comm.run([&](int rank) {
         std::span<float> buffer(buffers[static_cast<std::size_t>(rank)]);
         RankExecutor::Group forwarders;
@@ -172,6 +198,14 @@ ringReduceScatter(Communicator& comm, RankBuffers& buffers,
     CCUBE_CHECK(ring.size() == p, "ring/communicator size mismatch");
     const ChunkSplit split(buffers[0].size(), p);
 
+    if (comm.engineMode() == RankExecutor::Mode::kStateMachine) {
+        comm.runTasks(buildRingTasks(comm, buffers, ring,
+                                     RingPhase::kReduceScatter,
+                                     nullptr),
+                      "ring_reduce_scatter");
+        return;
+    }
+
     std::vector<int> position(static_cast<std::size_t>(p), -1);
     for (int pos = 0; pos < p; ++pos)
         position[static_cast<std::size_t>(
@@ -208,6 +242,13 @@ ringAllGather(Communicator& comm, RankBuffers& buffers,
     const int p = comm.numRanks();
     CCUBE_CHECK(ring.size() == p, "ring/communicator size mismatch");
     const ChunkSplit split(buffers[0].size(), p);
+
+    if (comm.engineMode() == RankExecutor::Mode::kStateMachine) {
+        comm.runTasks(buildRingTasks(comm, buffers, ring,
+                                     RingPhase::kAllGather, nullptr),
+                      "ring_all_gather");
+        return;
+    }
 
     std::vector<int> position(static_cast<std::size_t>(p), -1);
     for (int pos = 0; pos < p; ++pos)

@@ -2,6 +2,7 @@
 
 #include <span>
 
+#include "ccl/algorithm_tasks.h"
 #include "obs/context.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -25,6 +26,14 @@ ringAllReduce(Communicator& comm, RankBuffers& buffers,
 
     AllReduceTrace trace(p);
     trace.setObserver(std::move(observer));
+
+    if (comm.engineMode() == RankExecutor::Mode::kStateMachine) {
+        comm.runTasks(buildRingTasks(comm, buffers, ring,
+                                     RingPhase::kAllReduce, &trace),
+                      "ring_allreduce");
+        return trace;
+    }
+
     const ChunkSplit split(buffers[0].size(), p);
 
     // Position of each rank on the logical ring.

@@ -1,11 +1,11 @@
 #include "ccl/sync_primitives.h"
 
 #include <cstdint>
-#include <thread>
 
 #include "ccl/fault.h"
 #include "obs/context.h"
 #include "util/logging.h"
+#include "util/spin_wait.h"
 
 namespace ccube {
 namespace ccl {
@@ -55,60 +55,62 @@ class StallTimer
     const SteadyClock::time_point start_;
 };
 
+/** The poll hook every ccl:: blocking loop installs in SpinWait. */
+inline void
+pollAbort()
+{
+    abortPoll();
+}
+
 } // namespace
 
 void
 SpinLock::lock()
 {
     // Paper: while atomicCAS(lock,0,1) != 0 {} followed by a fence.
-    // acquire ordering plays the role of the threadfence; yield keeps
-    // the protocol live on oversubscribed CPU cores. The periodic
-    // abortPoll bounds the spin: it throws while the lock is NOT held,
-    // so an abort can never leak a locked SpinLock.
+    // acquire ordering plays the role of the threadfence; the shared
+    // SpinWait ladder keeps the protocol live on oversubscribed CPU
+    // cores. The periodic abortPoll bounds the spin: it throws while
+    // the lock is NOT held, so an abort can never leak a locked
+    // SpinLock.
     int expected = 0;
-    std::uint64_t retries = 0;
+    util::SpinWait spin;
     while (!flag_.compare_exchange_weak(expected, 1,
                                         std::memory_order_acquire,
                                         std::memory_order_relaxed)) {
         expected = 0;
-        ++retries;
-        if (retries % kAbortPollInterval == 0)
-            abortPoll();
-        std::this_thread::yield();
+        spin.once(pollAbort);
     }
     // Contention telemetry, attributed to the current rank; the fast
     // path (CAS succeeds first try) records nothing.
-    if (retries > 0)
-        obs::RankCounters::global().addCasRetries(retries);
+    if (spin.rounds() > 0)
+        obs::RankCounters::global().addCasRetries(spin.rounds());
 }
 
 bool
 SpinLock::lockFor(std::chrono::nanoseconds timeout)
 {
     int expected = 0;
-    std::uint64_t retries = 0;
+    util::SpinWait spin;
     SteadyClock::time_point deadline{};
     bool deadline_set = false;
     while (!flag_.compare_exchange_weak(expected, 1,
                                         std::memory_order_acquire,
                                         std::memory_order_relaxed)) {
         expected = 0;
-        ++retries;
-        if (retries % kAbortPollInterval == 0)
-            abortPoll();
         // The deadline clock starts on the first failed attempt so the
         // uncontended path never reads the clock at all.
         if (!deadline_set) {
             deadline = SteadyClock::now() + timeout;
             deadline_set = true;
         } else if (SteadyClock::now() >= deadline) {
-            obs::RankCounters::global().addCasRetries(retries);
+            obs::RankCounters::global().addCasRetries(spin.rounds());
             return false;
         }
-        std::this_thread::yield();
+        spin.once(pollAbort);
     }
-    if (retries > 0)
-        obs::RankCounters::global().addCasRetries(retries);
+    if (spin.rounds() > 0)
+        obs::RankCounters::global().addCasRetries(spin.rounds());
     return true;
 }
 
@@ -141,6 +143,19 @@ BoundedSemaphore::BoundedSemaphore(int capacity, int initial)
                 "initial count out of range");
 }
 
+SemaphoreWaiter*
+BoundedSemaphore::popWaiterLocked()
+{
+    SemaphoreWaiter* head = waiters_head_;
+    if (head != nullptr) {
+        waiters_head_ = head->next_;
+        if (waiters_head_ == nullptr)
+            waiters_tail_ = nullptr;
+        head->next_ = nullptr;
+    }
+    return head;
+}
+
 void
 BoundedSemaphore::post()
 {
@@ -150,15 +165,21 @@ BoundedSemaphore::post()
     if (count_ == capacity_) {
         obs::RankCounters::global().addPostStall();
         StallTimer timer(StallTimer::Kind::kPost);
+        util::SpinWait spin;
         while (count_ == capacity_) {
             lock_.unlock();
-            abortPoll();
-            std::this_thread::yield();
+            spin.once(pollAbort);
             lock_.lock();
         }
     }
     ++count_;
+    SemaphoreWaiter* waiter = popWaiterLocked();
     lock_.unlock();
+    // The wake runs outside the lock: semaphoreReady() only enqueues
+    // the parked task onto its engine, it never re-enters this
+    // semaphore.
+    if (waiter != nullptr)
+        waiter->semaphoreReady();
 }
 
 void
@@ -170,10 +191,10 @@ BoundedSemaphore::wait()
     if (count_ == 0) {
         obs::RankCounters::global().addWaitStall();
         StallTimer timer(StallTimer::Kind::kWait);
+        util::SpinWait spin;
         while (count_ == 0) {
             lock_.unlock();
-            abortPoll();
-            std::this_thread::yield();
+            spin.once(pollAbort);
             lock_.lock();
         }
     }
@@ -188,17 +209,21 @@ BoundedSemaphore::postFor(std::chrono::nanoseconds timeout)
     if (count_ == capacity_) {
         obs::RankCounters::global().addPostStall();
         StallTimer timer(StallTimer::Kind::kPost);
+        util::SpinWait spin;
         while (count_ == capacity_) {
             lock_.unlock();
             abortPoll();
             if (timer.expired(timeout))
                 return false;
-            std::this_thread::yield();
+            spin.once(pollAbort);
             lock_.lock();
         }
     }
     ++count_;
+    SemaphoreWaiter* waiter = popWaiterLocked();
     lock_.unlock();
+    if (waiter != nullptr)
+        waiter->semaphoreReady();
     return true;
 }
 
@@ -209,18 +234,86 @@ BoundedSemaphore::waitFor(std::chrono::nanoseconds timeout)
     if (count_ == 0) {
         obs::RankCounters::global().addWaitStall();
         StallTimer timer(StallTimer::Kind::kWait);
+        util::SpinWait spin;
         while (count_ == 0) {
             lock_.unlock();
             abortPoll();
             if (timer.expired(timeout))
                 return false;
-            std::this_thread::yield();
+            spin.once(pollAbort);
             lock_.lock();
         }
     }
     --count_;
     lock_.unlock();
     return true;
+}
+
+bool
+BoundedSemaphore::tryWait()
+{
+    SpinLockGuard guard(lock_);
+    if (count_ == 0)
+        return false;
+    --count_;
+    return true;
+}
+
+bool
+BoundedSemaphore::tryPost()
+{
+    lock_.lock();
+    if (count_ == capacity_) {
+        lock_.unlock();
+        return false;
+    }
+    ++count_;
+    SemaphoreWaiter* waiter = popWaiterLocked();
+    lock_.unlock();
+    if (waiter != nullptr)
+        waiter->semaphoreReady();
+    return true;
+}
+
+bool
+BoundedSemaphore::parkOnWait(SemaphoreWaiter& waiter)
+{
+    SpinLockGuard guard(lock_);
+    // Condition recheck under the lock closes the lost-wakeup window:
+    // a post() that landed between the caller's failed tryWait() and
+    // this registration is observed here, and the caller retries
+    // instead of parking.
+    if (count_ > 0)
+        return false;
+    waiter.next_ = nullptr;
+    if (waiters_tail_ != nullptr)
+        waiters_tail_->next_ = &waiter;
+    else
+        waiters_head_ = &waiter;
+    waiters_tail_ = &waiter;
+    return true;
+}
+
+bool
+BoundedSemaphore::cancelPark(SemaphoreWaiter& waiter)
+{
+    SpinLockGuard guard(lock_);
+    SemaphoreWaiter* prev = nullptr;
+    for (SemaphoreWaiter* node = waiters_head_; node != nullptr;
+         node = node->next_) {
+        if (node == &waiter) {
+            if (prev != nullptr)
+                prev->next_ = node->next_;
+            else
+                waiters_head_ = node->next_;
+            if (waiters_tail_ == node)
+                waiters_tail_ = prev;
+            node->next_ = nullptr;
+            return true;
+        }
+        prev = node;
+    }
+    return false;
 }
 
 int
@@ -236,6 +329,8 @@ BoundedSemaphore::reset(int value)
     CCUBE_CHECK(value >= 0 && value <= capacity_,
                 "semaphore reset value " << value << " out of range");
     SpinLockGuard guard(lock_);
+    CCUBE_CHECK(waiters_head_ == nullptr,
+                "semaphore reset with parked waiters");
     count_ = value;
 }
 
@@ -252,10 +347,10 @@ CheckableCounter::check(std::int64_t value) const
     // Paper's check(): lock; while cnt < value { unlock; lock; }
     // (just checks, never updates); unlock.
     lock_.lock();
+    util::SpinWait spin;
     while (count_ < value) {
         lock_.unlock();
-        abortPoll();
-        std::this_thread::yield();
+        spin.once(pollAbort);
         lock_.lock();
     }
     lock_.unlock();
@@ -268,12 +363,13 @@ CheckableCounter::checkFor(std::int64_t value,
     const SteadyClock::time_point deadline =
         SteadyClock::now() + timeout;
     lock_.lock();
+    util::SpinWait spin;
     while (count_ < value) {
         lock_.unlock();
         abortPoll();
         if (SteadyClock::now() >= deadline)
             return false;
-        std::this_thread::yield();
+        spin.once(pollAbort);
         lock_.lock();
     }
     lock_.unlock();

@@ -19,12 +19,23 @@
  * Communicator::abort() has tripped it, so a dead peer can never
  * wedge a waiter forever. Threads with no installed context pay one
  * thread-local load per iteration and never throw. The *For variants
- * additionally give up after a caller-supplied timeout.
+ * additionally give up after a caller-supplied timeout. All blocking
+ * loops share the util::SpinWait backoff ladder, so the abort-epoch
+ * poll cadence is defined in exactly one place.
+ *
+ * The state-machine runtime (state_machine.h) adds a third waiting
+ * style: instead of blocking, a resumable rank task *parks* — it
+ * registers a SemaphoreWaiter on the semaphore and returns its worker
+ * thread to the pool; the next post() pops the waiter and reschedules
+ * the task. The tryWait/tryPost/parkOnWait/cancelPark quartet below
+ * is that non-blocking surface.
  */
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+
+#include "util/spin_wait.h"
 
 namespace ccube {
 namespace ccl {
@@ -57,8 +68,10 @@ class SpinLock
      *  CAS-retry telemetry, like contended lock() spins). */
     bool tryLock();
 
-    /** Abort-epoch poll cadence inside lock()'s CAS loop. */
-    static constexpr std::uint64_t kAbortPollInterval = 64;
+    /** Abort-epoch poll cadence inside lock()'s CAS loop (alias of
+     *  the shared util::SpinWait cadence). */
+    static constexpr std::uint64_t kAbortPollInterval =
+        util::SpinWait::kPollInterval;
 
   private:
     std::atomic<int> flag_{0};
@@ -75,6 +88,35 @@ class SpinLockGuard
 
   private:
     SpinLock& lock_;
+};
+
+/**
+ * Intrusive node a parked state machine registers on a semaphore it
+ * is waiting on. The semaphore owns the node only while it sits on
+ * the waiter list; whoever removes it (a poster via the pop inside
+ * post()/tryPost(), or the task itself via cancelPark()) claims the
+ * exclusive right to reschedule the parked task — that list-removal-
+ * as-ownership rule is what makes the wake exactly-once.
+ */
+class SemaphoreWaiter
+{
+  public:
+    SemaphoreWaiter() = default;
+    virtual ~SemaphoreWaiter() = default;
+    SemaphoreWaiter(const SemaphoreWaiter&) = delete;
+    SemaphoreWaiter& operator=(const SemaphoreWaiter&) = delete;
+
+    /**
+     * Invoked by the poster, outside the semaphore's lock, after the
+     * count became nonzero and this node was popped. The registered
+     * condition is a *hint*, not a reservation: another consumer may
+     * win the race, so the resumed task must re-attempt its tryWait().
+     */
+    virtual void semaphoreReady() = 0;
+
+  private:
+    friend class BoundedSemaphore;
+    SemaphoreWaiter* next_ = nullptr;
 };
 
 /**
@@ -110,6 +152,40 @@ class BoundedSemaphore
      */
     bool waitFor(std::chrono::nanoseconds timeout);
 
+    /**
+     * Non-blocking wait(): decrements and returns true if the count
+     * was nonzero, otherwise returns false without blocking. Never
+     * touches the fault layer — state-machine callers poll abort at
+     * their step boundary instead.
+     */
+    bool tryWait();
+
+    /**
+     * Non-blocking post(): increments and returns true if the count
+     * was below capacity, otherwise returns false. On success, pops
+     * and wakes one parked waiter (like post()).
+     */
+    bool tryPost();
+
+    /**
+     * Registers @p waiter to be woken by a future post(). Rechecks
+     * the condition under the lock: returns false — without
+     * registering — if the count is already nonzero (the caller
+     * should retry tryWait() instead of parking). On true, the task
+     * is parked: the next post() pops the node and calls
+     * semaphoreReady() exactly once.
+     */
+    bool parkOnWait(SemaphoreWaiter& waiter);
+
+    /**
+     * Removes @p waiter from the list if still registered. Returns
+     * true if this call removed it — the caller now owns the wake —
+     * or false if a poster already popped it (its semaphoreReady()
+     * has been or is about to be invoked). Used by the abort sweep
+     * and by wake/cancel races in the engine.
+     */
+    bool cancelPark(SemaphoreWaiter& waiter);
+
     /** Current count (racy snapshot, for tests/telemetry). */
     int value() const;
 
@@ -123,9 +199,14 @@ class BoundedSemaphore
     void reset(int value);
 
   private:
+    /** Pops the head waiter (FIFO); caller must hold lock_. */
+    SemaphoreWaiter* popWaiterLocked();
+
     mutable SpinLock lock_;
     int count_;
     const int capacity_;
+    SemaphoreWaiter* waiters_head_ = nullptr;
+    SemaphoreWaiter* waiters_tail_ = nullptr;
 };
 
 /**

@@ -1,8 +1,10 @@
 #include "ccl/tree_allreduce.h"
 
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "ccl/algorithm_tasks.h"
 #include "obs/context.h"
 #include "obs/trace.h"
 #include "topo/detour_router.h"
@@ -191,6 +193,17 @@ treeAllReduce(Communicator& comm, RankBuffers& buffers,
     AllReduceTrace trace(p);
     trace.setObserver(std::move(observer));
     const ChunkSplit split(buffers[0].size(), num_chunks);
+
+    if (comm.engineMode() == RankExecutor::Mode::kStateMachine) {
+        std::vector<std::unique_ptr<RankTask>> tasks;
+        appendTreeTasks(tasks, comm, buffers, embedding,
+                        /*region_offset=*/0, buffers[0].size(), split,
+                        mode, flows, TreeDirection::kAllReduce, &trace,
+                        /*chunk_id_offset=*/0, "tree");
+        comm.runTasks(std::move(tasks), "tree_allreduce");
+        return trace;
+    }
+
     comm.run([&](int rank) {
         detail::treeRankBody(
             comm, rank,

@@ -158,6 +158,24 @@ RankCounters::noteExecutorQueueDepth(int rank, std::uint64_t depth)
     }
 }
 
+void
+RankCounters::addSmPark()
+{
+    current().sm_parks.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+RankCounters::addSmResume()
+{
+    current().sm_resumes.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+RankCounters::addSmSteal()
+{
+    current().sm_steals.fetch_add(1, std::memory_order_relaxed);
+}
+
 std::uint64_t
 RankCounters::casRetries(int rank) const
 {
@@ -231,6 +249,24 @@ RankCounters::executorQueuePeak(int rank) const
         std::memory_order_relaxed);
 }
 
+std::uint64_t
+RankCounters::smParks(int rank) const
+{
+    return slot(rank).sm_parks.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+RankCounters::smResumes(int rank) const
+{
+    return slot(rank).sm_resumes.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+RankCounters::smSteals(int rank) const
+{
+    return slot(rank).sm_steals.load(std::memory_order_relaxed);
+}
+
 namespace {
 
 template <typename Member>
@@ -269,6 +305,24 @@ RankCounters::totalMailboxRecvs() const
     return sumSlots(*this, &RankCounters::mailboxRecvs);
 }
 
+std::uint64_t
+RankCounters::totalSmParks() const
+{
+    return sumSlots(*this, &RankCounters::smParks);
+}
+
+std::uint64_t
+RankCounters::totalSmResumes() const
+{
+    return sumSlots(*this, &RankCounters::smResumes);
+}
+
+std::uint64_t
+RankCounters::totalSmSteals() const
+{
+    return sumSlots(*this, &RankCounters::smSteals);
+}
+
 void
 RankCounters::exportTo(MetricRegistry& registry) const
 {
@@ -289,6 +343,9 @@ RankCounters::exportTo(MetricRegistry& registry) const
         {"executor_parks", &RankCounters::executorParks},
         {"executor_unparks", &RankCounters::executorUnparks},
         {"executor_queue_peak", &RankCounters::executorQueuePeak},
+        {"sm_parks", &RankCounters::smParks},
+        {"sm_resumes", &RankCounters::smResumes},
+        {"sm_steals", &RankCounters::smSteals},
     };
     for (const Field& field : kFields) {
         std::uint64_t total = 0;
@@ -324,6 +381,9 @@ RankCounters::reset()
         s.executor_parks.store(0, std::memory_order_relaxed);
         s.executor_unparks.store(0, std::memory_order_relaxed);
         s.executor_queue_peak.store(0, std::memory_order_relaxed);
+        s.sm_parks.store(0, std::memory_order_relaxed);
+        s.sm_resumes.store(0, std::memory_order_relaxed);
+        s.sm_steals.store(0, std::memory_order_relaxed);
     }
 }
 

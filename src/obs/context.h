@@ -30,7 +30,14 @@
  *   - executor_tasks / executor_parks / executor_unparks /
  *     executor_queue_peak — persistent-executor activity, so traces
  *     can distinguish a parked-thread wakeup from the old per-
- *     collective spawn cost.
+ *     collective spawn cost;
+ *   - sm_parks / sm_resumes / sm_steals — state-machine runtime
+ *     activity: rank tasks parking on a semaphore waiter, being
+ *     rescheduled by a post, and migrating between pool workers via
+ *     work stealing. Together with the engine's live gauges
+ *     (ccl.sm.* in obs::Monitor) these close the executor-mode
+ *     telemetry gap: helper-pool/worker occupancy is now visible per
+ *     rank and per snapshot.
  */
 
 #include <atomic>
@@ -116,6 +123,15 @@ class RankCounters
      */
     void noteExecutorQueueDepth(int rank, std::uint64_t depth);
 
+    /** Records one state-machine task parking on a semaphore. */
+    void addSmPark();
+
+    /** Records one parked state-machine task being rescheduled. */
+    void addSmResume();
+
+    /** Records one state-machine task stolen by an idle worker. */
+    void addSmSteal();
+
     /** Per-rank reads; @p rank -1 reads the unknown-rank slot. */
     std::uint64_t casRetries(int rank) const;
     std::uint64_t postStalls(int rank) const;
@@ -129,12 +145,18 @@ class RankCounters
     std::uint64_t executorParks(int rank) const;
     std::uint64_t executorUnparks(int rank) const;
     std::uint64_t executorQueuePeak(int rank) const;
+    std::uint64_t smParks(int rank) const;
+    std::uint64_t smResumes(int rank) const;
+    std::uint64_t smSteals(int rank) const;
 
     /** Sums across all rank slots (including unknown). */
     std::uint64_t totalCasRetries() const;
     std::uint64_t totalSlotFullStalls() const;
     std::uint64_t totalMailboxSends() const;
     std::uint64_t totalMailboxRecvs() const;
+    std::uint64_t totalSmParks() const;
+    std::uint64_t totalSmResumes() const;
+    std::uint64_t totalSmSteals() const;
 
     /**
      * Exports non-zero counters as `ccl.rank<r>.<counter>` plus
@@ -159,6 +181,9 @@ class RankCounters
         std::atomic<std::uint64_t> executor_parks{0};
         std::atomic<std::uint64_t> executor_unparks{0};
         std::atomic<std::uint64_t> executor_queue_peak{0};
+        std::atomic<std::uint64_t> sm_parks{0};
+        std::atomic<std::uint64_t> sm_resumes{0};
+        std::atomic<std::uint64_t> sm_steals{0};
     };
 
     /** Slot for the calling thread (0 = unknown rank). */

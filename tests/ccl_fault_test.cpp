@@ -276,11 +276,18 @@ TEST_P(FaultedCollective, ManualAbortSurfacesStructuredError)
 INSTANTIATE_TEST_SUITE_P(
     Modes, FaultedCollective,
     ::testing::Values(RankExecutor::Mode::kPersistent,
-                      RankExecutor::Mode::kSpawnPerCall),
+                      RankExecutor::Mode::kSpawnPerCall,
+                      RankExecutor::Mode::kStateMachine),
     [](const ::testing::TestParamInfo<RankExecutor::Mode>& info) {
-        return info.param == RankExecutor::Mode::kPersistent
-                   ? "persistent"
-                   : "spawn";
+        switch (info.param) {
+          case RankExecutor::Mode::kPersistent:
+            return "persistent";
+          case RankExecutor::Mode::kSpawnPerCall:
+            return "spawn";
+          case RankExecutor::Mode::kStateMachine:
+            return "statemachine";
+        }
+        return "unknown";
     });
 
 } // namespace

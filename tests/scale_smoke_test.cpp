@@ -1,0 +1,166 @@
+/**
+ * @file
+ * P=512 functional smoke for the state-machine runtime — the headline
+ * acceptance of the async rank-task engine: a double-tree AllReduce
+ * with 512 logical ranks runs on a handful of pool threads and
+ * produces byte-identical results to thread-per-rank mode.
+ *
+ * Labeled "scale" in tests/CMakeLists.txt; CI runs it in the Release
+ * perf-gate job (`ctest -L scale`) where the thread-per-rank reference
+ * leg (512+ OS threads) stays comfortably inside the timeout.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "ccl/communicator.h"
+#include "ccl/double_tree_allreduce.h"
+#include "ccl/executor.h"
+#include "ccl/ring_allreduce.h"
+#include "ccl/state_machine.h"
+#include "topo/double_tree.h"
+#include "topo/ring_embedding.h"
+#include "topo/tree_embedding.h"
+#include "util/rng.h"
+
+namespace ccube {
+namespace {
+
+using ccl::RankExecutor;
+
+constexpr int kRanks = 512;
+constexpr int kElems = 64;
+constexpr int kSlots = 4;
+constexpr int kChunksPerTree = 2;
+
+topo::DoubleTreeEmbedding
+logicalDoubleTree(int ranks)
+{
+    return topo::DoubleTreeEmbedding(
+        topo::directEmbedding(topo::BinaryTree::inorder(ranks)),
+        topo::directEmbedding(
+            topo::BinaryTree::inorder(ranks).mirrored()));
+}
+
+ccl::RankBuffers
+seededBuffers(int ranks, int elems, std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    ccl::RankBuffers buffers(static_cast<std::size_t>(ranks));
+    for (auto& b : buffers) {
+        b.resize(static_cast<std::size_t>(elems));
+        rng.fill(b, -1.0f, 1.0f);
+    }
+    return buffers;
+}
+
+TEST(ScaleSmoke, DoubleTreeP512ByteIdenticalToThreadPerRank)
+{
+    const topo::DoubleTreeEmbedding dt = logicalDoubleTree(kRanks);
+
+    // Thread-per-rank reference: 512 rank threads (+ tree1 helpers).
+    ccl::RankBuffers reference = seededBuffers(kRanks, kElems, 7);
+    {
+        ccl::Communicator comm(kRanks, kSlots,
+                               RankExecutor::Mode::kPersistent);
+        ccl::doubleTreeAllReduce(comm, reference, dt, kChunksPerTree,
+                                 ccl::TreePhaseMode::kTwoPhase);
+    }
+
+    // Same collective on the state-machine pool.
+    ccl::RankBuffers buffers = seededBuffers(kRanks, kElems, 7);
+    {
+        ccl::Communicator comm(kRanks, kSlots,
+                               RankExecutor::Mode::kStateMachine);
+        ccl::doubleTreeAllReduce(comm, buffers, dt, kChunksPerTree,
+                                 ccl::TreePhaseMode::kTwoPhase);
+    }
+
+    for (int r = 0; r < kRanks; ++r) {
+        const auto& got = buffers[static_cast<std::size_t>(r)];
+        const auto& want = reference[static_cast<std::size_t>(r)];
+        if (std::memcmp(got.data(), want.data(),
+                        got.size() * sizeof(float)) != 0) {
+            for (int i = 0; i < kElems; ++i)
+                ASSERT_EQ(got[static_cast<std::size_t>(i)],
+                          want[static_cast<std::size_t>(i)])
+                    << "rank " << r << " elem " << i
+                    << " diverges between engine modes";
+        }
+    }
+}
+
+TEST(ScaleSmoke, OverlappedDoubleTreeAndRingP512RunOnTheSharedPool)
+{
+    // Overlapped mode doubles the task count (separate reducer and
+    // broadcaster pipelines per rank); run it and a 2(P−1)-step ring
+    // purely on the state machine with exact integer sums — every
+    // partial sum is an integer far below 2^24, so the expectation is
+    // reduction-order independent, bit for bit.
+    const topo::DoubleTreeEmbedding dt = logicalDoubleTree(kRanks);
+    const topo::RingEmbedding ring = topo::makeSequentialRing(kRanks);
+
+    auto makeBuffers = [](int elems) {
+        ccl::RankBuffers buffers(kRanks);
+        for (int r = 0; r < kRanks; ++r) {
+            auto& b = buffers[static_cast<std::size_t>(r)];
+            b.resize(static_cast<std::size_t>(elems));
+            for (int i = 0; i < elems; ++i)
+                b[static_cast<std::size_t>(i)] =
+                    static_cast<float>((r * 7 + i * 13) % 17 - 8);
+        }
+        return buffers;
+    };
+    auto exactSums = [](int elems) {
+        std::vector<float> expected(static_cast<std::size_t>(elems));
+        for (int i = 0; i < elems; ++i) {
+            long sum = 0;
+            for (int r = 0; r < kRanks; ++r)
+                sum += (r * 7 + i * 13) % 17 - 8;
+            expected[static_cast<std::size_t>(i)] =
+                static_cast<float>(sum);
+        }
+        return expected;
+    };
+    auto expectExact = [](const ccl::RankBuffers& buffers,
+                          const std::vector<float>& expected,
+                          const char* what) {
+        for (std::size_t r = 0; r < buffers.size(); ++r)
+            for (std::size_t i = 0; i < buffers[r].size(); ++i)
+                ASSERT_EQ(buffers[r][i], expected[i])
+                    << what << ": rank " << r << " elem " << i;
+    };
+
+    ccl::Communicator comm(kRanks, kSlots,
+                           RankExecutor::Mode::kStateMachine);
+    {
+        ccl::RankBuffers buffers = makeBuffers(kElems);
+        ccl::doubleTreeAllReduce(comm, buffers, dt, kChunksPerTree,
+                                 ccl::TreePhaseMode::kOverlapped);
+        expectExact(buffers, exactSums(kElems), "double tree");
+    }
+    {
+        // The ring slices the buffer into P pieces, so it needs at
+        // least one element per rank.
+        ccl::RankBuffers buffers = makeBuffers(kRanks);
+        ccl::ringAllReduce(comm, buffers, ring);
+        expectExact(buffers, exactSums(kRanks), "ring");
+    }
+
+    // The acceptance bound: 512 functional ranks must not have grown
+    // the pool past the "handful of threads" default.
+    if (std::getenv("CCUBE_CCL_SM_WORKERS") == nullptr) {
+        const int hw = static_cast<int>(
+            std::thread::hardware_concurrency());
+        const int bound = std::max(4, 2 * hw);
+        EXPECT_LE(ccl::StateMachineEngine::shared().workerCount(),
+                  bound);
+    }
+}
+
+} // namespace
+} // namespace ccube
