@@ -16,6 +16,12 @@
  *    of simulated transfer into microseconds of wall time), so this
  *    ratio is recorded for trend-watching, not gated at 5%.
  *
+ * A third paired workload gates the obs::Profiler: a P=256 double-
+ * tree AllReduce on the state-machine pool — the engine whose park/
+ * resume stamps and phase publications carry the profiler's cost —
+ * timed with the sampler off vs running, reported as
+ * "profiler_overhead_ratio" and held to the same 5% threshold.
+ *
  * Measurement is paired: off and on blocks alternate round-robin so
  * slow machine drift (frequency scaling, noisy neighbours) hits both
  * sides equally, and the reported ratio is the median of per-round
@@ -30,6 +36,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <string>
@@ -38,11 +45,13 @@
 #include "ccl/communicator.h"
 #include "ccl/double_tree_allreduce.h"
 #include "obs/monitor.h"
+#include "obs/profiler.h"
 #include "sim/simulation.h"
 #include "simnet/channel.h"
 #include "simnet/double_tree_schedule.h"
 #include "topo/dgx1.h"
 #include "topo/double_tree.h"
+#include "topo/tree_embedding.h"
 #include "util/bench_json.h"
 #include "util/flags.h"
 #include "util/stats.h"
@@ -93,6 +102,40 @@ measurePaired(obs::Monitor& monitor, int rounds, int reps, int warmup,
             obs::ScopedMonitorRedirect redirect(&monitor);
             on = timeBlock(reps, op);
         }
+        off_rounds.push_back(off);
+        on_rounds.push_back(on);
+        ratios.push_back(off > 0.0 ? on / off : 0.0);
+    }
+    PairedResult result;
+    result.off_ns = util::quantileInPlace(off_rounds, 0.5);
+    result.on_ns = util::quantileInPlace(on_rounds, 0.5);
+    result.ratio = util::quantileInPlace(ratios, 0.5);
+    return result;
+}
+
+/**
+ * Profiler variant of measurePaired: the sampler thread runs only
+ * around the on blocks. start()/stop() (thread spawn + join) sit
+ * outside the timed region — the gated cost is the steady-state
+ * publication + sampling overhead, not capture setup.
+ */
+PairedResult
+measurePairedProfiler(double hz, int rounds, int reps, int warmup,
+                      const std::function<double()>& op)
+{
+    obs::Profiler& profiler = obs::Profiler::global();
+    for (int i = 0; i < warmup; ++i) {
+        timeBlock(reps, op);
+        profiler.start(hz);
+        timeBlock(reps, op);
+        profiler.stop();
+    }
+    std::vector<double> off_rounds, on_rounds, ratios;
+    for (int round = 0; round < rounds; ++round) {
+        const double off = timeBlock(reps, op);
+        profiler.start(hz);
+        const double on = timeBlock(reps, op);
+        profiler.stop();
         off_rounds.push_back(off);
         on_rounds.push_back(on);
         ratios.push_back(off > 0.0 ? on / off : 0.0);
@@ -164,11 +207,52 @@ main(int argc, char** argv)
                 .completion_time;
         });
     monitor.disable();
+
+    // --- gated: profiler on the state-machine engine at P=256 ------
+    // The sampling profiler's cost sits in the park/resume stamps and
+    // the per-site phase publication, which only the state-machine
+    // runtime exercises at density — so the gate measures exactly
+    // that engine, at a rank count where tasks park constantly.
+    const int prof_ranks = flags.getInt("profile-ranks", 256);
+    const auto prof_elems =
+        static_cast<std::size_t>(flags.getInt("profile-elems", 4096));
+    const double prof_hz =
+        flags.getDouble("profile-hz", obs::Profiler::kDefaultHz);
+    const topo::DoubleTreeEmbedding prof_tree(
+        topo::directEmbedding(topo::BinaryTree::inorder(prof_ranks)),
+        topo::directEmbedding(
+            topo::BinaryTree::inorder(prof_ranks).mirrored()));
+    ccl::Communicator sm_comm(prof_ranks, 4,
+                              ccl::RankExecutor::Mode::kStateMachine);
+    ccl::RankBuffers sm_buffers(
+        static_cast<std::size_t>(prof_ranks),
+        std::vector<float>(prof_elems, 1.0f));
+    const PairedResult profiled = measurePairedProfiler(
+        prof_hz, rounds, reps, warmup, [&]() {
+            ccl::doubleTreeAllReduce(sm_comm, sm_buffers, prof_tree,
+                                     /*num_chunks=*/2,
+                                     ccl::TreePhaseMode::kTwoPhase);
+            return 1.0;
+        });
     if (sink_ < 0.0)
         std::cerr << "";
 
     report("functional", functional);
     report("des       ", des);
+    report("profiler  ", profiled);
+
+    // --profile-out=FILE keeps the last profiled round's collapsed
+    // stacks as a flamegraph artifact (start() resets the capture, so
+    // this is one representative round, not the whole run).
+    const std::string profile_out = flags.get("profile-out");
+    if (!profile_out.empty()) {
+        std::ofstream prof_file(profile_out);
+        if (prof_file) {
+            obs::Profiler::global().writeCollapsed(prof_file);
+            std::cout << "wrote collapsed-stack profile to "
+                      << profile_out << "\n";
+        }
+    }
     std::cout << monitor.snapshotCount() << " snapshots, "
               << monitor.collectivesTotal() << " collectives ("
               << functional_collectives << " functional)\n";
@@ -216,6 +300,30 @@ main(int argc, char** argv)
         gate.extra["snapshots"] =
             static_cast<double>(monitor.snapshotCount());
         records.push_back(gate);
+
+        // Sampling-profiler gate: P=256 double tree on the state-
+        // machine pool, sampler off vs on (same 5% threshold).
+        record.kind = "latency";
+        record.mode = "statemachine";
+        record.bytes =
+            static_cast<std::int64_t>(prof_elems * sizeof(float));
+        record.name = "allreduce_profiler_off";
+        record.ns_per_op = profiled.off_ns;
+        records.push_back(record);
+        record.name = "allreduce_profiler_on";
+        record.ns_per_op = profiled.on_ns;
+        records.push_back(record);
+
+        util::BenchRecord prof_gate;
+        prof_gate.source = "micro_obs_overhead";
+        prof_gate.kind = "overhead";
+        prof_gate.name = "profiler_overhead_ratio";
+        prof_gate.mode = "statemachine";
+        prof_gate.bytes = 0;
+        prof_gate.ns_per_op = profiled.ratio;
+        prof_gate.extra["off_ns"] = profiled.off_ns;
+        prof_gate.extra["on_ns"] = profiled.on_ns;
+        records.push_back(prof_gate);
     }
     const std::string path = util::benchOutputPath("BENCH_obs.json");
     util::writeBenchRecords(path, records, /*append=*/true);

@@ -30,6 +30,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <string>
@@ -51,7 +52,9 @@
 #include "topo/double_tree.h"
 #include "topo/ring_embedding.h"
 #include "topo/tree_embedding.h"
+#include "obs/session.h"
 #include "util/bench_json.h"
+#include "util/flags.h"
 
 namespace {
 
@@ -469,10 +472,36 @@ toRecord(const benchmark::BenchmarkReporter::Run& run)
 int
 main(int argc, char** argv)
 {
+    // Split obs flags (--profile-out=..., --trace-out=..., ...) out
+    // of argv before handing it to google-benchmark, whose
+    // ReportUnrecognizedArguments would otherwise reject them. The
+    // ObsSession runs the sampling profiler (and any other requested
+    // sink) across the whole benchmark run and flushes at exit.
+    std::vector<char*> bench_args;
+    std::vector<char*> obs_args;
+    bench_args.push_back(argv[0]);
+    obs_args.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        const bool obs_flag =
+            std::strncmp(argv[i], "--profile-", 10) == 0 ||
+            std::strncmp(argv[i], "--trace-", 8) == 0 ||
+            std::strncmp(argv[i], "--metrics-", 10) == 0 ||
+            std::strncmp(argv[i], "--report-", 9) == 0 ||
+            std::strncmp(argv[i], "--monitor-", 10) == 0 ||
+            std::strncmp(argv[i], "--rootcause-", 12) == 0 ||
+            std::strncmp(argv[i], "--slo-", 6) == 0;
+        (obs_flag ? obs_args : bench_args).push_back(argv[i]);
+    }
+    int bench_argc = static_cast<int>(bench_args.size());
+    const ccube::util::Flags obs_flags(
+        static_cast<int>(obs_args.size()), obs_args.data());
+    ccube::obs::ObsSession obs_session(obs_flags);
+
     registerAllReduceBenchmarks();
     registerRankScalingBenchmarks();
-    benchmark::Initialize(&argc, argv);
-    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    benchmark::Initialize(&bench_argc, bench_args.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                               bench_args.data()))
         return 1;
     CaptureReporter reporter;
     benchmark::RunSpecifiedBenchmarks(&reporter);

@@ -65,6 +65,7 @@ Communicator::mailbox(int src, int dst, FlowId flow)
                        std::to_string(dst) + "/f" +
                        std::to_string(flow));
     box->setFlowId(flow);
+    box->setEndpoints(src, dst);
     entry.store(box, std::memory_order_release);
     return *box;
 }
@@ -116,10 +117,28 @@ Communicator::abort(CollectiveError::Info info)
         return; // already aborted this generation
     const CollectiveError::Info& stored = fault_.abortState().info();
     obs::TraceRecorder& recorder = obs::TraceRecorder::global();
-    if (recorder.enabled())
-        recorder.instantEvent("ccl.abort", "ccl.fault",
-                              obs::pids::cclRank(stored.failed_rank),
-                              0, recorder.wallNowUs());
+    if (recorder.enabled()) {
+        // Carry the wait-for chain verdict on the abort instant so
+        // post-mortem analysis (obs::diff) can name the chain
+        // terminus, not just the blamed channel endpoint.
+        obs::TraceEvent event;
+        event.name = "ccl.abort";
+        event.cat = "ccl.fault";
+        event.phase = 'i';
+        event.pid = obs::pids::cclRank(stored.failed_rank);
+        event.tid = 0;
+        event.ts_us = recorder.wallNowUs();
+        if (stored.chain_terminus >= 0) {
+            event.args.emplace_back(
+                "terminus",
+                static_cast<double>(stored.chain_terminus));
+            event.args.emplace_back(
+                "chain_len", static_cast<double>(stored.chain_len));
+        }
+        recorder.record(std::move(event));
+    }
+    if (!stored.stall_chain.empty())
+        util::logWarn("ccl", formatStallReport(stored));
     obs::MetricRegistry::global().addCounter("ccl.aborts", 1.0);
     obs::Monitor& monitor = obs::Monitor::global();
     if (monitor.enabled())

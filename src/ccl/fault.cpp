@@ -36,6 +36,8 @@ formatInfo(const CollectiveError::Info& info)
         out << ", deadline " << info.deadline_s << "s";
     if (!info.reason.empty())
         out << " — " << info.reason;
+    if (!info.stall_chain.empty())
+        out << "; stall chain: " << info.stall_chain;
     return out.str();
 }
 
@@ -134,7 +136,8 @@ FaultInjector::onOp(int rank, Fault* out)
 
 CommFaultContext::CommFaultContext(int num_ranks)
     : num_ranks_(num_ranks),
-      slots_(static_cast<std::size_t>(num_ranks > 0 ? num_ranks : 1))
+      slots_(static_cast<std::size_t>(num_ranks > 0 ? num_ranks : 1)),
+      waitfor_(num_ranks)
 {
 }
 
@@ -154,6 +157,7 @@ CommFaultContext::beginCollective(const char* op)
         slot.wait_flow.store(-1, std::memory_order_relaxed);
         slot.dead.store(false, std::memory_order_relaxed);
     }
+    waitfor_.reset();
     op_.store(op, std::memory_order_release);
 }
 
@@ -230,7 +234,7 @@ CommFaultContext::onMailboxOp(const std::string& label, int flow)
 }
 
 void
-CommFaultContext::noteWaitBegin(const char* label, int flow)
+CommFaultContext::noteWaitBegin(const char* label, int flow, int peer)
 {
     RankSlot& slot = slotForCurrentThread();
     slot.wait_flow.store(flow, std::memory_order_relaxed);
@@ -238,6 +242,11 @@ CommFaultContext::noteWaitBegin(const char* label, int flow)
     // label string) from its own thread, so publishing it must carry
     // the string contents with it.
     slot.wait_label.store(label, std::memory_order_release);
+    // The wait-for graph only accepts the acting rank itself —
+    // helper threads with no rank tag would otherwise alias slot 0.
+    const int rank = obs::threadRank();
+    if (rank >= 0 && rank < num_ranks_)
+        waitfor_.noteWait(rank, peer, label, flow);
 }
 
 void
@@ -246,6 +255,9 @@ CommFaultContext::noteWaitEnd()
     RankSlot& slot = slotForCurrentThread();
     slot.wait_label.store(nullptr, std::memory_order_relaxed);
     slot.wait_flow.store(-1, std::memory_order_relaxed);
+    const int rank = obs::threadRank();
+    if (rank >= 0 && rank < num_ranks_)
+        waitfor_.clearWait(rank);
 }
 
 void
@@ -262,11 +274,23 @@ CommFaultContext::deadlineInfo(double deadline_s) const
     info.op = currentOp();
     info.deadline_s = deadline_s;
 
-    // Blame: an injector-marked dead rank wins; otherwise the rank
-    // that has completed the fewest mailbox operations (lowest rank
-    // breaks ties) — it is the one the others are waiting on.
+    // Walk the wait-for graph first, while every blocked rank's edge
+    // is still registered: this runs inside the watchdog callback
+    // before the abort epoch trips and wakes the waiters.
+    const obs::WaitForRegistry::Chain chain = waitfor_.longestChain();
+    if (!chain.empty()) {
+        info.stall_chain = obs::WaitForRegistry::formatChain(chain);
+        info.chain_terminus = chain.terminus;
+        info.chain_len = static_cast<int>(chain.length());
+    }
+
+    // Blame: an injector-marked dead rank wins; otherwise the stall
+    // chain's terminus (the rank everyone is transitively waiting
+    // on); otherwise the rank that has completed the fewest mailbox
+    // operations (lowest rank breaks ties).
     int blamed = -1;
     std::int64_t min_ops = 0;
+    bool terminus_blamed = false;
     for (int rank = 0; rank < num_ranks_; ++rank) {
         const RankSlot& slot = slots_[static_cast<std::size_t>(rank)];
         if (slot.dead.load(std::memory_order_relaxed)) {
@@ -280,6 +304,14 @@ CommFaultContext::deadlineInfo(double deadline_s) const
             min_ops = ops;
         }
     }
+    if (blamed >= 0 &&
+        !slots_[static_cast<std::size_t>(blamed)].dead.load(
+            std::memory_order_relaxed) &&
+        chain.terminus >= 0 && chain.terminus < num_ranks_ &&
+        !chain.links.empty()) {
+        blamed = chain.terminus;
+        terminus_blamed = true;
+    }
     if (blamed >= 0) {
         const RankSlot& slot = slots_[static_cast<std::size_t>(blamed)];
         info.failed_rank = blamed;
@@ -291,9 +323,13 @@ CommFaultContext::deadlineInfo(double deadline_s) const
         if (label != nullptr)
             info.mailbox = label;
         info.flow = slot.wait_flow.load(std::memory_order_relaxed);
-        info.reason = slot.dead.load(std::memory_order_relaxed)
-                          ? "rank dead (fault injected)"
-                          : "deadline exceeded; slowest rank blamed";
+        if (slot.dead.load(std::memory_order_relaxed))
+            info.reason = "rank dead (fault injected)";
+        else if (terminus_blamed)
+            info.reason =
+                "deadline exceeded; wait-for chain terminus blamed";
+        else
+            info.reason = "deadline exceeded; slowest rank blamed";
     } else {
         info.reason = "deadline exceeded";
     }
@@ -303,9 +339,11 @@ CommFaultContext::deadlineInfo(double deadline_s) const
 void
 CommFaultContext::markDead(int rank)
 {
-    if (rank >= 0 && rank < num_ranks_)
+    if (rank >= 0 && rank < num_ranks_) {
         slots_[static_cast<std::size_t>(rank)].dead.store(
             true, std::memory_order_release);
+        waitfor_.markDead(rank);
+    }
 }
 
 CommFaultContext*
@@ -339,6 +377,38 @@ abortPending()
 {
     CommFaultContext* context = t_fault_context;
     return context != nullptr && context->abortState().aborted();
+}
+
+std::string
+formatStallReport(const CollectiveError::Info& info)
+{
+    std::ostringstream out;
+    out << "=== ccl stall report ===\n";
+    out << "op:            "
+        << (info.op.empty() ? "<unknown>" : info.op) << '\n';
+    if (info.deadline_s > 0.0)
+        out << "deadline:      " << info.deadline_s << " s\n";
+    out << "blamed rank:   " << info.failed_rank << '\n';
+    if (!info.mailbox.empty()) {
+        out << "wait site:     " << info.mailbox;
+        if (info.flow >= 0)
+            out << " (flow " << info.flow << ")";
+        out << '\n';
+    }
+    if (info.ops_completed >= 0)
+        out << "mailbox ops:   " << info.ops_completed << '\n';
+    if (info.last_posted_seq >= 0)
+        out << "last post seq: " << info.last_posted_seq << '\n';
+    if (!info.reason.empty())
+        out << "cause:         " << info.reason << '\n';
+    if (!info.stall_chain.empty()) {
+        out << "wait-for chain (" << info.chain_len
+            << " blocked, terminus r" << info.chain_terminus
+            << "):\n  " << info.stall_chain << '\n';
+    } else {
+        out << "wait-for chain: <none captured>\n";
+    }
+    return out.str();
 }
 
 } // namespace ccl

@@ -47,6 +47,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/profiler.h"
+
 namespace ccube {
 namespace ccl {
 
@@ -66,6 +68,9 @@ class CollectiveError : public std::runtime_error
         std::int64_t ops_completed = -1;   ///< failed rank's mailbox ops
         double deadline_s = 0.0;    ///< configured deadline (0 = manual)
         std::string reason;         ///< human-readable cause
+        std::string stall_chain;    ///< formatted wait-for chain ("" none)
+        int chain_terminus = -1;    ///< rank the chain ends at (-1 none)
+        int chain_len = 0;          ///< blocked ranks along the chain
     };
 
     explicit CollectiveError(Info info);
@@ -250,8 +255,13 @@ class CommFaultContext
      */
     void onMailboxOp(const std::string& label, int flow);
 
-    /** Declares the calling rank blocked on @p label / @p flow. */
-    void noteWaitBegin(const char* label, int flow);
+    /**
+     * Declares the calling rank blocked on @p label / @p flow,
+     * expecting @p peer to post it (-1 = unknown). The peer edge
+     * feeds the wait-for graph the watchdog walks at deadline
+     * expiry; progress-table attribution works without it.
+     */
+    void noteWaitBegin(const char* label, int flow, int peer = -1);
 
     /** Clears the calling rank's blocked-on record. */
     void noteWaitEnd();
@@ -271,6 +281,13 @@ class CommFaultContext
 
     /** Marks @p rank dead (killed or wedged by the injector). */
     void markDead(int rank);
+
+    /** Live rank→rank wait-for graph (the profiler's stall-chain
+     *  substrate; deadlineInfo() walks it for the stall report). */
+    const obs::WaitForRegistry& waitForGraph() const
+    {
+        return waitfor_;
+    }
 
     /** The context installed on the calling thread (null outside a
      *  running collective). */
@@ -292,6 +309,7 @@ class CommFaultContext
     const int num_ranks_;
     std::vector<RankSlot> slots_;
     AbortState abort_;
+    obs::WaitForRegistry waitfor_;
     std::atomic<const char*> op_{nullptr};
     std::atomic<FaultInjector*> injector_{nullptr};
 };
@@ -324,6 +342,14 @@ void abortPoll();
 
 /** Non-throwing form of abortPoll(). */
 bool abortPending();
+
+/**
+ * Multi-line, human-facing stall report for a watchdog abort: the
+ * blamed rank, its wait site, and the full wait-for chain when one
+ * was captured. This is what the scale-smoke CI leg uploads as an
+ * artifact and what operators read before any trace.
+ */
+std::string formatStallReport(const CollectiveError::Info& info);
 
 } // namespace ccl
 } // namespace ccube

@@ -5,6 +5,7 @@
 #include "ccl/fault.h"
 #include "ccl/reduce_kernels.h"
 #include "obs/context.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 
@@ -69,8 +70,16 @@ Mailbox::setFlowId(int flow)
 }
 
 void
+Mailbox::setEndpoints(int src, int dst)
+{
+    src_ = src;
+    dst_ = dst;
+}
+
+void
 Mailbox::send(std::span<const float> data, int tag)
 {
+    obs::ScopedProfPhase prof(obs::ProfPhase::kMailboxPost);
     CommFaultContext* fault = CommFaultContext::current();
     if (fault != nullptr)
         fault->onMailboxOp(trace_label_, flow_); // may throw (injector)
@@ -85,8 +94,10 @@ Mailbox::send(std::span<const float> data, int tag)
         counters.addSlotFullStall();
 
     const std::int64_t seq = post_seq_++;
+    // A producer stalled on a full ring is waiting for the consumer
+    // (dst_) to free a slot — that is its wait-for edge.
     if (fault != nullptr)
-        fault->noteWaitBegin(trace_label_.c_str(), flow_);
+        fault->noteWaitBegin(trace_label_.c_str(), flow_, dst_);
     obs::TraceRecorder& recorder = obs::TraceRecorder::global();
     if (recorder.enabled()) {
         obs::ScopedSpan span(recorder, "post " + trace_label_,
@@ -120,14 +131,17 @@ template <typename Fn>
 int
 Mailbox::consumeSlot(Fn&& consume)
 {
+    obs::ScopedProfPhase prof(obs::ProfPhase::kMailboxWait);
     CommFaultContext* fault = CommFaultContext::current();
     if (fault != nullptr)
         fault->onMailboxOp(trace_label_, flow_); // may throw (injector)
 
     obs::RankCounters::global().addMailboxRecv();
     const std::int64_t seq = wait_seq_++;
+    // A consumer blocked on an empty ring is waiting for the
+    // producer (src_) to post a chunk.
     if (fault != nullptr)
-        fault->noteWaitBegin(trace_label_.c_str(), flow_);
+        fault->noteWaitBegin(trace_label_.c_str(), flow_, src_);
     obs::TraceRecorder& recorder = obs::TraceRecorder::global();
     if (recorder.enabled()) {
         obs::ScopedSpan span(recorder, "wait " + trace_label_,
@@ -163,6 +177,7 @@ Mailbox::noteOpBegin(OpKind kind)
 bool
 Mailbox::trySend(std::span<const float> data, int tag)
 {
+    obs::ScopedProfPhase prof(obs::ProfPhase::kMailboxPost);
     if (!empty_.tryWait())
         return false;
     // A slot is claimed — from here this is the tail of send():
@@ -221,6 +236,7 @@ traceTryWaitSpan(const std::string& label, std::int64_t seq)
 bool
 Mailbox::tryRecvInto(std::span<float> out, int* tag)
 {
+    obs::ScopedProfPhase prof(obs::ProfPhase::kMailboxWait);
     if (!full_.tryWait())
         return false;
     traceTryWaitSpan(trace_label_, wait_seq_++);
@@ -238,6 +254,7 @@ Mailbox::tryRecvInto(std::span<float> out, int* tag)
 bool
 Mailbox::tryRecvReduce(std::span<float> out, int* tag)
 {
+    obs::ScopedProfPhase prof(obs::ProfPhase::kMailboxWait);
     if (!full_.tryWait())
         return false;
     traceTryWaitSpan(trace_label_, wait_seq_++);
@@ -255,6 +272,7 @@ Mailbox::tryRecvReduce(std::span<float> out, int* tag)
 bool
 Mailbox::tryPeek(std::span<const float>* data, int* tag)
 {
+    obs::ScopedProfPhase prof(obs::ProfPhase::kMailboxWait);
     // Idempotent while the front is claimed: a forwarder that parked
     // on downstream capacity re-peeks the same chunk on resume.
     if (!front_claimed_) {

@@ -155,6 +155,21 @@ class Mailbox
     /** Trace label ("mb src->dst/fN"), for park blame reporting. */
     const std::string& traceLabel() const { return trace_label_; }
 
+    /**
+     * Names the producer and consumer ranks (set by the Communicator
+     * at creation, like the trace label). These are the wait-for
+     * graph edges: a consumer blocked here waits on srcRank(), a
+     * producer blocked on a full ring waits on dstRank(). -1 when the
+     * mailbox lives outside a communicator.
+     */
+    void setEndpoints(int src, int dst);
+
+    /** Producer rank; -1 outside a communicator. */
+    int srcRank() const { return src_; }
+
+    /** Consumer rank; -1 outside a communicator. */
+    int dstRank() const { return dst_; }
+
     // ---- introspection ----
 
     /** Number of receive buffers. */
@@ -220,6 +235,8 @@ class Mailbox
     CheckableCounter delivered_;
     std::string trace_label_ = "mb ?";
     int flow_ = -1;
+    int src_ = -1;
+    int dst_ = -1;
 };
 
 } // namespace ccl

@@ -10,11 +10,25 @@
 #include "ccl/mailbox.h"
 #include "obs/context.h"
 #include "obs/monitor.h"
+#include "obs/profiler.h"
 #include "util/logging.h"
 #include "util/spin_wait.h"
 
 namespace ccube {
 namespace ccl {
+
+namespace {
+
+std::uint64_t
+steadyNowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
 
 /**
  * One run() invocation: the tasks, their shared fault context, and
@@ -168,6 +182,7 @@ StateMachineEngine::tryPop(int index, bool* stolen)
         }
     }
     const int count = static_cast<int>(queues_.size());
+    obs::ScopedProfPhase prof(obs::ProfPhase::kSteal, -1);
     for (int offset = 1; offset < count; ++offset) {
         WorkerQueue& victim =
             queues_[static_cast<std::size_t>((index + offset) % count)];
@@ -198,6 +213,7 @@ StateMachineEngine::workerLoop(int index)
             runTask(*task, index, stolen);
             continue;
         }
+        obs::ScopedProfPhase prof(obs::ProfPhase::kIdle, -1);
         std::unique_lock<std::mutex> lock(idle_mutex_);
         if (stop_)
             return;
@@ -234,6 +250,16 @@ StateMachineEngine::runTask(RankTask& task, int worker, bool stolen)
         resumes_.fetch_add(1, std::memory_order_relaxed);
         if (batch->fault != nullptr)
             batch->fault->noteWaitEnd();
+        // Exact parked-time attribution: a parked task occupies no
+        // thread, so the sampler can't see it — the resume edge
+        // measures the episode instead.
+        if (task.park_begin_ns_ != 0) {
+            const std::uint64_t now = steadyNowNs();
+            if (now > task.park_begin_ns_)
+                obs::Profiler::global().addParkedNs(
+                    task.rank(), now - task.park_begin_ns_);
+            task.park_begin_ns_ = 0;
+        }
     }
 
     StepStatus status;
@@ -243,6 +269,7 @@ StateMachineEngine::runTask(RankTask& task, int worker, bool stolen)
         abortPoll();
         steps_.fetch_add(1, std::memory_order_relaxed);
         StepContext ctx(*this, task);
+        obs::ScopedProfPhase prof(obs::ProfPhase::kStep, task.rank());
         status = task.step(ctx);
     } catch (...) {
         obs::setThreadRank(-1);
@@ -336,19 +363,22 @@ StateMachineEngine::run(std::vector<std::unique_ptr<RankTask>> tasks,
 StepStatus
 StepContext::parkOnArrival(Mailbox& box)
 {
+    // Waiting on a chunk arrival = waiting on the producer rank.
     return parkOn(box.arrivalSemaphore(), box.traceLabel().c_str(),
-                  box.flowId());
+                  box.flowId(), box.srcRank());
 }
 
 StepStatus
 StepContext::parkOnFreeSlot(Mailbox& box)
 {
+    // Waiting on a free receive buffer = waiting on the consumer.
     return parkOn(box.freeSlotSemaphore(), box.traceLabel().c_str(),
-                  box.flowId());
+                  box.flowId(), box.dstRank());
 }
 
 StepStatus
-StepContext::parkOn(BoundedSemaphore& sem, const char* label, int flow)
+StepContext::parkOn(BoundedSemaphore& sem, const char* label, int flow,
+                    int peer)
 {
     // Small-message fast path: while the pool has nothing else to run,
     // a bounded spin beats the park/resume round trip (PR 2 measured
@@ -366,15 +396,17 @@ StepContext::parkOn(BoundedSemaphore& sem, const char* label, int flow)
 
     CommFaultContext* fault = CommFaultContext::current();
     if (fault != nullptr)
-        fault->noteWaitBegin(label, flow);
+        fault->noteWaitBegin(label, flow, peer);
     task_.park_state_.store(RankTask::kParking,
                             std::memory_order_relaxed);
     task_.parked_sem_ = &sem;
+    task_.park_begin_ns_ = steadyNowNs();
     if (!sem.parkOnWait(task_)) {
         // The condition turned true between the failed try* and the
         // registration recheck: abandon the park and retry the op.
         task_.park_state_.store(RankTask::kRunning,
                                 std::memory_order_relaxed);
+        task_.park_begin_ns_ = 0;
         if (fault != nullptr)
             fault->noteWaitEnd();
         return StepStatus::kContinue;

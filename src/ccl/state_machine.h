@@ -247,6 +247,11 @@ class RankTask : public SemaphoreWaiter
     std::atomic<int> park_state_{kRunning};
     BoundedSemaphore* parked_sem_ = nullptr; ///< for the abort sweep
     bool resuming_ = false; ///< next execution is a park resume
+    // Steady-clock stamp of the last park, so the resume path can
+    // attribute the parked interval to the rank in obs::Profiler.
+    // Plain field: the park/wake handoff (queue + state CAS) orders
+    // the write before any other worker reads it.
+    std::uint64_t park_begin_ns_ = 0;
     int home_worker_ = 0;
     StateMachineEngine* engine_ = nullptr;
     StateMachineEngine::Batch* batch_ = nullptr;
@@ -272,12 +277,14 @@ class StepContext
 
     /**
      * General form: parks on @p sem, publishing @p label / @p flow as
-     * the task's blocked wait site for watchdog blame. Spins a
-     * bounded util::SpinWait ladder first while the pool is otherwise
-     * idle — the small-message fast path — then registers.
+     * the task's blocked wait site for watchdog blame and @p peer as
+     * the rank expected to post the semaphore (the wait-for graph
+     * edge; -1 = unknown). Spins a bounded util::SpinWait ladder
+     * first while the pool is otherwise idle — the small-message fast
+     * path — then registers.
      */
     StepStatus parkOn(BoundedSemaphore& sem, const char* label,
-                      int flow);
+                      int flow, int peer = -1);
 
   private:
     friend class StateMachineEngine;

@@ -137,6 +137,8 @@ analyzeRootCause(const TraceAnalyzer& analyzer,
         std::string name;
         int rank = -1;
         double t_us = 0.0;
+        int terminus = -1; ///< wait-for chain terminus (aborts only)
+        int chain_len = 0;
     };
     std::vector<RankFault> rank_faults;
     std::vector<RankFault> aborts;
@@ -170,10 +172,15 @@ analyzeRootCause(const TraceAnalyzer& analyzer,
             fault.name = event.name;
             fault.rank = event.pid >= 1000 ? event.pid - 1000 : -1;
             fault.t_us = event.ts_us;
-            if (event.name == "ccl.abort")
+            if (event.name == "ccl.abort") {
+                fault.terminus = static_cast<int>(
+                    eventArg(event, "terminus", -1.0));
+                fault.chain_len = static_cast<int>(
+                    eventArg(event, "chain_len", 0.0));
                 aborts.push_back(fault);
-            else
+            } else {
                 rank_faults.push_back(fault);
+            }
         }
     }
 
@@ -270,7 +277,18 @@ analyzeRootCause(const TraceAnalyzer& analyzer,
         cause.t_us = fault.t_us;
         cause.score = 800.0;
         std::ostringstream desc;
-        desc << "watchdog tripped; blamed rank " << fault.rank;
+        if (fault.terminus >= 0) {
+            // The stall report walked the wait-for graph: name the
+            // chain terminus (the truly stuck rank), which may differ
+            // from the channel endpoint the watchdog blamed.
+            cause.rank = fault.terminus;
+            desc << "watchdog tripped; stall chain terminus rank "
+                 << fault.terminus << " (chain length "
+                 << fault.chain_len << "; blamed rank " << fault.rank
+                 << ")";
+        } else {
+            desc << "watchdog tripped; blamed rank " << fault.rank;
+        }
         cause.description = desc.str();
         report.causes.push_back(std::move(cause));
     }

@@ -1,0 +1,337 @@
+#ifndef CCUBE_OBS_PROFILER_H_
+#define CCUBE_OBS_PROFILER_H_
+
+/**
+ * @file
+ * obs::Profiler — always-on sampling profiler and wait-for-graph
+ * introspection for the ccl runtime.
+ *
+ * The state-machine engine multiplexes hundreds of functional ranks
+ * onto a handful of pool workers, which breaks the two debugging
+ * tools the thread-per-rank runtime got for free: `top`-style "where
+ * is the time going" (worker threads carry many ranks, so OS-level
+ * profiles attribute everything to "sm worker 0"), and "who is
+ * waiting on whom" (a parked task is not a blocked thread any
+ * debugger can see). This header restores both:
+ *
+ *  - **Sampling profiler.** Instrumented sites publish their current
+ *    (phase, rank) pair into a per-thread slot — one relaxed atomic
+ *    store on entry/exit, nothing else — and a single sampler thread
+ *    wakes at --profile-hz, reads every slot, and accumulates
+ *    per-rank × per-phase sample counts: step (reduce/copy inside a
+ *    rank task), mailbox post, mailbox wait, steal scan, worker
+ *    idle. Parked time cannot be sampled from thread slots (a parked
+ *    task occupies no thread), so the engine feeds it exactly:
+ *    the park/resume transitions in state_machine.cpp measure each
+ *    park episode with a steady clock and add it per rank here.
+ *    Results export as collapsed-stack flamegraph text
+ *    (writeCollapsed, `flamegraph.pl`-compatible), as
+ *    `profiler.*` counters in the MetricRegistry, and as live
+ *    `ccl.prof.*` gauges in obs::Monitor while running.
+ *
+ *  - **Wait-for graph registry.** WaitForRegistry records, per rank,
+ *    which mailbox/semaphore the rank is blocked on and which peer
+ *    rank is expected to post it (the mailbox table knows its
+ *    endpoints). The registry can materialize the rank→rank wait-for
+ *    graph at any instant, follow stall chains with cycle detection,
+ *    and format the full blocked chain — which is what the
+ *    CommWatchdog dumps on deadline expiry instead of a single
+ *    blamed rank:
+ *
+ *        r17 parked on mb 3->17/f2 <- r3 parked on mb 9->3/f1
+ *            <- r9 killed
+ *
+ * Overhead discipline: publication sites gate on one relaxed load
+ * (enabled()) and are no-ops while no sampler is running; the
+ * wait-for registry writes only on blocking slow paths (a rank about
+ * to park or spin), so both halves stay always-on. The sampler is a
+ * single thread regardless of rank count.
+ *
+ * Layering: this header has no ccl:: dependencies — the ccl runtime
+ * calls in (CommFaultContext owns a WaitForRegistry; the mailbox and
+ * state-machine publish phases), never the other way around.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ccube {
+namespace obs {
+
+class MetricRegistry;
+
+/** What an instrumented thread is doing right now. */
+enum class ProfPhase : int {
+    kIdle = 0,        ///< pool worker with no runnable task
+    kStep = 1,        ///< inside a rank task step / rank body
+    kMailboxPost = 2, ///< mailbox send side (copy + flow control)
+    kMailboxWait = 3, ///< mailbox receive side (wait + reduce/copy)
+    kSteal = 4,       ///< worker scanning victim queues
+    kParked = 5,      ///< task parked (fed exactly, never sampled)
+};
+
+/** Number of distinct ProfPhase values. */
+constexpr int kProfPhaseCount = 6;
+
+/** Stable short name ("step", "mailbox_wait", ...). */
+const char* profPhaseName(ProfPhase phase);
+
+/**
+ * Sampling profiler: per-thread phase publication + one sampler
+ * thread. start()/stop() bound a capture; the publication sites stay
+ * compiled in and cost one relaxed load while stopped.
+ */
+class Profiler
+{
+  public:
+    /** Publication slots; threads beyond this are not sampled. */
+    static constexpr int kMaxThreads = 256;
+
+    /** Per-rank attribution slots (the state-machine runtime targets
+     *  P=512–1024; deliberately NOT RankCounters::kMaxRanks). */
+    static constexpr int kMaxRanks = 1024;
+
+    /** Default sampling rate (prime, so it cannot phase-lock with
+     *  millisecond-periodic runtime behavior). */
+    static constexpr double kDefaultHz = 997.0;
+
+    Profiler() = default;
+    ~Profiler();
+    Profiler(const Profiler&) = delete;
+    Profiler& operator=(const Profiler&) = delete;
+
+    /** Process-wide instance the instrumentation publishes to. */
+    static Profiler& global();
+
+    /** True while a sampler is running (publication gate). */
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Clears accumulated samples and starts the sampler thread at
+     * @p hz (<= 0 selects kDefaultHz). No-op when already running.
+     * Registers live `ccl.prof.*` gauges with obs::Monitor.
+     */
+    void start(double hz);
+
+    /** Stops and joins the sampler; accumulated samples are kept. */
+    void stop();
+
+    /** Sampling rate of the current/last capture. */
+    double hz() const { return hz_; }
+
+    /** Sampler wakeups so far. */
+    std::uint64_t ticks() const
+    {
+        return ticks_.load(std::memory_order_relaxed);
+    }
+
+    // ---- publication (instrumented threads) ----
+
+    /**
+     * Publishes (phase, rank) for the calling thread and returns the
+     * previous packed state so ScopedProfPhase can restore nesting.
+     * Returns 0 without publishing while disabled.
+     */
+    std::uint64_t publish(ProfPhase phase, int rank);
+
+    /** Restores a packed state returned by publish(). */
+    void restore(std::uint64_t packed);
+
+    // ---- exact park attribution (always on; engine slow path) ----
+
+    /** Adds @p ns of measured parked time for @p rank. */
+    void addParkedNs(int rank, std::uint64_t ns);
+
+    /** Accumulated parked ns for @p rank (-1 = unknown slot). */
+    std::uint64_t parkedNs(int rank) const;
+
+    /** Parked ns summed over every rank slot. */
+    std::uint64_t totalParkedNs() const;
+
+    // ---- results ----
+
+    /** Samples observed in @p phase, summed over ranks. */
+    std::uint64_t samples(ProfPhase phase) const;
+
+    /** Samples observed in @p phase for @p rank (-1 = unknown). */
+    std::uint64_t samples(ProfPhase phase, int rank) const;
+
+    /**
+     * Collapsed-stack flamegraph text, one `frame;frame count` line
+     * per non-zero (rank, phase) bucket. Parked time is folded in as
+     * `parked` frames scaled by hz so one unit ≈ one sample period.
+     */
+    void writeCollapsed(std::ostream& out) const;
+
+    /** Exports `profiler.*` counters into @p registry. */
+    void exportTo(MetricRegistry& registry) const;
+
+    /** Folds a capture summary into the Chrome trace (one instant
+     *  per phase with sample/ns args) when the recorder is enabled. */
+    void foldIntoTrace() const;
+
+    /** Zeroes samples, parked time, and tick counts. */
+    void reset();
+
+  private:
+    struct alignas(64) ThreadSlot {
+        std::atomic<std::uint64_t> state{0}; ///< packed (phase, rank)
+    };
+
+    struct alignas(64) ParkSlot {
+        std::atomic<std::uint64_t> ns{0};
+    };
+
+    static std::uint64_t pack(ProfPhase phase, int rank);
+
+    /** Slot index for the calling thread (registers on first use);
+     *  -1 when the slot table is full. */
+    int threadSlot();
+
+    void samplerLoop();
+
+    std::atomic<bool> enabled_{false};
+    double hz_ = kDefaultHz;
+    std::atomic<std::uint64_t> ticks_{0};
+
+    std::atomic<int> slots_used_{0};
+    ThreadSlot thread_slots_[kMaxThreads];
+    ParkSlot parked_ns_[kMaxRanks + 1]; ///< [0] = unknown rank
+
+    // Sample accumulation: written by the sampler thread, read by
+    // reporters; the mutex also serializes start/stop.
+    mutable std::mutex mutex_;
+    std::vector<std::uint64_t> counts_; ///< [phase][rank+1], flat
+    std::thread sampler_;
+    bool running_ = false; ///< guarded by mutex_
+    int monitor_token_ = -1;
+};
+
+/**
+ * RAII phase publication: publishes (phase, rank) on construction and
+ * restores the previous phase on destruction, so nested sites (a
+ * mailbox wait inside a task step) attribute to the innermost phase.
+ * A disabled profiler makes both ends one relaxed load.
+ */
+class ScopedProfPhase
+{
+  public:
+    /** Publishes with the calling thread's obs::threadRank(). */
+    explicit ScopedProfPhase(ProfPhase phase);
+
+    ScopedProfPhase(ProfPhase phase, int rank);
+    ~ScopedProfPhase();
+
+    ScopedProfPhase(const ScopedProfPhase&) = delete;
+    ScopedProfPhase& operator=(const ScopedProfPhase&) = delete;
+
+  private:
+    std::uint64_t previous_ = 0;
+    bool active_ = false;
+};
+
+/**
+ * Rank→rank wait-for graph: per-rank record of "blocked on mailbox L,
+ * expecting rank P to post". Writers are the blocking ranks
+ * themselves (one store on the slow path before blocking/parking, one
+ * on wake); the reader is the watchdog thread materializing stall
+ * chains at deadline expiry. Sized by the communicator's rank count —
+ * no 64-rank cap, the P=512–1024 runtime is the target.
+ *
+ * Labels are stored by pointer (mailbox trace labels outlive the
+ * communicator; tests use string literals). One slot per rank:
+ * when several helper roles of one rank block concurrently the last
+ * writer wins — the graph is a best-effort snapshot, and a chain
+ * simply ends early when an edge is missing.
+ */
+class WaitForRegistry
+{
+  public:
+    explicit WaitForRegistry(int num_ranks);
+    WaitForRegistry(const WaitForRegistry&) = delete;
+    WaitForRegistry& operator=(const WaitForRegistry&) = delete;
+
+    int numRanks() const
+    {
+        return static_cast<int>(slots_.size());
+    }
+
+    /** Declares @p rank blocked on @p label, expecting @p peer to
+     *  post it (peer -1 = unknown poster). */
+    void noteWait(int rank, int peer, const char* label, int flow);
+
+    /** Clears @p rank's blocked record (woken / gave up). */
+    void clearWait(int rank);
+
+    /** Marks @p rank dead (killed or wedged by the injector). */
+    void markDead(int rank);
+
+    bool waiting(int rank) const;
+    bool dead(int rank) const;
+
+    /** Clears every edge and dead mark (next collective). */
+    void reset();
+
+    /** One wait-for edge snapshot. */
+    struct Link {
+        int rank = -1;     ///< the blocked rank
+        int peer = -1;     ///< rank expected to post (-1 unknown)
+        std::string label; ///< mailbox/semaphore label
+        int flow = -1;
+    };
+
+    /** A materialized stall chain. */
+    struct Chain {
+        std::vector<Link> links; ///< blocked ranks, waiter first
+        int terminus = -1;       ///< first non-waiting rank reached
+        bool terminus_dead = false;
+        bool cycle = false; ///< terminus closes a wait-for cycle
+
+        bool empty() const { return links.empty() && terminus < 0; }
+        std::size_t length() const { return links.size(); }
+    };
+
+    /**
+     * Follows wait-for edges from @p start until a rank that is not
+     * waiting (the terminus — dead, running, or outside the graph) or
+     * a previously-visited rank (a cycle). Each link is a snapshot;
+     * concurrent wakes can truncate the chain but never loop it.
+     */
+    Chain chain(int start) const;
+
+    /** The longest chain over all currently-waiting start ranks
+     *  (ties: lowest start rank). Empty when nobody waits. */
+    Chain longestChain() const;
+
+    /**
+     * One-line rendering of @p chain:
+     * `r17 parked on mb 3->17/f2 <- r3 parked on mb 9->3/f1
+     *  <- r9 killed`. The terminus renders as `killed` (dead),
+     * `running` (alive, not waiting), `wait cycle` (cycle), or the
+     * chain ends at `<external>` when the poster is unknown.
+     */
+    static std::string formatChain(const Chain& chain);
+
+  private:
+    struct alignas(64) Slot {
+        std::atomic<const char*> label{nullptr}; ///< null = not waiting
+        std::atomic<int> peer{-1};
+        std::atomic<int> flow{-1};
+        std::atomic<bool> dead{false};
+    };
+
+    std::vector<Slot> slots_;
+};
+
+} // namespace obs
+} // namespace ccube
+
+#endif // CCUBE_OBS_PROFILER_H_

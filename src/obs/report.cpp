@@ -1,10 +1,12 @@
 #include "obs/report.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "obs/analyze.h"
 #include "obs/metrics.h"
@@ -189,6 +191,51 @@ writeAnalysisReport(std::ostream& out, const TraceAnalyzer& analyzer,
                 << std::setw(12) << step.span.dur_us << std::setw(12)
                 << step.stall_before_us << "  " << step.span.pid << "/"
                 << step.span.tid << "  " << step.span.name << "\n";
+        }
+    }
+
+    // --- Per-rank ccl counters. --------------------------------------
+    // RankCounters::exportTo lands `ccl.rank<r>.<field>` counters in
+    // the registry; surface the synchronization-critical ones as one
+    // row per rank (the sm_* columns are the state-machine runtime's
+    // park/resume/steal activity, invisible in the flat dump).
+    if (registry) {
+        std::vector<int> ranks;
+        for (const auto& [name, kind] : registry->names()) {
+            if (kind != "counter" ||
+                name.rfind("ccl.rank", 0) != 0)
+                continue;
+            const std::size_t dot = name.find('.', 8);
+            if (dot == std::string::npos)
+                continue;
+            const int rank = std::atoi(name.substr(8, dot - 8).c_str());
+            if (ranks.empty() || ranks.back() != rank)
+                ranks.push_back(rank);
+        }
+        std::sort(ranks.begin(), ranks.end());
+        ranks.erase(std::unique(ranks.begin(), ranks.end()),
+                    ranks.end());
+        if (!ranks.empty()) {
+            rule(out, "per-rank ccl counters");
+            out << std::right << std::setw(5) << "rank"
+                << std::setw(12) << "cas_retry" << std::setw(14)
+                << "post_stall_ns" << std::setw(14) << "wait_stall_ns"
+                << std::setw(10) << "sm_parks" << std::setw(12)
+                << "sm_resumes" << std::setw(11) << "sm_steals"
+                << "\n";
+            const auto cell = [&](int rank, const char* field) {
+                return static_cast<long long>(registry->counter(
+                    "ccl.rank" + std::to_string(rank) + "." + field));
+            };
+            for (const int rank : ranks) {
+                out << std::setw(5) << rank << std::setw(12)
+                    << cell(rank, "cas_retries") << std::setw(14)
+                    << cell(rank, "post_stall_ns") << std::setw(14)
+                    << cell(rank, "wait_stall_ns") << std::setw(10)
+                    << cell(rank, "sm_parks") << std::setw(12)
+                    << cell(rank, "sm_resumes") << std::setw(11)
+                    << cell(rank, "sm_steals") << "\n";
+            }
         }
     }
 

@@ -8,6 +8,7 @@
 #include "obs/diff.h"
 #include "obs/metrics.h"
 #include "obs/monitor.h"
+#include "obs/profiler.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -51,7 +52,9 @@ ObsSession::ObsSession(const util::Flags& flags)
       monitor_path_(flags.get("monitor-out")),
       openmetrics_path_(flags.get("monitor-openmetrics")),
       rootcause_path_(flags.get("rootcause-out")),
-      monitor_interval_s_(flags.getDouble("monitor-interval", 0.0))
+      profile_path_(flags.get("profile-out")),
+      monitor_interval_s_(flags.getDouble("monitor-interval", 0.0)),
+      profile_hz_(flags.getDouble("profile-hz", 0.0))
 {
     applyRetentionFlags(flags);
     if (monitoring()) {
@@ -87,6 +90,8 @@ ObsSession::start()
         MetricRegistry::global().enable();
     if (monitoring())
         Monitor::global().enable();
+    if (profiling())
+        Profiler::global().start(profile_hz_);
 }
 
 void
@@ -99,6 +104,26 @@ ObsSession::finish()
     TraceRecorder& recorder = TraceRecorder::global();
     MetricRegistry& registry = MetricRegistry::global();
     Monitor& monitor = Monitor::global();
+
+    if (profiling()) {
+        Profiler& profiler = Profiler::global();
+        profiler.stop();
+        profiler.foldIntoTrace();
+        if (metrics())
+            profiler.exportTo(registry);
+        std::ofstream out(profile_path_);
+        if (!out) {
+            util::logWarn("obs", "cannot open profile file " +
+                                     profile_path_);
+        } else {
+            profiler.writeCollapsed(out);
+            util::logInfo(
+                "obs",
+                "wrote collapsed-stack profile (" +
+                    std::to_string(profiler.ticks()) +
+                    " sampler ticks) to " + profile_path_);
+        }
+    }
 
     if (metrics()) {
         RankCounters::global().exportTo(registry);

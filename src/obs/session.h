@@ -26,6 +26,13 @@
  * `--rootcause-out=FILE` enables the recorder and writes the ranked
  * obs::diff root-cause report at the end of the run.
  *
+ * Profiling: `--profile-out=FILE` runs the obs::Profiler sampler for
+ * the whole session and writes collapsed-stack flamegraph text
+ * (flamegraph.pl-compatible) on finish; `--profile-hz=N` sets the
+ * sampling rate (default Profiler::kDefaultHz). The capture summary
+ * also folds into the metrics registry (profiler.* counters) and the
+ * Chrome trace when those sinks are enabled.
+ *
  * With no flag present the session is inert and the instrumented code
  * paths stay on their disabled fast path.
  */
@@ -77,6 +84,9 @@ class ObsSession
     /** True when a root-cause report was requested. */
     bool rootCause() const { return !rootcause_path_.empty(); }
 
+    /** True when a sampling-profiler capture was requested. */
+    bool profiling() const { return !profile_path_.empty(); }
+
     /**
      * Writes the trace JSON, metrics, and analysis-report files,
      * folding the per-rank RankCounters and the recorder's drop
@@ -93,7 +103,9 @@ class ObsSession
     std::string monitor_path_;
     std::string openmetrics_path_;
     std::string rootcause_path_;
+    std::string profile_path_;
     double monitor_interval_s_ = 0.0;
+    double profile_hz_ = 0.0;
     bool finished_ = false;
 };
 

@@ -12,12 +12,16 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <thread>
 #include <vector>
 
 #include "ccl/communicator.h"
+#include "ccl/fault.h"
+#include "obs/profiler.h"
 #include "ccl/double_tree_allreduce.h"
 #include "ccl/executor.h"
 #include "ccl/ring_allreduce.h"
@@ -159,6 +163,66 @@ TEST(ScaleSmoke, OverlappedDoubleTreeAndRingP512RunOnTheSharedPool)
         const int bound = std::max(4, 2 * hw);
         EXPECT_LE(ccl::StateMachineEngine::shared().workerCount(),
                   bound);
+    }
+}
+
+TEST(ScaleSmoke, WatchdogKillEmitsStallChainAtP512)
+{
+    // The ISSUE acceptance bar: at P=512 on the state machine, a
+    // killed rank must yield a stall report whose wait-for chain
+    // terminates at the injected rank — not just a blamed-rank guess.
+    // A ring is used because its wait-for graph is a single path, so
+    // the terminus assertion is exact. The profiler samples the whole
+    // aborted run; CI harvests both artifacts via the env hooks below.
+    using namespace std::chrono_literals;
+    constexpr int kKilled = 17; // FaultInjector caps ranks at 64
+
+    obs::Profiler& profiler = obs::Profiler::global();
+    profiler.start(0.0); // default rate
+
+    ccl::Communicator comm(kRanks, kSlots,
+                           RankExecutor::Mode::kStateMachine);
+    comm.setDeadline(2s);
+    ccl::FaultInjector injector;
+    ccl::FaultInjector::Fault fault;
+    fault.rank = kKilled;
+    fault.action = ccl::FaultInjector::Action::kKill;
+    fault.at_op = 5;
+    injector.arm(fault);
+    comm.setFaultInjector(&injector);
+
+    const topo::RingEmbedding ring = topo::makeSequentialRing(kRanks);
+    ccl::RankBuffers buffers(kRanks);
+    for (auto& b : buffers)
+        b.assign(kRanks, 1.0f); // ring needs >= one elem per rank
+
+    bool caught = false;
+    std::string report;
+    try {
+        ccl::ringAllReduce(comm, buffers, ring);
+    } catch (const ccl::CollectiveError& error) {
+        caught = true;
+        const ccl::CollectiveError::Info& info = error.info();
+        EXPECT_EQ(info.failed_rank, kKilled);
+        EXPECT_EQ(info.chain_terminus, kKilled) << info.stall_chain;
+        EXPECT_FALSE(info.stall_chain.empty());
+        EXPECT_NE(info.stall_chain.find("r17 killed"),
+                  std::string::npos)
+            << info.stall_chain;
+        report = ccl::formatStallReport(info);
+    }
+    EXPECT_TRUE(caught) << "collective completed despite kill";
+    comm.clearAbort();
+    comm.setFaultInjector(nullptr);
+    profiler.stop();
+
+    if (const char* path = std::getenv("CCUBE_STALL_REPORT_OUT")) {
+        std::ofstream out(path);
+        out << report;
+    }
+    if (const char* path = std::getenv("CCUBE_PROFILE_OUT")) {
+        std::ofstream out(path);
+        profiler.writeCollapsed(out);
     }
 }
 
