@@ -31,9 +31,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "ccl/communicator.h"
@@ -42,9 +44,11 @@
 #include "ccl/overlapped_tree_allreduce.h"
 #include "ccl/primitives.h"
 #include "ccl/ring_allreduce.h"
+#include "ccl/protocol.h"
 #include "ccl/state_machine.h"
 #include "ccl/sync_primitives.h"
 #include "ccl/tree_allreduce.h"
+#include "ccl/tuner.h"
 #include "core/gradient_queue.h"
 #include "sim/event_queue.h"
 #include "sim/resource.h"
@@ -293,6 +297,106 @@ registerAllReduceBenchmarks()
 }
 
 // ---------------------------------------------------------------------------
+// Protocol sweep: algorithm × message size × protocol × engine.
+//
+// The LL path trades 2x wire bytes for skipping the semaphore
+// lock/post/fence round-trip on every chunk; below the crossover the
+// per-chunk sync alpha dominates and LL wins, above it the doubled
+// serialization loses. main() derives the "ll_small_msg_speedup"
+// gate records (ns_per_op = LL ÷ Simple, lower is better) and a
+// per-(alg, engine) crossover record from these rows.
+// ---------------------------------------------------------------------------
+
+void
+runAllReduceProto(benchmark::State& state, Alg alg,
+                  ccl::RankExecutor::Mode mode, ccl::Protocol proto)
+{
+    AllReduceFixture& f = fixture();
+    ccl::Communicator& comm =
+        mode == ccl::RankExecutor::Mode::kPersistent ? f.persistent
+                                                     : f.statemachine;
+    const auto elems = static_cast<std::size_t>(state.range(0));
+    ccl::RankBuffers buffers(8, std::vector<float>(elems, 0.0f));
+    for (auto _ : state) {
+        switch (alg) {
+        case Alg::kRing:
+            ccl::ringAllReduce(comm, buffers, f.ring, {}, proto);
+            break;
+        case Alg::kTree:
+            ccl::treeAllReduce(comm, buffers, f.tree, kAllReduceChunks,
+                               ccl::TreePhaseMode::kTwoPhase, {}, {},
+                               proto);
+            break;
+        case Alg::kOverlappedTree:
+            ccl::overlappedTreeAllReduce(comm, buffers, f.tree,
+                                         kAllReduceChunks, {}, proto);
+            break;
+        case Alg::kDoubleTree:
+            ccl::doubleTreeAllReduce(comm, buffers, f.double_tree,
+                                     kAllReduceChunks,
+                                     ccl::TreePhaseMode::kOverlapped,
+                                     {}, proto);
+            break;
+        }
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * state.range(0) *
+        static_cast<std::int64_t>(sizeof(float)));
+}
+
+void
+registerProtocolBenchmarks()
+{
+    struct AlgEntry {
+        const char* name;
+        Alg alg;
+    };
+    struct ProtoEntry {
+        const char* name;
+        ccl::Protocol proto;
+    };
+    struct ModeEntry {
+        const char* name;
+        ccl::RankExecutor::Mode mode;
+    };
+    static constexpr AlgEntry kAlgs[] = {
+        {"ring", Alg::kRing},
+        {"tree", Alg::kTree},
+        {"overlapped_tree", Alg::kOverlappedTree},
+        {"double_tree", Alg::kDoubleTree},
+    };
+    static constexpr ProtoEntry kProtos[] = {
+        {"simple", ccl::Protocol::kSimple},
+        {"ll", ccl::Protocol::kLL},
+    };
+    static constexpr ModeEntry kModes[] = {
+        {"persistent", ccl::RankExecutor::Mode::kPersistent},
+        {"statemachine", ccl::RankExecutor::Mode::kStateMachine},
+    };
+    for (const AlgEntry& alg : kAlgs) {
+        for (const ProtoEntry& proto : kProtos) {
+            for (const ModeEntry& mode : kModes) {
+                const std::string name =
+                    std::string("allreduce_proto/") + alg.name + "/" +
+                    proto.name + "/" + mode.name;
+                benchmark::RegisterBenchmark(
+                    name.c_str(),
+                    [alg, proto, mode](benchmark::State& state) {
+                        runAllReduceProto(state, alg.alg, mode.mode,
+                                          proto.proto);
+                    })
+                    ->Arg(256)   // 1 KiB
+                    ->Arg(1024)  // 4 KiB
+                    ->Arg(16384) // 64 KiB
+                    ->Arg(65536) // 256 KiB
+                    ->Unit(benchmark::kMicrosecond)
+                    ->UseRealTime();
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Rank scaling: double-tree AllReduce at P = 8 … 1024 logical ranks.
 //
 // Purely logical topologies (direct routes) so the protocol itself is
@@ -443,6 +547,13 @@ toRecord(const benchmark::BenchmarkReporter::Run& run)
         record.mode = parts[2];
         record.bytes = std::strtoll(parts[3].c_str(), nullptr, 10) *
                        static_cast<std::int64_t>(sizeof(float));
+    } else if (parts.size() >= 5 && parts[0] == "allreduce_proto") {
+        // allreduce_proto/<alg>/<proto>/<mode>/<elems>[/real_time]
+        record.kind = parts[0];
+        record.name = parts[1] + "/" + parts[2];
+        record.mode = parts[3];
+        record.bytes = std::strtoll(parts[4].c_str(), nullptr, 10) *
+                       static_cast<std::int64_t>(sizeof(float));
     } else if (parts.size() >= 4 && parts[0] == "rank_scaling") {
         // rank_scaling/<alg>/<mode>/<ranks>[/real_time] — the rank
         // count goes into the name so every P is its own gate key.
@@ -498,6 +609,7 @@ main(int argc, char** argv)
     ccube::obs::ObsSession obs_session(obs_flags);
 
     registerAllReduceBenchmarks();
+    registerProtocolBenchmarks();
     registerRankScalingBenchmarks();
     benchmark::Initialize(&bench_argc, bench_args.data());
     if (benchmark::ReportUnrecognizedArguments(bench_argc,
@@ -530,11 +642,76 @@ main(int argc, char** argv)
         gate.ns_per_op = 1e6 * threads->second / ranks->second;
         records.push_back(std::move(gate));
     }
+    // Derive the LL-vs-Simple protocol gates from the proto sweep:
+    //  - "ll_small_msg_speedup": ns_per_op = LL ÷ Simple at one
+    //    (alg, engine, size) cell, lower is better. The headline gate
+    //    cell is ring/persistent at ≤ 4 KiB, where LL should be
+    //    ≥ 1.3x faster (ratio ≤ 0.77).
+    //  - "ll_crossover": ns_per_op = the largest swept message size
+    //    (bytes) at which LL still beat Simple for that (alg, engine).
+    {
+        // (alg, mode, bytes) → ns per protocol.
+        std::map<std::tuple<std::string, std::string, std::int64_t>,
+                 std::map<std::string, double>>
+            cells;
+        for (const ccube::util::BenchRecord& r : records) {
+            if (r.kind != "allreduce_proto")
+                continue;
+            const std::size_t slash = r.name.find('/');
+            if (slash == std::string::npos)
+                continue;
+            cells[{r.name.substr(0, slash), r.mode, r.bytes}]
+                 [r.name.substr(slash + 1)] = r.ns_per_op;
+        }
+        std::map<std::pair<std::string, std::string>, double> crossover;
+        for (const auto& [key, protos] : cells) {
+            const auto simple = protos.find("simple");
+            const auto ll = protos.find("ll");
+            if (simple == protos.end() || ll == protos.end() ||
+                simple->second <= 0.0)
+                continue;
+            const auto& [alg, mode, bytes] = key;
+            if (bytes <= 4096) {
+                ccube::util::BenchRecord gate;
+                gate.source = "micro_primitives";
+                gate.kind = "ll_small_msg_speedup";
+                gate.name = alg;
+                gate.mode = mode;
+                gate.bytes = bytes;
+                gate.ns_per_op = ll->second / simple->second;
+                gate.extra["speedup"] =
+                    ll->second > 0.0 ? simple->second / ll->second
+                                     : 0.0;
+                records.push_back(std::move(gate));
+            }
+            double& best = crossover[{alg, mode}];
+            if (ll->second < simple->second &&
+                static_cast<double>(bytes) > best)
+                best = static_cast<double>(bytes);
+        }
+        for (const auto& [key, bytes] : crossover) {
+            ccube::util::BenchRecord record;
+            record.source = "micro_primitives";
+            record.kind = "ll_crossover";
+            record.name = key.first;
+            record.mode = key.second;
+            record.ns_per_op = bytes; // largest size where LL won
+            records.push_back(std::move(record));
+        }
+    }
     if (!records.empty()) {
         const std::string path = ccube::util::benchOutputPath();
         ccube::util::writeBenchRecords(path, records, /*append=*/true);
         std::fprintf(stderr, "wrote %zu records to %s\n",
                      records.size(), path.c_str());
+    }
+    // Archive the tuner's selection table (DGX-1, P=8) when asked —
+    // CI uploads this as the tuner_table.txt artifact.
+    if (const char* table_out = std::getenv("CCUBE_TUNER_TABLE_OUT")) {
+        const ccube::topo::Graph dgx1 = ccube::topo::makeDgx1();
+        std::ofstream out(table_out);
+        out << ccube::ccl::Tuner::global().formatTable(dgx1, 8);
+        std::fprintf(stderr, "wrote tuner table to %s\n", table_out);
     }
     return 0;
 }

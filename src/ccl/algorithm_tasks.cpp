@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "ccl/fault.h"
 #include "obs/trace.h"
 #include "topo/detour_router.h"
 #include "util/logging.h"
@@ -16,6 +17,33 @@ namespace {
 using topo::NodeId;
 using topo::PhaseDirection;
 using topo::Route;
+
+/**
+ * Blocked-op disposition for the task classes: under Simple the task
+ * parks on the mailbox semaphore (woken by the peer's post); under LL
+ * no semaphore will ever be posted, so the task polls the abort epoch
+ * (a dead peer still unwedges the batch via the watchdog) and asks to
+ * be rescheduled.
+ */
+StepStatus
+awaitArrival(StepContext& ctx, Mailbox& box, Protocol proto)
+{
+    if (proto == Protocol::kLL) {
+        abortPoll();
+        return StepStatus::kContinue;
+    }
+    return ctx.parkOnArrival(box);
+}
+
+StepStatus
+awaitFreeSlot(StepContext& ctx, Mailbox& box, Protocol proto)
+{
+    if (proto == Protocol::kLL) {
+        abortPoll();
+        return StepStatus::kContinue;
+    }
+    return ctx.parkOnFreeSlot(box);
+}
 
 /**
  * Trace span for resumable tasks. obs::ScopedSpan assumes a phase
@@ -63,10 +91,11 @@ class RingTask final : public RankTask
   public:
     RingTask(int rank, int pos, int p, std::span<float> buffer,
              const ChunkSplit& split, Mailbox& to_next,
-             Mailbox& from_prev, RingPhase phase, AllReduceTrace* trace)
+             Mailbox& from_prev, RingPhase phase, AllReduceTrace* trace,
+             Protocol proto)
         : RankTask(rank, "ring"), pos_(pos), p_(p), buffer_(buffer),
           split_(split), to_next_(to_next), from_prev_(from_prev),
-          phase_(phase), trace_(trace)
+          phase_(phase), trace_(trace), proto_(proto)
     {
         if (phase_ == RingPhase::kAllGather)
             state_ = St::kAgSend;
@@ -93,8 +122,8 @@ class RingTask final : public RankTask
                 if (!to_next_.trySend(
                         split_.slice(std::span<const float>(buffer_),
                                      chunk),
-                        chunk))
-                    return ctx.parkOnFreeSlot(to_next_);
+                        chunk, proto_))
+                    return awaitFreeSlot(ctx, to_next_, proto_);
                 op_begun_ = false;
                 state_ = St::kRsRecv;
                 break;
@@ -107,8 +136,8 @@ class RingTask final : public RankTask
                 }
                 int tag = -1;
                 if (!from_prev_.tryRecvReduce(
-                        split_.slice(buffer_, chunk), &tag))
-                    return ctx.parkOnArrival(from_prev_);
+                        split_.slice(buffer_, chunk), &tag, proto_))
+                    return awaitArrival(ctx, from_prev_, proto_);
                 op_begun_ = false;
                 CCUBE_CHECK(tag == chunk,
                             "ring chunk out of sequence");
@@ -131,8 +160,8 @@ class RingTask final : public RankTask
                 if (!to_next_.trySend(
                         split_.slice(std::span<const float>(buffer_),
                                      chunk),
-                        chunk))
-                    return ctx.parkOnFreeSlot(to_next_);
+                        chunk, proto_))
+                    return awaitFreeSlot(ctx, to_next_, proto_);
                 op_begun_ = false;
                 state_ = St::kAgRecv;
                 break;
@@ -145,8 +174,8 @@ class RingTask final : public RankTask
                 }
                 int tag = -1;
                 if (!from_prev_.tryRecvInto(
-                        split_.slice(buffer_, chunk), &tag))
-                    return ctx.parkOnArrival(from_prev_);
+                        split_.slice(buffer_, chunk), &tag, proto_))
+                    return awaitArrival(ctx, from_prev_, proto_);
                 op_begun_ = false;
                 CCUBE_CHECK(tag == chunk,
                             "ring chunk out of sequence");
@@ -189,6 +218,7 @@ class RingTask final : public RankTask
     Mailbox& from_prev_;
     const RingPhase phase_;
     AllReduceTrace* const trace_;
+    const Protocol proto_;
 
     St state_ = St::kRsSend;
     int s_ = 0;
@@ -231,6 +261,7 @@ class TreeTask final : public RankTask
         std::vector<Mailbox*> down_children;
         AllReduceTrace* trace = nullptr;
         int chunk_offset = 0;
+        Protocol proto = Protocol::kSimple;
     };
 
     TreeTask(int rank, const char* label, Role role, Plan plan)
@@ -278,8 +309,9 @@ class TreeTask final : public RankTask
                 }
                 int tag = -1;
                 if (!box.tryRecvReduce(
-                        plan_.split.slice(plan_.buffer, chunk_), &tag))
-                    return ctx.parkOnArrival(box);
+                        plan_.split.slice(plan_.buffer, chunk_), &tag,
+                        plan_.proto))
+                    return awaitArrival(ctx, box, plan_.proto);
                 op_begun_ = false;
                 CCUBE_CHECK(tag == chunk_,
                             "reduction chunk out of order");
@@ -292,8 +324,9 @@ class TreeTask final : public RankTask
                     op_begun_ = true;
                 }
                 if (!plan_.up_parent->trySend(constSlice(chunk_),
-                                              chunk_))
-                    return ctx.parkOnFreeSlot(*plan_.up_parent);
+                                              chunk_, plan_.proto))
+                    return awaitFreeSlot(ctx, *plan_.up_parent,
+                                         plan_.proto);
                 op_begun_ = false;
                 if (!advanceReduceChunk())
                     break;
@@ -309,7 +342,7 @@ class TreeTask final : public RankTask
                     return StepStatus::kContinue;
                 }
                 if (!trySendChild(ctx, chunk_))
-                    return StepStatus::kParked;
+                    return blocked_status_;
                 break;
               }
               case St::kRootSend: {
@@ -325,7 +358,7 @@ class TreeTask final : public RankTask
                     return StepStatus::kContinue;
                 }
                 if (!trySendChild(ctx, chunk_))
-                    return StepStatus::kParked;
+                    return blocked_status_;
                 break;
               }
               case St::kBcastRecv: {
@@ -336,8 +369,9 @@ class TreeTask final : public RankTask
                 }
                 int tag = -1;
                 if (!box.tryRecvInto(
-                        plan_.split.slice(plan_.buffer, chunk_), &tag))
-                    return ctx.parkOnArrival(box);
+                        plan_.split.slice(plan_.buffer, chunk_), &tag,
+                        plan_.proto))
+                    return awaitArrival(ctx, box, plan_.proto);
                 op_begun_ = false;
                 CCUBE_CHECK(tag == chunk_,
                             "broadcast chunk out of order");
@@ -360,7 +394,7 @@ class TreeTask final : public RankTask
                     return StepStatus::kContinue;
                 }
                 if (!trySendChild(ctx, chunk_))
-                    return StepStatus::kParked;
+                    return blocked_status_;
                 break;
               }
               case St::kDone:
@@ -386,9 +420,10 @@ class TreeTask final : public RankTask
             std::span<const float>(plan_.buffer), chunk);
     }
 
-    /** Sends chunk @p chunk to down_children[child_]; false = parked
-     *  (the caller must return kParked; a racing post already turned
-     *  the park into an immediate retry via the loop). */
+    /** Sends chunk @p chunk to down_children[child_]; false = blocked
+     *  (the caller must return blocked_status_: kParked under Simple,
+     *  kContinue under LL where parking is impossible; a racing post
+     *  already turned the park into an immediate retry via the loop). */
     bool trySendChild(StepContext& ctx, int chunk)
     {
         Mailbox& box = *plan_.down_children[child_];
@@ -396,9 +431,14 @@ class TreeTask final : public RankTask
             box.noteOpBegin(Mailbox::OpKind::kSend);
             op_begun_ = true;
         }
-        if (!box.trySend(constSlice(chunk), chunk)) {
-            if (ctx.parkOnFreeSlot(box) == StepStatus::kParked)
+        if (!box.trySend(constSlice(chunk), chunk, plan_.proto)) {
+            const StepStatus blocked =
+                awaitFreeSlot(ctx, box, plan_.proto);
+            if (blocked == StepStatus::kParked ||
+                plan_.proto == Protocol::kLL) {
+                blocked_status_ = blocked;
                 return false;
+            }
             return true; // raced in: retry the send on the next loop
         }
         op_begun_ = false;
@@ -439,6 +479,7 @@ class TreeTask final : public RankTask
     int chunk_ = 0;
     std::size_t child_ = 0;
     bool op_begun_ = false;
+    StepStatus blocked_status_ = StepStatus::kParked;
     PhaseSpan span_;
 };
 
@@ -451,9 +492,9 @@ class ForwardTask final : public RankTask
 {
   public:
     ForwardTask(int transit, int upstream, int downstream, Mailbox& in,
-                Mailbox& out, int num_chunks)
+                Mailbox& out, int num_chunks, Protocol proto)
         : RankTask(transit, "forward"), in_(in), out_(out),
-          num_chunks_(num_chunks),
+          num_chunks_(num_chunks), proto_(proto),
           span_name_("tree.forward " + std::to_string(upstream) +
                      "->" + std::to_string(downstream))
     {
@@ -476,22 +517,22 @@ class ForwardTask final : public RankTask
                 }
                 std::span<const float> data;
                 int tag = -1;
-                if (!in_.tryPeek(&data, &tag))
-                    return ctx.parkOnArrival(in_);
+                if (!in_.tryPeek(&data, &tag, proto_))
+                    return awaitArrival(ctx, in_, proto_);
                 state_ = St::kSendOn;
                 break;
               }
               case St::kSendOn: {
                 std::span<const float> data;
                 int tag = -1;
-                const bool have = in_.tryPeek(&data, &tag);
+                const bool have = in_.tryPeek(&data, &tag, proto_);
                 CCUBE_CHECK(have, "claimed forward chunk vanished");
                 if (!out_begun_) {
                     out_.noteOpBegin(Mailbox::OpKind::kSend);
                     out_begun_ = true;
                 }
-                if (!out_.trySend(data, tag))
-                    return ctx.parkOnFreeSlot(out_);
+                if (!out_.trySend(data, tag, proto_))
+                    return awaitFreeSlot(ctx, out_, proto_);
                 in_.releaseFront();
                 in_begun_ = false;
                 out_begun_ = false;
@@ -511,6 +552,7 @@ class ForwardTask final : public RankTask
     Mailbox& in_;
     Mailbox& out_;
     const int num_chunks_;
+    const Protocol proto_;
 
     St state_ = St::kAwaitChunk;
     int chunk_ = 0;
@@ -525,7 +567,7 @@ class ForwardTask final : public RankTask
 std::vector<std::unique_ptr<RankTask>>
 buildRingTasks(Communicator& comm, RankBuffers& buffers,
                const topo::RingEmbedding& ring, RingPhase phase,
-               AllReduceTrace* trace)
+               AllReduceTrace* trace, Protocol proto)
 {
     const int p = comm.numRanks();
     const ChunkSplit split(buffers[0].size(), p);
@@ -547,7 +589,8 @@ buildRingTasks(Communicator& comm, RankBuffers& buffers,
             rank, pos, p,
             std::span<float>(buffers[static_cast<std::size_t>(rank)]),
             split, comm.mailbox(rank, next, kFlowRing),
-            comm.mailbox(prev, rank, kFlowRing), phase, trace));
+            comm.mailbox(prev, rank, kFlowRing), phase, trace,
+            proto));
     }
     return tasks;
 }
@@ -560,7 +603,7 @@ appendTreeTasks(std::vector<std::unique_ptr<RankTask>>& out,
                 const ChunkSplit& split, TreePhaseMode mode,
                 TreeFlowIds flows, TreeDirection direction,
                 AllReduceTrace* trace, int chunk_id_offset,
-                const char* label)
+                const char* label, Protocol proto)
 {
     const topo::BinaryTree& tree = embedding.tree;
     const int p = comm.numRanks();
@@ -582,7 +625,7 @@ appendTreeTasks(std::vector<std::unique_ptr<RankTask>>& out,
             rule.transit, rule.upstream, rule.downstream,
             comm.mailbox(rule.upstream, rule.transit, flow),
             comm.mailbox(rule.transit, rule.downstream, flow),
-            num_chunks));
+            num_chunks, proto));
     }
 
     for (int rank = 0; rank < p; ++rank) {
@@ -597,6 +640,7 @@ appendTreeTasks(std::vector<std::unique_ptr<RankTask>>& out,
         plan.trace =
             direction == TreeDirection::kAllReduce ? trace : nullptr;
         plan.chunk_offset = chunk_id_offset;
+        plan.proto = proto;
 
         if (!plan.is_root) {
             const Route& route = embedding.routeToChild(rank);
@@ -660,7 +704,7 @@ std::vector<std::unique_ptr<RankTask>>
 buildDoubleTreeTasks(Communicator& comm, RankBuffers& buffers,
                      const topo::DoubleTreeEmbedding& embedding,
                      int chunks_per_tree, TreePhaseMode mode,
-                     AllReduceTrace& trace)
+                     AllReduceTrace& trace, Protocol proto)
 {
     const std::size_t total = buffers[0].size();
     const std::size_t half = total / 2;
@@ -672,12 +716,13 @@ buildDoubleTreeTasks(Communicator& comm, RankBuffers& buffers,
                     /*region_offset=*/0, half, split0, mode,
                     TreeFlowIds{kFlowTree0Reduce, kFlowTree0Broadcast},
                     TreeDirection::kAllReduce, &trace,
-                    /*chunk_id_offset=*/0, "tree0");
+                    /*chunk_id_offset=*/0, "tree0", proto);
     appendTreeTasks(tasks, comm, buffers, embedding.tree1,
                     /*region_offset=*/half, total - half, split1, mode,
                     TreeFlowIds{kFlowTree1Reduce, kFlowTree1Broadcast},
                     TreeDirection::kAllReduce, &trace,
-                    /*chunk_id_offset=*/chunks_per_tree, "tree1");
+                    /*chunk_id_offset=*/chunks_per_tree, "tree1",
+                    proto);
     return tasks;
 }
 

@@ -20,6 +20,12 @@
  * post/wait sequence, same reduction order over children, same chunk
  * tags), so float results are byte-identical across engine modes and
  * FaultInjector at-op indices keep their thread-mode meaning.
+ *
+ * Wire protocol: every builder takes a ccl::Protocol. Under kLL the
+ * mailbox never posts a semaphore, so a task cannot park on one — a
+ * failed LL try* op polls the abort epoch and returns kContinue
+ * (cooperative spinning across the pool) instead of registering a
+ * waiter that would never be woken.
  */
 
 #include <memory>
@@ -50,7 +56,8 @@ enum class RingPhase {
 std::vector<std::unique_ptr<RankTask>>
 buildRingTasks(Communicator& comm, RankBuffers& buffers,
                const topo::RingEmbedding& ring, RingPhase phase,
-               AllReduceTrace* trace);
+               AllReduceTrace* trace,
+               Protocol proto = Protocol::kSimple);
 
 /** Which direction(s) of the tree protocol the tasks execute. */
 enum class TreeDirection {
@@ -77,7 +84,8 @@ void appendTreeTasks(std::vector<std::unique_ptr<RankTask>>& out,
                      std::size_t region_size, const ChunkSplit& split,
                      TreePhaseMode mode, TreeFlowIds flows,
                      TreeDirection direction, AllReduceTrace* trace,
-                     int chunk_id_offset, const char* label);
+                     int chunk_id_offset, const char* label,
+                     Protocol proto = Protocol::kSimple);
 
 /**
  * Full double-tree AllReduce task set: tree0 over the lower buffer
@@ -87,7 +95,8 @@ std::vector<std::unique_ptr<RankTask>>
 buildDoubleTreeTasks(Communicator& comm, RankBuffers& buffers,
                      const topo::DoubleTreeEmbedding& embedding,
                      int chunks_per_tree, TreePhaseMode mode,
-                     AllReduceTrace& trace);
+                     AllReduceTrace& trace,
+                     Protocol proto = Protocol::kSimple);
 
 } // namespace ccl
 } // namespace ccube

@@ -163,10 +163,25 @@ Communicator::clearAbort()
     fault_.abortState().clear();
 }
 
+namespace {
+
+/** One counter per (protocol) so traces/benchmarks can confirm which
+ *  wire protocol a collective actually ran (the tuner's pick under
+ *  kAuto is otherwise invisible from outside). */
+void
+noteProtocol(Protocol proto)
+{
+    obs::MetricRegistry::global().addCounter(
+        std::string("ccl.proto.") + protocolName(proto), 1.0);
+}
+
+} // namespace
+
 void
 Communicator::run(const std::function<void(int rank)>& body,
-                  const char* op)
+                  const char* op, Protocol proto)
 {
+    noteProtocol(proto);
     runEnvelope(op, [this, &body]() {
         executor().run([this, &body](int rank) {
             // Rank bodies (and, transitively, the helpers they submit)
@@ -179,8 +194,9 @@ Communicator::run(const std::function<void(int rank)>& body,
 
 void
 Communicator::runTasks(std::vector<std::unique_ptr<RankTask>> tasks,
-                       const char* op)
+                       const char* op, Protocol proto)
 {
+    noteProtocol(proto);
     // The engine installs the fault context itself around every step
     // (tasks migrate across pool workers, so a thread-scoped guard
     // here would cover the wrong threads).

@@ -28,11 +28,17 @@
 #include <mutex>
 #include <vector>
 
+#include "ccl/allreduce.h"
 #include "ccl/executor.h"
 #include "ccl/fault.h"
 #include "ccl/mailbox.h"
 
 namespace ccube {
+
+namespace topo {
+class Graph;
+} // namespace topo
+
 namespace ccl {
 
 class RankTask;
@@ -102,9 +108,15 @@ class Communicator
      * naming the failed rank, op, and blocked mailbox — instead of
      * hanging. An abort poisons the communicator (like NCCL after
      * ncclCommAbort): further run() calls rethrow until clearAbort().
+     *
+     * @p proto is the wire protocol the collective's mailbox traffic
+     * uses — recorded as a `ccl.proto.<name>` telemetry counter so
+     * traces show which protocol each collective ran (the body itself
+     * passes the protocol to its mailbox ops).
      */
     void run(const std::function<void(int rank)>& body,
-             const char* op = "collective");
+             const char* op = "collective",
+             Protocol proto = Protocol::kSimple);
 
     /**
      * Execution engine this communicator was created with. The
@@ -120,7 +132,19 @@ class Communicator
      * collective edge, abort-wins error surfacing. @p op as in run().
      */
     void runTasks(std::vector<std::unique_ptr<RankTask>> tasks,
-                  const char* op = "collective");
+                  const char* op = "collective",
+                  Protocol proto = Protocol::kSimple);
+
+    /**
+     * Auto-tuned AllReduce: consults the ccl::Tuner's cached selection
+     * table for (topology shape, P, message size) and runs the chosen
+     * (algorithm × protocol × chunking) cell — the NCCL-style "just
+     * give me the fastest schedule" entry point. Honors
+     * CCUBE_CCL_PROTO=ll|simple as a protocol override. Defined in
+     * tuner.cpp.
+     */
+    AllReduceTrace runAuto(RankBuffers& buffers,
+                           const topo::Graph& graph);
 
     /**
      * Sense-reversing barrier across all ranks; callable only from

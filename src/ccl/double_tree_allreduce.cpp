@@ -14,7 +14,7 @@ AllReduceTrace
 doubleTreeAllReduce(Communicator& comm, RankBuffers& buffers,
                     const topo::DoubleTreeEmbedding& embedding,
                     int chunks_per_tree, TreePhaseMode mode,
-                    AllReduceTrace::Observer observer)
+                    AllReduceTrace::Observer observer, Protocol proto)
 {
     const int p = comm.numRanks();
     CCUBE_CHECK(static_cast<int>(buffers.size()) == p,
@@ -40,8 +40,8 @@ doubleTreeAllReduce(Communicator& comm, RankBuffers& buffers,
     if (comm.engineMode() == RankExecutor::Mode::kStateMachine) {
         comm.runTasks(buildDoubleTreeTasks(comm, buffers, embedding,
                                            chunks_per_tree, mode,
-                                           trace),
-                      "double_tree_allreduce");
+                                           trace, proto),
+                      "double_tree_allreduce", proto);
         return trace;
     }
 
@@ -60,12 +60,14 @@ doubleTreeAllReduce(Communicator& comm, RankBuffers& buffers,
         comm.executor().submit(second, rank, "tree1", [&, rank]() {
             detail::treeRankBody(comm, rank, upper, embedding.tree1,
                                  split1, mode, flows1, trace,
-                                 /*chunk_id_offset=*/chunks_per_tree);
+                                 /*chunk_id_offset=*/chunks_per_tree,
+                                 proto);
         });
         detail::treeRankBody(comm, rank, lower, embedding.tree0, split0,
-                             mode, flows0, trace, /*chunk_id_offset=*/0);
+                             mode, flows0, trace, /*chunk_id_offset=*/0,
+                             proto);
         second.wait();
-    }, "double_tree_allreduce");
+    }, "double_tree_allreduce", proto);
     return trace;
 }
 

@@ -28,7 +28,8 @@ AllReduceTrace
 doubleTreeAllReduce(Communicator& comm, RankBuffers& buffers,
                     const topo::DoubleTreeEmbedding& embedding,
                     int chunks_per_tree, TreePhaseMode mode,
-                    AllReduceTrace::Observer observer = {});
+                    AllReduceTrace::Observer observer = {},
+                    Protocol proto = Protocol::kSimple);
 
 } // namespace ccl
 } // namespace ccube

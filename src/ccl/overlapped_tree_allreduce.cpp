@@ -6,10 +6,11 @@ namespace ccl {
 AllReduceTrace
 overlappedTreeAllReduce(Communicator& comm, RankBuffers& buffers,
                         const topo::TreeEmbedding& embedding,
-                        int num_chunks, TreeFlowIds flows)
+                        int num_chunks, TreeFlowIds flows,
+                        Protocol proto)
 {
     return treeAllReduce(comm, buffers, embedding, num_chunks,
-                         TreePhaseMode::kOverlapped, flows);
+                         TreePhaseMode::kOverlapped, flows, {}, proto);
 }
 
 } // namespace ccl

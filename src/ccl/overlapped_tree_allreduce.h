@@ -15,7 +15,8 @@ namespace ccl {
 AllReduceTrace
 overlappedTreeAllReduce(Communicator& comm, RankBuffers& buffers,
                         const topo::TreeEmbedding& embedding,
-                        int num_chunks, TreeFlowIds flows = {});
+                        int num_chunks, TreeFlowIds flows = {},
+                        Protocol proto = Protocol::kSimple);
 
 } // namespace ccl
 } // namespace ccube

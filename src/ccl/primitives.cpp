@@ -8,6 +8,7 @@
 #include "ccl/double_tree_allreduce.h"
 #include "ccl/ring_allreduce.h"
 #include "ccl/tree_allreduce.h"
+#include "ccl/tuner.h"
 #include "topo/detour_router.h"
 #include "topo/embedding_search.h"
 #include "util/logging.h"
@@ -37,16 +38,17 @@ checkBuffers(const Communicator& comm, const RankBuffers& buffers)
  *  mailbox — no staging vector. */
 void
 forwardChunks(Communicator& comm, NodeId upstream, NodeId transit,
-              NodeId downstream, FlowId flow, int num_chunks)
+              NodeId downstream, FlowId flow, int num_chunks,
+              Protocol proto)
 {
     Mailbox& in = comm.mailbox(upstream, transit, flow);
     Mailbox& out = comm.mailbox(transit, downstream, flow);
     const Mailbox::Visitor forward =
-        [&out](std::span<const float> data, int tag) {
-            out.send(data, tag);
+        [&out, proto](std::span<const float> data, int tag) {
+            out.send(data, tag, proto);
         };
     for (int c = 0; c < num_chunks; ++c)
-        in.consume(forward);
+        in.consume(forward, proto);
 }
 
 /** Enqueues the forwarding tasks this rank owes to @p embedding for
@@ -54,16 +56,19 @@ forwardChunks(Communicator& comm, NodeId upstream, NodeId transit,
 void
 submitForwarders(RankExecutor::Group& group, Communicator& comm,
                  const topo::TreeEmbedding& embedding, int rank,
-                 PhaseDirection phase, FlowId flow, int num_chunks)
+                 PhaseDirection phase, FlowId flow, int num_chunks,
+                 Protocol proto)
 {
     for (const topo::ForwardingRule& rule :
          topo::cachedForwardingRules(embedding, 0)) {
         if (rule.transit != rank || rule.phase != phase)
             continue;
         comm.executor().submit(
-            group, rank, "forward", [&comm, rule, flow, num_chunks]() {
+            group, rank, "forward",
+            [&comm, rule, flow, num_chunks, proto]() {
                 forwardChunks(comm, rule.upstream, rule.transit,
-                              rule.downstream, flow, num_chunks);
+                              rule.downstream, flow, num_chunks,
+                              proto);
             });
     }
 }
@@ -73,7 +78,7 @@ submitForwarders(RankExecutor::Group& group, Communicator& comm,
 void
 treeBroadcast(Communicator& comm, RankBuffers& buffers,
               const topo::TreeEmbedding& embedding, int num_chunks,
-              FlowId flow)
+              FlowId flow, Protocol proto)
 {
     checkBuffers(comm, buffers);
     CCUBE_CHECK(embedding.tree.numNodes() == comm.numRanks(),
@@ -87,8 +92,8 @@ treeBroadcast(Communicator& comm, RankBuffers& buffers,
                         TreePhaseMode::kTwoPhase,
                         TreeFlowIds{flow, flow},
                         TreeDirection::kBroadcast, nullptr,
-                        /*chunk_id_offset=*/0, "tree");
-        comm.runTasks(std::move(tasks), "tree_broadcast");
+                        /*chunk_id_offset=*/0, "tree", proto);
+        comm.runTasks(std::move(tasks), "tree_broadcast", proto);
         return;
     }
 
@@ -96,7 +101,8 @@ treeBroadcast(Communicator& comm, RankBuffers& buffers,
         std::span<float> buffer(buffers[static_cast<std::size_t>(rank)]);
         RankExecutor::Group forwarders;
         submitForwarders(forwarders, comm, embedding, rank,
-                         PhaseDirection::kBroadcast, flow, num_chunks);
+                         PhaseDirection::kBroadcast, flow, num_chunks,
+                         proto);
 
         // Resolve the mailbox plan once per rank — the chunk loop then
         // touches no registry and no routes.
@@ -111,7 +117,7 @@ treeBroadcast(Communicator& comm, RankBuffers& buffers,
             const std::span<const float> data =
                 split.slice(std::span<const float>(buffer), chunk);
             for (Mailbox* box : down)
-                box->send(data, chunk);
+                box->send(data, chunk, proto);
         };
 
         if (tree.root() == rank) {
@@ -123,19 +129,19 @@ treeBroadcast(Communicator& comm, RankBuffers& buffers,
             Mailbox& from_parent = comm.mailbox(parent_hop, rank, flow);
             for (int c = 0; c < num_chunks; ++c) {
                 const int tag =
-                    from_parent.recvInto(split.slice(buffer, c));
+                    from_parent.recvInto(split.slice(buffer, c), proto);
                 CCUBE_CHECK(tag == c, "broadcast chunk out of order");
                 send_down(c);
             }
         }
         forwarders.wait();
-    }, "tree_broadcast");
+    }, "tree_broadcast", proto);
 }
 
 void
 treeReduce(Communicator& comm, RankBuffers& buffers,
            const topo::TreeEmbedding& embedding, int num_chunks,
-           FlowId flow)
+           FlowId flow, Protocol proto)
 {
     checkBuffers(comm, buffers);
     CCUBE_CHECK(embedding.tree.numNodes() == comm.numRanks(),
@@ -149,8 +155,8 @@ treeReduce(Communicator& comm, RankBuffers& buffers,
                         TreePhaseMode::kTwoPhase,
                         TreeFlowIds{flow, flow},
                         TreeDirection::kReduce, nullptr,
-                        /*chunk_id_offset=*/0, "tree");
-        comm.runTasks(std::move(tasks), "tree_reduce");
+                        /*chunk_id_offset=*/0, "tree", proto);
+        comm.runTasks(std::move(tasks), "tree_reduce", proto);
         return;
     }
 
@@ -158,7 +164,8 @@ treeReduce(Communicator& comm, RankBuffers& buffers,
         std::span<float> buffer(buffers[static_cast<std::size_t>(rank)]);
         RankExecutor::Group forwarders;
         submitForwarders(forwarders, comm, embedding, rank,
-                         PhaseDirection::kReduction, flow, num_chunks);
+                         PhaseDirection::kReduction, flow, num_chunks,
+                         proto);
 
         // Mailbox plan resolved once per rank, outside the chunk loop.
         const topo::BinaryTree& tree = embedding.tree;
@@ -177,21 +184,22 @@ treeReduce(Communicator& comm, RankBuffers& buffers,
         for (int c = 0; c < num_chunks; ++c) {
             for (Mailbox* box : from_children) {
                 const int tag =
-                    box->recvReduce(split.slice(buffer, c));
+                    box->recvReduce(split.slice(buffer, c), proto);
                 CCUBE_CHECK(tag == c, "reduce chunk out of order");
             }
             if (to_parent) {
                 to_parent->send(
-                    split.slice(std::span<const float>(buffer), c), c);
+                    split.slice(std::span<const float>(buffer), c), c,
+                    proto);
             }
         }
         forwarders.wait();
-    }, "tree_reduce");
+    }, "tree_reduce", proto);
 }
 
 void
 ringReduceScatter(Communicator& comm, RankBuffers& buffers,
-                  const topo::RingEmbedding& ring)
+                  const topo::RingEmbedding& ring, Protocol proto)
 {
     checkBuffers(comm, buffers);
     const int p = comm.numRanks();
@@ -201,8 +209,8 @@ ringReduceScatter(Communicator& comm, RankBuffers& buffers,
     if (comm.engineMode() == RankExecutor::Mode::kStateMachine) {
         comm.runTasks(buildRingTasks(comm, buffers, ring,
                                      RingPhase::kReduceScatter,
-                                     nullptr),
-                      "ring_reduce_scatter");
+                                     nullptr, proto),
+                      "ring_reduce_scatter", proto);
         return;
     }
 
@@ -225,18 +233,18 @@ ringReduceScatter(Communicator& comm, RankBuffers& buffers,
             const int recv_chunk = (pos - s - 1 + p) % p;
             to_next.send(split.slice(std::span<const float>(buffer),
                                      send_chunk),
-                         send_chunk);
-            const int tag =
-                from_prev.recvReduce(split.slice(buffer, recv_chunk));
+                         send_chunk, proto);
+            const int tag = from_prev.recvReduce(
+                split.slice(buffer, recv_chunk), proto);
             CCUBE_CHECK(tag == recv_chunk,
                         "reduce-scatter chunk out of sequence");
         }
-    }, "ring_reduce_scatter");
+    }, "ring_reduce_scatter", proto);
 }
 
 void
 ringAllGather(Communicator& comm, RankBuffers& buffers,
-              const topo::RingEmbedding& ring)
+              const topo::RingEmbedding& ring, Protocol proto)
 {
     checkBuffers(comm, buffers);
     const int p = comm.numRanks();
@@ -245,8 +253,9 @@ ringAllGather(Communicator& comm, RankBuffers& buffers,
 
     if (comm.engineMode() == RankExecutor::Mode::kStateMachine) {
         comm.runTasks(buildRingTasks(comm, buffers, ring,
-                                     RingPhase::kAllGather, nullptr),
-                      "ring_all_gather");
+                                     RingPhase::kAllGather, nullptr,
+                                     proto),
+                      "ring_all_gather", proto);
         return;
     }
 
@@ -269,13 +278,13 @@ ringAllGather(Communicator& comm, RankBuffers& buffers,
             const int recv_chunk = (pos - s + p) % p;
             to_next.send(split.slice(std::span<const float>(buffer),
                                      send_chunk),
-                         send_chunk);
-            const int tag =
-                from_prev.recvInto(split.slice(buffer, recv_chunk));
+                         send_chunk, proto);
+            const int tag = from_prev.recvInto(
+                split.slice(buffer, recv_chunk), proto);
             CCUBE_CHECK(tag == recv_chunk,
                         "allgather chunk out of sequence");
         }
-    }, "ring_all_gather");
+    }, "ring_all_gather", proto);
 }
 
 AllReduceTrace
@@ -283,13 +292,22 @@ allReduce(Communicator& comm, RankBuffers& buffers,
           const topo::Graph& graph, const AllReduceOptions& options)
 {
     const int p = comm.numRanks();
+    // kAuto resolves through the tuner's selection table: for the
+    // fixed algorithm the caller picked, choose the protocol the α-β
+    // model (or a cached measurement) predicts fastest at this size.
+    Protocol proto = options.protocol;
+    if (proto == Protocol::kAuto)
+        proto = Tuner::global().chooseProtocol(
+            graph, p, buffers.empty() ? 0 : buffers[0].size(),
+            options.algorithm);
     switch (options.algorithm) {
       case AllReduceAlgorithm::kRing: {
         const topo::RingEmbedding ring =
             topo::findHamiltonianRing(graph, p);
         CCUBE_CHECK(ring.size() == p,
                     "no Hamiltonian ring on this topology");
-        return ringAllReduce(comm, buffers, ring, options.observer);
+        return ringAllReduce(comm, buffers, ring, options.observer,
+                             proto);
       }
       case AllReduceAlgorithm::kTree:
       case AllReduceAlgorithm::kOverlappedTree: {
@@ -301,7 +319,7 @@ allReduce(Communicator& comm, RankBuffers& buffers,
                 : TreePhaseMode::kOverlapped;
         return treeAllReduce(comm, buffers, embedding,
                              options.num_chunks, mode, {},
-                             options.observer);
+                             options.observer, proto);
       }
       case AllReduceAlgorithm::kDoubleTree:
       case AllReduceAlgorithm::kCCubeDoubleTree: {
@@ -316,7 +334,7 @@ allReduce(Communicator& comm, RankBuffers& buffers,
                 : TreePhaseMode::kOverlapped;
         return doubleTreeAllReduce(comm, buffers, *found,
                                    options.num_chunks, mode,
-                                   options.observer);
+                                   options.observer, proto);
       }
     }
     util::panic("unknown AllReduce algorithm");

@@ -26,7 +26,8 @@ namespace ccl {
  */
 void treeBroadcast(Communicator& comm, RankBuffers& buffers,
                    const topo::TreeEmbedding& embedding, int num_chunks,
-                   FlowId flow = kFlowTree0Broadcast);
+                   FlowId flow = kFlowTree0Broadcast,
+                   Protocol proto = Protocol::kSimple);
 
 /**
  * Pipelined tree reduce: every rank's buffer is summed toward the
@@ -35,14 +36,16 @@ void treeBroadcast(Communicator& comm, RankBuffers& buffers,
  */
 void treeReduce(Communicator& comm, RankBuffers& buffers,
                 const topo::TreeEmbedding& embedding, int num_chunks,
-                FlowId flow = kFlowTree0Reduce);
+                FlowId flow = kFlowTree0Reduce,
+                Protocol proto = Protocol::kSimple);
 
 /**
  * Ring Reduce-Scatter: after P−1 steps, the rank at ring position i
  * holds the fully reduced slice (i+1) mod P (slice = position chunk).
  */
 void ringReduceScatter(Communicator& comm, RankBuffers& buffers,
-                       const topo::RingEmbedding& ring);
+                       const topo::RingEmbedding& ring,
+                       Protocol proto = Protocol::kSimple);
 
 /**
  * Ring AllGather: each position starts owning slice (pos+1) mod P
@@ -50,7 +53,8 @@ void ringReduceScatter(Communicator& comm, RankBuffers& buffers,
  * every rank holds every slice.
  */
 void ringAllGather(Communicator& comm, RankBuffers& buffers,
-                   const topo::RingEmbedding& ring);
+                   const topo::RingEmbedding& ring,
+                   Protocol proto = Protocol::kSimple);
 
 /** AllReduce algorithm selector for the dispatcher. */
 enum class AllReduceAlgorithm {
@@ -65,6 +69,10 @@ enum class AllReduceAlgorithm {
 struct AllReduceOptions {
     AllReduceAlgorithm algorithm = AllReduceAlgorithm::kCCubeDoubleTree;
     int num_chunks = 8; ///< per tree for tree algorithms
+    /** Wire protocol: kSimple (fenced bulk), kLL (inline flags), or
+     *  kAuto — resolved via the ccl::Tuner's model per message size.
+     *  Defaults to CCUBE_CCL_PROTO when set. */
+    Protocol protocol = protocolFromEnv();
     /** Live per-chunk availability callback (gradient-queue hook). */
     AllReduceTrace::Observer observer;
 };

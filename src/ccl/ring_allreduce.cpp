@@ -13,7 +13,7 @@ namespace ccl {
 AllReduceTrace
 ringAllReduce(Communicator& comm, RankBuffers& buffers,
               const topo::RingEmbedding& ring,
-              AllReduceTrace::Observer observer)
+              AllReduceTrace::Observer observer, Protocol proto)
 {
     const int p = comm.numRanks();
     CCUBE_CHECK(static_cast<int>(buffers.size()) == p,
@@ -29,8 +29,9 @@ ringAllReduce(Communicator& comm, RankBuffers& buffers,
 
     if (comm.engineMode() == RankExecutor::Mode::kStateMachine) {
         comm.runTasks(buildRingTasks(comm, buffers, ring,
-                                     RingPhase::kAllReduce, &trace),
-                      "ring_allreduce");
+                                     RingPhase::kAllReduce, &trace,
+                                     proto),
+                      "ring_allreduce", proto);
         return trace;
     }
 
@@ -65,9 +66,9 @@ ringAllReduce(Communicator& comm, RankBuffers& buffers,
                 const int recv_chunk = (pos - s - 1 + p) % p;
                 to_next.send(split.slice(std::span<const float>(buffer),
                                          send_chunk),
-                             send_chunk);
+                             send_chunk, proto);
                 const int tag = from_prev.recvReduce(
-                    split.slice(buffer, recv_chunk));
+                    split.slice(buffer, recv_chunk), proto);
                 CCUBE_CHECK(tag == recv_chunk,
                             "ring chunk out of sequence");
             }
@@ -87,9 +88,9 @@ ringAllReduce(Communicator& comm, RankBuffers& buffers,
                 const int recv_chunk = (pos - s + p) % p;
                 to_next.send(split.slice(std::span<const float>(buffer),
                                          send_chunk),
-                             send_chunk);
-                const int tag =
-                    from_prev.recvInto(split.slice(buffer, recv_chunk));
+                             send_chunk, proto);
+                const int tag = from_prev.recvInto(
+                    split.slice(buffer, recv_chunk), proto);
                 CCUBE_CHECK(tag == recv_chunk,
                             "ring chunk out of sequence");
                 trace.record(rank, recv_chunk);

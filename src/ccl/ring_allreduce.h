@@ -21,11 +21,13 @@ namespace ccl {
 /**
  * Runs ring AllReduce over @p buffers (one per rank, equal length).
  * On return every buffer holds the elementwise sum. @p ring gives the
- * logical rank order; buffers are indexed by rank id.
+ * logical rank order; buffers are indexed by rank id. @p proto picks
+ * the mailbox wire protocol (LL or Simple) for every hop.
  */
 AllReduceTrace ringAllReduce(Communicator& comm, RankBuffers& buffers,
                              const topo::RingEmbedding& ring,
-                             AllReduceTrace::Observer observer = {});
+                             AllReduceTrace::Observer observer = {},
+                             Protocol proto = Protocol::kSimple);
 
 } // namespace ccl
 } // namespace ccube

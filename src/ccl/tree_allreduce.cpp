@@ -27,7 +27,7 @@ using topo::Route;
  */
 void
 forwardLoop(Communicator& comm, const topo::ForwardingRule& rule,
-            FlowId flow, int num_chunks)
+            FlowId flow, int num_chunks, Protocol proto)
 {
     obs::ScopedSpan span("tree.forward " +
                              std::to_string(rule.upstream) + "->" +
@@ -38,11 +38,11 @@ forwardLoop(Communicator& comm, const topo::ForwardingRule& rule,
     Mailbox& in = comm.mailbox(rule.upstream, rule.transit, flow);
     Mailbox& out = comm.mailbox(rule.transit, rule.downstream, flow);
     const Mailbox::Visitor forward =
-        [&out](std::span<const float> data, int tag) {
-            out.send(data, tag);
+        [&out, proto](std::span<const float> data, int tag) {
+            out.send(data, tag, proto);
         };
     for (int c = 0; c < num_chunks; ++c)
-        in.consume(forward);
+        in.consume(forward, proto);
 }
 
 } // namespace
@@ -53,7 +53,7 @@ void
 treeRankBody(Communicator& comm, int rank, std::span<float> buffer,
              const topo::TreeEmbedding& embedding, const ChunkSplit& split,
              TreePhaseMode mode, TreeFlowIds flows, AllReduceTrace& trace,
-             int chunk_id_offset)
+             int chunk_id_offset, Protocol proto)
 {
     const topo::BinaryTree& tree = embedding.tree;
     const int num_chunks = split.count();
@@ -73,8 +73,9 @@ treeRankBody(Communicator& comm, int rank, std::span<float> buffer,
                                 ? flows.reduce
                                 : flows.broadcast;
         executor.submit(helpers, rank, "forward",
-                        [&comm, rule, flow, num_chunks]() {
-                            forwardLoop(comm, rule, flow, num_chunks);
+                        [&comm, rule, flow, num_chunks, proto]() {
+                            forwardLoop(comm, rule, flow, num_chunks,
+                                        proto);
                         });
     }
 
@@ -104,7 +105,7 @@ treeRankBody(Communicator& comm, int rank, std::span<float> buffer,
         const std::span<const float> data =
             split.slice(std::span<const float>(buffer), chunk);
         for (Mailbox* box : down_children)
-            box->send(data, chunk);
+            box->send(data, chunk, proto);
     };
 
     // Reduction role: accumulate children, pass up (or, at the root,
@@ -116,12 +117,13 @@ treeRankBody(Communicator& comm, int rank, std::span<float> buffer,
         for (int c = 0; c < num_chunks; ++c) {
             for (Mailbox* box : up_children) {
                 const int tag =
-                    box->recvReduce(split.slice(buffer, c));
+                    box->recvReduce(split.slice(buffer, c), proto);
                 CCUBE_CHECK(tag == c, "reduction chunk out of order");
             }
             if (!is_root) {
                 up_parent->send(
-                    split.slice(std::span<const float>(buffer), c), c);
+                    split.slice(std::span<const float>(buffer), c), c,
+                    proto);
             } else {
                 trace.record(rank, chunk_id_offset + c);
                 if (mode == TreePhaseMode::kOverlapped)
@@ -138,7 +140,7 @@ treeRankBody(Communicator& comm, int rank, std::span<float> buffer,
                              obs::threadTrack());
         for (int c = 0; c < num_chunks; ++c) {
             const int tag =
-                down_parent->recvInto(split.slice(buffer, c));
+                down_parent->recvInto(split.slice(buffer, c), proto);
             CCUBE_CHECK(tag == c, "broadcast chunk out of order");
             trace.record(rank, chunk_id_offset + c);
             broadcast_to_children(c);
@@ -178,7 +180,7 @@ AllReduceTrace
 treeAllReduce(Communicator& comm, RankBuffers& buffers,
               const topo::TreeEmbedding& embedding, int num_chunks,
               TreePhaseMode mode, TreeFlowIds flows,
-              AllReduceTrace::Observer observer)
+              AllReduceTrace::Observer observer, Protocol proto)
 {
     const int p = comm.numRanks();
     CCUBE_CHECK(static_cast<int>(buffers.size()) == p,
@@ -199,8 +201,8 @@ treeAllReduce(Communicator& comm, RankBuffers& buffers,
         appendTreeTasks(tasks, comm, buffers, embedding,
                         /*region_offset=*/0, buffers[0].size(), split,
                         mode, flows, TreeDirection::kAllReduce, &trace,
-                        /*chunk_id_offset=*/0, "tree");
-        comm.runTasks(std::move(tasks), "tree_allreduce");
+                        /*chunk_id_offset=*/0, "tree", proto);
+        comm.runTasks(std::move(tasks), "tree_allreduce", proto);
         return trace;
     }
 
@@ -208,8 +210,9 @@ treeAllReduce(Communicator& comm, RankBuffers& buffers,
         detail::treeRankBody(
             comm, rank,
             std::span<float>(buffers[static_cast<std::size_t>(rank)]),
-            embedding, split, mode, flows, trace, /*chunk_id_offset=*/0);
-    }, "tree_allreduce");
+            embedding, split, mode, flows, trace, /*chunk_id_offset=*/0,
+            proto);
+    }, "tree_allreduce", proto);
     return trace;
 }
 

@@ -46,7 +46,8 @@ AllReduceTrace treeAllReduce(Communicator& comm, RankBuffers& buffers,
                              const topo::TreeEmbedding& embedding,
                              int num_chunks, TreePhaseMode mode,
                              TreeFlowIds flows = {},
-                             AllReduceTrace::Observer observer = {});
+                             AllReduceTrace::Observer observer = {},
+                             Protocol proto = Protocol::kSimple);
 
 namespace detail {
 
@@ -60,7 +61,8 @@ void treeRankBody(Communicator& comm, int rank, std::span<float> buffer,
                   const topo::TreeEmbedding& embedding,
                   const ChunkSplit& split, TreePhaseMode mode,
                   TreeFlowIds flows, AllReduceTrace& trace,
-                  int chunk_id_offset);
+                  int chunk_id_offset,
+                  Protocol proto = Protocol::kSimple);
 
 } // namespace detail
 

@@ -1,0 +1,393 @@
+#include "ccl/tuner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+#include "model/overlapped_tree_model.h"
+#include "model/ring_model.h"
+#include "model/tree_model.h"
+#include "obs/metrics.h"
+#include "sweep/sweep.h"
+#include "topo/graph.h"
+#include "util/logging.h"
+
+namespace ccube {
+namespace ccl {
+
+namespace {
+
+/** Size buckets: powers of two from 64 B to 256 MiB. */
+constexpr int kMinLog2 = 6;
+constexpr int kMaxLog2 = 28;
+constexpr int kNumBuckets = kMaxLog2 - kMinLog2 + 1;
+
+constexpr AllReduceAlgorithm kAlgorithms[] = {
+    AllReduceAlgorithm::kRing,
+    AllReduceAlgorithm::kTree,
+    AllReduceAlgorithm::kOverlappedTree,
+    AllReduceAlgorithm::kDoubleTree,
+    AllReduceAlgorithm::kCCubeDoubleTree,
+};
+constexpr int kNumAlgorithms =
+    static_cast<int>(sizeof(kAlgorithms) / sizeof(kAlgorithms[0]));
+
+constexpr Protocol kProtocols[] = {Protocol::kSimple, Protocol::kLL};
+
+int
+bucketFor(double bytes)
+{
+    if (bytes <= static_cast<double>(1ull << kMinLog2))
+        return 0;
+    const int b = static_cast<int>(std::floor(std::log2(bytes)));
+    return std::clamp(b, kMinLog2, kMaxLog2) - kMinLog2;
+}
+
+/** Representative size: the bucket's geometric middle, 1.5·2^b. */
+double
+bucketBytes(int bucket)
+{
+    return 1.5 * static_cast<double>(1ull << (kMinLog2 + bucket));
+}
+
+std::string
+humanBytes(double bytes)
+{
+    std::ostringstream out;
+    if (bytes >= 1024.0 * 1024.0)
+        out << bytes / (1024.0 * 1024.0) << "MiB";
+    else if (bytes >= 1024.0)
+        out << bytes / 1024.0 << "KiB";
+    else
+        out << bytes << "B";
+    return out.str();
+}
+
+/**
+ * The channel model the table is computed against: the slowest NVLink
+ * channel (bottleneck link) of the topology. Purely a function of the
+ * graph — no clocks — so tables are deterministic.
+ */
+model::AlphaBeta
+baseLink(const topo::Graph& graph)
+{
+    double min_bw = 0.0;
+    double max_lat = 0.0;
+    bool found = false;
+    for (const topo::ChannelDesc& channel : graph.channels()) {
+        if (channel.kind != topo::LinkKind::kNvlink)
+            continue;
+        if (!found || channel.bandwidth < min_bw)
+            min_bw = channel.bandwidth;
+        max_lat = std::max(max_lat, channel.latency);
+        found = true;
+    }
+    if (!found || min_bw <= 0.0)
+        return model::AlphaBeta{};
+    return model::AlphaBeta::fromBandwidth(max_lat, min_bw);
+}
+
+/**
+ * Cache key half: a signature of the topology *shape* — name, node
+ * and channel counts, and the bottleneck link parameters. Two graphs
+ * with the same signature tune identically.
+ */
+std::string
+topologySignature(const topo::Graph& graph)
+{
+    const model::AlphaBeta link = baseLink(graph);
+    std::ostringstream out;
+    out << graph.name() << "#n" << graph.nodeCount() << "#c"
+        << graph.channelCount() << "#a" << link.alpha << "#b"
+        << link.beta;
+    return out.str();
+}
+
+/** Model-predicted completion (seconds) and the chunk count used. */
+double
+predictSeconds(AllReduceAlgorithm algorithm, const model::AlphaBeta& link,
+               int p, double bytes, int* num_chunks)
+{
+    const int pm = std::max(p, 2);
+    int chunks = 1;
+    double t = 0.0;
+    switch (algorithm) {
+    case AllReduceAlgorithm::kRing: {
+        t = model::RingModel(link).allReduceTime(pm, bytes);
+        chunks = pm; // the ring's P slices
+        break;
+    }
+    case AllReduceAlgorithm::kTree: {
+        model::TreeModel tree(link);
+        chunks = tree.optimalChunksInt(pm, bytes);
+        t = tree.allReduceTimeChunked(pm, bytes, chunks);
+        break;
+    }
+    case AllReduceAlgorithm::kOverlappedTree: {
+        chunks = model::TreeModel(link).optimalChunksInt(pm, bytes);
+        t = model::OverlappedTreeModel(link).allReduceTimeChunked(
+            pm, bytes, chunks);
+        break;
+    }
+    case AllReduceAlgorithm::kDoubleTree: {
+        // Two trees carry half each, concurrently on disjoint lanes.
+        model::TreeModel tree(link);
+        chunks = tree.optimalChunksInt(pm, bytes / 2.0);
+        t = tree.allReduceTimeChunked(pm, bytes / 2.0, chunks);
+        break;
+    }
+    case AllReduceAlgorithm::kCCubeDoubleTree: {
+        chunks = model::TreeModel(link).optimalChunksInt(pm,
+                                                         bytes / 2.0);
+        t = model::OverlappedTreeModel(link).allReduceTimeChunked(
+            pm, bytes / 2.0, chunks);
+        break;
+    }
+    }
+    if (num_chunks != nullptr)
+        *num_chunks = std::clamp(chunks, 1, 64);
+    return t;
+}
+
+bool
+measureEnabled()
+{
+    const char* env = std::getenv("CCUBE_TUNER_MEASURE");
+    return env != nullptr && std::strcmp(env, "1") == 0 &&
+           !sweep::inSweepTask();
+}
+
+/**
+ * Wall-clock nanoseconds of one functional AllReduce (after one
+ * warmup) at the given cell — the measurement refinement. Returns
+ * infinity when the algorithm cannot run on this topology.
+ */
+double
+measureNs(const topo::Graph& graph, int p, std::size_t elems,
+          AllReduceAlgorithm algorithm, int num_chunks, Protocol proto)
+{
+    try {
+        Communicator comm(p);
+        RankBuffers buffers(
+            static_cast<std::size_t>(p),
+            std::vector<float>(std::max<std::size_t>(elems, 1), 1.0f));
+        AllReduceOptions options;
+        options.algorithm = algorithm;
+        options.num_chunks = num_chunks;
+        options.protocol = proto;
+        allReduce(comm, buffers, graph, options); // warmup
+        const auto start = std::chrono::steady_clock::now();
+        allReduce(comm, buffers, graph, options);
+        const auto end = std::chrono::steady_clock::now();
+        return static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                end - start)
+                .count());
+    } catch (...) {
+        return std::numeric_limits<double>::infinity();
+    }
+}
+
+} // namespace
+
+const char*
+algorithmName(AllReduceAlgorithm algorithm)
+{
+    switch (algorithm) {
+    case AllReduceAlgorithm::kRing:
+        return "ring";
+    case AllReduceAlgorithm::kTree:
+        return "tree";
+    case AllReduceAlgorithm::kOverlappedTree:
+        return "overlapped_tree";
+    case AllReduceAlgorithm::kDoubleTree:
+        return "double_tree";
+    case AllReduceAlgorithm::kCCubeDoubleTree:
+        return "ccube_double_tree";
+    }
+    return "?";
+}
+
+Tuner&
+Tuner::global()
+{
+    static Tuner instance;
+    return instance;
+}
+
+Tuner::Table&
+Tuner::tableFor(const topo::Graph& graph, int p)
+{
+    // Caller holds mutex_.
+    const std::pair<std::string, int> key{topologySignature(graph), p};
+    auto it = cache_.find(key);
+    if (it != cache_.end())
+        return it->second;
+
+    Table table;
+    table.link = baseLink(graph);
+    table.buckets.resize(static_cast<std::size_t>(kNumBuckets));
+    for (int b = 0; b < kNumBuckets; ++b) {
+        Cell& cell = table.buckets[static_cast<std::size_t>(b)];
+        cell.proto_by_alg.assign(static_cast<std::size_t>(kNumAlgorithms),
+                                 Protocol::kSimple);
+        const double bytes = bucketBytes(b);
+        double best_time = std::numeric_limits<double>::infinity();
+        for (int a = 0; a < kNumAlgorithms; ++a) {
+            const AllReduceAlgorithm algorithm =
+                kAlgorithms[static_cast<std::size_t>(a)];
+            double alg_best = std::numeric_limits<double>::infinity();
+            for (Protocol proto : kProtocols) {
+                const ProtocolCosts costs = protocolCosts(proto);
+                const model::AlphaBeta link = model::applyProtocol(
+                    table.link, costs.payload_factor,
+                    costs.alpha_factor);
+                int chunks = 1;
+                const double t = predictSeconds(algorithm, link, p,
+                                                bytes, &chunks);
+                if (t < alg_best) {
+                    alg_best = t;
+                    cell.proto_by_alg[static_cast<std::size_t>(a)] =
+                        proto;
+                }
+                if (t < best_time) {
+                    best_time = t;
+                    cell.best.algorithm = algorithm;
+                    cell.best.protocol = proto;
+                    cell.best.num_chunks = chunks;
+                    cell.best.predicted_us = t * 1e6;
+                }
+            }
+        }
+    }
+    return cache_.emplace(key, std::move(table)).first->second;
+}
+
+TunerChoice
+Tuner::choose(const topo::Graph& graph, int p, std::size_t elems)
+{
+    const double bytes =
+        static_cast<double>(elems) * sizeof(float);
+    TunerChoice choice;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        Table& table = tableFor(graph, p);
+        Cell& cell = table.buckets[static_cast<std::size_t>(
+            bucketFor(bytes))];
+        choice = cell.best;
+    }
+    // Measurement refinement (opt-in, never inside a sweep task):
+    // time the two protocols for the model's algorithm pick and keep
+    // the faster — overriding the model where reality disagrees.
+    if (measureEnabled() && elems > 0) {
+        const double simple_ns =
+            measureNs(graph, p, elems, choice.algorithm,
+                      choice.num_chunks, Protocol::kSimple);
+        const double ll_ns =
+            measureNs(graph, p, elems, choice.algorithm,
+                      choice.num_chunks, Protocol::kLL);
+        if (std::isfinite(simple_ns) || std::isfinite(ll_ns)) {
+            const Protocol measured = ll_ns < simple_ns
+                                          ? Protocol::kLL
+                                          : Protocol::kSimple;
+            std::lock_guard<std::mutex> lock(mutex_);
+            Table& table = tableFor(graph, p);
+            Cell& cell = table.buckets[static_cast<std::size_t>(
+                bucketFor(bytes))];
+            cell.best.protocol = measured;
+            cell.measured = true;
+            choice = cell.best;
+        }
+    }
+    // Never split finer than the buffer has elements.
+    if (elems > 0)
+        choice.num_chunks = std::min(
+            choice.num_chunks,
+            static_cast<int>(std::min<std::size_t>(elems, 64)));
+    return choice;
+}
+
+Protocol
+Tuner::chooseProtocol(const topo::Graph& graph, int p, std::size_t elems,
+                      AllReduceAlgorithm algorithm)
+{
+    const double bytes =
+        static_cast<double>(elems) * sizeof(float);
+    std::lock_guard<std::mutex> lock(mutex_);
+    Table& table = tableFor(graph, p);
+    const Cell& cell =
+        table.buckets[static_cast<std::size_t>(bucketFor(bytes))];
+    const int a = static_cast<int>(algorithm);
+    if (a < 0 || a >= kNumAlgorithms)
+        return Protocol::kSimple;
+    return cell.proto_by_alg[static_cast<std::size_t>(a)];
+}
+
+std::string
+Tuner::formatTable(const topo::Graph& graph, int p)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Table& table = tableFor(graph, p);
+    std::ostringstream out;
+    out << "# tuner table topo=" << graph.name() << " p=" << p
+        << " alpha=" << table.link.alpha << "s beta=" << table.link.beta
+        << "s/B\n";
+    out << "# columns: per-algorithm protocol pick, then the best "
+           "(algorithm x protocol x chunks) cell\n";
+    out << "bucket";
+    for (int a = 0; a < kNumAlgorithms; ++a)
+        out << "\t"
+            << algorithmName(kAlgorithms[static_cast<std::size_t>(a)]);
+    out << "\tbest\tproto\tchunks\tpred_us\n";
+    for (int b = 0; b < kNumBuckets; ++b) {
+        const Cell& cell = table.buckets[static_cast<std::size_t>(b)];
+        out << humanBytes(static_cast<double>(1ull << (kMinLog2 + b)));
+        for (int a = 0; a < kNumAlgorithms; ++a)
+            out << "\t"
+                << protocolName(
+                       cell.proto_by_alg[static_cast<std::size_t>(a)]);
+        out << "\t" << algorithmName(cell.best.algorithm) << "\t"
+            << protocolName(cell.best.protocol) << "\t"
+            << cell.best.num_chunks << "\t" << cell.best.predicted_us
+            << (cell.measured ? "\t(measured)" : "") << "\n";
+    }
+    return out.str();
+}
+
+void
+Tuner::clearCache()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    cache_.clear();
+}
+
+AllReduceTrace
+Communicator::runAuto(RankBuffers& buffers, const topo::Graph& graph)
+{
+    const std::size_t elems = buffers.empty() ? 0 : buffers[0].size();
+    TunerChoice cell = Tuner::global().choose(graph, numRanks(), elems);
+    // CCUBE_CCL_PROTO=ll|simple overrides the tuner's protocol (auto,
+    // the default for runAuto, keeps the table's pick).
+    const char* env = std::getenv("CCUBE_CCL_PROTO");
+    if (env != nullptr && std::strcmp(env, "auto") != 0)
+        cell.protocol = protocolFromEnv();
+    obs::MetricRegistry& metrics = obs::MetricRegistry::global();
+    metrics.addCounter(std::string("ccl.tuner.alg.") +
+                           algorithmName(cell.algorithm),
+                       1.0);
+    metrics.addCounter(std::string("ccl.tuner.proto.") +
+                           protocolName(cell.protocol),
+                       1.0);
+    AllReduceOptions options;
+    options.algorithm = cell.algorithm;
+    options.num_chunks = cell.num_chunks;
+    options.protocol = cell.protocol;
+    return allReduce(*this, buffers, graph, options);
+}
+
+} // namespace ccl
+} // namespace ccube

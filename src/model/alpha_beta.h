@@ -31,6 +31,24 @@ struct AlphaBeta {
     double bandwidth() const { return 1.0 / beta; }
 };
 
+/**
+ * Per-protocol cost adjustment, mirroring ccl::protocolCosts without
+ * a ccl:: dependency (the model layer stays leaf-only): LL packs one
+ * inline arrival flag per payload word — halving effective bandwidth
+ * (β × payload_factor) — but skips the semaphore lock/post/fence
+ * round-trip, cutting the per-transfer latency to α × alpha_factor.
+ * Simple is the identity. The LL-vs-Simple crossover falls where
+ *   α·(1−alpha_factor) = β·N·(payload_factor−1),
+ * i.e. N = 0.75·α/β ≈ 86 KB at the defaults.
+ */
+inline AlphaBeta
+applyProtocol(const AlphaBeta& base, double payload_factor,
+              double alpha_factor)
+{
+    return AlphaBeta{base.alpha * alpha_factor,
+                     base.beta * payload_factor};
+}
+
 /** Tree depth term: log2(p) as a real number (p ≥ 2). */
 double log2Nodes(int p);
 

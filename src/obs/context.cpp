@@ -159,6 +159,14 @@ RankCounters::noteExecutorQueueDepth(int rank, std::uint64_t depth)
 }
 
 void
+RankCounters::addLLSpin(std::uint64_t ns)
+{
+    Slot& slot = current();
+    slot.ll_spins.fetch_add(1, std::memory_order_relaxed);
+    slot.ll_spin_ns.fetch_add(ns, std::memory_order_relaxed);
+}
+
+void
 RankCounters::addSmPark()
 {
     current().sm_parks.fetch_add(1, std::memory_order_relaxed);
@@ -250,6 +258,18 @@ RankCounters::executorQueuePeak(int rank) const
 }
 
 std::uint64_t
+RankCounters::llSpins(int rank) const
+{
+    return slot(rank).ll_spins.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+RankCounters::llSpinNs(int rank) const
+{
+    return slot(rank).ll_spin_ns.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
 RankCounters::smParks(int rank) const
 {
     return slot(rank).sm_parks.load(std::memory_order_relaxed);
@@ -306,6 +326,18 @@ RankCounters::totalMailboxRecvs() const
 }
 
 std::uint64_t
+RankCounters::totalLLSpins() const
+{
+    return sumSlots(*this, &RankCounters::llSpins);
+}
+
+std::uint64_t
+RankCounters::totalLLSpinNs() const
+{
+    return sumSlots(*this, &RankCounters::llSpinNs);
+}
+
+std::uint64_t
 RankCounters::totalSmParks() const
 {
     return sumSlots(*this, &RankCounters::smParks);
@@ -346,6 +378,8 @@ RankCounters::exportTo(MetricRegistry& registry) const
         {"sm_parks", &RankCounters::smParks},
         {"sm_resumes", &RankCounters::smResumes},
         {"sm_steals", &RankCounters::smSteals},
+        {"ll_spins", &RankCounters::llSpins},
+        {"ll_spin_ns", &RankCounters::llSpinNs},
     };
     for (const Field& field : kFields) {
         std::uint64_t total = 0;
@@ -381,6 +415,8 @@ RankCounters::reset()
         s.executor_parks.store(0, std::memory_order_relaxed);
         s.executor_unparks.store(0, std::memory_order_relaxed);
         s.executor_queue_peak.store(0, std::memory_order_relaxed);
+        s.ll_spins.store(0, std::memory_order_relaxed);
+        s.ll_spin_ns.store(0, std::memory_order_relaxed);
         s.sm_parks.store(0, std::memory_order_relaxed);
         s.sm_resumes.store(0, std::memory_order_relaxed);
         s.sm_steals.store(0, std::memory_order_relaxed);

@@ -31,6 +31,12 @@
  *     executor_queue_peak — persistent-executor activity, so traces
  *     can distinguish a parked-thread wakeup from the old per-
  *     collective spawn cost;
+ *   - ll_spins / ll_spin_ns — LL-protocol flag spins: episodes where
+ *     an LL mailbox op actually spun on an inline arrival flag, and
+ *     the wall time spent doing so. Kept separate from wait_stall_ns
+ *     so stall attribution does not conflate the semaphore path (a
+ *     fence round-trip the Simple protocol pays) with the LL path's
+ *     data-arrival spin;
  *   - sm_parks / sm_resumes / sm_steals — state-machine runtime
  *     activity: rank tasks parking on a semaphore waiter, being
  *     rescheduled by a post, and migrating between pool workers via
@@ -123,6 +129,9 @@ class RankCounters
      */
     void noteExecutorQueueDepth(int rank, std::uint64_t depth);
 
+    /** Records one LL flag-spin episode lasting @p ns. */
+    void addLLSpin(std::uint64_t ns);
+
     /** Records one state-machine task parking on a semaphore. */
     void addSmPark();
 
@@ -145,6 +154,8 @@ class RankCounters
     std::uint64_t executorParks(int rank) const;
     std::uint64_t executorUnparks(int rank) const;
     std::uint64_t executorQueuePeak(int rank) const;
+    std::uint64_t llSpins(int rank) const;
+    std::uint64_t llSpinNs(int rank) const;
     std::uint64_t smParks(int rank) const;
     std::uint64_t smResumes(int rank) const;
     std::uint64_t smSteals(int rank) const;
@@ -154,6 +165,8 @@ class RankCounters
     std::uint64_t totalSlotFullStalls() const;
     std::uint64_t totalMailboxSends() const;
     std::uint64_t totalMailboxRecvs() const;
+    std::uint64_t totalLLSpins() const;
+    std::uint64_t totalLLSpinNs() const;
     std::uint64_t totalSmParks() const;
     std::uint64_t totalSmResumes() const;
     std::uint64_t totalSmSteals() const;
@@ -181,6 +194,8 @@ class RankCounters
         std::atomic<std::uint64_t> executor_parks{0};
         std::atomic<std::uint64_t> executor_unparks{0};
         std::atomic<std::uint64_t> executor_queue_peak{0};
+        std::atomic<std::uint64_t> ll_spins{0};
+        std::atomic<std::uint64_t> ll_spin_ns{0};
         std::atomic<std::uint64_t> sm_parks{0};
         std::atomic<std::uint64_t> sm_resumes{0};
         std::atomic<std::uint64_t> sm_steals{0};

@@ -29,6 +29,8 @@ const char* profPhaseName(ProfPhase phase)
         return "steal";
     case ProfPhase::kParked:
         return "parked";
+    case ProfPhase::kLLSpin:
+        return "ll_spin";
     }
     return "?";
 }

@@ -73,10 +73,11 @@ enum class ProfPhase : int {
     kMailboxWait = 3, ///< mailbox receive side (wait + reduce/copy)
     kSteal = 4,       ///< worker scanning victim queues
     kParked = 5,      ///< task parked (fed exactly, never sampled)
+    kLLSpin = 6,      ///< spinning on an LL inline arrival flag
 };
 
 /** Number of distinct ProfPhase values. */
-constexpr int kProfPhaseCount = 6;
+constexpr int kProfPhaseCount = 7;
 
 /** Stable short name ("step", "mailbox_wait", ...). */
 const char* profPhaseName(ProfPhase phase);

@@ -220,9 +220,9 @@ writeAnalysisReport(std::ostream& out, const TraceAnalyzer& analyzer,
             out << std::right << std::setw(5) << "rank"
                 << std::setw(12) << "cas_retry" << std::setw(14)
                 << "post_stall_ns" << std::setw(14) << "wait_stall_ns"
-                << std::setw(10) << "sm_parks" << std::setw(12)
-                << "sm_resumes" << std::setw(11) << "sm_steals"
-                << "\n";
+                << std::setw(12) << "ll_spin_ns" << std::setw(10)
+                << "sm_parks" << std::setw(12) << "sm_resumes"
+                << std::setw(11) << "sm_steals" << "\n";
             const auto cell = [&](int rank, const char* field) {
                 return static_cast<long long>(registry->counter(
                     "ccl.rank" + std::to_string(rank) + "." + field));
@@ -231,7 +231,8 @@ writeAnalysisReport(std::ostream& out, const TraceAnalyzer& analyzer,
                 out << std::setw(5) << rank << std::setw(12)
                     << cell(rank, "cas_retries") << std::setw(14)
                     << cell(rank, "post_stall_ns") << std::setw(14)
-                    << cell(rank, "wait_stall_ns") << std::setw(10)
+                    << cell(rank, "wait_stall_ns") << std::setw(12)
+                    << cell(rank, "ll_spin_ns") << std::setw(10)
                     << cell(rank, "sm_parks") << std::setw(12)
                     << cell(rank, "sm_resumes") << std::setw(11)
                     << cell(rank, "sm_steals") << "\n";

@@ -141,7 +141,8 @@ Network::closeTraceEpoch(double run_end) const
 }
 
 void
-Network::transferOnChannel(int channel_id, double bytes, DoneFn done)
+Network::transferOnChannel(int channel_id, double bytes, DoneFn done,
+                           double latency_factor)
 {
     CCUBE_CHECK(channel_id >= 0 &&
                     channel_id < static_cast<int>(resources_.size()),
@@ -166,7 +167,7 @@ Network::transferOnChannel(int channel_id, double bytes, DoneFn done)
         }
         return;
     }
-    const double hold = occupancy(channel_id, bytes);
+    const double hold = occupancy(channel_id, bytes, latency_factor);
     net_bytes_ += bytes;
     ++net_transfers_;
     resources_[static_cast<std::size_t>(channel_id)]->request(
@@ -175,12 +176,12 @@ Network::transferOnChannel(int channel_id, double bytes, DoneFn done)
 
 void
 Network::transfer(topo::NodeId src, topo::NodeId dst, double bytes,
-                  DoneFn done, int lane)
+                  DoneFn done, int lane, double latency_factor)
 {
     const std::vector<int>& ids = pairChannels(src, dst);
     const int pick = std::clamp(lane, 0, static_cast<int>(ids.size()) - 1);
     transferOnChannel(ids[static_cast<std::size_t>(pick)], bytes,
-                      std::move(done));
+                      std::move(done), latency_factor);
 }
 
 double
@@ -262,12 +263,13 @@ Network::exportMetrics(obs::MetricRegistry& registry, double horizon,
 }
 
 double
-Network::occupancy(int channel_id, double bytes) const
+Network::occupancy(int channel_id, double bytes,
+                   double latency_factor) const
 {
     const topo::ChannelDesc& desc = graph_.channel(channel_id);
     const double factor =
         channel_state_[static_cast<std::size_t>(channel_id)].factor;
-    return desc.latency +
+    return desc.latency * latency_factor +
            bytes / (desc.bandwidth * bandwidth_scale_ * factor);
 }
 

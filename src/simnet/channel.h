@@ -60,8 +60,13 @@ class Network
     /**
      * Queues a transfer of @p bytes on channel @p channel_id; @p done
      * fires at completion. Transfers on one channel serialize FIFO.
+     * @p latency_factor scales the channel's fixed latency term — the
+     * wire-protocol knob (LL skips the fenced sync round-trip, so its
+     * transfers pay only a fraction of α; bytes are inflated by the
+     * caller).
      */
-    void transferOnChannel(int channel_id, double bytes, DoneFn done);
+    void transferOnChannel(int channel_id, double bytes, DoneFn done,
+                           double latency_factor = 1.0);
 
     /**
      * Queues a transfer between adjacent nodes. When several parallel
@@ -70,7 +75,8 @@ class Network
      * claim a private channel on double-NVLink pairs.
      */
     void transfer(topo::NodeId src, topo::NodeId dst, double bytes,
-                  DoneFn done, int lane = 0);
+                  DoneFn done, int lane = 0,
+                  double latency_factor = 1.0);
 
     /** Cumulative busy time of a channel (utilization telemetry). */
     double channelBusyTime(int channel_id) const;
@@ -95,8 +101,10 @@ class Network
     const std::vector<std::pair<double, double>>&
     channelBusyIntervals(int channel_id) const;
 
-    /** Time one transfer of @p bytes occupies channel @p channel_id. */
-    double occupancy(int channel_id, double bytes) const;
+    /** Time one transfer of @p bytes occupies channel @p channel_id;
+     *  @p latency_factor as in transferOnChannel(). */
+    double occupancy(int channel_id, double bytes,
+                     double latency_factor = 1.0) const;
 
     // ---- live fault state (driven by simnet::FaultPlan) ----
 

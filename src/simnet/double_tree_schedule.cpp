@@ -10,7 +10,8 @@ ScheduleResult
 runDoubleTreeSchedule(sim::Simulation& simulation, Network& network,
                       const topo::DoubleTreeEmbedding& embedding,
                       double total_bytes, PhaseMode mode,
-                      int chunks_per_tree, LanePolicy lanes)
+                      int chunks_per_tree, LanePolicy lanes,
+                      ccl::Protocol proto)
 {
     CCUBE_CHECK(total_bytes > 0.0, "non-positive payload");
     CCUBE_CHECK(chunks_per_tree >= 1, "need at least one chunk per tree");
@@ -24,6 +25,8 @@ runDoubleTreeSchedule(sim::Simulation& simulation, Network& network,
                        chunks_per_tree, t0_up, t0_down);
     TreeSchedule second(network, embedding.tree1, total_bytes / 2.0, mode,
                         chunks_per_tree, t1_up, t1_down);
+    first.setProtocol(proto);
+    second.setProtocol(proto);
     const double at = simulation.now();
     first.start(at);
     second.start(at);

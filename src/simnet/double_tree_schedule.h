@@ -44,7 +44,8 @@ runDoubleTreeSchedule(sim::Simulation& simulation, Network& network,
                       const topo::DoubleTreeEmbedding& embedding,
                       double total_bytes, PhaseMode mode,
                       int chunks_per_tree,
-                      LanePolicy lanes = LanePolicy::kPointToPoint);
+                      LanePolicy lanes = LanePolicy::kPointToPoint,
+                      ccl::Protocol proto = ccl::Protocol::kSimple);
 
 } // namespace simnet
 } // namespace ccube

@@ -13,7 +13,7 @@ namespace simnet {
 ScheduleResult
 runMultiRingSchedule(sim::Simulation& simulation, Network& network,
                      const std::vector<topo::RingEmbedding>& rings,
-                     double total_bytes)
+                     double total_bytes, ccl::Protocol proto)
 {
     CCUBE_CHECK(!rings.empty(), "need at least one ring");
     CCUBE_CHECK(total_bytes > 0.0, "non-positive payload");
@@ -42,6 +42,7 @@ runMultiRingSchedule(sim::Simulation& simulation, Network& network,
         };
         schedules.push_back(std::make_unique<RingSchedule>(
             network, rings[r], stripe, lane_fn));
+        schedules.back()->setProtocol(proto);
     }
     const double at = simulation.now();
     for (auto& schedule : schedules)

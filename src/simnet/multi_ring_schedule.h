@@ -25,7 +25,8 @@ namespace simnet {
 ScheduleResult
 runMultiRingSchedule(sim::Simulation& simulation, Network& network,
                      const std::vector<topo::RingEmbedding>& rings,
-                     double total_bytes);
+                     double total_bytes,
+                     ccl::Protocol proto = ccl::Protocol::kSimple);
 
 } // namespace simnet
 } // namespace ccube

@@ -6,10 +6,12 @@ namespace simnet {
 ScheduleResult
 runOverlappedTreeSchedule(sim::Simulation& simulation, Network& network,
                           const topo::TreeEmbedding& embedding,
-                          double total_bytes, int num_chunks, int lane)
+                          double total_bytes, int num_chunks, int lane,
+                          ccl::Protocol proto)
 {
     return runTreeSchedule(simulation, network, embedding, total_bytes,
-                           PhaseMode::kOverlapped, num_chunks, lane);
+                           PhaseMode::kOverlapped, num_chunks, lane, -1,
+                           proto);
 }
 
 } // namespace simnet

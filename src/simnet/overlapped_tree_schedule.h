@@ -16,7 +16,9 @@ ScheduleResult
 runOverlappedTreeSchedule(sim::Simulation& simulation, Network& network,
                           const topo::TreeEmbedding& embedding,
                           double total_bytes, int num_chunks,
-                          int lane = 0);
+                          int lane = 0,
+                          ccl::Protocol proto =
+                              ccl::Protocol::kSimple);
 
 } // namespace simnet
 } // namespace ccube

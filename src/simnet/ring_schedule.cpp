@@ -133,9 +133,11 @@ RingSchedule::result() const
 
 ScheduleResult
 runRingSchedule(sim::Simulation& simulation, Network& network,
-                const topo::RingEmbedding& ring, double total_bytes)
+                const topo::RingEmbedding& ring, double total_bytes,
+                ccl::Protocol proto)
 {
     RingSchedule schedule(network, ring, total_bytes);
+    schedule.setProtocol(proto);
     const double at = simulation.now();
     schedule.start(at);
     simulation.run();

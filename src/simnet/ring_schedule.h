@@ -33,6 +33,13 @@ class RingSchedule
     RingSchedule(Network& network, const topo::RingEmbedding& ring,
                  double total_bytes, LaneFn lane_fn = nullptr);
 
+    /** Selects the wire protocol the transfers model (LL inflates
+     *  bytes, discounts per-transfer latency); call before start(). */
+    void setProtocol(ccl::Protocol proto)
+    {
+        engine_.setProtocol(proto);
+    }
+
     /** Registers the step-0 sends at simulated time @p at. */
     void start(double at = 0.0);
 
@@ -69,7 +76,9 @@ class RingSchedule
 ScheduleResult runRingSchedule(sim::Simulation& simulation,
                                Network& network,
                                const topo::RingEmbedding& ring,
-                               double total_bytes);
+                               double total_bytes,
+                               ccl::Protocol proto =
+                                   ccl::Protocol::kSimple);
 
 } // namespace simnet
 } // namespace ccube

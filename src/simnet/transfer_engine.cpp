@@ -16,6 +16,10 @@ TransferEngine::sendAlongRoute(const topo::Route& route, double bytes,
     CCUBE_CHECK(route.hops.size() >= 2, "route needs at least two hops");
     ++sends_issued_;
     hop_stats_.add(static_cast<double>(route.hops.size() - 1));
+    // Wire bytes: LL carries one flag word per payload word, so the
+    // fabric sees payload_factor × the logical size (inflated once
+    // here — runStage re-sends the same wire bytes on every segment).
+    bytes *= costs_.payload_factor;
 
     if (route.hops.size() > 2 &&
         obs::TraceRecorder::global().enabled()) {
@@ -59,7 +63,7 @@ TransferEngine::runStage(const topo::Route& route, std::size_t index,
         // directly — no continuation wrapper (and no callback heap
         // fallback) for the common single-hop send.
         net_.transfer(route.hops[index], route.hops[index + 1], bytes,
-                      std::move(done), lane);
+                      std::move(done), lane, costs_.alpha_factor);
         return;
     }
 
@@ -78,7 +82,8 @@ TransferEngine::runStage(const topo::Route& route, std::size_t index,
     if (end == index + 1) {
         // Single channel.
         net_.transfer(route.hops[index], route.hops[index + 1], bytes,
-                      std::move(continuation), lane);
+                      std::move(continuation), lane,
+                      costs_.alpha_factor);
         return;
     }
 
@@ -92,6 +97,7 @@ TransferEngine::runStage(const topo::Route& route, std::size_t index,
         CCUBE_CHECK(!ids.empty(), "broken route");
         mid_latency += graph.channel(ids.front()).latency;
     }
+    mid_latency *= costs_.alpha_factor;
     net_.transfer(
         route.hops[index], route.hops[index + 1], bytes,
         [this, route, index, end, bytes, mid_latency,
@@ -101,7 +107,8 @@ TransferEngine::runStage(const topo::Route& route, std::size_t index,
                 [this, route, end, bytes,
                  continuation = std::move(continuation), lane]() mutable {
                     net_.transfer(route.hops[end - 1], route.hops[end],
-                                  bytes, std::move(continuation), lane);
+                                  bytes, std::move(continuation), lane,
+                                  costs_.alpha_factor);
                 });
         },
         lane);

@@ -14,6 +14,7 @@
 #include <map>
 #include <utility>
 
+#include "ccl/protocol.h"
 #include "simnet/channel.h"
 #include "topo/tree_embedding.h"
 
@@ -27,6 +28,24 @@ class TransferEngine
 {
   public:
     explicit TransferEngine(Network& network) : net_(network) {}
+
+    /**
+     * Selects the wire protocol every subsequent send models
+     * (ccl::protocolCosts): LL inflates the payload by its
+     * payload_factor once per send — one inline flag word per data
+     * word — and scales every fixed latency term (channel α, switch
+     * transit latency) by its alpha_factor, because the receiver spins
+     * on the flags directly instead of taking the fenced semaphore
+     * round-trip. Simple is the identity; the default.
+     */
+    void setProtocol(ccl::Protocol proto)
+    {
+        proto_ = proto;
+        costs_ = ccl::protocolCosts(proto);
+    }
+
+    /** Protocol currently modeled. */
+    ccl::Protocol protocol() const { return proto_; }
 
     /**
      * Sends @p bytes along @p route (node sequence) hop by hop;
@@ -63,6 +82,8 @@ class TransferEngine
                   double bytes, DoneFn done, int lane);
 
     Network& net_;
+    ccl::Protocol proto_ = ccl::Protocol::kSimple;
+    ccl::ProtocolCosts costs_;
     std::map<std::pair<topo::NodeId, topo::NodeId>, topo::Route>
         route_cache_;
     std::uint64_t sends_issued_ = 0;

@@ -220,10 +220,11 @@ ScheduleResult
 runTreeSchedule(sim::Simulation& simulation, Network& network,
                 const topo::TreeEmbedding& embedding, double total_bytes,
                 PhaseMode mode, int num_chunks, int up_lane,
-                int down_lane)
+                int down_lane, ccl::Protocol proto)
 {
     TreeSchedule schedule(network, embedding, total_bytes, mode,
                           num_chunks, up_lane, down_lane);
+    schedule.setProtocol(proto);
     const double at = simulation.now();
     schedule.start(at);
     simulation.run();

@@ -50,6 +50,13 @@ class TreeSchedule
                  double total_bytes, PhaseMode mode, int num_chunks,
                  int up_lane = 0, int down_lane = -1);
 
+    /** Selects the wire protocol the transfers model (LL inflates
+     *  bytes, discounts per-transfer latency); call before start(). */
+    void setProtocol(ccl::Protocol proto)
+    {
+        engine_.setProtocol(proto);
+    }
+
     /** Registers the initial leaf sends at simulated time @p at. */
     void start(double at = 0.0);
 
@@ -110,7 +117,9 @@ ScheduleResult runTreeSchedule(sim::Simulation& simulation,
                                const topo::TreeEmbedding& embedding,
                                double total_bytes, PhaseMode mode,
                                int num_chunks, int up_lane = 0,
-                               int down_lane = -1);
+                               int down_lane = -1,
+                               ccl::Protocol proto =
+                                   ccl::Protocol::kSimple);
 
 /**
  * The physical channel ids a TreeSchedule on @p embedding occupies in

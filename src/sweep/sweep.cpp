@@ -17,6 +17,16 @@ namespace sweep {
 
 namespace {
 
+thread_local bool t_in_sweep_task = false;
+
+/** RAII flag flip: workerLoop may run on the caller's own thread
+ *  (jobs == 1), so the previous value must be restored. */
+struct SweepTaskScope {
+    bool previous = t_in_sweep_task;
+    SweepTaskScope() { t_in_sweep_task = true; }
+    ~SweepTaskScope() { t_in_sweep_task = previous; }
+};
+
 int
 hardwareJobs()
 {
@@ -80,6 +90,7 @@ workerLoop(PoolState& state)
             monitor->enable();
         }
         {
+            SweepTaskScope task_scope;
             obs::ScopedTraceRedirect trace_redirect(recorder.get());
             obs::ScopedMetricsRedirect metrics_redirect(registry.get());
             obs::ScopedMonitorRedirect monitor_redirect(monitor.get());
@@ -184,6 +195,12 @@ run(const Options& options, std::vector<Task> tasks)
         if (error)
             std::rethrow_exception(error);
     }
+}
+
+bool
+inSweepTask()
+{
+    return t_in_sweep_task;
 }
 
 void

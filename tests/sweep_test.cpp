@@ -19,12 +19,14 @@
 
 #include <gtest/gtest.h>
 
+#include "ccl/tuner.h"
 #include "obs/metrics.h"
 #include "obs/monitor.h"
 #include "obs/trace.h"
 #include "sim/simulation.h"
 #include "simnet/channel.h"
 #include "simnet/double_tree_schedule.h"
+#include "simnet/ring_schedule.h"
 #include "sweep/sweep.h"
 #include "topo/dgx1.h"
 #include "topo/double_tree.h"
@@ -232,6 +234,48 @@ TEST(SweepRun, MonitorSnapshotsAreJobsInvariant)
     EXPECT_NE(serial.find("allreduce.double_tree"), std::string::npos);
     for (int jobs : {2, 8})
         EXPECT_EQ(serial, run(jobs)) << "jobs=" << jobs;
+}
+
+TEST(SweepRun, TunerTablesAreJobsInvariant)
+{
+    // The tuner's measurement refinement is wall-clock-based and must
+    // be suppressed inside sweep tasks (sweep::inSweepTask()), so the
+    // tables every task sees — and the per-protocol DES results built
+    // from them — are identical at jobs=1 and jobs=8, byte for byte.
+    EXPECT_FALSE(sweep::inSweepTask());
+    const topo::Graph graph = topo::makeDgx1();
+    auto run = [&](int jobs) {
+        ccl::Tuner::global().clearCache();
+        std::vector<std::string> tables(4);
+        std::vector<double> completions(4, 0.0);
+        sweep::runIndexed(withJobs(jobs), 4, [&](std::size_t i) {
+            EXPECT_TRUE(sweep::inSweepTask());
+            tables[i] = ccl::Tuner::global().formatTable(graph, 8);
+            const std::size_t elems = std::size_t{256} << (4 * i);
+            const ccl::Protocol proto =
+                ccl::Tuner::global().chooseProtocol(
+                    graph, 8, elems,
+                    ccl::AllReduceAlgorithm::kRing);
+            sim::Simulation sim;
+            simnet::Network net(sim, graph);
+            const topo::RingEmbedding ring =
+                topo::findHamiltonianRing(graph, 8);
+            completions[i] =
+                simnet::runRingSchedule(
+                    sim, net, ring,
+                    static_cast<double>(elems) * sizeof(float), proto)
+                    .completion_time;
+        });
+        std::ostringstream out;
+        for (std::size_t i = 0; i < tables.size(); ++i)
+            out << tables[i] << "|" << completions[i] << "\n";
+        return out.str();
+    };
+    const std::string serial = run(1);
+    EXPECT_NE(serial.find("tuner table"), std::string::npos);
+    for (int jobs : {2, 8})
+        EXPECT_EQ(serial, run(jobs)) << "jobs=" << jobs;
+    EXPECT_FALSE(sweep::inSweepTask());
 }
 
 TEST(SweepRun, EmbeddingSearchIsJobsInvariant)
