@@ -92,10 +92,11 @@ class RingTask final : public RankTask
     RingTask(int rank, int pos, int p, std::span<float> buffer,
              const ChunkSplit& split, Mailbox& to_next,
              Mailbox& from_prev, RingPhase phase, AllReduceTrace* trace,
-             Protocol proto)
+             Protocol proto, SkipMask resume)
         : RankTask(rank, "ring"), pos_(pos), p_(p), buffer_(buffer),
           split_(split), to_next_(to_next), from_prev_(from_prev),
-          phase_(phase), trace_(trace), proto_(proto)
+          phase_(phase), trace_(trace), proto_(proto),
+          resume_(std::move(resume))
     {
         if (phase_ == RingPhase::kAllGather)
             state_ = St::kAgSend;
@@ -115,6 +116,12 @@ class RingTask final : public RankTask
                     break;
                 }
                 const int chunk = (pos_ - s_ + p_) % p_;
+                // Resumed chunk: already final everywhere, both ends
+                // of the hop skip it (same id per step on each side).
+                if (resume_.done(chunk)) {
+                    state_ = St::kRsRecv;
+                    break;
+                }
                 if (!op_begun_) {
                     to_next_.noteOpBegin(Mailbox::OpKind::kSend);
                     op_begun_ = true;
@@ -130,6 +137,11 @@ class RingTask final : public RankTask
               }
               case St::kRsRecv: {
                 const int chunk = (pos_ - s_ - 1 + p_) % p_;
+                if (resume_.done(chunk)) {
+                    ++s_;
+                    state_ = St::kRsSend;
+                    break;
+                }
                 if (!op_begun_) {
                     from_prev_.noteOpBegin(Mailbox::OpKind::kRecv);
                     op_begun_ = true;
@@ -153,6 +165,10 @@ class RingTask final : public RankTask
                     break;
                 }
                 const int chunk = (pos_ + 1 - s_ + p_) % p_;
+                if (resume_.done(chunk)) {
+                    state_ = St::kAgRecv;
+                    break;
+                }
                 if (!op_begun_) {
                     to_next_.noteOpBegin(Mailbox::OpKind::kSend);
                     op_begun_ = true;
@@ -168,6 +184,11 @@ class RingTask final : public RankTask
               }
               case St::kAgRecv: {
                 const int chunk = (pos_ - s_ + p_) % p_;
+                if (resume_.done(chunk)) {
+                    ++s_;
+                    state_ = St::kAgSend;
+                    break;
+                }
                 if (!op_begun_) {
                     from_prev_.noteOpBegin(Mailbox::OpKind::kRecv);
                     op_begun_ = true;
@@ -202,7 +223,7 @@ class RingTask final : public RankTask
         }
         // This rank now owns the fully reduced chunk at ring position
         // (pos+1) mod P — same completion point as the thread body.
-        if (trace_)
+        if (trace_ && !resume_.done((pos_ + 1) % p_))
             trace_->record(rank(), (pos_ + 1) % p_);
         span_.end("ring.reduce_scatter", rank());
         span_.begin();
@@ -219,6 +240,7 @@ class RingTask final : public RankTask
     const RingPhase phase_;
     AllReduceTrace* const trace_;
     const Protocol proto_;
+    const SkipMask resume_;
 
     St state_ = St::kRsSend;
     int s_ = 0;
@@ -262,6 +284,11 @@ class TreeTask final : public RankTask
         AllReduceTrace* trace = nullptr;
         int chunk_offset = 0;
         Protocol proto = Protocol::kSimple;
+        /** Local chunk ids this tree still moves, in pipeline order —
+         *  all of them on a fresh run, the not-yet-final subset on a
+         *  supervised retry. Every rank derives the same list from the
+         *  same mask, so tags stay matched hop by hop. */
+        std::vector<int> chunks;
     };
 
     TreeTask(int rank, const char* label, Role role, Plan plan)
@@ -277,6 +304,10 @@ class TreeTask final : public RankTask
         } else {
             span_.begin();
         }
+        // Everything already final (a retry with a full checkpoint):
+        // the pipeline has no chunks to move.
+        if (plan_.chunks.empty())
+            state_ = St::kDone;
     }
 
     StepStatus step(StepContext& ctx) override
@@ -292,7 +323,7 @@ class TreeTask final : public RankTask
                     }
                     if (plan_.trace)
                         plan_.trace->record(
-                            rank(), plan_.chunk_offset + chunk_);
+                            rank(), plan_.chunk_offset + chunkId());
                     if (plan_.root_broadcasts &&
                         plan_.mode == TreePhaseMode::kOverlapped) {
                         state_ = St::kInlineBcast;
@@ -309,11 +340,11 @@ class TreeTask final : public RankTask
                 }
                 int tag = -1;
                 if (!box.tryRecvReduce(
-                        plan_.split.slice(plan_.buffer, chunk_), &tag,
-                        plan_.proto))
+                        plan_.split.slice(plan_.buffer, chunkId()),
+                        &tag, plan_.proto))
                     return awaitArrival(ctx, box, plan_.proto);
                 op_begun_ = false;
-                CCUBE_CHECK(tag == chunk_,
+                CCUBE_CHECK(tag == chunkId(),
                             "reduction chunk out of order");
                 ++child_;
                 break;
@@ -323,8 +354,8 @@ class TreeTask final : public RankTask
                     plan_.up_parent->noteOpBegin(Mailbox::OpKind::kSend);
                     op_begun_ = true;
                 }
-                if (!plan_.up_parent->trySend(constSlice(chunk_),
-                                              chunk_, plan_.proto))
+                if (!plan_.up_parent->trySend(constSlice(chunkId()),
+                                              chunkId(), plan_.proto))
                     return awaitFreeSlot(ctx, *plan_.up_parent,
                                          plan_.proto);
                 op_begun_ = false;
@@ -341,7 +372,7 @@ class TreeTask final : public RankTask
                         break;
                     return StepStatus::kContinue;
                 }
-                if (!trySendChild(ctx, chunk_))
+                if (!trySendChild(ctx, chunkId()))
                     return blocked_status_;
                 break;
               }
@@ -351,13 +382,13 @@ class TreeTask final : public RankTask
                 if (child_ >= plan_.down_children.size()) {
                     child_ = 0;
                     ++chunk_;
-                    if (chunk_ >= plan_.split.count()) {
+                    if (chunk_ >= activeCount()) {
                         state_ = St::kDone;
                         break;
                     }
                     return StepStatus::kContinue;
                 }
-                if (!trySendChild(ctx, chunk_))
+                if (!trySendChild(ctx, chunkId()))
                     return blocked_status_;
                 break;
               }
@@ -369,15 +400,15 @@ class TreeTask final : public RankTask
                 }
                 int tag = -1;
                 if (!box.tryRecvInto(
-                        plan_.split.slice(plan_.buffer, chunk_), &tag,
-                        plan_.proto))
+                        plan_.split.slice(plan_.buffer, chunkId()),
+                        &tag, plan_.proto))
                     return awaitArrival(ctx, box, plan_.proto);
                 op_begun_ = false;
-                CCUBE_CHECK(tag == chunk_,
+                CCUBE_CHECK(tag == chunkId(),
                             "broadcast chunk out of order");
                 if (plan_.trace)
                     plan_.trace->record(rank(),
-                                        plan_.chunk_offset + chunk_);
+                                        plan_.chunk_offset + chunkId());
                 state_ = St::kBcastSendDown;
                 break;
               }
@@ -385,7 +416,7 @@ class TreeTask final : public RankTask
                 if (child_ >= plan_.down_children.size()) {
                     child_ = 0;
                     ++chunk_;
-                    if (chunk_ >= plan_.split.count()) {
+                    if (chunk_ >= activeCount()) {
                         span_.end("tree.broadcast", rank());
                         state_ = St::kDone;
                         break;
@@ -393,7 +424,7 @@ class TreeTask final : public RankTask
                     state_ = St::kBcastRecv;
                     return StepStatus::kContinue;
                 }
-                if (!trySendChild(ctx, chunk_))
+                if (!trySendChild(ctx, chunkId()))
                     return blocked_status_;
                 break;
               }
@@ -418,6 +449,18 @@ class TreeTask final : public RankTask
     {
         return plan_.split.slice(
             std::span<const float>(plan_.buffer), chunk);
+    }
+
+    /** Chunks this pipeline still moves (plan_.chunks entries). */
+    int activeCount() const
+    {
+        return static_cast<int>(plan_.chunks.size());
+    }
+
+    /** Local chunk id at pipeline position chunk_. */
+    int chunkId() const
+    {
+        return plan_.chunks[static_cast<std::size_t>(chunk_)];
     }
 
     /** Sends chunk @p chunk to down_children[child_]; false = blocked
@@ -451,7 +494,7 @@ class TreeTask final : public RankTask
     bool advanceReduceChunk()
     {
         ++chunk_;
-        if (chunk_ < plan_.split.count()) {
+        if (chunk_ < activeCount()) {
             state_ = St::kReduceRecv;
             return true;
         }
@@ -567,7 +610,8 @@ class ForwardTask final : public RankTask
 std::vector<std::unique_ptr<RankTask>>
 buildRingTasks(Communicator& comm, RankBuffers& buffers,
                const topo::RingEmbedding& ring, RingPhase phase,
-               AllReduceTrace* trace, Protocol proto)
+               AllReduceTrace* trace, Protocol proto,
+               const SkipMask& resume)
 {
     const int p = comm.numRanks();
     const ChunkSplit split(buffers[0].size(), p);
@@ -590,7 +634,7 @@ buildRingTasks(Communicator& comm, RankBuffers& buffers,
             std::span<float>(buffers[static_cast<std::size_t>(rank)]),
             split, comm.mailbox(rank, next, kFlowRing),
             comm.mailbox(prev, rank, kFlowRing), phase, trace,
-            proto));
+            proto, resume));
     }
     return tasks;
 }
@@ -603,13 +647,25 @@ appendTreeTasks(std::vector<std::unique_ptr<RankTask>>& out,
                 const ChunkSplit& split, TreePhaseMode mode,
                 TreeFlowIds flows, TreeDirection direction,
                 AllReduceTrace* trace, int chunk_id_offset,
-                const char* label, Protocol proto)
+                const char* label, Protocol proto,
+                const SkipMask& resume)
 {
     const topo::BinaryTree& tree = embedding.tree;
     const int p = comm.numRanks();
     const int num_chunks = split.count();
     const bool want_reduce = direction != TreeDirection::kBroadcast;
     const bool want_bcast = direction != TreeDirection::kReduce;
+
+    // Active chunk list: the local chunk ids this tree still moves.
+    // Every rank (and every forwarder) derives the same list from the
+    // same global mask, so the pipelines stay in lockstep and tags
+    // match hop by hop even when a retry skips finished chunks.
+    std::vector<int> active;
+    active.reserve(static_cast<std::size_t>(num_chunks));
+    for (int c = 0; c < num_chunks; ++c)
+        if (!resume.done(chunk_id_offset + c))
+            active.push_back(c);
+    const int active_count = static_cast<int>(active.size());
 
     // Detour forwarders of this tree, filtered to the direction(s) in
     // play — the task analog of submitForwarders / the helpers group.
@@ -625,7 +681,7 @@ appendTreeTasks(std::vector<std::unique_ptr<RankTask>>& out,
             rule.transit, rule.upstream, rule.downstream,
             comm.mailbox(rule.upstream, rule.transit, flow),
             comm.mailbox(rule.transit, rule.downstream, flow),
-            num_chunks, proto));
+            active_count, proto));
     }
 
     for (int rank = 0; rank < p; ++rank) {
@@ -641,6 +697,7 @@ appendTreeTasks(std::vector<std::unique_ptr<RankTask>>& out,
             direction == TreeDirection::kAllReduce ? trace : nullptr;
         plan.chunk_offset = chunk_id_offset;
         plan.proto = proto;
+        plan.chunks = active;
 
         if (!plan.is_root) {
             const Route& route = embedding.routeToChild(rank);
@@ -704,7 +761,8 @@ std::vector<std::unique_ptr<RankTask>>
 buildDoubleTreeTasks(Communicator& comm, RankBuffers& buffers,
                      const topo::DoubleTreeEmbedding& embedding,
                      int chunks_per_tree, TreePhaseMode mode,
-                     AllReduceTrace& trace, Protocol proto)
+                     AllReduceTrace& trace, Protocol proto,
+                     const SkipMask& resume)
 {
     const std::size_t total = buffers[0].size();
     const std::size_t half = total / 2;
@@ -716,13 +774,13 @@ buildDoubleTreeTasks(Communicator& comm, RankBuffers& buffers,
                     /*region_offset=*/0, half, split0, mode,
                     TreeFlowIds{kFlowTree0Reduce, kFlowTree0Broadcast},
                     TreeDirection::kAllReduce, &trace,
-                    /*chunk_id_offset=*/0, "tree0", proto);
+                    /*chunk_id_offset=*/0, "tree0", proto, resume);
     appendTreeTasks(tasks, comm, buffers, embedding.tree1,
                     /*region_offset=*/half, total - half, split1, mode,
                     TreeFlowIds{kFlowTree1Reduce, kFlowTree1Broadcast},
                     TreeDirection::kAllReduce, &trace,
                     /*chunk_id_offset=*/chunks_per_tree, "tree1",
-                    proto);
+                    proto, resume);
     return tasks;
 }
 

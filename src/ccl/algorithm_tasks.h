@@ -51,13 +51,16 @@ enum class RingPhase {
 
 /**
  * One task per rank running the ring body. @p trace is recorded only
- * for RingPhase::kAllReduce (may be null otherwise).
+ * for RingPhase::kAllReduce (may be null otherwise). @p resume skips
+ * chunks already final at every rank (see ccl::ChunkCheckpoint); every
+ * task copies the mask, so the caller's may go out of scope.
  */
 std::vector<std::unique_ptr<RankTask>>
 buildRingTasks(Communicator& comm, RankBuffers& buffers,
                const topo::RingEmbedding& ring, RingPhase phase,
                AllReduceTrace* trace,
-               Protocol proto = Protocol::kSimple);
+               Protocol proto = Protocol::kSimple,
+               const SkipMask& resume = {});
 
 /** Which direction(s) of the tree protocol the tasks execute. */
 enum class TreeDirection {
@@ -76,6 +79,9 @@ enum class TreeDirection {
  * @p label names the main tree tasks in watchdog blame ("tree0",
  * "tree1", ...; a string literal, stored by pointer). The one-
  * direction primitives pass the same flow for both TreeFlowIds slots.
+ * @p resume (consulted at global ids, i.e. after adding
+ * @p chunk_id_offset) drops already-final chunks from every pipeline
+ * and forwarder of this tree.
  */
 void appendTreeTasks(std::vector<std::unique_ptr<RankTask>>& out,
                      Communicator& comm, RankBuffers& buffers,
@@ -85,7 +91,8 @@ void appendTreeTasks(std::vector<std::unique_ptr<RankTask>>& out,
                      TreePhaseMode mode, TreeFlowIds flows,
                      TreeDirection direction, AllReduceTrace* trace,
                      int chunk_id_offset, const char* label,
-                     Protocol proto = Protocol::kSimple);
+                     Protocol proto = Protocol::kSimple,
+                     const SkipMask& resume = {});
 
 /**
  * Full double-tree AllReduce task set: tree0 over the lower buffer
@@ -96,7 +103,8 @@ buildDoubleTreeTasks(Communicator& comm, RankBuffers& buffers,
                      const topo::DoubleTreeEmbedding& embedding,
                      int chunks_per_tree, TreePhaseMode mode,
                      AllReduceTrace& trace,
-                     Protocol proto = Protocol::kSimple);
+                     Protocol proto = Protocol::kSimple,
+                     const SkipMask& resume = {});
 
 } // namespace ccl
 } // namespace ccube

@@ -149,18 +149,43 @@ Communicator::abort(CollectiveError::Info info)
 }
 
 void
+Communicator::setClearAbortHook(std::function<void()> hook)
+{
+    clear_abort_hook_ = std::move(hook);
+}
+
+void
 Communicator::clearAbort()
 {
     // By the time an abort surfaces, run() has joined every rank and
     // helper, so the mailboxes are quiescent — but they may still hold
     // chunks the dead collective posted and never consumed. Flush them
     // so the next collective starts from a clean channel state.
-    {
-        std::lock_guard<std::mutex> guard(create_mutex_);
-        for (const std::unique_ptr<Mailbox>& box : owned_)
-            box->reset();
+    //
+    // The flush-then-clear pair is epoch-checked: capture the epoch
+    // AND the trip-attempt count, flush, and clear only if that exact
+    // generation is still live and untouched. An abort() racing in
+    // between (it is callable from any thread) either advances the
+    // epoch or — when it loses first-trip-wins on the already-tripped
+    // generation — bumps the attempt count; both fail the conditional
+    // clear and the loop flushes again. clearAbort() never retires a
+    // generation it did not flush for, and never leaves a stale
+    // tripped generation behind.
+    for (;;) {
+        const std::uint64_t observed_attempts =
+            fault_.abortState().tripAttempts();
+        const std::uint64_t observed = fault_.abortState().epoch();
+        {
+            std::lock_guard<std::mutex> guard(create_mutex_);
+            for (const std::unique_ptr<Mailbox>& box : owned_)
+                box->reset();
+        }
+        if (clear_abort_hook_)
+            clear_abort_hook_();
+        if (fault_.abortState().clearIfEpoch(observed,
+                                             observed_attempts))
+            return;
     }
-    fault_.abortState().clear();
 }
 
 namespace {

@@ -180,8 +180,25 @@ class Communicator
     /** Whether the abort epoch is tripped. */
     bool aborted() const { return fault_.abortState().aborted(); }
 
-    /** Re-arms an aborted communicator for further collectives. */
+    /**
+     * Re-arms an aborted communicator for further collectives:
+     * flushes every mailbox the dead collective may have left chunks
+     * in, then retires the abort generation. An abort that trips
+     * concurrently (Communicator::abort is callable from any thread)
+     * is NOT silently erased: the clear is epoch-checked, and a
+     * generation that tripped mid-flush gets its own flush before
+     * being retired — clearAbort() returns with the communicator
+     * clean and every generation it retired actually flushed.
+     */
     void clearAbort();
+
+    /**
+     * Test-only: @p hook runs after each mailbox flush inside
+     * clearAbort(), before the epoch-checked clear — the window the
+     * abort-during-clear regression test races an abort into. Null
+     * removes the hook.
+     */
+    void setClearAbortHook(std::function<void()> hook);
 
     /** The fault runtime shared with the sync primitives. */
     CommFaultContext& faultContext() { return fault_; }
@@ -218,6 +235,10 @@ class Communicator
     // Barrier state.
     std::atomic<int> barrier_count_{0};
     std::atomic<int> barrier_sense_{0};
+
+    // Test-only interposition point inside clearAbort() (see
+    // setClearAbortHook).
+    std::function<void()> clear_abort_hook_;
 };
 
 } // namespace ccl

@@ -14,7 +14,8 @@ AllReduceTrace
 doubleTreeAllReduce(Communicator& comm, RankBuffers& buffers,
                     const topo::DoubleTreeEmbedding& embedding,
                     int chunks_per_tree, TreePhaseMode mode,
-                    AllReduceTrace::Observer observer, Protocol proto)
+                    AllReduceTrace::Observer observer, Protocol proto,
+                    const SkipMask& resume)
 {
     const int p = comm.numRanks();
     CCUBE_CHECK(static_cast<int>(buffers.size()) == p,
@@ -40,7 +41,7 @@ doubleTreeAllReduce(Communicator& comm, RankBuffers& buffers,
     if (comm.engineMode() == RankExecutor::Mode::kStateMachine) {
         comm.runTasks(buildDoubleTreeTasks(comm, buffers, embedding,
                                            chunks_per_tree, mode,
-                                           trace, proto),
+                                           trace, proto, resume),
                       "double_tree_allreduce", proto);
         return trace;
     }
@@ -61,11 +62,11 @@ doubleTreeAllReduce(Communicator& comm, RankBuffers& buffers,
             detail::treeRankBody(comm, rank, upper, embedding.tree1,
                                  split1, mode, flows1, trace,
                                  /*chunk_id_offset=*/chunks_per_tree,
-                                 proto);
+                                 proto, resume);
         });
         detail::treeRankBody(comm, rank, lower, embedding.tree0, split0,
                              mode, flows0, trace, /*chunk_id_offset=*/0,
-                             proto);
+                             proto, resume);
         second.wait();
     }, "double_tree_allreduce", proto);
     return trace;

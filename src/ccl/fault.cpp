@@ -64,6 +64,7 @@ bool
 AbortState::trip(CollectiveError::Info info)
 {
     std::lock_guard<std::mutex> guard(mutex_);
+    trip_attempts_.fetch_add(1, std::memory_order_release);
     std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
     if ((epoch & 1) != 0)
         return false; // already aborted this generation
@@ -79,6 +80,23 @@ AbortState::clear()
     std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
     if ((epoch & 1) != 0)
         epoch_.store(epoch + 1, std::memory_order_release);
+}
+
+bool
+AbortState::clearIfEpoch(std::uint64_t expected_epoch,
+                         std::uint64_t expected_attempts)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    const std::uint64_t epoch =
+        epoch_.load(std::memory_order_relaxed);
+    if (epoch != expected_epoch)
+        return false; // a newer generation tripped since the capture
+    if (trip_attempts_.load(std::memory_order_relaxed) !=
+        expected_attempts)
+        return false; // a same-generation trip raced the flush
+    if ((epoch & 1) != 0)
+        epoch_.store(epoch + 1, std::memory_order_release);
+    return true;
 }
 
 CollectiveError::Info

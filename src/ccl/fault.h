@@ -135,18 +135,47 @@ class AbortState
     /**
      * Trips the abort: stores @p info and flips the epoch odd. Only
      * the first trip per generation wins; returns whether this call
-     * was it.
+     * was it. Every call — winner or loser — bumps tripAttempts(), so
+     * a clear can detect trips that lost first-trip-wins.
      */
     bool trip(CollectiveError::Info info);
 
     /** Re-arms after an abort was consumed (epoch odd → next even). */
     void clear();
 
+    /**
+     * Total trip() calls ever, including ones that lost
+     * first-trip-wins. A trip on an already-aborted generation does
+     * not move the epoch, but its caller may have had side effects
+     * (posts in flight) that a racing clearAbort() flush missed —
+     * this counter is how clearIfEpoch() sees it.
+     */
+    std::uint64_t tripAttempts() const
+    {
+        return trip_attempts_.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Epoch-checked clear: re-arms ONLY when the current epoch still
+     * equals @p expected_epoch AND no trip() call — not even one that
+     * lost first-trip-wins — landed since @p expected_attempts was
+     * captured. Returns true when the state is clean afterwards
+     * (cleared now, or @p expected_epoch was already even and nothing
+     * tripped since); false means an abort raced the caller's
+     * pre-clear work (mailbox flush) and that work must re-run before
+     * clearing. This closes the abort-during-clearAbort window where
+     * an unconditional clear() would silently retire a generation
+     * whose damage was never flushed.
+     */
+    bool clearIfEpoch(std::uint64_t expected_epoch,
+                      std::uint64_t expected_attempts);
+
     /** The stored description; meaningful while aborted(). */
     CollectiveError::Info info() const;
 
   private:
     std::atomic<std::uint64_t> epoch_{0};
+    std::atomic<std::uint64_t> trip_attempts_{0};
     mutable std::mutex mutex_;
     CollectiveError::Info info_;
 };

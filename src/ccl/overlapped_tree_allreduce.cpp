@@ -1,5 +1,7 @@
 #include "ccl/overlapped_tree_allreduce.h"
 
+#include <utility>
+
 namespace ccube {
 namespace ccl {
 
@@ -7,10 +9,12 @@ AllReduceTrace
 overlappedTreeAllReduce(Communicator& comm, RankBuffers& buffers,
                         const topo::TreeEmbedding& embedding,
                         int num_chunks, TreeFlowIds flows,
-                        Protocol proto)
+                        Protocol proto, AllReduceTrace::Observer observer,
+                        const SkipMask& resume)
 {
     return treeAllReduce(comm, buffers, embedding, num_chunks,
-                         TreePhaseMode::kOverlapped, flows, {}, proto);
+                         TreePhaseMode::kOverlapped, flows,
+                         std::move(observer), proto, resume);
 }
 
 } // namespace ccl

@@ -16,7 +16,9 @@ AllReduceTrace
 overlappedTreeAllReduce(Communicator& comm, RankBuffers& buffers,
                         const topo::TreeEmbedding& embedding,
                         int num_chunks, TreeFlowIds flows = {},
-                        Protocol proto = Protocol::kSimple);
+                        Protocol proto = Protocol::kSimple,
+                        AllReduceTrace::Observer observer = {},
+                        const SkipMask& resume = {});
 
 } // namespace ccl
 } // namespace ccube

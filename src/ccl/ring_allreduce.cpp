@@ -13,7 +13,8 @@ namespace ccl {
 AllReduceTrace
 ringAllReduce(Communicator& comm, RankBuffers& buffers,
               const topo::RingEmbedding& ring,
-              AllReduceTrace::Observer observer, Protocol proto)
+              AllReduceTrace::Observer observer, Protocol proto,
+              const SkipMask& resume)
 {
     const int p = comm.numRanks();
     CCUBE_CHECK(static_cast<int>(buffers.size()) == p,
@@ -30,7 +31,7 @@ ringAllReduce(Communicator& comm, RankBuffers& buffers,
     if (comm.engineMode() == RankExecutor::Mode::kStateMachine) {
         comm.runTasks(buildRingTasks(comm, buffers, ring,
                                      RingPhase::kAllReduce, &trace,
-                                     proto),
+                                     proto, resume),
                       "ring_allreduce", proto);
         return trace;
     }
@@ -55,7 +56,10 @@ ringAllReduce(Communicator& comm, RankBuffers& buffers,
 
         // Reduce-Scatter: after step s the chunk received in that step
         // carries partial sums from s+1 ranks; after P−1 steps each
-        // position owns one fully reduced chunk.
+        // position owns one fully reduced chunk. Resumed chunks are
+        // skipped on BOTH ends: sender and matched receiver compute
+        // the same chunk id per step, so the mailbox FIFO stays in
+        // lockstep across ranks.
         {
             obs::ScopedSpan span("ring.reduce_scatter",
                                  "ccl.allreduce",
@@ -64,19 +68,24 @@ ringAllReduce(Communicator& comm, RankBuffers& buffers,
             for (int s = 0; s < p - 1; ++s) {
                 const int send_chunk = (pos - s + p) % p;
                 const int recv_chunk = (pos - s - 1 + p) % p;
-                to_next.send(split.slice(std::span<const float>(buffer),
-                                         send_chunk),
-                             send_chunk, proto);
-                const int tag = from_prev.recvReduce(
-                    split.slice(buffer, recv_chunk), proto);
-                CCUBE_CHECK(tag == recv_chunk,
-                            "ring chunk out of sequence");
+                if (!resume.done(send_chunk))
+                    to_next.send(
+                        split.slice(std::span<const float>(buffer),
+                                    send_chunk),
+                        send_chunk, proto);
+                if (!resume.done(recv_chunk)) {
+                    const int tag = from_prev.recvReduce(
+                        split.slice(buffer, recv_chunk), proto);
+                    CCUBE_CHECK(tag == recv_chunk,
+                                "ring chunk out of sequence");
+                }
             }
         }
         // This rank now owns the fully reduced chunk at ring position
         // (pos+1) mod P — the first chunk available here.
         const int owned = (pos + 1) % p;
-        trace.record(rank, owned);
+        if (!resume.done(owned))
+            trace.record(rank, owned);
 
         // AllGather: circulate the fully reduced chunks.
         {
@@ -86,14 +95,18 @@ ringAllReduce(Communicator& comm, RankBuffers& buffers,
             for (int s = 0; s < p - 1; ++s) {
                 const int send_chunk = (pos + 1 - s + p) % p;
                 const int recv_chunk = (pos - s + p) % p;
-                to_next.send(split.slice(std::span<const float>(buffer),
-                                         send_chunk),
-                             send_chunk, proto);
-                const int tag = from_prev.recvInto(
-                    split.slice(buffer, recv_chunk), proto);
-                CCUBE_CHECK(tag == recv_chunk,
-                            "ring chunk out of sequence");
-                trace.record(rank, recv_chunk);
+                if (!resume.done(send_chunk))
+                    to_next.send(
+                        split.slice(std::span<const float>(buffer),
+                                    send_chunk),
+                        send_chunk, proto);
+                if (!resume.done(recv_chunk)) {
+                    const int tag = from_prev.recvInto(
+                        split.slice(buffer, recv_chunk), proto);
+                    CCUBE_CHECK(tag == recv_chunk,
+                                "ring chunk out of sequence");
+                    trace.record(rank, recv_chunk);
+                }
             }
         }
     }, "ring_allreduce");

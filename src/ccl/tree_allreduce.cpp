@@ -53,15 +53,26 @@ void
 treeRankBody(Communicator& comm, int rank, std::span<float> buffer,
              const topo::TreeEmbedding& embedding, const ChunkSplit& split,
              TreePhaseMode mode, TreeFlowIds flows, AllReduceTrace& trace,
-             int chunk_id_offset, Protocol proto)
+             int chunk_id_offset, Protocol proto, const SkipMask& resume)
 {
     const topo::BinaryTree& tree = embedding.tree;
     const int num_chunks = split.count();
     const bool is_root = tree.root() == rank;
     RankExecutor& executor = comm.executor();
 
+    // Active chunk list: the local chunk ids this tree still moves.
+    // Every rank (and every forwarder) derives the same list from the
+    // same global mask, so the pipelines stay in lockstep and chunk
+    // tags match hop by hop even when a retry skips finished chunks.
+    std::vector<int> active;
+    active.reserve(static_cast<std::size_t>(num_chunks));
+    for (int c = 0; c < num_chunks; ++c)
+        if (!resume.done(chunk_id_offset + c))
+            active.push_back(c);
+    const int active_count = static_cast<int>(active.size());
+
     // Detour forwarding kernels hosted on this rank, one persistent
-    // helper per rule; each handles exactly num_chunks chunks. The
+    // helper per rule; each handles exactly the active chunks. The
     // rules come out of the embedding's cache — extracted once per
     // embedding, not per collective per rank.
     RankExecutor::Group helpers;
@@ -73,8 +84,8 @@ treeRankBody(Communicator& comm, int rank, std::span<float> buffer,
                                 ? flows.reduce
                                 : flows.broadcast;
         executor.submit(helpers, rank, "forward",
-                        [&comm, rule, flow, num_chunks, proto]() {
-                            forwardLoop(comm, rule, flow, num_chunks,
+                        [&comm, rule, flow, active_count, proto]() {
+                            forwardLoop(comm, rule, flow, active_count,
                                         proto);
                         });
     }
@@ -114,7 +125,7 @@ treeRankBody(Communicator& comm, int rank, std::span<float> buffer,
         obs::ScopedSpan span("tree.reduce", "ccl.allreduce",
                              obs::pids::cclRank(rank),
                              obs::threadTrack());
-        for (int c = 0; c < num_chunks; ++c) {
+        for (int c : active) {
             for (Mailbox* box : up_children) {
                 const int tag =
                     box->recvReduce(split.slice(buffer, c), proto);
@@ -138,7 +149,7 @@ treeRankBody(Communicator& comm, int rank, std::span<float> buffer,
         obs::ScopedSpan span("tree.broadcast", "ccl.allreduce",
                              obs::pids::cclRank(rank),
                              obs::threadTrack());
-        for (int c = 0; c < num_chunks; ++c) {
+        for (int c : active) {
             const int tag =
                 down_parent->recvInto(split.slice(buffer, c), proto);
             CCUBE_CHECK(tag == c, "broadcast chunk out of order");
@@ -150,7 +161,7 @@ treeRankBody(Communicator& comm, int rank, std::span<float> buffer,
     if (is_root) {
         reduction_role();
         if (mode == TreePhaseMode::kTwoPhase) {
-            for (int c = 0; c < num_chunks; ++c)
+            for (int c : active)
                 broadcast_to_children(c);
         }
     } else if (mode == TreePhaseMode::kTwoPhase) {
@@ -180,7 +191,8 @@ AllReduceTrace
 treeAllReduce(Communicator& comm, RankBuffers& buffers,
               const topo::TreeEmbedding& embedding, int num_chunks,
               TreePhaseMode mode, TreeFlowIds flows,
-              AllReduceTrace::Observer observer, Protocol proto)
+              AllReduceTrace::Observer observer, Protocol proto,
+              const SkipMask& resume)
 {
     const int p = comm.numRanks();
     CCUBE_CHECK(static_cast<int>(buffers.size()) == p,
@@ -201,7 +213,7 @@ treeAllReduce(Communicator& comm, RankBuffers& buffers,
         appendTreeTasks(tasks, comm, buffers, embedding,
                         /*region_offset=*/0, buffers[0].size(), split,
                         mode, flows, TreeDirection::kAllReduce, &trace,
-                        /*chunk_id_offset=*/0, "tree", proto);
+                        /*chunk_id_offset=*/0, "tree", proto, resume);
         comm.runTasks(std::move(tasks), "tree_allreduce", proto);
         return trace;
     }
@@ -211,7 +223,7 @@ treeAllReduce(Communicator& comm, RankBuffers& buffers,
             comm, rank,
             std::span<float>(buffers[static_cast<std::size_t>(rank)]),
             embedding, split, mode, flows, trace, /*chunk_id_offset=*/0,
-            proto);
+            proto, resume);
     }, "tree_allreduce", proto);
     return trace;
 }

@@ -40,14 +40,17 @@ struct TreeFlowIds {
 /**
  * Runs tree AllReduce over @p buffers (one per rank, equal length,
  * indexed by rank id) split into @p num_chunks chunks. On return every
- * buffer holds the elementwise sum.
+ * buffer holds the elementwise sum. @p resume skips chunks already
+ * final at every rank — a supervised retry resuming from a
+ * ccl::ChunkCheckpoint; ids match the trace's (chunk_id_offset 0).
  */
 AllReduceTrace treeAllReduce(Communicator& comm, RankBuffers& buffers,
                              const topo::TreeEmbedding& embedding,
                              int num_chunks, TreePhaseMode mode,
                              TreeFlowIds flows = {},
                              AllReduceTrace::Observer observer = {},
-                             Protocol proto = Protocol::kSimple);
+                             Protocol proto = Protocol::kSimple,
+                             const SkipMask& resume = {});
 
 namespace detail {
 
@@ -55,14 +58,16 @@ namespace detail {
  * Per-rank body of the tree algorithm, for composition by the double
  * tree: runs rank @p rank's role over @p buffer (this rank's view of
  * the region this tree owns). Chunk ids recorded into @p trace are
- * offset by @p chunk_id_offset.
+ * offset by @p chunk_id_offset; @p resume is consulted at those
+ * offset (global) ids.
  */
 void treeRankBody(Communicator& comm, int rank, std::span<float> buffer,
                   const topo::TreeEmbedding& embedding,
                   const ChunkSplit& split, TreePhaseMode mode,
                   TreeFlowIds flows, AllReduceTrace& trace,
                   int chunk_id_offset,
-                  Protocol proto = Protocol::kSimple);
+                  Protocol proto = Protocol::kSimple,
+                  const SkipMask& resume = {});
 
 } // namespace detail
 

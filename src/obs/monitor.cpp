@@ -72,6 +72,9 @@ SloSpec::fromFlags(const util::Flags& flags)
         flags.getDouble("slo-iteration-ms",
                         envMs("CCUBE_SLO_ITERATION_MS")) *
         1e-3;
+    spec.mttr_budget_s =
+        flags.getDouble("slo-mttr-ms", envMs("CCUBE_SLO_MTTR_MS")) *
+        1e-3;
     return spec;
 }
 
@@ -214,6 +217,27 @@ Monitor::noteWatchdogTrip(int rank)
                    std::move(values));
 }
 
+void
+Monitor::noteRecovery(double mttr_s, int retries)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    ++recoveries_total_;
+    recovery_retries_total_ += static_cast<std::uint64_t>(
+        retries > 0 ? retries : 0);
+    recovery_mttr_s_.add(mttr_s);
+    if (slo_.mttr_budget_s > 0.0 && mttr_s > slo_.mttr_budget_s)
+        ++recovery_violations_;
+    std::vector<std::pair<std::string, double>> values;
+    values.emplace_back("recovery.mttr_ms", mttr_s * 1e3);
+    values.emplace_back("recovery.retries",
+                        static_cast<double>(retries));
+    values.emplace_back("recovery.total",
+                        static_cast<double>(recoveries_total_));
+    values.emplace_back("recovery.violations",
+                        static_cast<double>(recovery_violations_));
+    snapshotLocked("recovery", "recovery", 0.0, std::move(values));
+}
+
 std::size_t
 Monitor::snapshotCount() const
 {
@@ -263,6 +287,34 @@ Monitor::watchdogTrips() const
     return watchdog_trips_;
 }
 
+std::uint64_t
+Monitor::recoveriesTotal() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return recoveries_total_;
+}
+
+std::uint64_t
+Monitor::recoveryViolations() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return recovery_violations_;
+}
+
+std::uint64_t
+Monitor::recoveryRetriesTotal() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return recovery_retries_total_;
+}
+
+LogHistogram
+Monitor::recoveryMttr() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return recovery_mttr_s_;
+}
+
 LogHistogram
 Monitor::collectiveLatency() const
 {
@@ -302,8 +354,12 @@ Monitor::absorb(const Monitor& other)
     iterations_total_ += other.iterations_total_;
     iteration_violations_ += other.iteration_violations_;
     watchdog_trips_ += other.watchdog_trips_;
+    recoveries_total_ += other.recoveries_total_;
+    recovery_violations_ += other.recovery_violations_;
+    recovery_retries_total_ += other.recovery_retries_total_;
     collective_latency_s_.merge(other.collective_latency_s_);
     iteration_latency_s_.merge(other.iteration_latency_s_);
+    recovery_mttr_s_.merge(other.recovery_mttr_s_);
 }
 
 void
@@ -319,8 +375,12 @@ Monitor::clear()
     iterations_total_ = 0;
     iteration_violations_ = 0;
     watchdog_trips_ = 0;
+    recoveries_total_ = 0;
+    recovery_violations_ = 0;
+    recovery_retries_total_ = 0;
     collective_latency_s_.clear();
     iteration_latency_s_.clear();
+    recovery_mttr_s_.clear();
 }
 
 void
@@ -454,6 +514,14 @@ Monitor::writeOpenMetrics(std::ostream& out) const
         << iteration_violations_ << "\n";
     out << "# TYPE ccube_watchdog_trips counter\n"
         << "ccube_watchdog_trips_total " << watchdog_trips_ << "\n";
+    out << "# TYPE ccube_recoveries counter\n"
+        << "ccube_recoveries_total " << recoveries_total_ << "\n";
+    out << "# TYPE ccube_recovery_violations counter\n"
+        << "ccube_recovery_violations_total " << recovery_violations_
+        << "\n";
+    out << "# TYPE ccube_recovery_retries counter\n"
+        << "ccube_recovery_retries_total " << recovery_retries_total_
+        << "\n";
     const auto writeSummary = [&out](const char* name,
                                      const LogHistogram& histogram) {
         out << "# TYPE " << name << " summary\n";
@@ -469,6 +537,7 @@ Monitor::writeOpenMetrics(std::ostream& out) const
                  collective_latency_s_);
     writeSummary("ccube_iteration_latency_seconds",
                  iteration_latency_s_);
+    writeSummary("ccube_recovery_mttr_seconds", recovery_mttr_s_);
     if (!snapshots_.empty()) {
         // Newest snapshot = the "current" value of every gauge.
         const MonitorSnapshot& last = snapshots_.back();

@@ -55,19 +55,23 @@ namespace obs {
 /**
  * Deadline budgets for the SLO engine. A zero deadline disables that
  * budget. Resolved from flags (--slo-collective-ms,
- * --slo-iteration-ms) with environment fallbacks
- * ($CCUBE_SLO_COLLECTIVE_MS, $CCUBE_SLO_ITERATION_MS).
+ * --slo-iteration-ms, --slo-mttr-ms) with environment fallbacks
+ * ($CCUBE_SLO_COLLECTIVE_MS, $CCUBE_SLO_ITERATION_MS,
+ * $CCUBE_SLO_MTTR_MS).
  */
 struct SloSpec {
     double collective_deadline_s = 0.0;
     double iteration_deadline_s = 0.0;
+    /** Mean-time-to-recover budget: a supervised recovery whose MTTR
+     *  exceeds this counts as an SLO violation. */
+    double mttr_budget_s = 0.0;
 
     static SloSpec fromFlags(const util::Flags& flags);
 
     bool any() const
     {
         return collective_deadline_s > 0.0 ||
-               iteration_deadline_s > 0.0;
+               iteration_deadline_s > 0.0 || mttr_budget_s > 0.0;
     }
 };
 
@@ -166,6 +170,15 @@ class Monitor
     /** Records a watchdog trip attributed to @p rank. */
     void noteWatchdogTrip(int rank);
 
+    /**
+     * Records one completed supervised recovery: @p mttr_s wall
+     * seconds from fault detection to the collective completing again,
+     * after @p retries retried attempts. Snapshots
+     * `recovery.mttr_ms` / `recovery.retries` and applies the MTTR
+     * SLO budget.
+     */
+    void noteRecovery(double mttr_s, int retries);
+
     // ---- accessors (reports, tests) ----
 
     std::size_t snapshotCount() const;
@@ -175,8 +188,12 @@ class Monitor
     std::uint64_t collectiveViolations() const;
     std::uint64_t iterationViolations() const;
     std::uint64_t watchdogTrips() const;
+    std::uint64_t recoveriesTotal() const;
+    std::uint64_t recoveryViolations() const;
+    std::uint64_t recoveryRetriesTotal() const;
     LogHistogram collectiveLatency() const; ///< seconds
     LogHistogram iterationLatency() const;  ///< seconds
+    LogHistogram recoveryMttr() const;      ///< seconds
 
     /**
      * Merges @p other as if its activity had happened here: snapshots
@@ -235,8 +252,12 @@ class Monitor
     std::uint64_t iterations_total_ = 0;
     std::uint64_t iteration_violations_ = 0;
     std::uint64_t watchdog_trips_ = 0;
+    std::uint64_t recoveries_total_ = 0;
+    std::uint64_t recovery_violations_ = 0;
+    std::uint64_t recovery_retries_total_ = 0;
     LogHistogram collective_latency_s_;
     LogHistogram iteration_latency_s_;
+    LogHistogram recovery_mttr_s_;
 };
 
 /**

@@ -1,0 +1,142 @@
+#include "simnet/chaos.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace ccube {
+namespace simnet {
+
+namespace {
+
+/**
+ * The reverse channel paired with @p channel_id: the channel at the
+ * same position in the dst→src list as @p channel_id holds in the
+ * src→dst list. On multi-link pairs this pairs each directed channel
+ * with one fixed twin, so killing "a link" kills exactly one lane in
+ * each direction.
+ */
+int
+pairedReverse(const topo::Graph& graph, int channel_id)
+{
+    const topo::ChannelDesc& desc = graph.channel(channel_id);
+    const std::vector<int> forward =
+        graph.channelIds(desc.src, desc.dst);
+    const std::vector<int> reverse =
+        graph.channelIds(desc.dst, desc.src);
+    if (reverse.empty())
+        return -1; // one-way channel; nothing to pair
+    std::size_t index = 0;
+    for (std::size_t i = 0; i < forward.size(); ++i) {
+        if (forward[i] == channel_id) {
+            index = i;
+            break;
+        }
+    }
+    return reverse[std::min(index, reverse.size() - 1)];
+}
+
+} // namespace
+
+ChaosPlan::ChaosPlan(const topo::Graph& graph, std::uint64_t seed,
+                     ChaosOptions options)
+    : seed_(seed)
+{
+    CCUBE_CHECK(graph.channelCount() > 0,
+                "chaos plan needs a topology with channels");
+    CCUBE_CHECK(options.horizon_s > 0.0, "chaos horizon must be > 0");
+    CCUBE_CHECK(options.min_faults >= 0 &&
+                    options.max_faults >= options.min_faults,
+                "bad chaos fault-count range");
+
+    util::Rng rng(seed);
+    const int draws = static_cast<int>(rng.uniformInt(
+        options.min_faults, options.max_faults));
+    const double total_weight = options.link_fail_weight +
+                                options.degrade_weight +
+                                options.slow_node_weight;
+    CCUBE_CHECK(total_weight > 0.0, "all chaos weights are zero");
+
+    // Live failed-state per channel id, replayed as events are drawn,
+    // so deadAtHorizon() reflects the net effect of flap cycles.
+    std::set<int> down;
+
+    auto fail_link = [&](double at, int channel) {
+        plan_.failChannel(at, channel);
+        down.insert(channel);
+        ++fails_;
+        const int twin = pairedReverse(graph, channel);
+        if (twin >= 0 && twin != channel) {
+            plan_.failChannel(at, twin);
+            down.insert(twin);
+        }
+    };
+    auto restore_link = [&](double at, int channel) {
+        plan_.restoreChannel(at, channel);
+        down.erase(channel);
+        ++restores_;
+        const int twin = pairedReverse(graph, channel);
+        if (twin >= 0 && twin != channel) {
+            plan_.restoreChannel(at, twin);
+            down.erase(twin);
+        }
+    };
+
+    for (int d = 0; d < draws; ++d) {
+        const double pick = rng.uniform(0.0, total_weight);
+        const int channel = static_cast<int>(
+            rng.uniformInt(0, graph.channelCount() - 1));
+        double at = rng.uniform(0.0, options.horizon_s);
+
+        if (pick < options.link_fail_weight) {
+            // Link kill, with optional restore and flap cycles. Each
+            // follow-up lands strictly later within the horizon.
+            fail_link(at, channel);
+            while (rng.uniform() < options.restore_probability &&
+                   at < options.horizon_s) {
+                at = rng.uniform(at, options.horizon_s);
+                restore_link(at, channel);
+                if (rng.uniform() >= options.flap_probability ||
+                    at >= options.horizon_s)
+                    break;
+                at = rng.uniform(at, options.horizon_s);
+                fail_link(at, channel);
+            }
+        } else if (pick <
+                   options.link_fail_weight + options.degrade_weight) {
+            const double factor =
+                rng.uniform(options.min_factor, options.max_factor);
+            plan_.degradeChannel(at, channel, factor);
+            const int twin = pairedReverse(graph, channel);
+            if (twin >= 0 && twin != channel)
+                plan_.degradeChannel(at, twin, factor);
+            ++degrades_;
+        } else {
+            const topo::NodeId node = static_cast<topo::NodeId>(
+                rng.uniformInt(0, graph.nodeCount() - 1));
+            plan_.slowNode(at, node,
+                           rng.uniform(options.min_factor,
+                                       options.max_factor));
+            ++slowdowns_;
+        }
+    }
+
+    dead_.assign(down.begin(), down.end());
+}
+
+std::string
+ChaosPlan::summary() const
+{
+    std::ostringstream out;
+    out << "seed=" << seed_ << " events=" << eventCount()
+        << " fail=" << fails_ << " restore=" << restores_
+        << " degrade=" << degrades_ << " slow=" << slowdowns_
+        << " dead=" << dead_.size();
+    return out.str();
+}
+
+} // namespace simnet
+} // namespace ccube

@@ -1,0 +1,154 @@
+#include "topo/health.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ccube {
+namespace topo {
+
+ChannelHealthTracker::ChannelHealthTracker(int num_channels,
+                                           HealthOptions options)
+    : options_(options),
+      channels_(static_cast<std::size_t>(num_channels))
+{
+    CCUBE_CHECK(num_channels >= 0, "negative channel count");
+    CCUBE_CHECK(options_.ewma_alpha > 0.0 && options_.ewma_alpha <= 1.0,
+                "ewma_alpha must be in (0, 1]");
+}
+
+void
+ChannelHealthTracker::noteFail(int channel)
+{
+    if (channel < 0 || channel >= numChannels())
+        return;
+    Channel& c = channels_[static_cast<std::size_t>(channel)];
+    c.up = false;
+    c.probation_left = 0;
+    ++c.fail_count;
+    c.score += options_.ewma_alpha * (0.0 - c.score);
+}
+
+void
+ChannelHealthTracker::noteRestore(int channel)
+{
+    if (channel < 0 || channel >= numChannels())
+        return;
+    Channel& c = channels_[static_cast<std::size_t>(channel)];
+    if (c.up)
+        return; // spurious restore
+    c.up = true;
+    // A flapping link earns a longer sit-out: probation doubles once
+    // the fail count crosses the flap limit.
+    const bool flap = c.fail_count >= options_.flap_limit;
+    c.probation_left =
+        options_.probation_runs * (flap ? 2 : 1);
+}
+
+void
+ChannelHealthTracker::noteDegrade(int channel, double factor)
+{
+    if (channel < 0 || channel >= numChannels())
+        return;
+    if (factor >= 1.0)
+        return; // speed-up / restore-to-nominal is not suspicious
+    Channel& c = channels_[static_cast<std::size_t>(channel)];
+    c.score += 0.5 * options_.ewma_alpha * (factor - c.score);
+    if (c.score < 0.0)
+        c.score = 0.0;
+}
+
+void
+ChannelHealthTracker::noteRunSuccess()
+{
+    for (Channel& c : channels_) {
+        if (!c.up)
+            continue;
+        if (c.probation_left > 0)
+            --c.probation_left;
+        c.score += options_.ewma_alpha * (1.0 - c.score);
+    }
+}
+
+double
+ChannelHealthTracker::score(int channel) const
+{
+    if (channel < 0 || channel >= numChannels())
+        return 1.0;
+    return channels_[static_cast<std::size_t>(channel)].score;
+}
+
+bool
+ChannelHealthTracker::failed(int channel) const
+{
+    if (channel < 0 || channel >= numChannels())
+        return false;
+    return !channels_[static_cast<std::size_t>(channel)].up;
+}
+
+bool
+ChannelHealthTracker::onProbation(int channel) const
+{
+    if (channel < 0 || channel >= numChannels())
+        return false;
+    const Channel& c = channels_[static_cast<std::size_t>(channel)];
+    return c.up && c.probation_left > 0;
+}
+
+bool
+ChannelHealthTracker::quarantined(int channel) const
+{
+    if (channel < 0 || channel >= numChannels())
+        return false;
+    const Channel& c = channels_[static_cast<std::size_t>(channel)];
+    return c.up && c.probation_left == 0 &&
+           c.score < options_.quarantine_threshold;
+}
+
+int
+ChannelHealthTracker::failCount(int channel) const
+{
+    if (channel < 0 || channel >= numChannels())
+        return 0;
+    return channels_[static_cast<std::size_t>(channel)].fail_count;
+}
+
+bool
+ChannelHealthTracker::flapping(int channel) const
+{
+    return failCount(channel) >= options_.flap_limit;
+}
+
+bool
+ChannelHealthTracker::excludedLocked(const Channel& channel) const
+{
+    return !channel.up || channel.probation_left > 0 ||
+           channel.score < options_.quarantine_threshold;
+}
+
+std::vector<int>
+ChannelHealthTracker::excludedChannels() const
+{
+    std::vector<int> out;
+    for (std::size_t id = 0; id < channels_.size(); ++id) {
+        if (excludedLocked(channels_[id]))
+            out.push_back(static_cast<int>(id));
+    }
+    return out;
+}
+
+bool
+ChannelHealthTracker::anyReadmittable(
+    const std::vector<int>& previous_excluded) const
+{
+    for (int id : previous_excluded) {
+        if (id < 0 || id >= numChannels())
+            continue;
+        if (!excludedLocked(channels_[static_cast<std::size_t>(id)]))
+            return true;
+    }
+    return false;
+}
+
+} // namespace topo
+} // namespace ccube

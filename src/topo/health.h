@@ -1,0 +1,136 @@
+#ifndef CCUBE_TOPO_HEALTH_H_
+#define CCUBE_TOPO_HEALTH_H_
+
+/**
+ * @file
+ * Per-channel health scoring for fault churn.
+ *
+ * A single failure is easy: remove the channel, re-plan. Real fabrics
+ * *flap* — a marginal NVLink fails, restores, and fails again — and a
+ * planner that eagerly re-admits every restored link thrashes between
+ * embeddings. This tracker keeps an EWMA health score per channel fed
+ * by fail/restore/degrade events plus a probation window on restore,
+ * so the resilience supervisor can (a) exclude flapping links from
+ * re-embedding even while they are nominally up, and (b) climb the
+ * recovery ladder back to the C-Cube embedding only once a restored
+ * link has stayed healthy through a configurable number of successful
+ * collectives.
+ *
+ * Channel ids are the ids of the ORIGINAL graph the tracker was sized
+ * for. topo::withoutChannels re-densifies ids on the survivor graph,
+ * so callers must score/exclude in original-id space and only then
+ * translate into a failed-channel list for recoverSchedule.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace ccube {
+namespace topo {
+
+/** Knobs for ChannelHealthTracker. */
+struct HealthOptions {
+    /** EWMA step: score ← score + alpha·(target − score). */
+    double ewma_alpha = 0.35;
+
+    /** Score below which an up channel is still quarantined. */
+    double quarantine_threshold = 0.5;
+
+    /** Successful collectives a restored channel must sit out before
+     *  it becomes eligible for re-admission. */
+    int probation_runs = 3;
+
+    /** Fail events at or above this count mark the channel flapping
+     *  (its probation is doubled on every subsequent restore). */
+    int flap_limit = 3;
+};
+
+/**
+ * EWMA health score + probation state for every channel of a graph.
+ * Not thread-safe; the supervisor serializes event feeds and runs.
+ */
+class ChannelHealthTracker
+{
+  public:
+    explicit ChannelHealthTracker(int num_channels,
+                                  HealthOptions options = {});
+
+    int numChannels() const
+    {
+        return static_cast<int>(channels_.size());
+    }
+
+    const HealthOptions& options() const { return options_; }
+
+    // ---- event feed (fabric side) ----
+
+    /** Channel went down. Score decays toward 0. */
+    void noteFail(int channel);
+
+    /** Channel came back. Starts the probation window (doubled for a
+     *  flapping channel); the score is NOT restored — only successful
+     *  runs rebuild it. */
+    void noteRestore(int channel);
+
+    /** Channel degraded to @p factor of nominal bandwidth (< 1). The
+     *  score decays half a step — degraded-but-alive is suspicious,
+     *  not fatal. */
+    void noteDegrade(int channel, double factor);
+
+    /** One collective completed successfully. Advances probation and
+     *  rebuilds the score of every channel that is up. */
+    void noteRunSuccess();
+
+    // ---- queries (planner side) ----
+
+    /** EWMA health in [0, 1]; 1 = never faulted. */
+    double score(int channel) const;
+
+    /** Whether the channel is currently down. */
+    bool failed(int channel) const;
+
+    /** Up, but still serving its post-restore probation window. */
+    bool onProbation(int channel) const;
+
+    /** Up and past probation, but score below the quarantine
+     *  threshold: a flapping link the planner must keep avoiding. */
+    bool quarantined(int channel) const;
+
+    /** Fail events seen for the channel. */
+    int failCount(int channel) const;
+
+    /** True once failCount reached HealthOptions::flap_limit. */
+    bool flapping(int channel) const;
+
+    /**
+     * Channels the planner must avoid: down ∪ on-probation ∪
+     * quarantined. This is the failed-channel list handed to
+     * core::recoverSchedule (original-graph ids, both directions —
+     * callers feed both directed ids of a failed link).
+     */
+    std::vector<int> excludedChannels() const;
+
+    /** True when a channel left the excluded set since the last call
+     *  to excludedChannels() was taken — i.e. a re-plan could climb
+     *  the ladder. Purely a convenience for the supervisor. */
+    bool anyReadmittable(const std::vector<int>& previous_excluded)
+        const;
+
+  private:
+    struct Channel {
+        bool up = true;
+        double score = 1.0;
+        int probation_left = 0;
+        int fail_count = 0;
+    };
+
+    bool excludedLocked(const Channel& channel) const;
+
+    HealthOptions options_;
+    std::vector<Channel> channels_;
+};
+
+} // namespace topo
+} // namespace ccube
+
+#endif // CCUBE_TOPO_HEALTH_H_

@@ -196,6 +196,10 @@ class FaultedCollective
         // ... and clearAbort() re-arms it for the next collective.
         comm.clearAbort();
         comm.setFaultInjector(nullptr);
+        // The retry only needs the watchdog as a hang backstop; the
+        // tight deadline above would trip spuriously when the whole
+        // suite time-shares a loaded CPU.
+        comm.setDeadline(10s);
         RankBuffers retry = makeBuffers(32);
         doubleTreeAllReduce(comm, retry, dt, 2,
                             TreePhaseMode::kOverlapped);
@@ -271,6 +275,89 @@ TEST_P(FaultedCollective, ManualAbortSurfacesStructuredError)
     EXPECT_TRUE(caught);
     comm.clearAbort();
     comm.run([](int) {}, "tree_broadcast"); // usable again
+}
+
+TEST_P(FaultedCollective, AbortRacingClearNeverLeaksStaleGeneration)
+{
+    // Regression: clearAbort() flushes the mailboxes and then retires
+    // the tripped generation. An abort() racing in between (watchdog
+    // threads run concurrently) used to be able to land after the
+    // flush but before the clear — the clear would retire a generation
+    // whose mailboxes were never flushed, and the next collective
+    // consumed a stale chunk. The epoch-checked flush loop must
+    // re-flush for the new generation instead.
+    Communicator comm(kRanks, 4, GetParam());
+
+    CollectiveError::Info info;
+    info.failed_rank = 1;
+    info.reason = "first fault";
+    comm.abort(info);
+
+    // A chunk the dead collective posted and never consumed.
+    const std::vector<float> stale(8, -1.0f);
+    Mailbox& box = comm.mailbox(0, 1, 0);
+    box.send(stale);
+
+    // Simulate the race deterministically: between the flush and the
+    // conditional clear, a second fault trips the next generation and
+    // posts another stale chunk. Fire-once, or clearAbort() would
+    // rightly loop forever on an abort storm.
+    std::atomic<int> raced{0};
+    comm.setClearAbortHook([&]() {
+        if (raced.fetch_add(1) != 0)
+            return;
+        CollectiveError::Info second;
+        second.failed_rank = 2;
+        second.reason = "abort racing clearAbort";
+        comm.abort(second);
+        box.send(stale);
+    });
+
+    comm.clearAbort();
+    comm.setClearAbortHook({});
+
+    // The racing generation was flushed (no stale chunk pending) and
+    // retired (the communicator is re-armed, not poisoned).
+    EXPECT_GE(raced.load(), 2); // first clear failed, loop re-flushed
+    EXPECT_EQ(box.arrivalSemaphore().value(), 0);
+    comm.run([](int) {}, "noop");
+
+    // And a real collective sees clean channels: exact sums, no stale
+    // -1 chunk surfacing anywhere.
+    const topo::Graph graph = topo::makeDgx1();
+    const topo::DoubleTreeEmbedding dt =
+        topo::makeDgx1DoubleTree(graph);
+    comm.setDeadline(10s);
+    RankBuffers buffers = makeBuffers(32);
+    doubleTreeAllReduce(comm, buffers, dt, 2,
+                        TreePhaseMode::kOverlapped);
+    for (std::size_t r = 0; r < buffers.size(); ++r)
+        for (float v : buffers[r])
+            EXPECT_FLOAT_EQ(v, 36.0f);
+}
+
+TEST_P(FaultedCollective, ClearAbortIsIdempotent)
+{
+    Communicator comm(kRanks, 4, GetParam());
+
+    // Clearing an un-tripped communicator is a no-op...
+    comm.clearAbort();
+    comm.run([](int) {}, "noop");
+
+    // ...and clearing twice after one abort leaves it re-armed, not
+    // wedged or double-retired.
+    CollectiveError::Info info;
+    info.failed_rank = 4;
+    comm.abort(info);
+    comm.clearAbort();
+    comm.clearAbort();
+    comm.run([](int) {}, "noop");
+
+    // The next trip still registers on the fresh generation.
+    comm.abort(info);
+    EXPECT_THROW(comm.run([](int) {}, "noop"), CollectiveError);
+    comm.clearAbort();
+    comm.run([](int) {}, "noop");
 }
 
 INSTANTIATE_TEST_SUITE_P(
